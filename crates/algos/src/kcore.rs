@@ -1,0 +1,192 @@
+//! k-core decomposition by parallel peeling — a sixth application
+//! demonstrating the API's generality beyond the paper's five benchmarks.
+//!
+//! The k-core of a graph is the maximal subgraph in which every vertex
+//! has degree ≥ k. Peeling maps directly onto Filter-Expand: a vertex
+//! whose residual degree has dropped below `k` becomes *active*, is
+//! peeled in `prepare`, and its Expand decrements every neighbor's
+//! residual degree — possibly activating them for the next super-step.
+//! The active set starts sparse and travels in waves, so the autotuner's
+//! format/load-balance choices matter just as they do for traversal.
+
+use gswitch_core::{run, EngineOptions, GraphApp, Policy, RunReport, Status};
+use gswitch_graph::{Graph, VertexId, Weight};
+use gswitch_kernels::atomics::AtomicArray;
+
+/// Vertex states for the peeling automaton, packed into the degree array:
+/// alive vertices hold their residual degree; peeled vertices hold
+/// `PEELED`.
+const PEELED: u32 = u32::MAX;
+
+/// The k-core peeling application.
+pub struct KCore {
+    /// Residual degree, or `PEELED`.
+    degree: AtomicArray<u32>,
+    k: u32,
+}
+
+impl KCore {
+    /// Prepare a peel of `g` down to its `k`-core.
+    pub fn new(g: &Graph, k: u32) -> Self {
+        let kc = KCore { degree: AtomicArray::filled(g.num_vertices(), 0), k };
+        for v in 0..g.num_vertices() as VertexId {
+            kc.degree.store(v, g.out_degree(v));
+        }
+        kc
+    }
+
+    /// Membership mask after the run: `true` = in the k-core.
+    pub fn membership(&self) -> Vec<bool> {
+        (0..self.degree.len() as VertexId)
+            .map(|v| self.degree.load(v) != PEELED)
+            .collect()
+    }
+}
+
+impl GraphApp for KCore {
+    type Msg = u32;
+    const PULL_EARLY_EXIT: bool = false; // every peeled neighbor counts
+    const DUP_TOLERANT: bool = false; // decrements are not idempotent
+
+    fn filter(&self, v: VertexId) -> Status {
+        let d = self.degree.load(v);
+        if d == PEELED {
+            Status::Fixed
+        } else if d < self.k {
+            Status::Active // below threshold: peel this round
+        } else {
+            Status::Inactive
+        }
+    }
+
+    fn prepare(&self, v: VertexId) {
+        self.degree.store(v, PEELED);
+    }
+
+    fn emit(&self, _u: VertexId, _w: Weight) -> u32 {
+        1 // one lost neighbor
+    }
+
+    fn comp_atomic(&self, dst: VertexId, loss: u32) -> bool {
+        // Saturating decrement that never touches peeled vertices.
+        loop {
+            let cur = self.degree.load(dst);
+            if cur == PEELED {
+                return false;
+            }
+            let next = cur.saturating_sub(loss);
+            if self.degree.compare_set(dst, cur, next) {
+                // Activation = crossing the threshold just now.
+                return cur >= self.k && next < self.k;
+            }
+        }
+    }
+
+    fn comp(&self, dst: VertexId, loss: u32) -> bool {
+        let cur = self.degree.load(dst);
+        if cur == PEELED {
+            return false;
+        }
+        let next = cur.saturating_sub(loss);
+        self.degree.store(dst, next);
+        cur >= self.k && next < self.k
+    }
+}
+
+/// Result of a k-core run.
+pub struct KCoreResult {
+    /// Per-vertex membership in the k-core.
+    pub in_core: Vec<bool>,
+    /// The engine trace.
+    pub report: RunReport,
+}
+
+/// Peel `g` to its `k`-core under `policy`.
+pub fn kcore(g: &Graph, k: u32, policy: &dyn Policy, opts: &EngineOptions) -> KCoreResult {
+    let app = KCore::new(g, k);
+    let report = run(g, &app, policy, opts);
+    KCoreResult { in_core: app.membership(), report }
+}
+
+/// Sequential reference: classic iterative peeling.
+pub fn kcore_reference(g: &Graph, k: u32) -> Vec<bool> {
+    let n = g.num_vertices();
+    let mut deg: Vec<i64> = (0..n as VertexId).map(|v| g.out_degree(v) as i64).collect();
+    let mut alive = vec![true; n];
+    loop {
+        let mut peeled_any = false;
+        for v in 0..n {
+            if alive[v] && deg[v] < k as i64 {
+                alive[v] = false;
+                peeled_any = true;
+                for &u in g.out_csr().neighbors(v as VertexId) {
+                    deg[u as usize] -= 1;
+                }
+            }
+        }
+        if !peeled_any {
+            return alive;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gswitch_core::{AutoPolicy, KernelConfig, StaticPolicy};
+    use gswitch_graph::{gen, GraphBuilder};
+
+    #[test]
+    fn triangle_survives_2core_tail_does_not() {
+        // Triangle {0,1,2} with a tail 2-3-4.
+        let g = GraphBuilder::new(5)
+            .edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)])
+            .build();
+        let r = kcore(&g, 2, &AutoPolicy, &EngineOptions::default());
+        assert!(r.report.converged);
+        assert_eq!(r.in_core, vec![true, true, true, false, false]);
+        assert_eq!(r.in_core, kcore_reference(&g, 2));
+    }
+
+    #[test]
+    fn matches_reference_on_random_graphs() {
+        for seed in 0..4 {
+            let g = gen::erdos_renyi(400, 1_200, seed);
+            for k in [2, 3, 5] {
+                let r = kcore(&g, k, &AutoPolicy, &EngineOptions::default());
+                assert_eq!(r.in_core, kcore_reference(&g, k), "seed {seed} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_shape_agrees() {
+        let g = gen::barabasi_albert(300, 3, 7);
+        let want = kcore_reference(&g, 3);
+        for cfg in KernelConfig::all_shapes() {
+            let r = kcore(&g, 3, &StaticPolicy::new(cfg), &EngineOptions::default());
+            assert_eq!(r.in_core, want, "{cfg}");
+        }
+    }
+
+    #[test]
+    fn k0_keeps_everything_huge_k_empties() {
+        let g = gen::grid2d(10, 10, 0.0, 1);
+        let all = kcore(&g, 1, &AutoPolicy, &EngineOptions::default());
+        assert!(all.in_core.iter().all(|&b| b));
+        let none = kcore(&g, 100, &AutoPolicy, &EngineOptions::default());
+        assert!(none.in_core.iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn peeling_cascades() {
+        // A path peels from both ends inward under k=2: everything goes.
+        let g = GraphBuilder::new(6)
+            .edges((0..5u32).map(|i| (i, i + 1)))
+            .build();
+        let r = kcore(&g, 2, &AutoPolicy, &EngineOptions::default());
+        assert!(r.in_core.iter().all(|&b| !b));
+        // The cascade takes several waves, one per peel layer.
+        assert!(r.report.n_iterations() >= 3);
+    }
+}

@@ -1,0 +1,224 @@
+//! Sequential reference implementations.
+//!
+//! These are the ground truth the test suite checks every kernel variant
+//! against. They are deliberately the plainest possible algorithms —
+//! textbook BFS/Dijkstra/Brandes/union-find/power-iteration — so a bug in
+//! the parallel kernels cannot hide behind a twin bug here.
+
+use gswitch_graph::{Graph, VertexId};
+use std::collections::VecDeque;
+
+/// BFS levels from `src`; unreachable vertices get `u32::MAX`.
+pub fn bfs(g: &Graph, src: VertexId) -> Vec<u32> {
+    let mut level = vec![u32::MAX; g.num_vertices()];
+    level[src as usize] = 0;
+    let mut q = VecDeque::from([src]);
+    while let Some(u) = q.pop_front() {
+        for &v in g.out_csr().neighbors(u) {
+            if level[v as usize] == u32::MAX {
+                level[v as usize] = level[u as usize] + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    level
+}
+
+/// Connected-component labels: each vertex gets the smallest vertex id in
+/// its (weakly) connected component.
+pub fn cc(g: &Graph) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut label = vec![u32::MAX; n];
+    for s in 0..n as VertexId {
+        if label[s as usize] != u32::MAX {
+            continue;
+        }
+        // BFS flood from the smallest unvisited id: everything reached
+        // gets `s`, which is minimal for the component by scan order.
+        label[s as usize] = s;
+        let mut q = VecDeque::from([s]);
+        while let Some(u) = q.pop_front() {
+            for &v in g.out_csr().neighbors(u) {
+                if label[v as usize] == u32::MAX {
+                    label[v as usize] = s;
+                    q.push_back(v);
+                }
+            }
+            // Weak connectivity on directed graphs: also traverse in-edges.
+            if !g.is_symmetric() {
+                for &v in g.in_csr().neighbors(u) {
+                    if label[v as usize] == u32::MAX {
+                        label[v as usize] = s;
+                        q.push_back(v);
+                    }
+                }
+            }
+        }
+    }
+    label
+}
+
+/// Shortest-path distances from `src` by Dijkstra; unreachable vertices
+/// get `u32::MAX`. Uses the graph's weights (1 when unweighted).
+pub fn sssp(g: &Graph, src: VertexId) -> Vec<u32> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let n = g.num_vertices();
+    let mut dist = vec![u32::MAX; n];
+    dist[src as usize] = 0;
+    let mut heap = BinaryHeap::from([Reverse((0u32, src))]);
+    let csr = g.out_csr();
+    let ws = g.out_weights();
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        let r = csr.edge_range(u);
+        for (i, &v) in csr.neighbors(u).iter().enumerate() {
+            let w = ws.map(|w| w[r.start + i]).unwrap_or(1);
+            let nd = d.saturating_add(w);
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    dist
+}
+
+/// PageRank by damped power iteration until the L1 delta falls below
+/// `tol`: the fixed point of `pr_v = (1−α)/n + α Σ_{u→v} pr_u / deg_u`.
+/// Dangling (zero-out-degree) mass is dropped, matching the
+/// delta-PageRank formulation the paper's PR benchmark uses — on graphs
+/// without isolated vertices the scores sum to 1.
+pub fn pagerank(g: &Graph, alpha: f64, tol: f64, max_iter: usize) -> Vec<f64> {
+    let n = g.num_vertices();
+    assert!(n > 0);
+    let csr = g.out_csr();
+    let mut rank = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0; n];
+    for _ in 0..max_iter {
+        next.fill((1.0 - alpha) / n as f64);
+        for u in 0..n as VertexId {
+            let d = csr.degree(u);
+            if d == 0 {
+                continue; // dangling mass is dropped
+            }
+            let share = alpha * rank[u as usize] / d as f64;
+            for &v in csr.neighbors(u) {
+                next[v as usize] += share;
+            }
+        }
+        let l1: f64 = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        std::mem::swap(&mut rank, &mut next);
+        if l1 < tol {
+            break;
+        }
+    }
+    rank
+}
+
+/// Single-source betweenness dependencies (Brandes): for the given
+/// source, `delta[v]` = Σ_{t} σ_{s,t}(v)/σ_{s,t}. This is the quantity a
+/// single-source BC kernel accumulates into the centrality array.
+pub fn bc(g: &Graph, src: VertexId) -> Vec<f64> {
+    let n = g.num_vertices();
+    let mut sigma = vec![0.0f64; n];
+    let mut dist = vec![i64::MAX; n];
+    let mut order: Vec<VertexId> = Vec::with_capacity(n);
+    sigma[src as usize] = 1.0;
+    dist[src as usize] = 0;
+    let mut q = VecDeque::from([src]);
+    while let Some(u) = q.pop_front() {
+        order.push(u);
+        for &v in g.out_csr().neighbors(u) {
+            let (vi, ui) = (v as usize, u as usize);
+            if dist[vi] == i64::MAX {
+                dist[vi] = dist[ui] + 1;
+                q.push_back(v);
+            }
+            if dist[vi] == dist[ui] + 1 {
+                sigma[vi] += sigma[ui];
+            }
+        }
+    }
+    let mut delta = vec![0.0f64; n];
+    for &u in order.iter().rev() {
+        let ui = u as usize;
+        for &v in g.out_csr().neighbors(u) {
+            let vi = v as usize;
+            if dist[vi] == dist[ui] + 1 && sigma[vi] > 0.0 {
+                delta[ui] += sigma[ui] / sigma[vi] * (1.0 + delta[vi]);
+            }
+        }
+    }
+    delta[src as usize] = 0.0;
+    delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gswitch_graph::{gen, GraphBuilder};
+
+    #[test]
+    fn bfs_on_path() {
+        let g = GraphBuilder::new(4).edges([(0, 1), (1, 2), (2, 3)]).build();
+        assert_eq!(bfs(&g, 0), vec![0, 1, 2, 3]);
+        assert_eq!(bfs(&g, 3), vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn cc_labels_by_min_id() {
+        let g = GraphBuilder::new(5).edges([(0, 1), (3, 4)]).build();
+        assert_eq!(cc(&g), vec![0, 0, 2, 3, 3]);
+    }
+
+    #[test]
+    fn sssp_prefers_light_detour() {
+        // 0->2 direct costs 10; 0->1->2 costs 3.
+        let g = GraphBuilder::new(3)
+            .weighted_edges([(0, 2, 10), (0, 1, 1), (1, 2, 2)])
+            .build();
+        assert_eq!(sssp(&g, 0), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn sssp_unweighted_equals_bfs() {
+        let g = gen::erdos_renyi(200, 800, 3);
+        let b = bfs(&g, 0);
+        let s = sssp(&g, 0);
+        assert_eq!(b, s);
+    }
+
+    #[test]
+    fn pagerank_sums_to_one_and_ranks_hub_highest() {
+        let g = gen::star(50);
+        let pr = pagerank(&g, 0.85, 1e-10, 200);
+        let sum: f64 = pr.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "sum = {sum}");
+        assert!(pr[0] > pr[1] * 5.0, "hub should dominate");
+    }
+
+    #[test]
+    fn bc_path_center_is_highest() {
+        let g = GraphBuilder::new(5)
+            .edges([(0, 1), (1, 2), (2, 3), (3, 4)])
+            .build();
+        let d = bc(&g, 0);
+        // From source 0, vertex 1 lies on paths to 2,3,4 -> delta 3; etc.
+        assert_eq!(d, vec![0.0, 3.0, 2.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn bc_counts_multiple_shortest_paths() {
+        // Diamond: 0->{1,2}->3; sigma(3)=2; delta(1)=delta(2)=0.5.
+        let g = GraphBuilder::new(4)
+            .edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+            .build();
+        let d = bc(&g, 0);
+        assert!((d[1] - 0.5).abs() < 1e-12);
+        assert!((d[2] - 0.5).abs() < 1e-12);
+        assert_eq!(d[0], 0.0);
+    }
+}

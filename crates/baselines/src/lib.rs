@@ -1,0 +1,25 @@
+//! Behavioural re-implementations of the systems GSWITCH is evaluated
+//! against (§5.1):
+//!
+//! | Baseline | Benchmarks | Published policy we reproduce |
+//! |---|---|---|
+//! | [`gunrock`] | all five | static per-algorithm config; BFS direction switching gated on user-supplied `do_a`/`do_b` |
+//! | [`enterprise`] | BFS | rule-based direction switching + TWC scheduling (Liu & Huang) |
+//! | [`gpucc`] | CC | Soman et al. edge-centric hooking + pointer jumping |
+//! | [`wsvr`] | PR | pull + warp mapping for every input (Khorasani et al.) |
+//! | [`frog`] | SSSP | asynchronous (color-chunked) relaxation that converges in fewer rounds |
+//! | [`gpubc`] | BC | push-only Brandes (Sariyüce et al.) |
+//!
+//! Every baseline runs on the *same* kernel library and simulator as
+//! GSWITCH, pinned to that system's published configuration policy — so
+//! head-to-head numbers isolate configuration quality, exactly like the
+//! paper's comparison (see DESIGN.md §2).
+
+#![warn(missing_docs)]
+
+pub mod enterprise;
+pub mod frog;
+pub mod gpubc;
+pub mod gpucc;
+pub mod gunrock;
+pub mod wsvr;

@@ -1,0 +1,74 @@
+//! WS-VR-like baseline (Khorasani, Gupta & Bhuyan: Warp Segmentation /
+//! Vertex Refinement, PACT'16).
+//!
+//! Per the paper's §5.2: "WS-VR used the pull mode and the WM
+//! load-balancing strategy for all cases" — a design that excels on
+//! dense, PageRank-like workloads and collapses on sparse traversal
+//! frontiers (the §1 motivation). One pinned policy reproduces it.
+
+use gswitch_algos::{bfs, pr, sssp};
+use gswitch_core::{
+    AsFormat, Direction, EngineOptions, Fusion, KernelConfig, LoadBalance, StaticPolicy,
+    SteppingDelta,
+};
+use gswitch_graph::{Graph, VertexId};
+
+/// The WS-VR configuration: pull + bitmap + warp mapping, always.
+pub fn wsvr_config() -> KernelConfig {
+    KernelConfig {
+        direction: Direction::Pull,
+        format: AsFormat::Bitmap,
+        lb: LoadBalance::Wm,
+        stepping: SteppingDelta::Remain,
+        fusion: Fusion::Standalone,
+    }
+}
+
+/// WS-VR PageRank (its home turf).
+pub fn pr_run(g: &Graph, tol: f64, opts: &EngineOptions) -> pr::PrResult {
+    pr::pagerank(g, tol, &StaticPolicy::new(wsvr_config()), opts)
+}
+
+/// WS-VR on a traversal workload (where the pinned pull mode hurts) —
+/// used by the algorithmic-diversity experiments.
+pub fn bfs_run(g: &Graph, src: VertexId, opts: &EngineOptions) -> bfs::BfsResult {
+    bfs::bfs(g, src, &StaticPolicy::new(wsvr_config()), opts)
+}
+
+/// WS-VR SSSP (pull-mode Bellman-Ford).
+pub fn sssp_run(g: &Graph, src: VertexId, opts: &EngineOptions) -> sssp::SsspResult {
+    sssp::bellman_ford(g, src, &StaticPolicy::new(wsvr_config()), opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gswitch_algos::reference;
+    use gswitch_graph::gen;
+
+    #[test]
+    fn wsvr_pr_is_correct() {
+        let g = gen::erdos_renyi(300, 1_500, 2);
+        let r = pr_run(&g, 1e-6, &EngineOptions::default());
+        let want = reference::pagerank(&g, 0.85, 1e-12, 500);
+        for (a, b) in r.ranks.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-5);
+        }
+        // Policy sanity: every iteration ran pull + WM.
+        assert!(r
+            .report
+            .iterations
+            .iter()
+            .all(|t| t.config.direction == Direction::Pull && t.config.lb == LoadBalance::Wm));
+    }
+
+    #[test]
+    fn wsvr_traversal_is_correct_but_not_its_strength() {
+        let g = gen::grid2d(25, 25, 0.05, 3);
+        let r = bfs_run(&g, 0, &EngineOptions::default());
+        assert_eq!(r.levels, reference::bfs(&g, 0));
+        let gw = gen::with_random_weights(&g, 16, 4);
+        let s = sssp_run(&gw, 0, &EngineOptions::default());
+        assert_eq!(s.distances, reference::sssp(&gw, 0));
+    }
+}

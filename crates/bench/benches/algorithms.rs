@@ -1,0 +1,40 @@
+//! Criterion end-to-end benchmarks: each of the five benchmarks on small
+//! twins of the paper's graph domains, autotuned vs the Gunrock-like
+//! static configuration. Wall-clock here measures our engine, not the
+//! simulated device — the pair shows the autotuner's host-side cost is
+//! negligible relative to the work it orchestrates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gswitch_bench::runners::{prepare, run_gswitch, run_gunrock, Algo};
+use gswitch_core::AutoPolicy;
+use gswitch_graph::gen;
+use gswitch_simt::DeviceSpec;
+
+fn domain_graphs() -> Vec<(&'static str, gswitch_graph::Graph)> {
+    vec![
+        ("social", gen::barabasi_albert(20_000, 8, 1)),
+        ("road", gen::grid2d(140, 140, 0.05, 2)),
+        ("mesh", gen::banded(16_000, 12, 0.1, 3)),
+    ]
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let dev = DeviceSpec::k40m();
+    for (dname, g) in domain_graphs() {
+        for algo in Algo::ALL {
+            let ga = prepare(&g, algo);
+            let mut group = c.benchmark_group(format!("{}/{dname}", algo.tag()));
+            group.sample_size(10);
+            group.bench_function("gswitch", |b| {
+                b.iter(|| run_gswitch(&ga, algo, &AutoPolicy, &dev).time_ms);
+            });
+            group.bench_function("gunrock_static", |b| {
+                b.iter(|| run_gunrock(&ga, algo, &dev).time_ms);
+            });
+            group.finish();
+        }
+    }
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

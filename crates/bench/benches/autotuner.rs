@@ -1,0 +1,73 @@
+//! Criterion benchmarks of the autotuner's own moving parts: oracle
+//! labelling throughput, CART training, cross-validation, and the
+//! per-iteration decision loop — the offline costs of §4.4 and the
+//! online overhead of §5.4.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gswitch_algos::Bfs;
+use gswitch_core::oracle::{oracle_run, OracleOptions};
+use gswitch_core::{run, AutoPolicy, EngineOptions};
+use gswitch_graph::gen;
+use gswitch_ml::{cross_validate, DecisionTree, TrainParams};
+
+fn bench_oracle(c: &mut Criterion) {
+    let g = gen::kronecker(12, 8, 5);
+    let mut group = c.benchmark_group("oracle");
+    group.sample_size(10);
+    group.bench_function("label_bfs_run", |b| {
+        b.iter(|| {
+            let app = Bfs::new(g.num_vertices(), 0);
+            oracle_run(&g, &app, "bfs", &OracleOptions::default())
+        });
+    });
+    group.finish();
+}
+
+fn synthetic_records(n: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let mut v = vec![0.0; 21];
+            v[7] = (i * 31 % 997) as f64;
+            v[9] = (i * 17 % 613) as f64;
+            v[14] = (i % 10) as f64 / 10.0;
+            v[5] = (i % 7) as f64 / 7.0;
+            v
+        })
+        .collect();
+    let labels = rows
+        .iter()
+        .map(|r| usize::from(r[14] > 0.5) + usize::from(r[5] > 0.6))
+        .collect();
+    (rows, labels)
+}
+
+fn bench_training(c: &mut Criterion) {
+    let (rows, labels) = synthetic_records(5_000);
+    let mut group = c.benchmark_group("cart");
+    group.sample_size(10);
+    group.bench_function("train_5k_records", |b| {
+        b.iter(|| DecisionTree::train(&rows, &labels, TrainParams::default()));
+    });
+    group.bench_function("cv10_5k_records", |b| {
+        b.iter(|| cross_validate(&rows, &labels, 10, TrainParams::default()));
+    });
+    group.finish();
+}
+
+fn bench_engine_loop(c: &mut Criterion) {
+    // Whole-engine wall time per iteration on a long-diameter graph: the
+    // decision loop runs hundreds of times here.
+    let g = gen::grid2d(120, 120, 0.03, 9);
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    group.bench_function("bfs_road_300_iterations", |b| {
+        b.iter(|| {
+            let app = Bfs::new(g.num_vertices(), 0);
+            run(&g, &app, &AutoPolicy, &EngineOptions::default())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracle, bench_training, bench_engine_loop);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! Criterion microbenchmarks of the kernel library: real wall-clock cost
+//! of the primitives the autotuner orchestrates (classification, frontier
+//! materialization per format, expand per direction/load-balance, feature
+//! assembly, tree inference).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gswitch_algos::Bfs;
+use gswitch_core::{AppCaps, AutoPolicy, DecisionContext, Direction, GraphApp as _, Policy};
+use gswitch_graph::gen;
+use gswitch_kernels::{
+    classify, expand, materialize, AsFormat, Fusion, KernelConfig, LoadBalance, SteppingDelta,
+};
+use gswitch_ml::{DecisionTree, TrainParams};
+use gswitch_simt::DeviceSpec;
+
+/// A mid-frontier BFS state on a scale-free graph: the workload shape the
+/// selector sees most often.
+fn mid_bfs(scale: u32) -> (gswitch_graph::Graph, Bfs, Vec<u8>) {
+    let g = gen::kronecker(scale, 8, 42);
+    let app = Bfs::new(g.num_vertices(), 0);
+    let spec = DeviceSpec::k40m();
+    // Advance two levels so the frontier is in the hump.
+    for it in 0..2 {
+        app.advance(it);
+        let co = classify(&g, &app, &spec);
+        let (f, _) =
+            materialize::<Bfs>(&g, &co.status, Direction::Push, AsFormat::UnsortedQueue, &spec);
+        let cfg = KernelConfig::push_baseline();
+        expand(&g, &app, &f, &co.status, cfg, &spec);
+    }
+    app.advance(2);
+    let co = classify(&g, &app, &spec);
+    (g, app, co.status)
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let spec = DeviceSpec::k40m();
+    let mut group = c.benchmark_group("classify");
+    for scale in [12u32, 15] {
+        let (g, app, _) = mid_bfs(scale);
+        group.bench_with_input(BenchmarkId::from_parameter(1u64 << scale), &scale, |b, _| {
+            b.iter(|| classify(&g, &app, &spec));
+        });
+    }
+    group.finish();
+}
+
+fn bench_materialize_formats(c: &mut Criterion) {
+    let spec = DeviceSpec::k40m();
+    let (g, _, status) = mid_bfs(14);
+    let mut group = c.benchmark_group("materialize");
+    for (fmt, name) in [
+        (AsFormat::Bitmap, "bitmap"),
+        (AsFormat::UnsortedQueue, "unsorted_queue"),
+        (AsFormat::SortedQueue, "sorted_queue"),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| materialize::<Bfs>(&g, &status, Direction::Push, fmt, &spec));
+        });
+    }
+    group.finish();
+}
+
+fn bench_expand_variants(c: &mut Criterion) {
+    let spec = DeviceSpec::k40m();
+    let mut group = c.benchmark_group("expand");
+    group.sample_size(20);
+    for (dir, dname) in [(Direction::Push, "push"), (Direction::Pull, "pull")] {
+        for (lb, lname) in [
+            (LoadBalance::Twc, "twc"),
+            (LoadBalance::Wm, "wm"),
+            (LoadBalance::Cm, "cm"),
+            (LoadBalance::Strict, "strict"),
+        ] {
+            group.bench_function(format!("{dname}/{lname}"), |b| {
+                b.iter_batched(
+                    || mid_bfs(13),
+                    |(g, app, status)| {
+                        let cfg = KernelConfig {
+                            direction: dir,
+                            format: AsFormat::UnsortedQueue,
+                            lb,
+                            stepping: SteppingDelta::Remain,
+                            fusion: Fusion::Standalone,
+                        };
+                        let (f, _) =
+                            materialize::<Bfs>(&g, &status, dir, AsFormat::UnsortedQueue, &spec);
+                        expand(&g, &app, &f, &status, cfg, &spec)
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_selector(c: &mut Criterion) {
+    // Host-side decision cost: the thing the paper bounds at microseconds.
+    let g = gen::kronecker(12, 8, 7);
+    let ctx = DecisionContext::initial(*g.stats());
+    let caps = AppCaps { dup_tolerant: true, priority_driven: false };
+    c.bench_function("selector/auto_rules", |b| {
+        b.iter(|| AutoPolicy.decide(&ctx, &caps));
+    });
+
+    // A trained tree of realistic height.
+    let rows: Vec<Vec<f64>> = (0..512)
+        .map(|i| {
+            let mut v = vec![0.0; 21];
+            v[9] = (i % 100) as f64;
+            v[14] = (i % 7) as f64 / 7.0;
+            v
+        })
+        .collect();
+    let labels: Vec<usize> = rows.iter().map(|r| usize::from(r[9] > 50.0)).collect();
+    let tree = DecisionTree::train(&rows, &labels, TrainParams::default());
+    let feat = ctx.features(Direction::Push);
+    c.bench_function("selector/cart_inference", |b| {
+        b.iter(|| tree.predict(&feat));
+    });
+
+    c.bench_function("selector/feature_assembly", |b| {
+        b.iter(|| ctx.features(Direction::Push));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_classify,
+    bench_materialize_formats,
+    bench_expand_variants,
+    bench_selector
+);
+criterion_main!(benches);

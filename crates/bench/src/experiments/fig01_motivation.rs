@@ -1,0 +1,105 @@
+//! Figure 1 — the motivating example.
+//!
+//! (a) BFS frontier expansion on a scale-free graph (com-youtube twin):
+//!     small diameter, explosive edge frontier, Expand-bound.
+//! (b) BFS frontier expansion on a road network (roadNet-CA twin): large
+//!     diameter, tiny frontiers, Filter-bound.
+//! (c) Performance loss from pinning the Push variant, across a sample of
+//!     the corpus (paper: up to 80% on 1,288 graphs).
+
+use super::{twin_graph, ExpConfig};
+use crate::runners::{run_gswitch, run_static, source_of, Algo};
+use crate::table::{ms, Table};
+use gswitch_core::KernelConfig;
+use gswitch_graph::corpus;
+use gswitch_simt::DeviceSpec;
+use std::fmt::Write;
+
+/// Run the experiment.
+pub fn run(cfg: &ExpConfig) -> String {
+    let dev = DeviceSpec::k40m();
+    let mut out = String::new();
+    let _ = writeln!(out, "# Fig. 1 — motivation: input sensitivity of BFS\n");
+
+    // The frontier/breakdown panels profile the *plain push* BFS — the
+    // paper's point is what an untuned implementation spends its time on.
+    let plain = gswitch_core::StaticPolicy::new(KernelConfig::push_baseline());
+    for (tag, name) in [("(a) scale-free", "com-youtube"), ("(b) road-net", "roadNet-CA")] {
+        let g = twin_graph(cfg, name);
+        let r = run_gswitch(&g, Algo::Bfs, &plain, &dev);
+        let rep = r.report.expect("engine run");
+        let mut t = Table::new(
+            format!("{tag}: {name} twin (N={}, M={})", g.num_vertices(), g.num_edges()),
+            &["iter", "V_frontier", "E_frontier", "filter_ms", "expand_ms"],
+        );
+        // Road networks have hundreds of iterations; sample to ~24 rows.
+        let stride = (rep.iterations.len() / 24).max(1);
+        for it in rep.iterations.iter().step_by(stride) {
+            t.row(vec![
+                it.iteration.to_string(),
+                it.stats.v_active.to_string(),
+                it.stats.e_active.to_string(),
+                ms(it.filter_ms),
+                ms(it.expand_ms),
+            ]);
+        }
+        let filter: f64 = rep.filter_ms();
+        let expand: f64 = rep.expand_ms();
+        let _ = writeln!(out, "{}", t.render());
+        let _ = writeln!(
+            out,
+            "iterations: {}   runtime breakdown: Filter {:.1}% / Expand {:.1}%\n",
+            rep.n_iterations(),
+            100.0 * filter / (filter + expand),
+            100.0 * expand / (filter + expand),
+        );
+    }
+
+    // (c) push-only loss across a corpus sample.
+    let sample_stride = if cfg.quick { 64 } else { 16 };
+    let recipes: Vec<_> = corpus::evaluation_set()
+        .into_iter()
+        .step_by(sample_stride)
+        .collect();
+    let losses: Vec<(usize, f64)> = recipes
+        .iter()
+        .map(|r| {
+            let g = r.build();
+            let auto = run_gswitch(&g, Algo::Bfs, cfg.policy.as_ref(), &dev);
+            let push = run_static(&g, Algo::Bfs, KernelConfig::push_baseline(), &dev);
+            let loss = 100.0 * (1.0 - auto.time_ms / push.time_ms.max(1e-12));
+            (g.num_edges(), loss.max(0.0))
+        })
+        .collect();
+    let max_loss = losses.iter().map(|&(_, l)| l).fold(0.0, f64::max);
+    let mean_loss = losses.iter().map(|&(_, l)| l).sum::<f64>() / losses.len() as f64;
+    let _ = writeln!(
+        out,
+        "(c) Push-only performance loss over {} evaluation graphs: mean {:.1}%, max {:.1}% \
+         (paper: up to 80%)",
+        losses.len(),
+        mean_loss,
+        max_loss
+    );
+    let mut t = Table::new("per-graph loss sample", &["nnz", "loss_%"]);
+    for (nnz, loss) in losses.iter().take(16) {
+        t.row(vec![nnz.to_string(), format!("{loss:.1}")]);
+    }
+    let _ = writeln!(out, "{}", t.render());
+    let src = source_of(&twin_graph(cfg, "com-youtube"));
+    let _ = writeln!(out, "(source vertex convention: max-degree, e.g. {src} on com-youtube)");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_reports_breakdowns() {
+        let out = run(&ExpConfig::quick_rules());
+        assert!(out.contains("scale-free"));
+        assert!(out.contains("road-net"));
+        assert!(out.contains("Push-only performance loss"));
+    }
+}

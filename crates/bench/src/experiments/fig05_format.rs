@@ -1,0 +1,116 @@
+//! Figure 5 — P2 significance: per-iteration runtime of the three
+//! active-set formats for (a) PageRank on the kron_g500-log21 twin
+//! (dense: bitmap should win) and (b) SSSP on the sc-msdoor twin
+//! (sparse: queues should win).
+
+use super::{twin_graph, ExpConfig};
+use crate::runners::{prepare, source_of, Algo, PR_TOL};
+use crate::table::series;
+use gswitch_algos::{pr, sssp};
+use gswitch_core::{
+    AsFormat, Direction, EngineOptions, Fusion, KernelConfig, LoadBalance, StaticPolicy,
+    SteppingDelta,
+};
+use gswitch_simt::DeviceSpec;
+use std::fmt::Write;
+
+/// Pin the load balancer a tuned system would use on that workload, so
+/// only the format varies: WM for the dense PR panel (a partition-based
+/// balancer would force a bitmap compaction and mask the format effect);
+/// STRICT for the SSSP panel (wavefront workloads use LB partitioning,
+/// and needing a compact list is precisely the bitmap's weakness there).
+fn fmt_cfg(format: AsFormat, lb: LoadBalance) -> KernelConfig {
+    KernelConfig {
+        direction: Direction::Push,
+        format,
+        lb,
+        stepping: SteppingDelta::Remain,
+        fusion: Fusion::Standalone,
+    }
+}
+
+const FORMATS: [(AsFormat, &str); 3] = [
+    (AsFormat::Bitmap, "Bitmap"),
+    (AsFormat::SortedQueue, "Sorted queue"),
+    (AsFormat::UnsortedQueue, "Unsorted queue"),
+];
+
+/// Run the experiment.
+pub fn run(cfg: &ExpConfig) -> String {
+    let dev = DeviceSpec::k40m();
+    let opts = EngineOptions::on(dev);
+    let mut out = String::new();
+    let _ = writeln!(out, "# Fig. 5 — active-set formats per iteration\n");
+
+    // (a) PageRank on kron twin: all formats, total per iteration
+    // (filter+materialize time is where formats differ on dense runs).
+    let gk = twin_graph(cfg, "kron_g500-log21");
+    let _ = writeln!(
+        out,
+        "(a) PageRank, kron_g500-log21 twin (N={}, M={})",
+        gk.num_vertices(),
+        gk.num_edges()
+    );
+    let mut totals = Vec::new();
+    for (f, name) in FORMATS {
+        let rep = pr::pagerank(&gk, PR_TOL, &StaticPolicy::new(fmt_cfg(f, LoadBalance::Wm)), &opts).report;
+        let per_it: Vec<f64> =
+            rep.iterations.iter().map(|t| t.filter_ms + t.expand_ms).collect();
+        let _ = writeln!(out, "{}", series(&format!("  {name:>14}"), &per_it));
+        totals.push((name, rep.total_ms()));
+    }
+    let _ = writeln!(out, "  totals: {totals:?}\n");
+
+    // (b) SSSP on msdoor twin.
+    let gm = prepare(&twin_graph(cfg, "sc-msdoor"), Algo::Sssp);
+    let src = source_of(&gm);
+    let _ = writeln!(
+        out,
+        "(b) SSSP, sc-msdoor twin (N={}, M={})",
+        gm.num_vertices(),
+        gm.num_edges()
+    );
+    let mut totals_s = Vec::new();
+    for (f, name) in FORMATS {
+        let rep = sssp::sssp(&gm, src, &StaticPolicy::new(fmt_cfg(f, LoadBalance::Strict)), &opts).report;
+        let per_it: Vec<f64> =
+            rep.iterations.iter().map(|t| t.filter_ms + t.expand_ms).collect();
+        // msdoor runs many sparse iterations; print a sample.
+        let stride = (per_it.len() / 20).max(1);
+        let sampled: Vec<f64> = per_it.iter().copied().step_by(stride).collect();
+        let _ = writeln!(out, "{}", series(&format!("  {name:>14}"), &sampled));
+        totals_s.push((name, rep.total_ms()));
+    }
+    let _ = writeln!(out, "  totals: {totals_s:?}\n");
+
+    // Shape check: bitmap best on the dense PR run, a queue best on the
+    // sparse SSSP run.
+    let pr_best = totals
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap()
+        .0;
+    let sssp_best = totals_s
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap()
+        .0;
+    let _ = writeln!(
+        out,
+        "winners — PR(dense): {pr_best} (paper: bitmap), SSSP(sparse): {sssp_best} (paper: queue)"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_both_workloads() {
+        let out = run(&ExpConfig::quick_rules());
+        assert!(out.contains("(a) PageRank"));
+        assert!(out.contains("(b) SSSP"));
+        assert!(out.contains("winners"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Figure 9 — P5 significance: fused vs standalone BFS per iteration on
+//! (a) the roadNet-CA twin (launch-bound: fused should win, paper: 12×)
+//! and (b) the soc-orkut twin (duplicate-bound: standalone should win).
+
+use super::{twin_graph, ExpConfig};
+use crate::runners::source_of;
+use crate::table::{ms, series};
+use gswitch_algos::bfs;
+use gswitch_core::{EngineOptions, Fusion, KernelConfig, StaticPolicy};
+use gswitch_simt::DeviceSpec;
+use std::fmt::Write;
+
+/// Run the experiment.
+pub fn run(cfg: &ExpConfig) -> String {
+    let dev = DeviceSpec::k40m();
+    // Pure-variant comparison: no protective chain breaking — Fig. 9
+    // contrasts the *candidates*, not the autotuner's mitigation.
+    let opts = EngineOptions { break_fused_chains: false, ..EngineOptions::on(dev) };
+    let mut out = String::new();
+    let _ = writeln!(out, "# Fig. 9 — kernel fusion per iteration (BFS)\n");
+    let mut winners = Vec::new();
+
+    for (tag, name) in [("(a) road-net", "roadNet-CA"), ("(b) social", "soc-orkut")] {
+        let g = twin_graph(cfg, name);
+        let src = source_of(&g);
+        let standalone = bfs::bfs(
+            &g,
+            src,
+            &StaticPolicy::new(KernelConfig::push_baseline()),
+            &opts,
+        );
+        let fused_cfg =
+            KernelConfig { fusion: Fusion::Fused, ..KernelConfig::push_baseline() };
+        let fused = bfs::bfs(&g, src, &StaticPolicy::new(fused_cfg), &opts);
+        assert_eq!(standalone.levels, fused.levels, "fusion must not change results");
+
+        let per_it = |r: &gswitch_core::RunReport| -> Vec<f64> {
+            r.iterations.iter().map(|t| t.filter_ms + t.expand_ms + t.overhead_ms).collect()
+        };
+        let s_series = per_it(&standalone.report);
+        let f_series = per_it(&fused.report);
+        let stride = (s_series.len() / 20).max(1);
+        let _ = writeln!(
+            out,
+            "{tag}: {name} twin (N={}, M={}, {} standalone iters / {} fused iters)",
+            g.num_vertices(),
+            g.num_edges(),
+            standalone.report.n_iterations(),
+            fused.report.n_iterations()
+        );
+        let _ = writeln!(
+            out,
+            "{}",
+            series("  Standalone", &s_series.iter().copied().step_by(stride).collect::<Vec<_>>())
+        );
+        let stride_f = (f_series.len() / 20).max(1);
+        let _ = writeln!(
+            out,
+            "{}",
+            series("  Fused     ", &f_series.iter().copied().step_by(stride_f).collect::<Vec<_>>())
+        );
+        let dups: u64 = fused.report.iterations.iter().map(|t| t.duplicates).sum();
+        let st = standalone.report.total_ms();
+        let ft = fused.report.total_ms();
+        let _ = writeln!(
+            out,
+            "  totals: standalone {} ms vs fused {} ms ({:.2}x), fused duplicates: {dups}\n",
+            ms(st),
+            ms(ft),
+            st / ft
+        );
+        winners.push((name, if ft < st { "Fused" } else { "Standalone" }));
+    }
+    let _ = writeln!(
+        out,
+        "winners: {winners:?} (paper: fused 12x faster on roadNet-CA; standalone wins on \
+         soc-orkut where duplicates explode)"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_both_graphs() {
+        let out = run(&ExpConfig::quick_rules());
+        assert!(out.contains("(a) road-net"));
+        assert!(out.contains("(b) social"));
+        assert!(out.contains("winners"));
+    }
+}

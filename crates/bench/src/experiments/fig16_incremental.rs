@@ -1,0 +1,94 @@
+//! Figure 16 — incremental pattern ablation: runtime normalized to
+//! Gunrock for the GSWITCH baseline (no switching) and +P1, +P1+P2, ...,
+//! +P1..P5 on the soc-orkut and sc-msdoor twins, all five benchmarks.
+
+use super::{twin_graph, ExpConfig};
+use crate::runners::{prepare, run_gswitch, run_gunrock, Algo};
+use crate::table::Table;
+use gswitch_algos::{bc, bfs, cc, pr, sssp};
+use gswitch_core::{EngineOptions, PatternMask, Policy};
+use gswitch_simt::DeviceSpec;
+use std::fmt::Write;
+
+/// Run one benchmark with a pattern mask.
+fn run_masked(
+    g: &gswitch_graph::Graph,
+    algo: Algo,
+    policy: &dyn Policy,
+    dev: &DeviceSpec,
+    mask: PatternMask,
+) -> f64 {
+    let opts = EngineOptions { mask, ..EngineOptions::on(dev.clone()) };
+    let src = crate::runners::source_of(g);
+    match algo {
+        Algo::Bfs => bfs::bfs(g, src, policy, &opts).report.total_ms(),
+        Algo::Cc => cc::cc(g, policy, &opts).report.total_ms(),
+        Algo::Pr => pr::pagerank(g, crate::runners::PR_TOL, policy, &opts).report.total_ms(),
+        Algo::Sssp => sssp::sssp(g, src, policy, &opts).report.total_ms(),
+        Algo::Bc => bc::bc(g, src, policy, &opts).total_ms(),
+    }
+}
+
+/// Run the experiment.
+pub fn run(cfg: &ExpConfig) -> String {
+    let dev = DeviceSpec::k40m();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# Fig. 16 — incremental speedup over Gunrock as patterns are enabled\n"
+    );
+    let levels = [
+        ("baseline", 0usize),
+        ("+P1", 1),
+        ("+P1..P2", 2),
+        ("+P1..P3", 3),
+        ("+P1..P4", 4),
+        ("+P1..P5", 5),
+    ];
+
+    for graph_name in ["soc-orkut", "sc-msdoor"] {
+        let g0 = twin_graph(cfg, graph_name);
+        let mut header = vec!["algo"];
+        header.extend(levels.iter().map(|(n, _)| *n));
+        let mut t = Table::new(
+            format!("{graph_name} twin — speedup vs Gunrock (>1 is faster)"),
+            &header,
+        );
+        for algo in Algo::ALL {
+            let g = prepare(&g0, algo);
+            let gunrock_ms = run_gunrock(&g, algo, &dev).time_ms;
+            let mut row = vec![algo.tag().to_uppercase()];
+            for &(_, k) in &levels {
+                let ms = run_masked(&g, algo, cfg.policy.as_ref(), &dev, PatternMask::up_to(k));
+                row.push(format!("{:.2}", gunrock_ms / ms.max(1e-12)));
+            }
+            t.row(row);
+        }
+        let _ = writeln!(out, "{}", t.render());
+    }
+
+    // The full autotuned run, for reference against the masked ladder.
+    let g = twin_graph(cfg, "soc-orkut");
+    let full = run_gswitch(&g, Algo::Bfs, cfg.policy.as_ref(), &dev).time_ms;
+    let base = run_masked(&g, Algo::Bfs, cfg.policy.as_ref(), &dev, PatternMask::none());
+    let _ = writeln!(
+        out,
+        "sanity: BFS on soc-orkut — baseline(no switching) {base:.2} ms vs full autotuner \
+         {full:.2} ms (paper: the baseline matches Gunrock; dynamic switching supplies the \
+         gain, with P1 contributing ~2x on traversal algorithms)"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_covers_both_graphs() {
+        let out = run(&ExpConfig::quick_rules());
+        assert!(out.contains("soc-orkut"));
+        assert!(out.contains("sc-msdoor"));
+        assert!(out.contains("+P1..P5"));
+    }
+}

@@ -1,0 +1,100 @@
+//! One module per table/figure of the paper's evaluation. Each
+//! experiment returns its report as text; the `repro` binary prints it
+//! and archives it under `results/`.
+//!
+//! See DESIGN.md §5 for the experiment index and EXPERIMENTS.md for
+//! paper-vs-measured notes.
+
+pub mod ablation;
+pub mod accuracy;
+pub mod fig01_motivation;
+pub mod fig03_direction;
+pub mod fig05_format;
+pub mod fig07_load_balance;
+pub mod fig08_stepping;
+pub mod fig09_fusion;
+pub mod fig12_features;
+pub mod fig14_search;
+pub mod fig15_speedup;
+pub mod fig16_incremental;
+pub mod fig17_breakdown;
+pub mod table3_overall;
+
+use gswitch_core::Policy;
+
+/// Shared experiment configuration.
+pub struct ExpConfig {
+    /// Shrink corpora/twins for a fast smoke pass.
+    pub quick: bool,
+    /// The GSWITCH selector (trained model or built-in rules).
+    pub policy: Box<dyn Policy>,
+    /// Provenance string for the report header.
+    pub policy_desc: String,
+}
+
+impl ExpConfig {
+    /// Quick configuration with the built-in rules (tests use this).
+    pub fn quick_rules() -> Self {
+        ExpConfig {
+            quick: true,
+            policy: Box::new(gswitch_core::AutoPolicy),
+            policy_desc: "built-in rules".into(),
+        }
+    }
+}
+
+/// A twin graph at the configured scale.
+pub(crate) fn twin_graph(cfg: &ExpConfig, paper_name: &str) -> gswitch_graph::Graph {
+    let rep = gswitch_graph::corpus::twin(paper_name)
+        .unwrap_or_else(|| panic!("unknown twin {paper_name}"));
+    let recipe = if cfg.quick {
+        // Same shrink the small-representatives path uses.
+        gswitch_graph::corpus::representatives_small()
+            .into_iter()
+            .chain(shrunk_motivation())
+            .find(|r| r.paper_name == paper_name)
+            .map(|r| r.recipe)
+            .unwrap_or(rep.recipe)
+    } else {
+        rep.recipe
+    };
+    recipe.build().with_name(paper_name.to_string())
+}
+
+fn shrunk_motivation() -> Vec<gswitch_graph::corpus::Representative> {
+    use gswitch_graph::corpus::{motivation_graphs, Recipe};
+    motivation_graphs()
+        .into_iter()
+        .map(|mut r| {
+            r.recipe = match r.recipe {
+                Recipe::BarabasiAlbert { n, m_per_vertex, seed } => Recipe::BarabasiAlbert {
+                    n: (n / 8).max(m_per_vertex * 2 + 2),
+                    m_per_vertex,
+                    seed,
+                },
+                other => other,
+            };
+            r
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twin_graph_resolves_known_names() {
+        let cfg = ExpConfig::quick_rules();
+        let g = twin_graph(&cfg, "roadNet-CA");
+        assert!(g.num_vertices() > 100);
+        let g2 = twin_graph(&cfg, "com-youtube");
+        assert!(g2.num_vertices() > 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown twin")]
+    fn twin_graph_rejects_unknown() {
+        twin_graph(&ExpConfig::quick_rules(), "not-a-graph");
+    }
+}

@@ -1,0 +1,36 @@
+//! Shared harness machinery for the `repro` and `train` binaries and the
+//! criterion benches: benchmark runners (GSWITCH / Gunrock-like /
+//! specialist per algorithm), dataset twins, model loading, and plain-text
+//! table/series rendering that mirrors the paper's figure content.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod labelling;
+pub mod runners;
+pub mod table;
+
+use gswitch_core::{AutoPolicy, ModelPolicy, Policy};
+use std::path::Path;
+
+/// Load the trained CART model if `models/gswitch_model.json` exists
+/// (produced by the `train` binary); otherwise fall back to the built-in
+/// hand-derived rules. Returns the policy and its provenance string.
+pub fn load_policy(model_path: &Path) -> (Box<dyn Policy>, &'static str) {
+    match ModelPolicy::load(model_path) {
+        Ok(m) if m.n_trees() > 0 => (Box::new(m), "trained CART model"),
+        _ => (Box::new(AutoPolicy), "built-in rules (run `train` for the CART model)"),
+    }
+}
+
+/// Default model location relative to the workspace root.
+pub fn default_model_path() -> std::path::PathBuf {
+    std::path::PathBuf::from("models/gswitch_model.json")
+}
+
+/// Resolve the results directory, creating it if needed.
+pub fn results_dir() -> std::path::PathBuf {
+    let p = std::path::PathBuf::from("results");
+    let _ = std::fs::create_dir_all(&p);
+    p
+}

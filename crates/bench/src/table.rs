@@ -1,0 +1,183 @@
+//! Plain-text rendering for tables, per-iteration series, and histograms
+//! — the same rows/series the paper's figures plot.
+
+use std::fmt::Write as _;
+
+/// A fixed-column text table.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    title: String,
+}
+
+impl Table {
+    /// A table titled `title` with the given column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            title: title.into(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut s = String::new();
+            for (c, w) in cells.iter().zip(widths) {
+                let _ = write!(s, "{c:>w$}  ", w = w);
+            }
+            s.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", line(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+}
+
+/// Format milliseconds the way the paper's tables do (3 significant-ish
+/// digits).
+pub fn ms(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// A per-iteration series (one line of a Fig. 3/5/7/8/9-style plot).
+pub fn series(label: &str, values: &[f64]) -> String {
+    let mut out = format!("{label}: ");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        let _ = write!(out, "{}", ms(*v));
+    }
+    out
+}
+
+/// Histogram of `values` bucketed into `bins` equal intervals over
+/// `[lo, hi]`, rendered as percentages per bin — the Fig. 12 content.
+pub fn histogram(values: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<f64> {
+    assert!(bins > 0 && hi > lo);
+    let mut counts = vec![0usize; bins];
+    let mut total = 0usize;
+    for &v in values {
+        if !v.is_finite() {
+            continue;
+        }
+        let t = ((v - lo) / (hi - lo) * bins as f64).floor();
+        let b = (t.max(0.0) as usize).min(bins - 1);
+        counts[b] += 1;
+        total += 1;
+    }
+    counts
+        .into_iter()
+        .map(|c| if total == 0 { 0.0 } else { 100.0 * c as f64 / total as f64 })
+        .collect()
+}
+
+/// Render a Fig. 12-style block: per-class percentage distribution over
+/// feature bins.
+pub fn class_histograms(
+    title: &str,
+    feature_label: &str,
+    class_names: &[&str],
+    samples: &[(usize, f64)],
+    lo: f64,
+    hi: f64,
+    bins: usize,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} (x = {feature_label}, {bins} bins over [{lo}, {hi}]) ==");
+    for (c, name) in class_names.iter().enumerate() {
+        let vals: Vec<f64> = samples.iter().filter(|(k, _)| *k == c).map(|(_, v)| *v).collect();
+        let h = histogram(&vals, lo, hi, bins);
+        let cells: Vec<String> = h.iter().map(|p| format!("{p:>5.1}")).collect();
+        let _ = writeln!(out, "{name:>16}: {}  (n={})", cells.join(" "), vals.len());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["alg", "ms"]);
+        t.row(vec!["bfs".into(), "5.5".into()]);
+        t.row(vec!["pagerank".into(), "117".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("bfs"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn ms_formats_by_magnitude() {
+        assert_eq!(ms(123.4), "123");
+        assert_eq!(ms(12.34), "12.3");
+        assert_eq!(ms(1.234), "1.23");
+    }
+
+    #[test]
+    fn histogram_percentages_sum_to_100() {
+        let vals: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let h = histogram(&vals, 0.0, 1.0, 10);
+        let sum: f64 = h.iter().sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+        assert!(h.iter().all(|&p| (p - 10.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn histogram_clamps_outliers() {
+        let h = histogram(&[-5.0, 0.5, 99.0], 0.0, 1.0, 2);
+        let sum: f64 = h.iter().sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_renders() {
+        let s = series("Push", &[1.0, 2.5, 100.0]);
+        assert_eq!(s, "Push: 1.00 2.50 100");
+    }
+}

@@ -1,0 +1,658 @@
+//! The Inspector → Selector → Executor loop (Fig. 10).
+
+use crate::features::DecisionContext;
+use crate::policy::{AppCaps, Policy};
+use gswitch_graph::Graph;
+use gswitch_kernels::pattern::{
+    AsFormat, Direction, Fusion, KernelConfig, LoadBalance, SteppingDelta,
+};
+use gswitch_kernels::{classify, expand, materialize, EdgeApp, Frontier, IterStats};
+use gswitch_simt::{DeviceSpec, SimMs};
+
+/// Which patterns the Selector may actually switch — the ablation knob
+/// behind Fig. 16 ("incremental performance of GSWITCH"). A masked
+/// pattern is pinned to the static baseline candidate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PatternMask {
+    /// P1 direction switching enabled.
+    pub direction: bool,
+    /// P2 active-set format switching enabled.
+    pub format: bool,
+    /// P3 load-balance switching enabled.
+    pub load_balance: bool,
+    /// P4 stepping enabled.
+    pub stepping: bool,
+    /// P5 fusion enabled.
+    pub fusion: bool,
+}
+
+impl PatternMask {
+    /// Everything on (production configuration).
+    pub fn all() -> Self {
+        PatternMask { direction: true, format: true, load_balance: true, stepping: true, fusion: true }
+    }
+
+    /// Everything off: the non-switching "GSWITCH baseline" of Fig. 16.
+    pub fn none() -> Self {
+        PatternMask {
+            direction: false,
+            format: false,
+            load_balance: false,
+            stepping: false,
+            fusion: false,
+        }
+    }
+
+    /// Enable patterns P1..=Pk in the paper's numbering (Fig. 16's
+    /// incremental bars): `up_to(0)` = baseline, `up_to(5)` = all.
+    pub fn up_to(k: usize) -> Self {
+        PatternMask {
+            direction: k >= 1,
+            format: k >= 2,
+            load_balance: k >= 3,
+            stepping: k >= 4,
+            fusion: k >= 5,
+        }
+    }
+
+    /// Pin masked-off patterns to the baseline candidates.
+    pub fn apply(&self, mut cfg: KernelConfig) -> KernelConfig {
+        if !self.direction {
+            cfg.direction = Direction::Push;
+        }
+        if !self.format {
+            cfg.format = AsFormat::UnsortedQueue;
+        }
+        if !self.load_balance {
+            cfg.lb = LoadBalance::Strict;
+        }
+        if !self.stepping {
+            cfg.stepping = SteppingDelta::Remain;
+        }
+        if !self.fusion {
+            cfg.fusion = Fusion::Standalone;
+        }
+        cfg
+    }
+}
+
+impl Default for PatternMask {
+    fn default() -> Self {
+        PatternMask::all()
+    }
+}
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct EngineOptions {
+    /// The simulated GPU.
+    pub device: DeviceSpec,
+    /// Safety bound on super-steps.
+    pub max_iterations: u32,
+    /// Pattern ablation mask.
+    pub mask: PatternMask,
+    /// Enable the "is stable? → bypass the decision making" fast path of
+    /// Fig. 10.
+    pub stability_bypass: bool,
+    /// Allow the executor to break an unprofitable fused chain (the
+    /// paper's switch-back rule). Disable only to study the *pure* fused
+    /// candidate, as Fig. 9 does.
+    pub break_fused_chains: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            device: DeviceSpec::default(),
+            max_iterations: 50_000,
+            mask: PatternMask::all(),
+            stability_bypass: true,
+            break_fused_chains: true,
+        }
+    }
+}
+
+impl EngineOptions {
+    /// Options on a specific device.
+    pub fn on(device: DeviceSpec) -> Self {
+        EngineOptions { device, ..Default::default() }
+    }
+}
+
+/// Everything one super-step did — the raw material for every figure in
+/// the evaluation.
+#[derive(Clone, Debug)]
+pub struct IterationTrace {
+    /// Super-step index (0-based).
+    pub iteration: u32,
+    /// The configuration the Executor ran.
+    pub config: KernelConfig,
+    /// Whether the Selector actually ran (false = stability bypass or
+    /// fused chain).
+    pub decided: bool,
+    /// Whether `stats` are estimates from Expand feedback (fused chain)
+    /// rather than a classification pass.
+    pub estimated: bool,
+    /// Runtime characteristics the Selector saw.
+    pub stats: IterStats,
+    /// Simulated Filter time (classify + materialize), ms. Zero inside a
+    /// fused chain.
+    pub filter_ms: SimMs,
+    /// Simulated Expand time, ms.
+    pub expand_ms: SimMs,
+    /// Autotuner overhead: measured host-side decision time plus the
+    /// simulated device→host feedback copy, ms.
+    pub overhead_ms: f64,
+    /// Successful comp events.
+    pub activations: u64,
+    /// Distinct vertices activated.
+    pub distinct_activated: u64,
+    /// Edges traversed by Expand.
+    pub edges_touched: u64,
+    /// Duplicate frontier entries produced (fused only).
+    pub duplicates: u64,
+    /// The 21-entry feature vector presented to the Selector.
+    pub features: [f64; gswitch_ml::FEATURE_COUNT],
+}
+
+/// The result of running an application to convergence.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Per-iteration traces in order.
+    pub iterations: Vec<IterationTrace>,
+    /// Whether the active set emptied before `max_iterations`.
+    pub converged: bool,
+}
+
+impl RunReport {
+    /// Number of super-steps executed.
+    pub fn n_iterations(&self) -> usize {
+        self.iterations.len()
+    }
+
+    /// Total simulated Filter time (ms).
+    pub fn filter_ms(&self) -> SimMs {
+        self.iterations.iter().map(|t| t.filter_ms).sum()
+    }
+
+    /// Total simulated Expand time (ms).
+    pub fn expand_ms(&self) -> SimMs {
+        self.iterations.iter().map(|t| t.expand_ms).sum()
+    }
+
+    /// Total tuning overhead (ms).
+    pub fn overhead_ms(&self) -> f64 {
+        self.iterations.iter().map(|t| t.overhead_ms).sum()
+    }
+
+    /// Total runtime including overhead (ms) — the number every paper
+    /// table reports.
+    pub fn total_ms(&self) -> SimMs {
+        self.filter_ms() + self.expand_ms() + self.overhead_ms()
+    }
+
+    /// Total edges traversed (work-efficiency metric of Fig. 8).
+    pub fn edges_touched(&self) -> u64 {
+        self.iterations.iter().map(|t| t.edges_touched).sum()
+    }
+
+    /// How many iterations actually consulted the Selector.
+    pub fn decisions_made(&self) -> usize {
+        self.iterations.iter().filter(|t| t.decided).count()
+    }
+}
+
+/// Run `app` on `g` under `policy` until convergence.
+///
+/// ```
+/// use gswitch_core::{run, AutoPolicy, EngineOptions};
+/// use gswitch_graph::gen;
+///
+/// // Autotuned connected components on a generated graph.
+/// let g = gen::erdos_renyi(500, 1_000, 7);
+/// let app = /* any EdgeApp; algorithms live in gswitch-algos */
+/// # {
+/// #     use gswitch_core::{GraphApp, Status};
+/// #     use gswitch_kernels::atomics::AtomicArray;
+/// #     struct Noop(AtomicArray<u32>);
+/// #     impl GraphApp for Noop {
+/// #         type Msg = u32;
+/// #         fn filter(&self, _v: u32) -> Status { Status::Fixed }
+/// #         fn emit(&self, _u: u32, _w: u32) -> u32 { 0 }
+/// #         fn comp_atomic(&self, _d: u32, _m: u32) -> bool { false }
+/// #         fn comp(&self, _d: u32, _m: u32) -> bool { false }
+/// #     }
+/// #     Noop(AtomicArray::filled(500, 0))
+/// # };
+/// let report = run(&g, &app, &AutoPolicy, &EngineOptions::default());
+/// assert!(report.converged);
+/// ```
+pub fn run<A: EdgeApp>(g: &Graph, app: &A, policy: &dyn Policy, opts: &EngineOptions) -> RunReport {
+    let caps = AppCaps::of::<A>();
+    let spec = &opts.device;
+    let mut report = RunReport::default();
+    let mut ctx = DecisionContext::initial(*g.stats());
+
+    // History accumulators for the Table 1 "historical information" block.
+    let mut tf_sum = 0.0f64;
+    let mut te_sum = 0.0f64;
+    let mut last_config: Option<KernelConfig> = None;
+    let mut same_config_streak = 0u32;
+
+    // Fused-chain state: the raw queue the previous Expand emitted, plus
+    // the estimated stats travelling with it.
+    let mut pending: Option<(Vec<u32>, IterStats)> = None;
+    let mut fused_te_sum = 0.0f64;
+    let mut fused_te_count = 0u32;
+    // Most recent standalone Filter cost — what breaking a chain buys back.
+    let mut last_filter_ms = 0.0f64;
+
+    for iteration in 0..opts.max_iterations {
+        app.advance(iteration);
+        ctx.iteration = iteration;
+
+        // ---- Inspector + Selector (host). Decision time is real wall
+        // time — the analogue of the paper's 58–120 µs per iteration —
+        // measured around the policy calls only (kernel work is priced by
+        // the simulator, not the host clock).
+        let mut overhead_host_ms = 0.0;
+        let mut timed = |f: &mut dyn FnMut() | {
+            let t0 = std::time::Instant::now();
+            f();
+            overhead_host_ms += t0.elapsed().as_secs_f64() * 1e3;
+        };
+
+        // P4 must precede classification: the threshold feeds `filter`.
+        let mut stepping = SteppingDelta::Remain;
+        if caps.priority_driven && opts.mask.stepping {
+            timed(&mut || {
+                stepping = policy.decide_stepping(&ctx, &caps);
+            });
+            app.adjust_priority(stepping);
+        }
+
+        // ---- Executor: Filter phase (or fused continuation).
+        let (frontier, status, stats, filter_ms, estimated, mut config, decided);
+        match pending.take() {
+            Some((queue, est_stats)) => {
+                // Fused chain: skip Filter entirely; reuse the last config.
+                stats = est_stats;
+                ctx.stats = stats;
+                config = last_config.expect("fused chain implies a previous config");
+                config.stepping = stepping;
+                decided = false;
+                estimated = true;
+                frontier = Frontier::RawQueue(queue);
+                status = Vec::new();
+                filter_ms = 0.0;
+            }
+            None => {
+                // The rescue loop: a priority-driven app may unlock
+                // deferred work (advance its threshold window) when the
+                // active set drains; each retry pays a classification.
+                let mut classify_ms = 0.0;
+                let co = loop {
+                    let co = classify(g, app, spec);
+                    classify_ms += spec.kernel_time_ms(&co.profile);
+                    if co.stats.v_active > 0 || !app.rescue() {
+                        break co;
+                    }
+                };
+                if co.stats.v_active == 0 {
+                    report.converged = true;
+                    break;
+                }
+                ctx.stats = co.stats;
+                // Selector (with the Fig. 10 stability bypass).
+                let stable = opts.stability_bypass
+                    && same_config_streak >= 2
+                    && ctx.t_e_avg > 0.0
+                    && (ctx.t_e - ctx.t_e_avg).abs() <= 0.5 * ctx.t_e_avg;
+                if stable {
+                    config = last_config.expect("stable implies history");
+                    decided = false;
+                } else {
+                    let mut c = KernelConfig::push_baseline();
+                    timed(&mut || {
+                        c = policy.decide(&ctx, &caps);
+                    });
+                    config = c;
+                    decided = true;
+                }
+                config.stepping = stepping;
+                config = caps.clamp(opts.mask.apply(config));
+                let (f, mat_profile) =
+                    materialize::<A>(g, &co.status, config.direction, config.format, spec);
+                frontier = f;
+                status = co.status;
+                stats = co.stats;
+                estimated = false;
+                filter_ms = classify_ms + spec.kernel_time_ms(&mat_profile);
+                last_filter_ms = filter_ms;
+            }
+        }
+        // ---- Executor: Expand phase.
+        let mut eo = expand(g, app, &frontier, &status, config, spec);
+        if estimated {
+            // Fused continuation: the expand runs inside the kernel the
+            // chain's first iteration launched — no fresh launch, and no
+            // device→host feedback copy (that is fusion's entire point).
+            eo.profile.launches = 0;
+        }
+        let expand_ms = spec.kernel_time_ms(&eo.profile);
+
+        // ---- Feedback (device→host copy) + trace.
+        let feedback_ms = if estimated { 0.0 } else { spec.feedback_time_ms() };
+        let overhead_ms = overhead_host_ms + feedback_ms;
+        let features = ctx.features(config.direction);
+        report.iterations.push(IterationTrace {
+            iteration,
+            config,
+            decided,
+            estimated,
+            stats,
+            filter_ms,
+            expand_ms,
+            overhead_ms,
+            activations: eo.activations,
+            distinct_activated: eo.distinct_activated,
+            edges_touched: eo.edges_touched,
+            duplicates: eo.profile.duplicates,
+            features,
+        });
+
+        // History for the next Inspector.
+        tf_sum += filter_ms;
+        te_sum += expand_ms;
+        let done = iteration as f64 + 1.0;
+        ctx.prev_prev_workload_edges = ctx.prev_workload_edges;
+        ctx.prev_workload_edges = eo.edges_touched;
+        ctx.t_f = filter_ms;
+        ctx.t_e = expand_ms;
+        ctx.t_f_avg = tf_sum / done;
+        ctx.t_e_avg = te_sum / done;
+        if last_config == Some(config) {
+            same_config_streak += 1;
+        } else {
+            same_config_streak = 0;
+        }
+        last_config = Some(config);
+
+        // Fused-chain continuation: keep chaining while the chain is
+        // healthy ("if the runtime of the last iteration is far longer
+        // than the average runtime in the fused mode, switch back").
+        if let Some(queue) = eo.next_queue.take() {
+            if queue.is_empty() {
+                fused_te_sum = 0.0;
+                fused_te_count = 0;
+                // Chain drained; next iteration re-classifies (and will
+                // observe convergence if nothing is active).
+            } else {
+                // Exponential moving average tracks the chain's recent
+                // pace, so gradual frontier growth does not read as an
+                // anomaly — only a sudden blow-up does.
+                fused_te_count += 1;
+                fused_te_sum = if fused_te_count == 1 {
+                    expand_ms
+                } else {
+                    0.7 * fused_te_sum + 0.3 * expand_ms
+                };
+                let chain_avg = fused_te_sum;
+                // Break the chain when the duplicated fraction of the next
+                // queue is predicted to waste more expand time than a
+                // standalone re-filter would cost (the social-graph
+                // failure mode of Fig. 9b), or when the last iteration ran
+                // far beyond the chain average (the paper's switch-back
+                // rule).
+                let waste_ms = expand_ms * eo.profile.duplicates as f64 / queue.len() as f64;
+                let refilter_ms = last_filter_ms
+                    + spec.launch_overhead_us / 1e3
+                    + spec.feedback_time_ms();
+                let dup_heavy = waste_ms > refilter_ms;
+                // Pre-emptive break on frontier explosion: the enqueued
+                // edge estimate is a side product of the fused kernel, and
+                // committing blind through a hump would skip the direction
+                // decision exactly where it matters (Enterprise's
+                // bottom-up switch uses the same signal).
+                let exploding = eo.activated_out_edges > 4 * eo.edges_touched.max(1);
+                let keep = !opts.break_fused_chains
+                    || (!dup_heavy && !exploding && expand_ms <= 4.0 * chain_avg);
+                if keep {
+                    let est = estimate_stats(&stats, &eo, queue.len() as u64);
+                    pending = Some((queue, est));
+                } else {
+                    fused_te_sum = 0.0;
+                    fused_te_count = 0;
+                }
+            }
+        } else {
+            fused_te_sum = 0.0;
+            fused_te_count = 0;
+        }
+    }
+
+    // Hitting the bound without draining the frontier is non-convergence
+    // (the loop breaks with `converged = true` otherwise).
+    if report.iterations.len() >= opts.max_iterations as usize {
+        report.converged = false;
+    }
+    report
+}
+
+/// Estimate the next iteration's runtime characteristics from Expand
+/// feedback, without a classification pass (fused chain).
+fn estimate_stats(
+    prev: &IterStats,
+    eo: &gswitch_kernels::ExpandOutput,
+    queue_len: u64,
+) -> IterStats {
+    let mut s = *prev;
+    s.v_active = eo.distinct_activated;
+    s.e_active = eo.activated_out_edges;
+    s.v_inactive = prev.v_inactive.saturating_sub(eo.distinct_activated);
+    s.e_inactive = prev.e_inactive.saturating_sub(eo.activated_out_edges);
+    s.push.vertices = queue_len;
+    s.push.edges = eo.activated_out_edges;
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{AutoPolicy, StaticPolicy};
+    use gswitch_graph::{gen, GraphBuilder, VertexId};
+    use gswitch_kernels::atomics::AtomicArray;
+    use gswitch_kernels::Status;
+
+    /// Minimal BFS app for engine tests.
+    struct Bfs {
+        level: AtomicArray<u32>,
+        current: std::sync::atomic::AtomicU32,
+    }
+
+    impl Bfs {
+        fn new(n: usize, src: VertexId) -> Self {
+            let b = Bfs {
+                level: AtomicArray::filled(n, u32::MAX),
+                current: std::sync::atomic::AtomicU32::new(0),
+            };
+            b.level.store(src, 0);
+            b
+        }
+    }
+
+    impl EdgeApp for Bfs {
+        type Msg = u32;
+        const PULL_EARLY_EXIT: bool = true;
+        fn filter(&self, v: VertexId) -> Status {
+            let l = self.level.load(v);
+            let cur = self.current.load(std::sync::atomic::Ordering::Relaxed);
+            if l == cur {
+                Status::Active
+            } else if l == u32::MAX {
+                Status::Inactive
+            } else {
+                Status::Fixed
+            }
+        }
+        fn emit(&self, u: VertexId, _w: u32) -> u32 {
+            self.level.load(u) + 1
+        }
+        fn comp_atomic(&self, dst: VertexId, msg: u32) -> bool {
+            self.level.fetch_min(dst, msg) > msg
+        }
+        fn comp(&self, dst: VertexId, msg: u32) -> bool {
+            if msg < self.level.load(dst) {
+                self.level.store(dst, msg);
+                true
+            } else {
+                false
+            }
+        }
+        fn advance(&self, it: u32) {
+            self.current.store(it, std::sync::atomic::Ordering::Relaxed);
+        }
+        fn would_tie(&self, dst: VertexId, msg: u32) -> bool {
+            self.level.load(dst) == msg
+        }
+    }
+
+    /// Reference BFS.
+    fn bfs_reference(g: &Graph, src: VertexId) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; g.num_vertices()];
+        dist[src as usize] = 0;
+        let mut q = std::collections::VecDeque::from([src]);
+        while let Some(u) = q.pop_front() {
+            for &v in g.out_csr().neighbors(u) {
+                if dist[v as usize] == u32::MAX {
+                    dist[v as usize] = dist[u as usize] + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    #[test]
+    fn engine_bfs_matches_reference_on_path() {
+        let g = GraphBuilder::new(5)
+            .edges([(0, 1), (1, 2), (2, 3), (3, 4)])
+            .build();
+        let app = Bfs::new(5, 0);
+        let rep = run(&g, &app, &AutoPolicy, &EngineOptions::default());
+        assert!(rep.converged);
+        assert_eq!(app.level.to_vec(), vec![0, 1, 2, 3, 4]);
+        // 4 productive expansions + the final one that proves exhaustion.
+        assert_eq!(rep.n_iterations(), 5);
+        assert!(rep.total_ms() > 0.0);
+    }
+
+    #[test]
+    fn engine_bfs_matches_reference_on_random_graphs() {
+        for seed in 0..5 {
+            let g = gen::erdos_renyi(500, 2_000, seed);
+            let app = Bfs::new(500, 0);
+            let rep = run(&g, &app, &AutoPolicy, &EngineOptions::default());
+            assert!(rep.converged);
+            assert_eq!(app.level.to_vec(), bfs_reference(&g, 0), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn every_static_shape_reaches_the_same_answer() {
+        let g = gen::kronecker(9, 8, 3);
+        let expected = bfs_reference(&g, 0);
+        for cfg in KernelConfig::all_shapes() {
+            let app = Bfs::new(g.num_vertices(), 0);
+            let rep = run(&g, &app, &StaticPolicy::new(cfg), &EngineOptions::default());
+            assert!(rep.converged, "{cfg}");
+            assert_eq!(app.level.to_vec(), expected, "{cfg}");
+        }
+    }
+
+    #[test]
+    fn mask_pins_baseline_candidates() {
+        let g = gen::grid2d(30, 30, 0.0, 1);
+        let app = Bfs::new(g.num_vertices(), 0);
+        let opts = EngineOptions { mask: PatternMask::none(), ..Default::default() };
+        let rep = run(&g, &app, &AutoPolicy, &opts);
+        for t in &rep.iterations {
+            assert_eq!(t.config.direction, Direction::Push);
+            assert_eq!(t.config.lb, LoadBalance::Strict);
+            assert_eq!(t.config.fusion, Fusion::Standalone);
+        }
+    }
+
+    #[test]
+    fn mask_up_to_is_monotone() {
+        assert_eq!(PatternMask::up_to(0), PatternMask::none());
+        assert_eq!(PatternMask::up_to(5), PatternMask::all());
+        let m3 = PatternMask::up_to(3);
+        assert!(m3.direction && m3.format && m3.load_balance);
+        assert!(!m3.stepping && !m3.fusion);
+    }
+
+    #[test]
+    fn fused_static_policy_chains_and_converges() {
+        let g = gen::grid2d(40, 40, 0.0, 2);
+        let expected = bfs_reference(&g, 0);
+        let cfg = KernelConfig {
+            fusion: Fusion::Fused,
+            ..KernelConfig::push_baseline()
+        };
+        let app = Bfs::new(g.num_vertices(), 0);
+        let rep = run(&g, &app, &StaticPolicy::new(cfg), &EngineOptions::default());
+        assert!(rep.converged);
+        assert_eq!(app.level.to_vec(), expected);
+        // Chain iterations skip Filter.
+        assert!(
+            rep.iterations.iter().any(|t| t.filter_ms == 0.0 && t.iteration > 0),
+            "expected fused-chain iterations"
+        );
+    }
+
+    #[test]
+    fn disconnected_graph_converges_without_reaching_everything() {
+        let g = GraphBuilder::new(4).edges([(0, 1), (2, 3)]).build();
+        let app = Bfs::new(4, 0);
+        let rep = run(&g, &app, &AutoPolicy, &EngineOptions::default());
+        assert!(rep.converged);
+        assert_eq!(app.level.load(1), 1);
+        assert_eq!(app.level.load(2), u32::MAX);
+    }
+
+    #[test]
+    fn report_aggregates_are_consistent() {
+        let g = gen::erdos_renyi(300, 1_500, 9);
+        let app = Bfs::new(300, 0);
+        let rep = run(&g, &app, &AutoPolicy, &EngineOptions::default());
+        let sum: f64 = rep.iterations.iter().map(|t| t.filter_ms + t.expand_ms + t.overhead_ms).sum();
+        assert!((rep.total_ms() - sum).abs() < 1e-9);
+        assert!(rep.decisions_made() <= rep.n_iterations());
+        assert!(rep.edges_touched() > 0);
+    }
+
+    #[test]
+    fn stability_bypass_reduces_decisions() {
+        // A long-diameter graph gives many similar iterations.
+        let g = gen::grid2d(60, 60, 0.0, 3);
+        let app = Bfs::new(g.num_vertices(), 0);
+        let opts = EngineOptions { stability_bypass: true, ..Default::default() };
+        let rep = run(&g, &app, &AutoPolicy, &opts);
+        assert!(
+            rep.decisions_made() < rep.n_iterations(),
+            "bypass never engaged over {} iterations",
+            rep.n_iterations()
+        );
+    }
+
+    #[test]
+    fn max_iterations_bound_reports_non_convergence() {
+        let g = gen::grid2d(50, 50, 0.0, 4);
+        let app = Bfs::new(g.num_vertices(), 0);
+        let opts = EngineOptions { max_iterations: 3, ..Default::default() };
+        let rep = run(&g, &app, &AutoPolicy, &opts);
+        assert!(!rep.converged);
+        assert_eq!(rep.n_iterations(), 3);
+    }
+}

@@ -1,0 +1,41 @@
+//! The GSWITCH autotuning engine (Fig. 10).
+//!
+//! Per super-step the engine runs the paper's three stages:
+//!
+//! * **Inspector** (host) — checks convergence and assembles the 21-entry
+//!   feature vector of Table 1 from the dataset attributes, the runtime
+//!   characteristics of the last Filter/Expand, and historical timing.
+//! * **Selector** (host) — a [`Policy`] maps the features to a
+//!   [`KernelConfig`]: one candidate per pattern, decided in the order
+//!   P1 → P3 → P2 → P4 → P5 (§4.5). The production policy is
+//!   [`ModelPolicy`] (five CART trees trained offline); [`AutoPolicy`]
+//!   ships the hand-derived fallback rules; [`StaticPolicy`] pins a
+//!   configuration (that is what the baselines do).
+//! * **Executor** (device) — runs the chosen Filter/Expand variants from
+//!   `gswitch-kernels` on the simulated GPU and feeds the measured runtime
+//!   characteristics back.
+//!
+//! [`oracle`] adds the offline half: brute-force labelling of every
+//! iteration for the feature database (§4.4).
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod features;
+pub mod oracle;
+pub mod policy;
+
+pub use engine::{run, EngineOptions, IterationTrace, PatternMask, RunReport};
+pub use features::DecisionContext;
+pub use policy::{AppCaps, AutoPolicy, ModelPolicy, Policy, StaticPolicy};
+
+// The user programming API re-exported at the crate root: implementing
+// `GraphApp` (the paper's filter/emit/comp/compAtomic quartet) is all a
+// user writes.
+pub use gswitch_kernels::pattern::{
+    AsFormat, Direction, Fusion, KernelConfig, LoadBalance, SteppingDelta,
+};
+pub use gswitch_kernels::{EdgeApp as GraphApp, Status};
+
+/// A boxed policy, for APIs that store heterogeneous policies.
+pub type BoxedPolicy = Box<dyn Policy>;

@@ -1,0 +1,539 @@
+//! Brute-force oracle labelling (§4.4).
+//!
+//! "The true optimal configurations were attained via brute-force
+//! experimentation." Running all 144 expand variants per iteration on
+//! real hardware is what the authors did offline; here the cost model
+//! makes it cheap: the *semantics* of Expand are identical across P2/P3
+//! candidates, so one read-only workload analysis per direction prices
+//! every (direction × format × load-balance) combination analytically,
+//! and fusion is priced from measured duplicate/tie feedback. The oracle
+//! then *executes* the argmin variant so the trajectory it labels is the
+//! optimal one, and emits one [`Record`] per iteration.
+
+use crate::features::DecisionContext;
+use crate::policy::AppCaps;
+use gswitch_graph::Graph;
+use gswitch_kernels::expand::{analytic_pull_profile, analytic_push_profile};
+use gswitch_kernels::filter::materialize_cost;
+use gswitch_kernels::lb::{edge_costs, price_all};
+use gswitch_kernels::pattern::{
+    AsFormat, Direction, Fusion, KernelConfig, LoadBalance, SteppingDelta,
+};
+use gswitch_kernels::{classify, expand, materialize, EdgeApp, Status};
+use gswitch_ml::{FeatureDb, Labels, Record};
+use gswitch_simt::{DeviceSpec, SimMs};
+use rayon::prelude::*;
+
+/// Oracle configuration.
+#[derive(Clone, Debug)]
+pub struct OracleOptions {
+    /// The simulated GPU the labels are optimal for.
+    pub device: DeviceSpec,
+    /// Safety bound on super-steps.
+    pub max_iterations: u32,
+}
+
+impl Default for OracleOptions {
+    fn default() -> Self {
+        OracleOptions { device: DeviceSpec::default(), max_iterations: 50_000 }
+    }
+}
+
+/// Result of an oracle-driven run.
+#[derive(Debug, Default)]
+pub struct OracleOutcome {
+    /// One record per iteration (features + optimal labels).
+    pub records: Vec<Record>,
+    /// Total simulated time of the optimal trajectory (ms).
+    pub optimal_ms: SimMs,
+    /// Iterations executed.
+    pub iterations: u32,
+}
+
+/// Per-direction read-only workload analysis (public for the harness's
+/// per-iteration strategy matrices, Fig. 14).
+pub struct DirAnalysis {
+    /// Compact per-entry touched counts (queue view).
+    pub compact: Vec<u32>,
+    /// Full per-vertex touched counts (bitmap view; zero = idle slot).
+    pub full: Vec<u32>,
+    /// Emit-side hits (pull only; push: edges).
+    pub hits: u64,
+    /// Workload entry count.
+    pub vertices: u64,
+}
+
+/// Analyze the push workload without touching app state.
+pub fn analyze_push(g: &Graph, status: &[u8]) -> DirAnalysis {
+    let out = g.out_csr();
+    let full: Vec<u32> = (0..g.num_vertices())
+        .into_par_iter()
+        .map(|v| {
+            if status[v] == Status::Active as u8 {
+                out.degree(v as u32)
+            } else {
+                0
+            }
+        })
+        .collect();
+    let compact: Vec<u32> = (0..g.num_vertices())
+        .into_par_iter()
+        .filter(|&v| status[v] == Status::Active as u8)
+        .map(|v| out.degree(v as u32))
+        .collect();
+    let hits: u64 = compact.iter().map(|&d| d as u64).sum();
+    let vertices = compact.len() as u64;
+    DirAnalysis { compact, full, hits, vertices }
+}
+
+/// Analyze the pull workload without touching app state: for early-exit
+/// apps each receiver scans until its first active in-neighbor; otherwise
+/// it scans everything and every active in-neighbor costs an emit.
+pub fn analyze_pull<A: EdgeApp>(g: &Graph, status: &[u8]) -> DirAnalysis {
+    let incoming = g.in_csr();
+    let is_receiver = |v: usize| {
+        A::pull_receives(match status[v] {
+            0 => Status::Active,
+            1 => Status::Inactive,
+            _ => Status::Fixed,
+        })
+    };
+    let per_vertex: Vec<(u32, u32)> = (0..g.num_vertices())
+        .into_par_iter()
+        .map(|v| {
+            if !is_receiver(v) {
+                return (0, 0);
+            }
+            let sources = incoming.neighbors(v as u32);
+            if A::PULL_EARLY_EXIT {
+                for (i, &u) in sources.iter().enumerate() {
+                    if status[u as usize] == Status::Active as u8 {
+                        return ((i + 1) as u32, 1);
+                    }
+                }
+                (sources.len() as u32, 0)
+            } else {
+                let hits = sources
+                    .iter()
+                    .filter(|&&u| status[u as usize] == Status::Active as u8)
+                    .count() as u32;
+                (sources.len() as u32, hits)
+            }
+        })
+        .collect();
+    let full: Vec<u32> = per_vertex.iter().map(|&(t, _)| t).collect();
+    let mut compact = Vec::new();
+    let mut hits = 0u64;
+    let mut vertices = 0u64;
+    for (v, &(t, h)) in per_vertex.iter().enumerate() {
+        if is_receiver(v) {
+            compact.push(t);
+            hits += h as u64;
+            vertices += 1;
+        }
+    }
+    DirAnalysis { compact, full, hits, vertices }
+}
+
+/// Price every (format × lb) combination of one direction; returns
+/// `[(format, lb, expand_ms + materialize_ms); 12]`.
+pub fn price_direction<A: EdgeApp>(
+    g: &Graph,
+    spec: &DeviceSpec,
+    direction: Direction,
+    analysis: &DirAnalysis,
+) -> Vec<(AsFormat, LoadBalance, SimMs)> {
+    let n = g.num_vertices();
+    let base = match direction {
+        Direction::Push => analytic_push_profile(&analysis.compact, A::NEEDS_WEIGHTS),
+        Direction::Pull => {
+            analytic_pull_profile(&analysis.compact, A::NEEDS_WEIGHTS, analysis.hits)
+        }
+    };
+    let mut out = Vec::with_capacity(12);
+    for format in [AsFormat::Bitmap, AsFormat::UnsortedQueue, AsFormat::SortedQueue] {
+        let sorted = format == AsFormat::SortedQueue;
+        let bitmap = format == AsFormat::Bitmap;
+        let costs = edge_costs(spec, direction, sorted);
+        let touched = if bitmap { &analysis.full } else { &analysis.compact };
+        let gen_ms = spec.kernel_time_ms(&materialize_cost(format, n, analysis.vertices, spec));
+        for (lb, price) in price_all(spec, &costs, touched, bitmap) {
+            let mut p = base;
+            if sorted {
+                p.bytes_read = (p.bytes_read as f64
+                    * (1.0 - gswitch_kernels::lb::SORTED_BYTES_DISCOUNT))
+                    as u64;
+            }
+            p.tasks = price.tasks;
+            p.syncs = price.syncs;
+            p.scan_elems += price.scan_elems;
+            p.launches += price.extra_launches;
+            out.push((format, lb, gen_ms + spec.kernel_time_ms(&p)));
+        }
+    }
+    out
+}
+
+/// Run `app` on `g` along the oracle-optimal trajectory, labelling every
+/// iteration. `benchmark` tags the records ("bfs", "pr", ...).
+pub fn oracle_run<A: EdgeApp>(
+    g: &Graph,
+    app: &A,
+    benchmark: &str,
+    opts: &OracleOptions,
+) -> OracleOutcome {
+    let caps = AppCaps::of::<A>();
+    let spec = &opts.device;
+    let mut outcome = OracleOutcome::default();
+    let mut ctx = DecisionContext::initial(*g.stats());
+    let mut tf_sum = 0.0;
+    let mut te_sum = 0.0;
+    // Fusion labelling inputs from the previously executed iteration.
+    let mut prev_dup_ratio = 1.0f64;
+
+    for iteration in 0..opts.max_iterations {
+        app.advance(iteration);
+        ctx.iteration = iteration;
+
+        // P4: the oracle applies the paper's ±35% rule and labels with it
+        // (the trained tree learns to reproduce the rule from features).
+        let stepping = if caps.priority_driven {
+            let s = ctx.stepping_by_rule();
+            app.adjust_priority(s);
+            s
+        } else {
+            SteppingDelta::Remain
+        };
+
+        let mut classify_ms = 0.0;
+        let co = loop {
+            let co = classify(g, app, spec);
+            classify_ms += spec.kernel_time_ms(&co.profile);
+            if co.stats.v_active > 0 || !app.rescue() {
+                break co;
+            }
+        };
+        if co.stats.v_active == 0 {
+            break;
+        }
+        ctx.stats = co.stats;
+
+        // Brute force: price all 24 (direction × format × lb) shapes.
+        let push = analyze_push(g, &co.status);
+        let pull = analyze_pull::<A>(g, &co.status);
+        let push_prices = price_direction::<A>(g, spec, Direction::Push, &push);
+        let pull_prices = if pull.vertices > 0 {
+            price_direction::<A>(g, spec, Direction::Pull, &pull)
+        } else {
+            Vec::new()
+        };
+
+        let best_of = |prices: &[(AsFormat, LoadBalance, SimMs)]| {
+            prices
+                .iter()
+                .copied()
+                .min_by(|a, b| a.2.partial_cmp(&b.2).unwrap())
+        };
+        let best_push = best_of(&push_prices).expect("push prices nonempty");
+        let best_pull = best_of(&pull_prices);
+
+        let (direction, best) = match best_pull {
+            Some(bp) if bp.2 < best_push.2 => (Direction::Pull, bp),
+            _ => (Direction::Push, best_push),
+        };
+        let chosen_prices = match direction {
+            Direction::Push => &push_prices,
+            Direction::Pull => &pull_prices,
+        };
+        // Per-pattern labels: each candidate's best time with the other
+        // pattern free.
+        let lb_label = [LoadBalance::Twc, LoadBalance::Wm, LoadBalance::Cm, LoadBalance::Strict]
+            .into_iter()
+            .min_by(|&a, &b| {
+                let ta = min_time(chosen_prices, |(_, lb, _)| *lb == a);
+                let tb = min_time(chosen_prices, |(_, lb, _)| *lb == b);
+                ta.partial_cmp(&tb).unwrap()
+            })
+            .unwrap();
+        let fmt_label = [AsFormat::Bitmap, AsFormat::UnsortedQueue, AsFormat::SortedQueue]
+            .into_iter()
+            .min_by(|&a, &b| {
+                let ta = min_time(chosen_prices, |(f, _, _)| *f == a);
+                let tb = min_time(chosen_prices, |(f, _, _)| *f == b);
+                ta.partial_cmp(&tb).unwrap()
+            })
+            .unwrap();
+
+        // P5: fusion saves next iteration's classify+materialize+launch;
+        // it costs the duplicate ratio on the expand side.
+        let fusion_applicable = KernelConfig::fusion_legal(caps.dup_tolerant, direction);
+        let fusion_label = if fusion_applicable {
+            let mat_ms =
+                spec.kernel_time_ms(&materialize_cost(best.0, g.num_vertices(), co.stats.push.vertices, spec));
+            let saving = classify_ms + mat_ms + spec.launch_overhead_us / 1e3;
+            let penalty = (prev_dup_ratio - 1.0) * best.2;
+            if saving > penalty {
+                Fusion::Fused
+            } else {
+                Fusion::Standalone
+            }
+        } else {
+            Fusion::Standalone
+        };
+
+        // Record features + labels before executing.
+        let features = ctx.features(direction);
+        outcome.records.push(Record {
+            features,
+            labels: Labels {
+                direction: Some((direction == Direction::Pull) as u8),
+                format: Some(match fmt_label {
+                    AsFormat::Bitmap => 0,
+                    AsFormat::UnsortedQueue => 1,
+                    AsFormat::SortedQueue => 2,
+                }),
+                load_balance: Some(match lb_label {
+                    LoadBalance::Twc => 0,
+                    LoadBalance::Wm => 1,
+                    LoadBalance::Cm => 2,
+                    LoadBalance::Strict => 3,
+                }),
+                stepping: caps.priority_driven.then_some(match stepping {
+                    SteppingDelta::Increase => 0,
+                    SteppingDelta::Decrease => 1,
+                    SteppingDelta::Remain => 2,
+                }),
+                fusion: fusion_applicable.then_some((fusion_label == Fusion::Fused) as u8),
+            },
+            benchmark: benchmark.to_string(),
+            graph: g.name().to_string(),
+        });
+
+        // Execute the argmin shape (standalone — state advance must stay
+        // duplicate-free so later labels stay exact).
+        let config = KernelConfig {
+            direction,
+            format: best.0,
+            lb: best.1,
+            stepping,
+            fusion: Fusion::Standalone,
+        };
+        let (frontier, mat_profile) =
+            materialize::<A>(g, &co.status, config.direction, config.format, spec);
+        let eo = expand(g, app, &frontier, &co.status, config, spec);
+
+        let filter_ms = classify_ms + spec.kernel_time_ms(&mat_profile);
+        let expand_ms = spec.kernel_time_ms(&eo.profile);
+        outcome.optimal_ms += filter_ms + expand_ms;
+        outcome.iterations += 1;
+
+        // Feedback for the next iteration's features and fusion label.
+        tf_sum += filter_ms;
+        te_sum += expand_ms;
+        let done = outcome.iterations as f64;
+        ctx.prev_prev_workload_edges = ctx.prev_workload_edges;
+        ctx.prev_workload_edges = eo.edges_touched;
+        ctx.t_f = filter_ms;
+        ctx.t_e = expand_ms;
+        ctx.t_f_avg = tf_sum / done;
+        ctx.t_e_avg = te_sum / done;
+        prev_dup_ratio = if eo.distinct_activated == 0 {
+            1.0
+        } else {
+            // A fused kernel admits at most one racer per vertex (bitmap
+            // marking), so the duplicate mass is capped by the distinct
+            // count regardless of how many parents tied.
+            (eo.activations + eo.ties.min(eo.distinct_activated)) as f64
+                / eo.distinct_activated as f64
+        };
+    }
+    outcome
+}
+
+fn min_time(
+    prices: &[(AsFormat, LoadBalance, SimMs)],
+    pred: impl Fn(&(AsFormat, LoadBalance, SimMs)) -> bool,
+) -> SimMs {
+    prices
+        .iter()
+        .filter(|p| pred(p))
+        .map(|p| p.2)
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Label a whole corpus: run the oracle for one app constructor over many
+/// graphs, merging all records into a [`FeatureDb`].
+pub fn label_corpus<A: EdgeApp>(
+    graphs: &[(String, Graph)],
+    make_app: impl Fn(&Graph) -> A + Sync,
+    benchmark: &str,
+    opts: &OracleOptions,
+) -> FeatureDb {
+    let dbs: Vec<Vec<Record>> = graphs
+        .par_iter()
+        .map(|(_, g)| {
+            let app = make_app(g);
+            oracle_run(g, &app, benchmark, opts).records
+        })
+        .collect();
+    let mut db = FeatureDb::new();
+    for records in dbs {
+        db.records.extend(records);
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gswitch_graph::{gen, GraphBuilder, VertexId};
+    use gswitch_kernels::atomics::AtomicArray;
+
+    struct Bfs {
+        level: AtomicArray<u32>,
+        current: std::sync::atomic::AtomicU32,
+    }
+
+    impl Bfs {
+        fn new(n: usize, src: VertexId) -> Self {
+            let b = Bfs {
+                level: AtomicArray::filled(n, u32::MAX),
+                current: std::sync::atomic::AtomicU32::new(0),
+            };
+            b.level.store(src, 0);
+            b
+        }
+    }
+
+    impl EdgeApp for Bfs {
+        type Msg = u32;
+        const PULL_EARLY_EXIT: bool = true;
+        fn filter(&self, v: VertexId) -> Status {
+            let l = self.level.load(v);
+            let cur = self.current.load(std::sync::atomic::Ordering::Relaxed);
+            if l == cur {
+                Status::Active
+            } else if l == u32::MAX {
+                Status::Inactive
+            } else {
+                Status::Fixed
+            }
+        }
+        fn emit(&self, u: VertexId, _w: u32) -> u32 {
+            self.level.load(u) + 1
+        }
+        fn comp_atomic(&self, dst: VertexId, msg: u32) -> bool {
+            self.level.fetch_min(dst, msg) > msg
+        }
+        fn comp(&self, dst: VertexId, msg: u32) -> bool {
+            if msg < self.level.load(dst) {
+                self.level.store(dst, msg);
+                true
+            } else {
+                false
+            }
+        }
+        fn advance(&self, it: u32) {
+            self.current.store(it, std::sync::atomic::Ordering::Relaxed);
+        }
+        fn would_tie(&self, dst: VertexId, msg: u32) -> bool {
+            self.level.load(dst) == msg
+        }
+    }
+
+    #[test]
+    fn oracle_produces_one_record_per_iteration() {
+        let g = gen::erdos_renyi(400, 1_600, 5);
+        let app = Bfs::new(400, 0);
+        let out = oracle_run(&g, &app, "bfs", &OracleOptions::default());
+        assert_eq!(out.records.len() as u32, out.iterations);
+        assert!(out.iterations >= 2);
+        assert!(out.optimal_ms > 0.0);
+        for r in &out.records {
+            assert!(r.labels.direction.is_some());
+            assert!(r.labels.format.is_some());
+            assert!(r.labels.load_balance.is_some());
+            assert!(r.labels.stepping.is_none(), "BFS is not priority-driven");
+            assert_eq!(r.benchmark, "bfs");
+        }
+    }
+
+    #[test]
+    fn oracle_state_matches_reference_bfs() {
+        let g = gen::kronecker(9, 6, 7);
+        let app = Bfs::new(g.num_vertices(), 0);
+        oracle_run(&g, &app, "bfs", &OracleOptions::default());
+        // Reference
+        let mut dist = vec![u32::MAX; g.num_vertices()];
+        dist[0] = 0;
+        let mut q = std::collections::VecDeque::from([0u32]);
+        while let Some(u) = q.pop_front() {
+            for &v in g.out_csr().neighbors(u) {
+                if dist[v as usize] == u32::MAX {
+                    dist[v as usize] = dist[u as usize] + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        assert_eq!(app.level.to_vec(), dist);
+    }
+
+    #[test]
+    fn oracle_prefers_pull_on_dense_middle_iterations() {
+        // A dense social-like graph has the classic BFS hump; the oracle
+        // should pick pull at least once in the middle.
+        let g = gen::barabasi_albert(4_000, 8, 11);
+        let app = Bfs::new(g.num_vertices(), 0);
+        let out = oracle_run(&g, &app, "bfs", &OracleOptions::default());
+        assert!(
+            out.records.iter().any(|r| r.labels.direction == Some(1)),
+            "pull never chosen on a dense BA graph"
+        );
+    }
+
+    #[test]
+    fn label_corpus_merges_records() {
+        let graphs: Vec<(String, Graph)> = (0..3)
+            .map(|s| {
+                let g = gen::erdos_renyi(200, 800, s);
+                (g.name().to_string(), g)
+            })
+            .collect();
+        let db = label_corpus(
+            &graphs,
+            |g| Bfs::new(g.num_vertices(), 0),
+            "bfs",
+            &OracleOptions::default(),
+        );
+        assert!(db.len() >= 6);
+        let names: std::collections::HashSet<_> =
+            db.records.iter().map(|r| r.graph.clone()).collect();
+        assert_eq!(names.len(), 3);
+    }
+
+    #[test]
+    fn analyze_push_counts_active_degrees() {
+        let g = GraphBuilder::new(4).edges([(0, 1), (0, 2), (1, 3)]).build();
+        // status: 0 active, others inactive
+        let status = vec![0u8, 1, 1, 1];
+        let a = analyze_push(&g, &status);
+        assert_eq!(a.vertices, 1);
+        assert_eq!(a.compact, vec![2]);
+        assert_eq!(a.full, vec![2, 0, 0, 0]);
+        assert_eq!(a.hits, 2);
+    }
+
+    #[test]
+    fn analyze_pull_respects_early_exit() {
+        // 3 has in-neighbors {1, 0... }; make 0 and 1 active, 2,3 inactive.
+        let g = GraphBuilder::new(4)
+            .edges([(0, 3), (1, 3), (0, 2)])
+            .build();
+        let status = vec![0u8, 0, 1, 1];
+        let a = analyze_pull::<Bfs>(&g, &status);
+        // Receivers: 2 (parents {0}: 1 touch) and 3 (parents {0,1}: stop at first).
+        assert_eq!(a.vertices, 2);
+        assert_eq!(a.hits, 2);
+        assert!(a.compact.iter().all(|&t| t == 1));
+    }
+}

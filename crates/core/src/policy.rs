@@ -1,0 +1,447 @@
+//! The Selector: policies mapping features to kernel configurations.
+
+use crate::features::DecisionContext;
+use gswitch_kernels::pattern::{
+    AsFormat, Direction, Fusion, KernelConfig, LoadBalance, SteppingDelta,
+};
+use gswitch_ml::{DecisionTree, Pattern};
+
+/// What the running application permits, derived from its `EdgeApp`
+/// constants. The Selector must never choose an illegal candidate.
+#[derive(Clone, Copy, Debug)]
+pub struct AppCaps {
+    /// Fused frontiers allowed (duplicate-tolerant `comp`).
+    pub dup_tolerant: bool,
+    /// P4 stepping applies (monotonic algorithm with a priority window).
+    pub priority_driven: bool,
+}
+
+impl AppCaps {
+    /// Derive from an `EdgeApp` implementation.
+    pub fn of<A: gswitch_kernels::EdgeApp>() -> Self {
+        AppCaps { dup_tolerant: A::DUP_TOLERANT, priority_driven: A::PRIORITY_DRIVEN }
+    }
+
+    /// Clamp a configuration to legality: pull never fuses, non-tolerant
+    /// apps never fuse, non-priority apps never step.
+    pub fn clamp(&self, mut cfg: KernelConfig) -> KernelConfig {
+        if !KernelConfig::fusion_legal(self.dup_tolerant, cfg.direction) {
+            cfg.fusion = Fusion::Standalone;
+        }
+        if !self.priority_driven {
+            cfg.stepping = SteppingDelta::Remain;
+        }
+        cfg
+    }
+}
+
+/// A Selector backend.
+pub trait Policy: Send + Sync {
+    /// Human-readable name for reports.
+    fn name(&self) -> &str;
+
+    /// Choose the configuration for the upcoming Expand given the current
+    /// iteration's context. Implementations should already respect
+    /// `caps` (the engine clamps again defensively).
+    fn decide(&self, ctx: &DecisionContext, caps: &AppCaps) -> KernelConfig;
+
+    /// Choose the stepping move *before* classification (the threshold
+    /// feeds the filter predicate). Defaults to the paper's ±35% rule.
+    fn decide_stepping(&self, ctx: &DecisionContext, caps: &AppCaps) -> SteppingDelta {
+        if caps.priority_driven {
+            ctx.stepping_by_rule()
+        } else {
+            SteppingDelta::Remain
+        }
+    }
+}
+
+/// A pinned configuration — what every non-switching framework
+/// effectively is (and what the Fig. 16 "GSWITCH baseline" runs).
+#[derive(Clone, Copy, Debug)]
+pub struct StaticPolicy {
+    /// The configuration returned for every iteration.
+    pub config: KernelConfig,
+}
+
+impl StaticPolicy {
+    /// Pin `config`.
+    pub fn new(config: KernelConfig) -> Self {
+        StaticPolicy { config }
+    }
+}
+
+impl Policy for StaticPolicy {
+    fn name(&self) -> &str {
+        "static"
+    }
+    fn decide(&self, _ctx: &DecisionContext, caps: &AppCaps) -> KernelConfig {
+        caps.clamp(self.config)
+    }
+    fn decide_stepping(&self, _ctx: &DecisionContext, caps: &AppCaps) -> SteppingDelta {
+        if caps.priority_driven {
+            self.config.stepping
+        } else {
+            SteppingDelta::Remain
+        }
+    }
+}
+
+/// Hand-derived decision rules: the "tailored tree kept as low as
+/// possible" the paper ships when no trained model is available. Each
+/// rule is the paper's own summary of its Fig. 12 analysis.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AutoPolicy;
+
+impl AutoPolicy {
+    fn direction(ctx: &DecisionContext) -> Direction {
+        let s = &ctx.stats;
+        // "The pull mode is preferable in the middle iterations when the
+        // number of the active edges is greater than that of inactive
+        // edges" (§3 P1) — and only when there is a pull workload at all.
+        if s.e_active > s.e_inactive && s.pull.vertices > 0 {
+            Direction::Pull
+        } else {
+            Direction::Push
+        }
+    }
+
+    fn format(ctx: &DecisionContext, direction: Direction) -> AsFormat {
+        // Fig. 12(b): queue wins when few vertices are active; bitmap when
+        // the workload is dense (no enqueue overhead, no idle-lane waste).
+        let n = ctx.stats.n().max(1) as f64;
+        let frac = ctx.stats.workload(direction).vertices as f64 / n;
+        if frac > 0.10 {
+            AsFormat::Bitmap
+        } else if frac > 0.01 {
+            AsFormat::SortedQueue
+        } else {
+            AsFormat::UnsortedQueue
+        }
+    }
+
+    fn load_balance(ctx: &DecisionContext, direction: Direction) -> LoadBalance {
+        // Fig. 12(c)/(d): STRICT when the workload is irregular *and*
+        // large; TWC when regular (lowest overhead); WM/CM in between.
+        let w = ctx.stats.workload(direction);
+        let avg = w.avg_degree().max(1.0);
+        let imbalance = w.max_degree as f64 / avg;
+        let big = w.edges > 1 << 14;
+        if big && (w.max_degree >= 2048 || imbalance > 64.0) {
+            LoadBalance::Strict
+        } else if imbalance > 16.0 {
+            LoadBalance::Cm
+        } else if imbalance > 4.0 {
+            LoadBalance::Wm
+        } else {
+            LoadBalance::Twc
+        }
+    }
+
+    fn fusion(ctx: &DecisionContext, direction: Direction, caps: &AppCaps) -> Fusion {
+        // Fig. 12(f): fused kernels win on regular (low-Gini) graphs with
+        // small stable frontiers — road networks — where launch overhead
+        // dominates and duplicates are rare.
+        if KernelConfig::fusion_legal(caps.dup_tolerant, direction)
+            && ctx.graph.gini < 0.30
+            && ctx.active_vertex_ratio() < 0.05
+            && ctx.stats.e_active < 1 << 18
+        {
+            Fusion::Fused
+        } else {
+            Fusion::Standalone
+        }
+    }
+}
+
+impl Policy for AutoPolicy {
+    fn name(&self) -> &str {
+        "auto-rules"
+    }
+
+    fn decide(&self, ctx: &DecisionContext, caps: &AppCaps) -> KernelConfig {
+        // Decision order P1 → P3 → P2 → P4 → P5 (§4.5).
+        let direction = Self::direction(ctx);
+        let lb = Self::load_balance(ctx, direction);
+        let format = Self::format(ctx, direction);
+        let stepping = self.decide_stepping(ctx, caps);
+        let fusion = Self::fusion(ctx, direction, caps);
+        caps.clamp(KernelConfig { direction, format, lb, stepping, fusion })
+    }
+}
+
+/// Five trained CART classifiers, one per pattern (§4.4), with
+/// [`AutoPolicy`] as the fallback for any missing tree.
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct ModelPolicy {
+    /// P1 classifier (classes: push, pull).
+    pub direction: Option<DecisionTree>,
+    /// P2 classifier (classes: bitmap, unsorted, sorted).
+    pub format: Option<DecisionTree>,
+    /// P3 classifier (classes: twc, wm, cm, strict).
+    pub load_balance: Option<DecisionTree>,
+    /// P4 classifier (classes: increase, decrease, remain).
+    pub stepping: Option<DecisionTree>,
+    /// P5 classifier (classes: standalone, fused).
+    pub fusion: Option<DecisionTree>,
+}
+
+impl ModelPolicy {
+    /// A policy with no trees: behaves exactly like [`AutoPolicy`].
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Install a tree for one pattern.
+    pub fn with_tree(mut self, pattern: Pattern, tree: DecisionTree) -> Self {
+        match pattern {
+            Pattern::Direction => self.direction = Some(tree),
+            Pattern::Format => self.format = Some(tree),
+            Pattern::LoadBalance => self.load_balance = Some(tree),
+            Pattern::Stepping => self.stepping = Some(tree),
+            Pattern::Fusion => self.fusion = Some(tree),
+        }
+        self
+    }
+
+    /// Access the tree for one pattern.
+    pub fn tree(&self, pattern: Pattern) -> Option<&DecisionTree> {
+        match pattern {
+            Pattern::Direction => self.direction.as_ref(),
+            Pattern::Format => self.format.as_ref(),
+            Pattern::LoadBalance => self.load_balance.as_ref(),
+            Pattern::Stepping => self.stepping.as_ref(),
+            Pattern::Fusion => self.fusion.as_ref(),
+        }
+    }
+
+    /// Number of installed trees.
+    pub fn n_trees(&self) -> usize {
+        Pattern::DECISION_ORDER.iter().filter(|&&p| self.tree(p).is_some()).count()
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("model serializes")
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Save to a file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Load from a file.
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let s = std::fs::read_to_string(path)?;
+        Self::from_json(&s).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+impl Policy for ModelPolicy {
+    fn name(&self) -> &str {
+        "cart-model"
+    }
+
+    fn decide(&self, ctx: &DecisionContext, caps: &AppCaps) -> KernelConfig {
+        // P1 decides on push-side workload features (cd/r_cd are defined
+        // only once a workload side is chosen; the paper breaks the cycle
+        // the same way by ordering P1 first).
+        let push_features = ctx.features(Direction::Push);
+        let direction = match &self.direction {
+            Some(t) => match t.predict(&push_features) {
+                1 if ctx.stats.pull.vertices > 0 => Direction::Pull,
+                _ => Direction::Push,
+            },
+            None => AutoPolicy::direction(ctx),
+        };
+        let features = ctx.features(direction);
+        let lb = match &self.load_balance {
+            Some(t) => match t.predict(&features) {
+                0 => LoadBalance::Twc,
+                1 => LoadBalance::Wm,
+                2 => LoadBalance::Cm,
+                _ => LoadBalance::Strict,
+            },
+            None => AutoPolicy::load_balance(ctx, direction),
+        };
+        let format = match &self.format {
+            Some(t) => match t.predict(&features) {
+                0 => AsFormat::Bitmap,
+                2 => AsFormat::SortedQueue,
+                _ => AsFormat::UnsortedQueue,
+            },
+            None => AutoPolicy::format(ctx, direction),
+        };
+        let stepping = self.decide_stepping(ctx, caps);
+        let fusion = match &self.fusion {
+            Some(t) if KernelConfig::fusion_legal(caps.dup_tolerant, direction) => {
+                match t.predict(&features) {
+                    1 => Fusion::Fused,
+                    _ => Fusion::Standalone,
+                }
+            }
+            Some(_) => Fusion::Standalone,
+            None => AutoPolicy::fusion(ctx, direction, caps),
+        };
+        caps.clamp(KernelConfig { direction, format, lb, stepping, fusion })
+    }
+
+    fn decide_stepping(&self, ctx: &DecisionContext, caps: &AppCaps) -> SteppingDelta {
+        if !caps.priority_driven {
+            return SteppingDelta::Remain;
+        }
+        match &self.stepping {
+            Some(t) => match t.predict(&ctx.features(Direction::Push)) {
+                0 => SteppingDelta::Increase,
+                1 => SteppingDelta::Decrease,
+                _ => SteppingDelta::Remain,
+            },
+            None => ctx.stepping_by_rule(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gswitch_graph::GraphStats;
+    use gswitch_kernels::{IterStats, WorkloadStats};
+    use gswitch_ml::TrainParams;
+
+    fn caps() -> AppCaps {
+        AppCaps { dup_tolerant: true, priority_driven: false }
+    }
+
+    fn ctx(v_active: u64, e_active: u64, e_inactive: u64) -> DecisionContext {
+        let n = 10_000u64;
+        DecisionContext {
+            graph: GraphStats {
+                num_vertices: n as usize,
+                num_edges: 80_000,
+                avg_degree: 8.0,
+                degree_stddev: 3.0,
+                degree_rel_range: 4.0,
+                max_degree: 50,
+                min_degree: 1,
+                gini: 0.2,
+                entropy: 0.95,
+            },
+            stats: IterStats {
+                v_active,
+                v_inactive: n - v_active,
+                v_fixed: 0,
+                e_active,
+                e_inactive,
+                push: WorkloadStats {
+                    vertices: v_active,
+                    edges: e_active,
+                    max_degree: 50,
+                    min_degree: 1,
+                },
+                pull: WorkloadStats {
+                    vertices: n - v_active,
+                    edges: e_inactive,
+                    max_degree: 50,
+                    min_degree: 1,
+                },
+            },
+            t_f: 0.1,
+            t_e: 0.3,
+            t_f_avg: 0.1,
+            t_e_avg: 0.3,
+            prev_workload_edges: e_active,
+            prev_prev_workload_edges: e_active,
+            iteration: 2,
+        }
+    }
+
+    #[test]
+    fn auto_direction_switches_on_edge_ratio() {
+        let sparse = ctx(10, 100, 79_900);
+        let dense = ctx(8_000, 70_000, 10_000);
+        assert_eq!(AutoPolicy.decide(&sparse, &caps()).direction, Direction::Push);
+        assert_eq!(AutoPolicy.decide(&dense, &caps()).direction, Direction::Pull);
+    }
+
+    #[test]
+    fn auto_format_tracks_density() {
+        let c = caps();
+        assert_eq!(
+            AutoPolicy.decide(&ctx(5_000, 40_000, 40_000), &c).format,
+            AsFormat::Bitmap
+        );
+        assert_eq!(
+            AutoPolicy.decide(&ctx(10, 80, 79_920), &c).format,
+            AsFormat::UnsortedQueue
+        );
+    }
+
+    #[test]
+    fn clamp_blocks_illegal_candidates() {
+        let caps = AppCaps { dup_tolerant: false, priority_driven: false };
+        let cfg = KernelConfig {
+            direction: Direction::Push,
+            format: AsFormat::Bitmap,
+            lb: LoadBalance::Twc,
+            stepping: SteppingDelta::Increase,
+            fusion: Fusion::Fused,
+        };
+        let c = caps.clamp(cfg);
+        assert_eq!(c.fusion, Fusion::Standalone);
+        assert_eq!(c.stepping, SteppingDelta::Remain);
+    }
+
+    #[test]
+    fn static_policy_returns_pin() {
+        let p = StaticPolicy::new(KernelConfig::gunrock_like());
+        let c = p.decide(&ctx(5, 10, 100), &caps());
+        assert_eq!(c, KernelConfig::gunrock_like());
+        assert_eq!(p.name(), "static");
+    }
+
+    #[test]
+    fn model_policy_uses_trained_tree() {
+        // Train a direction tree: pull iff e_ap (feature 13) > 0.5.
+        let rows: Vec<Vec<f64>> = (0..100)
+            .map(|i| {
+                let mut f = vec![0.0; 21];
+                f[13] = i as f64 / 100.0;
+                f
+            })
+            .collect();
+        let labels: Vec<usize> = rows.iter().map(|r| usize::from(r[13] > 0.5)).collect();
+        let tree = DecisionTree::train(&rows, &labels, TrainParams::default());
+        let policy = ModelPolicy::empty().with_tree(Pattern::Direction, tree);
+        assert_eq!(policy.n_trees(), 1);
+
+        let dense = ctx(8_000, 70_000, 10_000); // e_ap = 0.875
+        let sparse = ctx(10, 100, 79_900);
+        assert_eq!(policy.decide(&dense, &caps()).direction, Direction::Pull);
+        assert_eq!(policy.decide(&sparse, &caps()).direction, Direction::Push);
+    }
+
+    #[test]
+    fn model_policy_json_roundtrip() {
+        let rows = vec![vec![0.0; 21], vec![1.0; 21]];
+        let tree = DecisionTree::train(&rows, &[0, 1], TrainParams::default());
+        let p = ModelPolicy::empty().with_tree(Pattern::Fusion, tree);
+        let p2 = ModelPolicy::from_json(&p.to_json()).unwrap();
+        assert_eq!(p2.n_trees(), 1);
+        assert!(p2.fusion.is_some());
+    }
+
+    #[test]
+    fn model_policy_empty_falls_back_to_rules() {
+        let p = ModelPolicy::empty();
+        let dense = ctx(8_000, 70_000, 10_000);
+        assert_eq!(
+            p.decide(&dense, &caps()).direction,
+            AutoPolicy.decide(&dense, &caps()).direction
+        );
+    }
+}

@@ -1,0 +1,299 @@
+//! Edge-list ingestion: dedup, self-loop removal, symmetrization, weights.
+//!
+//! The paper transforms every input to undirected form (§5.1 footnote 3);
+//! `symmetric(true)` (the default) mirrors that. Construction is a
+//! counting-sort into CSR — O(n + m), parallel-friendly, no comparison sort
+//! of the whole edge list.
+
+use crate::csr::Csr;
+use crate::{Graph, VertexId, Weight};
+
+/// Accumulates edges and produces a [`Graph`].
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(VertexId, VertexId)>,
+    weights: Vec<Weight>,
+    symmetric: bool,
+    dedup: bool,
+    drop_self_loops: bool,
+    name: String,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph over vertices `0..n`.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+            weights: Vec::new(),
+            symmetric: true,
+            dedup: true,
+            drop_self_loops: true,
+            name: String::from("unnamed"),
+        }
+    }
+
+    /// Reserve room for `m` edges up front.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        let mut b = Self::new(n);
+        b.edges.reserve(m);
+        b
+    }
+
+    /// Symmetrize on build (store each edge in both directions). Default on.
+    pub fn symmetric(mut self, yes: bool) -> Self {
+        self.symmetric = yes;
+        self
+    }
+
+    /// Remove duplicate (parallel) edges on build. Default on.
+    pub fn dedup(mut self, yes: bool) -> Self {
+        self.dedup = yes;
+        self
+    }
+
+    /// Remove self loops on build. Default on.
+    pub fn drop_self_loops(mut self, yes: bool) -> Self {
+        self.drop_self_loops = yes;
+        self
+    }
+
+    /// Name the dataset.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Add one unweighted edge.
+    pub fn edge(mut self, u: VertexId, v: VertexId) -> Self {
+        self.push_edge(u, v);
+        self
+    }
+
+    /// Add many unweighted edges.
+    pub fn edges(mut self, it: impl IntoIterator<Item = (VertexId, VertexId)>) -> Self {
+        for (u, v) in it {
+            self.push_edge(u, v);
+        }
+        self
+    }
+
+    /// Add many weighted edges. Mixing weighted and unweighted pushes is a
+    /// builder-misuse panic at `build` time.
+    pub fn weighted_edges(
+        mut self,
+        it: impl IntoIterator<Item = (VertexId, VertexId, Weight)>,
+    ) -> Self {
+        for (u, v, w) in it {
+            self.push_weighted_edge(u, v, w);
+        }
+        self
+    }
+
+    /// Non-consuming edge push (for loops that cannot use the fluent API).
+    pub fn push_edge(&mut self, u: VertexId, v: VertexId) {
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u},{v}) out of range for {} vertices",
+            self.n
+        );
+        self.edges.push((u, v));
+    }
+
+    /// Non-consuming weighted edge push.
+    pub fn push_weighted_edge(&mut self, u: VertexId, v: VertexId, w: Weight) {
+        self.push_edge(u, v);
+        self.weights.push(w);
+    }
+
+    /// Current number of pushed edges (pre-dedup/symmetrize).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when no edges were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Finalize into a [`Graph`].
+    pub fn build(self) -> Graph {
+        let weighted = !self.weights.is_empty();
+        assert!(
+            !weighted || self.weights.len() == self.edges.len(),
+            "mixed weighted and unweighted edges"
+        );
+        let GraphBuilder {
+            n,
+            edges,
+            weights,
+            symmetric,
+            dedup,
+            drop_self_loops,
+            name,
+        } = self;
+
+        // Expand to directed triples (u, v, w).
+        let mut triples: Vec<(VertexId, VertexId, Weight)> = Vec::with_capacity(
+            edges.len() * if symmetric { 2 } else { 1 },
+        );
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            if drop_self_loops && u == v {
+                continue;
+            }
+            let w = if weighted { weights[i] } else { 1 };
+            triples.push((u, v, w));
+            if symmetric && u != v {
+                triples.push((v, u, w));
+            }
+        }
+
+        // Sort by (source, target) then dedup on the pair, keeping the first
+        // weight seen — deterministic regardless of input order because the
+        // sort is stable on the (u, v, w) triple.
+        triples.sort_unstable();
+        if dedup {
+            triples.dedup_by_key(|t| (t.0, t.1));
+        }
+
+        // Counting pass into CSR.
+        let m = triples.len();
+        let mut offsets = vec![0u64; n + 1];
+        for &(u, _, _) in &triples {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut targets = Vec::with_capacity(m);
+        let mut out_weights = if weighted { Vec::with_capacity(m) } else { Vec::new() };
+        for &(_, v, w) in &triples {
+            targets.push(v);
+            if weighted {
+                out_weights.push(w);
+            }
+        }
+        let out = Csr::new(offsets, targets);
+
+        if symmetric {
+            return Graph::from_parts(
+                out,
+                None,
+                weighted.then_some(out_weights),
+                None,
+                name,
+            );
+        }
+
+        // Directed: build the transpose for the pull direction.
+        let mut in_offsets = vec![0u64; n + 1];
+        for &(_, v, _) in &triples {
+            in_offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut cursor: Vec<u64> = in_offsets[..n].to_vec();
+        let mut in_targets = vec![0 as VertexId; m];
+        let mut in_weights = if weighted { vec![0 as Weight; m] } else { Vec::new() };
+        for &(u, v, w) in &triples {
+            let c = &mut cursor[v as usize];
+            in_targets[*c as usize] = u;
+            if weighted {
+                in_weights[*c as usize] = w;
+            }
+            *c += 1;
+        }
+        let incoming = Csr::new(in_offsets, in_targets);
+        Graph::from_parts(
+            out,
+            Some(incoming),
+            weighted.then_some(out_weights),
+            weighted.then_some(in_weights),
+            name,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetrize_and_dedup() {
+        let g = GraphBuilder::new(3)
+            .edges([(0, 1), (1, 0), (0, 1), (1, 2)])
+            .build();
+        // Unique undirected edges {0,1},{1,2} stored both ways.
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_csr().neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn self_loops_dropped_by_default() {
+        let g = GraphBuilder::new(2).edges([(0, 0), (0, 1)]).build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_csr().neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn self_loops_kept_when_asked() {
+        let g = GraphBuilder::new(2)
+            .edges([(0, 0), (0, 1)])
+            .drop_self_loops(false)
+            .build();
+        assert_eq!(g.out_csr().neighbors(0), &[0, 1]);
+    }
+
+    #[test]
+    fn directed_transpose_is_correct() {
+        let g = GraphBuilder::new(4)
+            .edges([(0, 1), (0, 2), (3, 2)])
+            .symmetric(false)
+            .build();
+        assert_eq!(g.in_csr().neighbors(2), &[0, 3]);
+        assert_eq!(g.in_csr().neighbors(0), &[] as &[VertexId]);
+        assert_eq!(g.out_csr().neighbors(0), &[1, 2]);
+    }
+
+    #[test]
+    fn weights_follow_edges_both_directions() {
+        let g = GraphBuilder::new(3)
+            .weighted_edges([(0, 1, 5), (1, 2, 7)])
+            .build();
+        assert!(g.is_weighted());
+        let csr = g.out_csr();
+        let w = g.out_weights().unwrap();
+        // Row 1 has neighbors [0, 2] with weights [5, 7].
+        let r = csr.edge_range(1);
+        assert_eq!(csr.neighbors(1), &[0, 2]);
+        assert_eq!(&w[r], &[5, 7]);
+    }
+
+    #[test]
+    fn directed_weights_transpose() {
+        let g = GraphBuilder::new(3)
+            .weighted_edges([(0, 2, 9), (1, 2, 4)])
+            .symmetric(false)
+            .build();
+        let r = g.in_csr().edge_range(2);
+        assert_eq!(g.in_csr().neighbors(2), &[0, 1]);
+        assert_eq!(&g.in_weights().unwrap()[r], &[9, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_edge() {
+        GraphBuilder::new(2).edge(0, 5);
+    }
+
+    #[test]
+    fn deterministic_under_permutation() {
+        let e1 = [(2u32, 0u32), (0, 1), (1, 2)];
+        let mut e2 = e1;
+        e2.reverse();
+        let g1 = GraphBuilder::new(3).edges(e1).build();
+        let g2 = GraphBuilder::new(3).edges(e2).build();
+        assert_eq!(g1.out_csr(), g2.out_csr());
+    }
+}

@@ -1,0 +1,389 @@
+//! Dataset loaders: MatrixMarket (`.mtx`), whitespace edge lists, and
+//! DIMACS shortest-path (`.gr`) — the three formats networkrepository.com
+//! and the SNAP/DIMACS mirrors distribute. Real datasets can therefore be
+//! dropped into any experiment in place of the synthetic twins.
+
+use crate::{Graph, GraphBuilder, VertexId, Weight};
+use std::io::{BufRead, BufReader, Read};
+use std::path::Path;
+
+/// Errors surfaced while parsing a dataset.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural or lexical problem, with a line number (1-based, 0 when
+    /// unknown) and message.
+    Parse {
+        /// 1-based line number (0 when unknown).
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "i/o error: {e}"),
+            LoadError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+fn perr<T>(line: usize, msg: impl Into<String>) -> Result<T, LoadError> {
+    Err(LoadError::Parse { line, msg: msg.into() })
+}
+
+/// Load a MatrixMarket coordinate file. Supports `pattern`, `integer`, and
+/// `real` fields; `general` and `symmetric` symmetry. Real weights are
+/// rounded to the nearest positive integer (the paper uses integer-weighted
+/// SSSP). The graph is always symmetrized, matching the paper's
+/// preprocessing.
+pub fn load_mtx(r: impl Read) -> Result<Graph, LoadError> {
+    let mut lines = BufReader::new(r).lines();
+    let mut lineno = 0usize;
+
+    // Header: %%MatrixMarket matrix coordinate <field> <symmetry>
+    let header = loop {
+        lineno += 1;
+        match lines.next() {
+            Some(l) => {
+                let l = l?;
+                if !l.trim().is_empty() {
+                    break l;
+                }
+            }
+            None => return perr(lineno, "empty file"),
+        }
+    };
+    let toks: Vec<&str> = header.split_whitespace().collect();
+    if toks.len() < 4 || !toks[0].starts_with("%%MatrixMarket") {
+        return perr(lineno, "missing %%MatrixMarket header");
+    }
+    if !toks[1].eq_ignore_ascii_case("matrix") || !toks[2].eq_ignore_ascii_case("coordinate") {
+        return perr(lineno, "only `matrix coordinate` files are supported");
+    }
+    let field = toks.get(3).copied().unwrap_or("pattern").to_ascii_lowercase();
+    let weighted = matches!(field.as_str(), "integer" | "real");
+
+    // Size line (first non-comment).
+    let size_line = loop {
+        lineno += 1;
+        match lines.next() {
+            Some(l) => {
+                let l = l?;
+                let t = l.trim();
+                if !t.is_empty() && !t.starts_with('%') {
+                    break l;
+                }
+            }
+            None => return perr(lineno, "missing size line"),
+        }
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse::<usize>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| LoadError::Parse { line: lineno, msg: e.to_string() })?;
+    if dims.len() != 3 {
+        return perr(lineno, "size line must be `rows cols nnz`");
+    }
+    let n = dims[0].max(dims[1]);
+    let nnz = dims[2];
+
+    let mut b = GraphBuilder::with_capacity(n, nnz);
+    for l in lines {
+        lineno += 1;
+        let l = l?;
+        let t = l.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let u: usize = match it.next().map(str::parse) {
+            Some(Ok(v)) => v,
+            _ => return perr(lineno, "bad row index"),
+        };
+        let v: usize = match it.next().map(str::parse) {
+            Some(Ok(v)) => v,
+            _ => return perr(lineno, "bad col index"),
+        };
+        if u == 0 || v == 0 || u > n || v > n {
+            return perr(lineno, format!("index ({u},{v}) outside 1..={n}"));
+        }
+        let (u, v) = ((u - 1) as VertexId, (v - 1) as VertexId);
+        if weighted {
+            let w: f64 = match it.next().map(str::parse) {
+                Some(Ok(w)) => w,
+                _ => return perr(lineno, "missing weight"),
+            };
+            let w = w.abs().round().max(1.0) as Weight;
+            b.push_weighted_edge(u, v, w);
+        } else {
+            b.push_edge(u, v);
+        }
+    }
+    Ok(b.name("mtx").build())
+}
+
+/// Load a whitespace/tab edge list (`u v [w]` per line, `#`/`%` comments).
+/// Vertex ids may start at 0 or 1; `n` is inferred as `max_id + 1`.
+pub fn load_edge_list(r: impl Read) -> Result<Graph, LoadError> {
+    let mut edges: Vec<(VertexId, VertexId, Option<Weight>)> = Vec::new();
+    let mut max_id: VertexId = 0;
+    for (i, l) in BufReader::new(r).lines().enumerate() {
+        let lineno = i + 1;
+        let l = l?;
+        let t = l.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let u: VertexId = match it.next().map(str::parse) {
+            Some(Ok(v)) => v,
+            _ => return perr(lineno, "bad source id"),
+        };
+        let v: VertexId = match it.next().map(str::parse) {
+            Some(Ok(v)) => v,
+            _ => return perr(lineno, "bad target id"),
+        };
+        let w = match it.next() {
+            Some(tok) => match tok.parse::<Weight>() {
+                Ok(w) => Some(w.max(1)),
+                Err(_) => return perr(lineno, "bad weight"),
+            },
+            None => None,
+        };
+        max_id = max_id.max(u).max(v);
+        edges.push((u, v, w));
+    }
+    if edges.is_empty() {
+        return perr(0, "no edges in file");
+    }
+    let weighted = edges[0].2.is_some();
+    if edges.iter().any(|e| e.2.is_some() != weighted) {
+        return perr(0, "mixed weighted and unweighted lines");
+    }
+    let mut b = GraphBuilder::with_capacity(max_id as usize + 1, edges.len());
+    for (u, v, w) in edges {
+        match w {
+            Some(w) => b.push_weighted_edge(u, v, w),
+            None => b.push_edge(u, v),
+        }
+    }
+    Ok(b.name("edgelist").build())
+}
+
+/// Load a DIMACS shortest-path `.gr` file (`p sp n m`, `a u v w` arcs,
+/// 1-based ids).
+pub fn load_dimacs(r: impl Read) -> Result<Graph, LoadError> {
+    let mut b: Option<GraphBuilder> = None;
+    let mut n = 0usize;
+    for (i, l) in BufReader::new(r).lines().enumerate() {
+        let lineno = i + 1;
+        let l = l?;
+        let t = l.trim();
+        if t.is_empty() || t.starts_with('c') {
+            continue;
+        }
+        let toks: Vec<&str> = t.split_whitespace().collect();
+        match toks[0] {
+            "p" => {
+                if toks.len() != 4 || toks[1] != "sp" {
+                    return perr(lineno, "expected `p sp n m`");
+                }
+                n = toks[2]
+                    .parse()
+                    .map_err(|_| LoadError::Parse { line: lineno, msg: "bad n".into() })?;
+                let m: usize = toks[3]
+                    .parse()
+                    .map_err(|_| LoadError::Parse { line: lineno, msg: "bad m".into() })?;
+                b = Some(GraphBuilder::with_capacity(n, m));
+            }
+            "a" => {
+                let builder = match b.as_mut() {
+                    Some(b) => b,
+                    None => return perr(lineno, "arc before problem line"),
+                };
+                if toks.len() != 4 {
+                    return perr(lineno, "expected `a u v w`");
+                }
+                let u: usize = toks[1].parse().map_err(|_| LoadError::Parse {
+                    line: lineno,
+                    msg: "bad u".into(),
+                })?;
+                let v: usize = toks[2].parse().map_err(|_| LoadError::Parse {
+                    line: lineno,
+                    msg: "bad v".into(),
+                })?;
+                let w: Weight = toks[3].parse().map_err(|_| LoadError::Parse {
+                    line: lineno,
+                    msg: "bad w".into(),
+                })?;
+                if u == 0 || v == 0 || u > n || v > n {
+                    return perr(lineno, "arc index out of range");
+                }
+                builder.push_weighted_edge((u - 1) as VertexId, (v - 1) as VertexId, w.max(1));
+            }
+            other => return perr(lineno, format!("unknown record `{other}`")),
+        }
+    }
+    match b {
+        Some(b) => Ok(b.name("dimacs").build()),
+        None => perr(0, "missing problem line"),
+    }
+}
+
+/// Write a graph as a MatrixMarket coordinate file (pattern or integer
+/// field, general symmetry — each stored directed edge is one entry).
+/// Round-trips through [`load_mtx`] up to symmetrization.
+pub fn save_mtx(g: &Graph, mut w: impl std::io::Write) -> std::io::Result<()> {
+    let field = if g.is_weighted() { "integer" } else { "pattern" };
+    writeln!(w, "%%MatrixMarket matrix coordinate {field} general")?;
+    writeln!(w, "% written by gswitch-rs ({})", g.name())?;
+    writeln!(w, "{} {} {}", g.num_vertices(), g.num_vertices(), g.num_edges())?;
+    let csr = g.out_csr();
+    let ws = g.out_weights();
+    for u in 0..g.num_vertices() as VertexId {
+        let r = csr.edge_range(u);
+        for (i, &v) in csr.neighbors(u).iter().enumerate() {
+            match ws {
+                Some(ws) => writeln!(w, "{} {} {}", u + 1, v + 1, ws[r.start + i])?,
+                None => writeln!(w, "{} {}", u + 1, v + 1)?,
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Write a graph as a whitespace edge list (`u v [w]`, 0-based).
+pub fn save_edge_list(g: &Graph, mut w: impl std::io::Write) -> std::io::Result<()> {
+    writeln!(w, "# {} ({} vertices, {} edges)", g.name(), g.num_vertices(), g.num_edges())?;
+    let csr = g.out_csr();
+    let ws = g.out_weights();
+    for u in 0..g.num_vertices() as VertexId {
+        let r = csr.edge_range(u);
+        for (i, &v) in csr.neighbors(u).iter().enumerate() {
+            match ws {
+                Some(ws) => writeln!(w, "{u} {v} {}", ws[r.start + i])?,
+                None => writeln!(w, "{u} {v}")?,
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Load by file extension: `.mtx`, `.gr`, anything else as an edge list.
+pub fn load_path(path: impl AsRef<Path>) -> Result<Graph, LoadError> {
+    let path = path.as_ref();
+    let f = std::fs::File::open(path)?;
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "dataset".into());
+    let g = match path.extension().and_then(|e| e.to_str()) {
+        Some("mtx") => load_mtx(f)?,
+        Some("gr") => load_dimacs(f)?,
+        _ => load_edge_list(f)?,
+    };
+    Ok(g.with_name(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mtx_pattern_roundtrip() {
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n\
+                    % a comment\n\
+                    4 4 3\n1 2\n2 3\n4 1\n";
+        let g = load_mtx(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.out_csr().neighbors(0), &[1, 3]);
+    }
+
+    #[test]
+    fn mtx_real_weights_rounded() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    3 3 2\n1 2 2.6\n2 3 0.2\n";
+        let g = load_mtx(text.as_bytes()).unwrap();
+        assert!(g.is_weighted());
+        let w = g.out_weights().unwrap();
+        let r = g.out_csr().edge_range(0);
+        assert_eq!(&w[r], &[3]); // 2.6 -> 3
+        let r = g.out_csr().edge_range(1);
+        // neighbors of 1: [0, 2] -> weights [3, 1] (0.2 clamps to 1)
+        assert_eq!(&w[r], &[3, 1]);
+    }
+
+    #[test]
+    fn mtx_rejects_garbage() {
+        assert!(load_mtx("hello world".as_bytes()).is_err());
+        assert!(load_mtx("%%MatrixMarket matrix array real general\n2 2\n".as_bytes()).is_err());
+        let bad_idx = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n";
+        assert!(load_mtx(bad_idx.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn edge_list_infers_size() {
+        let g = load_edge_list("# c\n0 5\n5 3\n".as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn edge_list_weighted() {
+        let g = load_edge_list("0 1 10\n1 2 20\n".as_bytes()).unwrap();
+        assert!(g.is_weighted());
+    }
+
+    #[test]
+    fn edge_list_rejects_mixed() {
+        assert!(load_edge_list("0 1 10\n1 2\n".as_bytes()).is_err());
+        assert!(load_edge_list("".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn mtx_write_read_roundtrip() {
+        let g = crate::gen::with_random_weights(&crate::gen::erdos_renyi(50, 150, 9), 32, 9);
+        let mut buf = Vec::new();
+        save_mtx(&g, &mut buf).unwrap();
+        let g2 = load_mtx(buf.as_slice()).unwrap();
+        assert_eq!(g.out_csr(), g2.out_csr());
+        assert_eq!(g.out_weights(), g2.out_weights());
+    }
+
+    #[test]
+    fn edge_list_write_read_roundtrip() {
+        let g = crate::gen::erdos_renyi(40, 120, 4);
+        let mut buf = Vec::new();
+        save_edge_list(&g, &mut buf).unwrap();
+        let g2 = load_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(g.out_csr(), g2.out_csr());
+    }
+
+    #[test]
+    fn dimacs_parses_arcs() {
+        let text = "c road net\np sp 3 2\na 1 2 4\na 2 3 6\n";
+        let g = load_dimacs(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert!(g.is_weighted());
+        assert_eq!(g.num_edges(), 4); // symmetrized
+    }
+
+    #[test]
+    fn dimacs_rejects_arc_before_header() {
+        assert!(load_dimacs("a 1 2 3\n".as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,197 @@
+//! Dataset attributes (Table 1, first block).
+//!
+//! These are computed once while loading the data (§4.3): N, M, average
+//! degree `d`, degree standard deviation `σ_d`, relative degree range `r_d`,
+//! Gini coefficient `GI`, and relative edge-distribution entropy `H_er`
+//! (both from Kunegis & Preusse, "Fairness on the web: alternatives to the
+//! power law", WebSci'12 — ref \[29\] of the paper).
+
+use crate::csr::Csr;
+use serde::{Deserialize, Serialize};
+
+/// Precomputed topology statistics of a dataset.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Number of vertices (N).
+    pub num_vertices: usize,
+    /// Number of directed edges (M; undirected edges count twice).
+    pub num_edges: usize,
+    /// Average out-degree (d̄).
+    pub avg_degree: f64,
+    /// Standard deviation of out-degrees (σ_d).
+    pub degree_stddev: f64,
+    /// Relative range of degrees: (max − min) / max(d̄, 1) (r_d).
+    pub degree_rel_range: f64,
+    /// Maximum out-degree.
+    pub max_degree: u32,
+    /// Minimum out-degree.
+    pub min_degree: u32,
+    /// Gini coefficient of the degree distribution, in `[0, 1)`.
+    /// 0 = perfectly regular graph, →1 = extreme hub concentration.
+    pub gini: f64,
+    /// Relative edge-distribution entropy in `(0, 1]`:
+    /// `H_er = (−Σ p_i ln p_i) / ln N` with `p_i = d_i / M`.
+    /// 1 = perfectly equal distribution.
+    pub entropy: f64,
+}
+
+impl GraphStats {
+    /// Compute all attributes from an out-CSR in a single degree pass plus
+    /// one sort (for Gini).
+    pub fn compute(csr: &Csr) -> Self {
+        let n = csr.num_vertices();
+        let m = csr.num_edges();
+        if n == 0 {
+            return GraphStats {
+                num_vertices: 0,
+                num_edges: 0,
+                avg_degree: 0.0,
+                degree_stddev: 0.0,
+                degree_rel_range: 0.0,
+                max_degree: 0,
+                min_degree: 0,
+                gini: 0.0,
+                entropy: 0.0,
+            };
+        }
+
+        let mut degrees: Vec<u32> = (0..n as u32).map(|v| csr.degree(v)).collect();
+        let sum: f64 = m as f64;
+        let avg = sum / n as f64;
+        let var = degrees
+            .iter()
+            .map(|&d| {
+                let diff = d as f64 - avg;
+                diff * diff
+            })
+            .sum::<f64>()
+            / n as f64;
+        let max = degrees.iter().copied().max().unwrap_or(0);
+        let min = degrees.iter().copied().min().unwrap_or(0);
+
+        // Gini: with degrees sorted ascending,
+        //   GI = (2 Σ_{i=1..n} i·d_i) / (n Σ d_i) − (n + 1)/n
+        degrees.sort_unstable();
+        let gini = if m == 0 {
+            0.0
+        } else {
+            let weighted: f64 = degrees
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| (i as f64 + 1.0) * d as f64)
+                .sum();
+            ((2.0 * weighted) / (n as f64 * sum) - (n as f64 + 1.0) / n as f64).max(0.0)
+        };
+
+        // Relative edge distribution entropy.
+        let entropy = if m == 0 || n <= 1 {
+            0.0
+        } else {
+            let h: f64 = degrees
+                .iter()
+                .filter(|&&d| d > 0)
+                .map(|&d| {
+                    let p = d as f64 / sum;
+                    -p * p.ln()
+                })
+                .sum();
+            (h / (n as f64).ln()).clamp(0.0, 1.0)
+        };
+
+        GraphStats {
+            num_vertices: n,
+            num_edges: m,
+            avg_degree: avg,
+            degree_stddev: var.sqrt(),
+            degree_rel_range: (max - min) as f64 / avg.max(1.0),
+            max_degree: max,
+            min_degree: min,
+            gini,
+            entropy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// A k-regular ring: every degree equal.
+    fn ring(n: u32) -> Csr {
+        let g = GraphBuilder::new(n as usize)
+            .edges((0..n).map(|i| (i, (i + 1) % n)))
+            .build();
+        g.out_csr().clone()
+    }
+
+    /// A star: one hub connected to everyone.
+    fn star(n: u32) -> Csr {
+        let g = GraphBuilder::new(n as usize)
+            .edges((1..n).map(|i| (0, i)))
+            .build();
+        g.out_csr().clone()
+    }
+
+    #[test]
+    fn regular_graph_has_zero_gini_full_entropy() {
+        let s = GraphStats::compute(&ring(64));
+        assert!(s.gini.abs() < 1e-9, "gini = {}", s.gini);
+        assert!((s.entropy - 1.0).abs() < 1e-9, "entropy = {}", s.entropy);
+        assert_eq!(s.avg_degree, 2.0);
+        assert_eq!(s.degree_stddev, 0.0);
+        assert_eq!(s.degree_rel_range, 0.0);
+    }
+
+    #[test]
+    fn star_graph_is_highly_unequal() {
+        let s = GraphStats::compute(&star(128));
+        // Hub has degree 127, leaves degree 1: strong inequality, low entropy.
+        assert!(s.gini > 0.45, "gini = {}", s.gini);
+        assert!(s.entropy < 0.9, "entropy = {}", s.entropy);
+        assert_eq!(s.max_degree, 127);
+        assert_eq!(s.min_degree, 1);
+    }
+
+    #[test]
+    fn star_more_unequal_than_ring() {
+        let ring_s = GraphStats::compute(&ring(100));
+        let star_s = GraphStats::compute(&star(100));
+        assert!(star_s.gini > ring_s.gini);
+        assert!(star_s.entropy < ring_s.entropy);
+    }
+
+    #[test]
+    fn empty_graph_is_all_zero() {
+        let s = GraphStats::compute(&Csr::empty(0));
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.gini, 0.0);
+        assert_eq!(s.entropy, 0.0);
+    }
+
+    #[test]
+    fn edgeless_graph() {
+        let s = GraphStats::compute(&Csr::empty(10));
+        assert_eq!(s.num_vertices, 10);
+        assert_eq!(s.num_edges, 0);
+        assert_eq!(s.avg_degree, 0.0);
+        assert_eq!(s.gini, 0.0);
+    }
+
+    #[test]
+    fn counts_match_csr() {
+        let c = ring(10);
+        let s = GraphStats::compute(&c);
+        assert_eq!(s.num_vertices, 10);
+        assert_eq!(s.num_edges, 20); // symmetrized ring
+    }
+
+    #[test]
+    fn gini_bounded() {
+        for n in [2u32, 5, 17, 333] {
+            let s = GraphStats::compute(&star(n));
+            assert!((0.0..1.0).contains(&s.gini), "n={n} gini={}", s.gini);
+            assert!((0.0..=1.0).contains(&s.entropy));
+        }
+    }
+}

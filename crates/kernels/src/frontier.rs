@@ -1,0 +1,149 @@
+//! Active-set data structures — Pattern 2 (Fig. 4).
+//!
+//! The semantic content of all three formats is the same vertex set; they
+//! differ in generation cost and in how the Expand step walks them:
+//!
+//! * **Bitmap** — no generation scan; Expand visits *all* vertices and
+//!   idles on unset bits.
+//! * **Unsorted queue** — warp-aggregated atomic append, coalesced writes,
+//!   cheap generation; Expand visits exactly the entries.
+//! * **Sorted queue** — device-wide prefix scan (expensive generation),
+//!   entries in ascending vertex order so Expand's CSR row reads become
+//!   contiguous (locality discount).
+//!
+//! A fused Expand (P5) emits a **raw queue**: an unsorted queue that may
+//! contain duplicates, which the next Expand simply reprocesses.
+
+use crate::atomics::AtomicBitSet;
+use crate::pattern::AsFormat;
+use gswitch_graph::VertexId;
+
+/// A materialized workload set for one iteration.
+#[derive(Debug)]
+pub enum Frontier {
+    /// One bit per vertex; `Expand` scans all `n` slots.
+    Bitmap(AtomicBitSet),
+    /// Compact queue, unspecified order, no duplicates.
+    UnsortedQueue(Vec<VertexId>),
+    /// Compact queue in ascending vertex order, no duplicates.
+    SortedQueue(Vec<VertexId>),
+    /// Output of a fused Expand: compact queue, unspecified order, *may
+    /// contain duplicates*.
+    RawQueue(Vec<VertexId>),
+}
+
+impl Frontier {
+    /// An empty frontier of the given format over `n` vertices.
+    pub fn empty(format: AsFormat, n: usize) -> Self {
+        match format {
+            AsFormat::Bitmap => Frontier::Bitmap(AtomicBitSet::new(n)),
+            AsFormat::UnsortedQueue => Frontier::UnsortedQueue(Vec::new()),
+            AsFormat::SortedQueue => Frontier::SortedQueue(Vec::new()),
+        }
+    }
+
+    /// Number of workload entries (bitmap: set bits; queues: length,
+    /// duplicates included for a raw queue).
+    pub fn len(&self) -> usize {
+        match self {
+            Frontier::Bitmap(b) => b.count(),
+            Frontier::UnsortedQueue(q) | Frontier::SortedQueue(q) | Frontier::RawQueue(q) => {
+                q.len()
+            }
+        }
+    }
+
+    /// True when no work remains — the BSP termination test.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Frontier::Bitmap(b) => b.count() == 0,
+            Frontier::UnsortedQueue(q) | Frontier::SortedQueue(q) | Frontier::RawQueue(q) => {
+                q.is_empty()
+            }
+        }
+    }
+
+    /// The P2 format this frontier realises (a raw queue behaves as an
+    /// unsorted queue).
+    pub fn format(&self) -> AsFormat {
+        match self {
+            Frontier::Bitmap(_) => AsFormat::Bitmap,
+            Frontier::UnsortedQueue(_) | Frontier::RawQueue(_) => AsFormat::UnsortedQueue,
+            Frontier::SortedQueue(_) => AsFormat::SortedQueue,
+        }
+    }
+
+    /// Whether Expand may rely on ascending-vertex locality.
+    pub fn is_sorted(&self) -> bool {
+        matches!(self, Frontier::SortedQueue(_))
+    }
+
+    /// Whether entries may repeat (fused output only).
+    pub fn may_have_duplicates(&self) -> bool {
+        matches!(self, Frontier::RawQueue(_))
+    }
+
+    /// View queue entries; `None` for a bitmap.
+    pub fn as_queue(&self) -> Option<&[VertexId]> {
+        match self {
+            Frontier::Bitmap(_) => None,
+            Frontier::UnsortedQueue(q) | Frontier::SortedQueue(q) | Frontier::RawQueue(q) => {
+                Some(q)
+            }
+        }
+    }
+
+    /// Materialize the entry list regardless of format (bitmap: ascending
+    /// order; raw queue: duplicates preserved). Test/diagnostic helper.
+    pub fn to_vec(&self) -> Vec<VertexId> {
+        match self {
+            Frontier::Bitmap(b) => b.to_sorted_vec(),
+            Frontier::UnsortedQueue(q) | Frontier::SortedQueue(q) | Frontier::RawQueue(q) => {
+                q.clone()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_constructors() {
+        for fmt in [AsFormat::Bitmap, AsFormat::UnsortedQueue, AsFormat::SortedQueue] {
+            let f = Frontier::empty(fmt, 100);
+            assert!(f.is_empty());
+            assert_eq!(f.len(), 0);
+            assert_eq!(f.format(), fmt);
+        }
+    }
+
+    #[test]
+    fn bitmap_len_counts_bits() {
+        let b = AtomicBitSet::new(100);
+        b.set(3);
+        b.set(99);
+        let f = Frontier::Bitmap(b);
+        assert_eq!(f.len(), 2);
+        assert!(!f.is_empty());
+        assert_eq!(f.to_vec(), vec![3, 99]);
+        assert!(f.as_queue().is_none());
+    }
+
+    #[test]
+    fn raw_queue_reports_duplicates_and_unsorted_format() {
+        let f = Frontier::RawQueue(vec![5, 5, 2]);
+        assert!(f.may_have_duplicates());
+        assert_eq!(f.format(), AsFormat::UnsortedQueue);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.as_queue().unwrap(), &[5, 5, 2]);
+    }
+
+    #[test]
+    fn sorted_flag() {
+        assert!(Frontier::SortedQueue(vec![1, 2]).is_sorted());
+        assert!(!Frontier::UnsortedQueue(vec![2, 1]).is_sorted());
+        assert!(!Frontier::Bitmap(AtomicBitSet::new(4)).is_sorted());
+    }
+}

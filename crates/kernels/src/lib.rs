@@ -1,0 +1,41 @@
+//! The GSWITCH parameterized kernel library.
+//!
+//! The paper's back-end compiles the five algorithmic patterns into 12
+//! standalone filter kernels and 144 expand variants (§4.5) as C++
+//! templates. Here the same variant space is realised as Rust generics over
+//! an [`EdgeApp`] (the 4-function user API of Fig. 11) running on the CPU
+//! via rayon, with every variant exactly instrumented for the
+//! `gswitch-simt` pricing model:
+//!
+//! * [`pattern`] — the candidate enums of the five patterns and the
+//!   [`pattern::KernelConfig`] tuple the Selector chooses each iteration.
+//! * [`app`] — the [`EdgeApp`] trait (`filter`/`emit`/`comp`/`comp_atomic`
+//!   plus the `prepare` "Apply/Update" hook folded into Filter, §2.1).
+//! * [`atomics`] — lock-free vertex-value arrays (`u32`/`u64`/`f32`/`f64`)
+//!   and an atomic bitset, the building blocks every app stores its data in.
+//! * [`frontier`] — the P2 active-set formats (bitmap / unsorted queue /
+//!   sorted queue) with their generation cost accounting (Fig. 4).
+//! * [`filter`] — the Filter primitive: classify all vertices, update
+//!   private data of actives, emit runtime characteristics, and build the
+//!   workload frontier in the chosen format.
+//! * [`expand()`](fn@expand) — the Expand primitive in push and pull
+//!   modes with fused/standalone variants (P1, P5).
+//! * [`lb`] — the P3 load-balancing strategies (TWC/WM/CM/STRICT of Fig. 6)
+//!   as warp-task pricing over the measured per-vertex workload, including
+//!   the `price_all` oracle entry point used for brute-force labelling.
+
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod atomics;
+pub mod expand;
+pub mod filter;
+pub mod frontier;
+pub mod lb;
+pub mod pattern;
+
+pub use app::{EdgeApp, Status};
+pub use expand::{expand, ExpandOutput};
+pub use filter::{classify, materialize, ClassifyOutput, IterStats, WorkloadStats};
+pub use frontier::Frontier;
+pub use pattern::{AsFormat, Direction, Fusion, KernelConfig, LoadBalance, SteppingDelta};

@@ -1,0 +1,190 @@
+//! The five algorithmic patterns and their candidates (§3 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// P1 — Direction: push touches out-edges of active vertices and updates
+/// destinations with atomics; pull touches in-edges of receiver vertices
+/// and combines atomic-free, skipping edges once satisfied (Fig. 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Data-driven scatter from the active set.
+    Push,
+    /// Gather into not-yet-satisfied vertices.
+    Pull,
+}
+
+/// P2 — Active-set data structure (Fig. 4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AsFormat {
+    /// One bit per vertex. No generation scan, but warp lanes assigned
+    /// inactive vertices idle.
+    Bitmap,
+    /// Compact queue built with warp-aggregated atomic append: cheap to
+    /// generate (coalesced), out of order.
+    UnsortedQueue,
+    /// Compact queue built with a device-wide prefix scan: costly to
+    /// generate, but the Expand enjoys contiguous access.
+    SortedQueue,
+}
+
+/// P3 — Load balancing (Fig. 6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LoadBalance {
+    /// Thread/Warp/CTA mapping by degree bucket (B40C). Lowest overhead,
+    /// worst balance.
+    Twc,
+    /// Warp Mapping: a warp stages 32 vertices' edges through shared
+    /// memory with a log2(32)-step binary search per edge batch.
+    Wm,
+    /// CTA Mapping: as WM at CTA granularity with log2(cta_size) search
+    /// and CTA barriers.
+    Cm,
+    /// Equal edges per CTA via sorted search over the offsets (merge-path
+    /// LB partitioning). Best balance, highest fixed overhead.
+    Strict,
+}
+
+/// P4 — Stepping: how the dynamic priority threshold of a monotonic
+/// algorithm moves between iterations (±35% active-edge trigger, §3 P4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SteppingDelta {
+    /// Widen the priority window (workload shrank — seek parallelism).
+    Increase,
+    /// Narrow the window (workload exploded — seek work efficiency).
+    Decrease,
+    /// Keep the current window.
+    Remain,
+}
+
+/// P5 — Kernel fusion (Fig. 9).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Fusion {
+    /// Separate Filter and Expand kernels with deduplicated frontiers.
+    Standalone,
+    /// One kernel: Expand emits the next frontier directly, tolerating
+    /// duplicates; saves a launch and the dedup/scan pass.
+    Fused,
+}
+
+/// The per-iteration kernel configuration the Selector assembles. One value
+/// of this struct identifies one of the paper's variants (2 directions × 3
+/// formats × 4 load balancers × 2 fusion modes = 48 expand shapes, × 3
+/// stepping moves = 144 expand candidates; 12 filter candidates).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KernelConfig {
+    /// P1 direction.
+    pub direction: Direction,
+    /// P2 active-set format.
+    pub format: AsFormat,
+    /// P3 load-balancing strategy.
+    pub lb: LoadBalance,
+    /// P4 stepping move (only consulted by priority-driven apps).
+    pub stepping: SteppingDelta,
+    /// P5 fusion mode.
+    pub fusion: Fusion,
+}
+
+impl KernelConfig {
+    /// The paper's reference static configuration (what a non-switching
+    /// push-based framework would run): push + unsorted queue + TWC +
+    /// standalone.
+    pub fn push_baseline() -> Self {
+        KernelConfig {
+            direction: Direction::Push,
+            format: AsFormat::UnsortedQueue,
+            lb: LoadBalance::Twc,
+            stepping: SteppingDelta::Remain,
+            fusion: Fusion::Standalone,
+        }
+    }
+
+    /// Gunrock-like static configuration: push + LB(strict) partitioning.
+    pub fn gunrock_like() -> Self {
+        KernelConfig {
+            direction: Direction::Push,
+            format: AsFormat::UnsortedQueue,
+            lb: LoadBalance::Strict,
+            stepping: SteppingDelta::Remain,
+            fusion: Fusion::Standalone,
+        }
+    }
+
+    /// Is the fused variant legal for an app? (Needs duplicate tolerance
+    /// and push direction — pull produces no queue to fuse over.)
+    pub fn fusion_legal(dup_tolerant: bool, direction: Direction) -> bool {
+        dup_tolerant && direction == Direction::Push
+    }
+
+    /// Enumerate every (direction, format, lb, fusion) shape; stepping is
+    /// orthogonal and omitted. Used by brute-force oracles and tests.
+    pub fn all_shapes() -> Vec<KernelConfig> {
+        let mut v = Vec::with_capacity(48);
+        for &direction in &[Direction::Push, Direction::Pull] {
+            for &format in &[
+                AsFormat::Bitmap,
+                AsFormat::UnsortedQueue,
+                AsFormat::SortedQueue,
+            ] {
+                for &lb in &[
+                    LoadBalance::Twc,
+                    LoadBalance::Wm,
+                    LoadBalance::Cm,
+                    LoadBalance::Strict,
+                ] {
+                    for &fusion in &[Fusion::Standalone, Fusion::Fused] {
+                        v.push(KernelConfig { direction, format, lb, stepping: SteppingDelta::Remain, fusion });
+                    }
+                }
+            }
+        }
+        v
+    }
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig::push_baseline()
+    }
+}
+
+impl std::fmt::Display for KernelConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:?}/{:?}/{:?}/{:?}/{:?}",
+            self.direction, self.format, self.lb, self.stepping, self.fusion
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_shapes_covers_48() {
+        let shapes = KernelConfig::all_shapes();
+        assert_eq!(shapes.len(), 48);
+        let uniq: std::collections::HashSet<_> = shapes.iter().collect();
+        assert_eq!(uniq.len(), 48);
+    }
+
+    #[test]
+    fn variant_count_matches_paper() {
+        // 48 shapes × 3 stepping moves = 144 expand candidates (§4.5).
+        assert_eq!(KernelConfig::all_shapes().len() * 3, 144);
+    }
+
+    #[test]
+    fn fusion_legality() {
+        assert!(KernelConfig::fusion_legal(true, Direction::Push));
+        assert!(!KernelConfig::fusion_legal(false, Direction::Push));
+        assert!(!KernelConfig::fusion_legal(true, Direction::Pull));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = KernelConfig::push_baseline().to_string();
+        assert!(s.contains("Push") && s.contains("Twc"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests of the kernel library.
+
+use gswitch_kernels::atomics::{AtomicArray, AtomicBitSet};
+use gswitch_kernels::lb::{self, edge_costs};
+use gswitch_kernels::{Direction, LoadBalance};
+use gswitch_simt::{DeviceSpec, TaskStats};
+use proptest::prelude::*;
+
+fn touched_vec() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0u32..2_000, 0..512)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pricing never produces negative or NaN cycle counts, and total
+    /// cycles grow monotonically when work is appended.
+    #[test]
+    fn pricing_sane(touched in touched_vec(), bitmap in any::<bool>()) {
+        let spec = DeviceSpec::k40m();
+        let costs = edge_costs(&spec, Direction::Push, false);
+        for lb_kind in [LoadBalance::Twc, LoadBalance::Wm, LoadBalance::Cm, LoadBalance::Strict] {
+            let p = lb::price(&spec, lb_kind, &costs, &touched, bitmap);
+            prop_assert!(p.tasks.total_cycles.is_finite());
+            prop_assert!(p.tasks.total_cycles >= 0.0);
+            prop_assert!(p.tasks.max_cycles <= p.tasks.total_cycles + 1e-9);
+
+            let mut bigger = touched.clone();
+            bigger.push(1_000);
+            let p2 = lb::price(&spec, lb_kind, &costs, &bigger, bitmap);
+            prop_assert!(
+                p2.tasks.total_cycles >= p.tasks.total_cycles,
+                "{lb_kind:?} shrank when work was added"
+            );
+        }
+    }
+
+    /// price_all agrees with the individual pricing functions.
+    #[test]
+    fn price_all_consistent(touched in touched_vec()) {
+        let spec = DeviceSpec::p100();
+        let costs = edge_costs(&spec, Direction::Pull, true);
+        for (lb_kind, p) in lb::price_all(&spec, &costs, &touched, false) {
+            let q = lb::price(&spec, lb_kind, &costs, &touched, false);
+            prop_assert_eq!(p.tasks.count, q.tasks.count);
+            prop_assert!((p.tasks.total_cycles - q.tasks.total_cycles).abs() < 1e-6);
+            prop_assert_eq!(p.syncs, q.syncs);
+            prop_assert_eq!(p.scan_elems, q.scan_elems);
+        }
+    }
+
+    /// TaskStats::merge is order-insensitive on its aggregates.
+    #[test]
+    fn task_stats_merge_commutes(a in proptest::collection::vec(0.0f64..1e6, 0..64),
+                                 b in proptest::collection::vec(0.0f64..1e6, 0..64)) {
+        let build = |v: &[f64]| {
+            let mut t = TaskStats::default();
+            for &x in v {
+                t.add_task(x);
+            }
+            t
+        };
+        let (ta, tb) = (build(&a), build(&b));
+        let mut ab = ta;
+        ab.merge(&tb);
+        let mut ba = tb;
+        ba.merge(&ta);
+        prop_assert_eq!(ab.count, ba.count);
+        prop_assert_eq!(ab.max_cycles, ba.max_cycles);
+        prop_assert!((ab.total_cycles - ba.total_cycles).abs() < 1e-6);
+    }
+
+    /// AtomicArray fetch_min converges to the sequence minimum regardless
+    /// of order, and fetch_add to the sum.
+    #[test]
+    fn atomic_array_semantics(vals in proptest::collection::vec(0u32..1_000_000, 1..64)) {
+        let arr = AtomicArray::<u32>::filled(1, u32::MAX);
+        for &v in &vals {
+            arr.fetch_min(0, v);
+        }
+        prop_assert_eq!(arr.load(0), *vals.iter().min().unwrap());
+
+        let sum = AtomicArray::<u64>::filled(1, 0);
+        for &v in &vals {
+            sum.fetch_add(0, v as u64);
+        }
+        prop_assert_eq!(sum.load(0), vals.iter().map(|&v| v as u64).sum::<u64>());
+    }
+
+    /// Bitset set/unset/count behave like a reference HashSet.
+    #[test]
+    fn bitset_matches_reference(ops in proptest::collection::vec((0u32..256, any::<bool>()), 0..128)) {
+        let bits = AtomicBitSet::new(256);
+        let mut reference = std::collections::BTreeSet::new();
+        for (v, set) in ops {
+            if set {
+                prop_assert_eq!(bits.set(v), reference.insert(v));
+            } else {
+                prop_assert_eq!(bits.unset(v), reference.remove(&v));
+            }
+        }
+        prop_assert_eq!(bits.count(), reference.len());
+        let collected: Vec<u32> = reference.into_iter().collect();
+        prop_assert_eq!(bits.to_sorted_vec(), collected);
+    }
+
+    /// Float values survive the bit-packing round trip.
+    #[test]
+    fn float_array_roundtrip(x in any::<f64>().prop_filter("finite", |v| v.is_finite())) {
+        let a = AtomicArray::<f64>::filled(1, 0.0);
+        a.store(0, x);
+        prop_assert_eq!(a.load(0).to_bits(), x.to_bits());
+    }
+}

@@ -1,0 +1,25 @@
+//! Machine-learning backend of the GSWITCH Selector.
+//!
+//! The paper (§4.4) treats each pattern as an independent classification
+//! problem, trains one CART tree per pattern on 386,780 iteration records
+//! from 644 graphs, and deliberately keeps the trees shallow so they
+//! convert to portable if-else rules with microsecond inference.
+//!
+//! * [`tree`] — CART with Gini impurity, depth capping ("we tailor the
+//!   generated decision tree and keep its height as low as possible"),
+//!   JSON persistence and if-else rule export.
+//! * [`dataset`] — the feature-database record format: one row per
+//!   iteration, 21 features (Table 1) plus the brute-forced optimal label
+//!   for each pattern.
+//! * [`cv`] — k-fold cross-validation and accuracy/confusion reporting
+//!   (the paper's §5.4 uses 10-fold).
+
+#![warn(missing_docs)]
+
+pub mod cv;
+pub mod dataset;
+pub mod tree;
+
+pub use cv::{cross_validate, CvReport};
+pub use dataset::{FeatureDb, Labels, Pattern, Record, FEATURE_COUNT, FEATURE_NAMES};
+pub use tree::{DecisionTree, TrainParams};

@@ -1,0 +1,240 @@
+//! Device specifications and the pricing model.
+
+use crate::profile::KernelProfile;
+use crate::SimMs;
+use serde::{Deserialize, Serialize};
+
+/// A simulated GPU. Two presets reproduce the paper's evaluation platforms;
+/// all constants are in "model units" chosen so that relative costs track
+/// the published microarchitectural ratios (bandwidth, SM count, clock,
+/// atomic throughput) between Kepler K40m and Pascal P100.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Marketing name, used in reports.
+    pub name: String,
+    /// Streaming multiprocessors.
+    pub sm_count: u32,
+    /// Warps concurrently *issuing* per SM (CUDA cores / 32), not resident
+    /// warps: the model folds latency hiding into per-access cycle costs,
+    /// so the parallelism term must be execution width, not occupancy.
+    pub warps_per_sm: u32,
+    /// Threads per warp. 32 on every Nvidia part.
+    pub warp_size: u32,
+    /// Threads per CTA used by the kernel library.
+    pub cta_size: u32,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Global-memory bandwidth in GB/s.
+    pub mem_bw_gbs: f64,
+    /// Fixed cost of one kernel launch, microseconds (driver + dispatch).
+    pub launch_overhead_us: f64,
+    /// Amortized cycles for one 4-byte coalesced global access per lane.
+    pub coalesced_cycles: f64,
+    /// Multiplier applied to non-coalesced (random) accesses: a random
+    /// 4-byte load drags a 32-byte sector through the memory system and
+    /// cannot amortize latency across the warp.
+    pub random_penalty: f64,
+    /// Cycles per uncontended global atomic.
+    pub atomic_cycles: f64,
+    /// Extra cycles per atomic that conflicts with another update to the
+    /// same location in the same kernel.
+    pub atomic_contention_cycles: f64,
+    /// Cycles per shared-memory access (WM/CM staging).
+    pub shared_cycles: f64,
+    /// Cycles per CTA-wide barrier.
+    pub sync_cycles: f64,
+    /// Cycles per element of a device-wide prefix scan (sorted-queue
+    /// generation), already divided by scan parallelism.
+    pub scan_cycles_per_elem: f64,
+    /// Host-side microseconds to copy the runtime-characteristics feedback
+    /// block device→host at the end of an iteration (tiny, latency-bound).
+    pub feedback_copy_us: f64,
+}
+
+impl DeviceSpec {
+    /// Nvidia Tesla K40m (Kepler GK110B): 15 SMs, 745 MHz, 288 GB/s.
+    /// Kepler's global atomics are slow and its launch overhead high.
+    pub fn k40m() -> Self {
+        DeviceSpec {
+            name: "K40m".into(),
+            sm_count: 15,
+            warps_per_sm: 6, // 192 cores / 32
+            warp_size: 32,
+            cta_size: 256,
+            clock_ghz: 0.745,
+            mem_bw_gbs: 288.0,
+            launch_overhead_us: 6.0,
+            coalesced_cycles: 4.0,
+            random_penalty: 40.0,
+            atomic_cycles: 48.0,
+            atomic_contention_cycles: 16.0,
+            shared_cycles: 2.0,
+            sync_cycles: 64.0,
+            scan_cycles_per_elem: 0.02,
+            feedback_copy_us: 8.0,
+        }
+    }
+
+    /// Nvidia Tesla P100 (Pascal GP100): 56 SMs, 1328 MHz, 732 GB/s.
+    /// Pascal roughly triples bandwidth and halves atomic cost.
+    pub fn p100() -> Self {
+        DeviceSpec {
+            name: "P100".into(),
+            sm_count: 56,
+            warps_per_sm: 2, // 64 cores / 32
+            warp_size: 32,
+            cta_size: 256,
+            clock_ghz: 1.328,
+            mem_bw_gbs: 732.0,
+            launch_overhead_us: 4.0,
+            coalesced_cycles: 4.0,
+            random_penalty: 30.0,
+            atomic_cycles: 24.0,
+            atomic_contention_cycles: 8.0,
+            shared_cycles: 2.0,
+            sync_cycles: 48.0,
+            scan_cycles_per_elem: 0.012,
+            feedback_copy_us: 6.0,
+        }
+    }
+
+    /// Concurrent warp slots (the parallelism the makespan model divides
+    /// by).
+    #[inline]
+    pub fn warp_slots(&self) -> u64 {
+        self.sm_count as u64 * self.warps_per_sm as u64
+    }
+
+    /// Warps per CTA.
+    #[inline]
+    pub fn warps_per_cta(&self) -> u32 {
+        self.cta_size / self.warp_size
+    }
+
+    /// Convert device cycles to milliseconds.
+    #[inline]
+    pub fn cycles_to_ms(&self, cycles: f64) -> SimMs {
+        cycles / (self.clock_ghz * 1e6)
+    }
+
+    /// Price a kernel: `max(compute, memory) + launches·overhead`.
+    ///
+    /// * compute: greedy-scheduling makespan of the warp tasks across
+    ///   [`Self::warp_slots`], plus atomic and scan cycles serialized over
+    ///   the same slots.
+    /// * memory: bytes moved over [`Self::mem_bw_gbs`].
+    pub fn kernel_time_ms(&self, p: &KernelProfile) -> SimMs {
+        let slots = self.warp_slots() as f64;
+        // Atomic and scan work are global serialization points priced
+        // per-element and spread over the machine.
+        let atomic_cycles = p.atomics as f64 * self.atomic_cycles
+            + p.atomic_conflicts as f64 * self.atomic_contention_cycles;
+        let scan_cycles = p.scan_elems as f64 * self.scan_cycles_per_elem;
+        let sync_cycles = p.syncs as f64 * self.sync_cycles;
+        let spread = (atomic_cycles + sync_cycles) / slots + scan_cycles;
+        let makespan = (p.tasks.total_cycles / slots).max(p.tasks.max_cycles) + spread;
+        let compute_ms = self.cycles_to_ms(makespan);
+        let memory_ms = p.bytes_moved() as f64 / (self.mem_bw_gbs * 1e6);
+        compute_ms.max(memory_ms) + p.launches as f64 * self.launch_overhead_us / 1e3
+    }
+
+    /// Device→host feedback copy cost per iteration (ms).
+    pub fn feedback_time_ms(&self) -> SimMs {
+        self.feedback_copy_us / 1e3
+    }
+}
+
+impl Default for DeviceSpec {
+    fn default() -> Self {
+        DeviceSpec::p100()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::TaskStats;
+
+    fn profile_with(total: f64, max: f64, count: u64) -> KernelProfile {
+        KernelProfile {
+            tasks: TaskStats { total_cycles: total, max_cycles: max, count },
+            launches: 1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn presets_reflect_published_ratios() {
+        let k = DeviceSpec::k40m();
+        let p = DeviceSpec::p100();
+        assert!(p.mem_bw_gbs / k.mem_bw_gbs > 2.0);
+        assert!(p.sm_count > 3 * k.sm_count);
+        assert!(p.atomic_cycles < k.atomic_cycles);
+        assert_eq!(k.warp_size, 32);
+    }
+
+    #[test]
+    fn empty_kernel_costs_only_launch() {
+        let d = DeviceSpec::k40m();
+        let t = d.kernel_time_ms(&KernelProfile::launch());
+        assert!((t - d.launch_overhead_us / 1e3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_work_scales_with_total() {
+        let d = DeviceSpec::p100();
+        let t1 = d.kernel_time_ms(&profile_with(1e9, 10.0, 100_000));
+        let t2 = d.kernel_time_ms(&profile_with(2e9, 10.0, 200_000));
+        assert!(t2 > 1.9 * t1 - d.launch_overhead_us / 1e3);
+    }
+
+    #[test]
+    fn straggler_task_dominates() {
+        let d = DeviceSpec::p100();
+        // Tiny total but one monster task (a hub vertex in TWC).
+        let balanced = profile_with(1e6, 100.0, 10_000);
+        let skewed = profile_with(1e6, 5e5, 10_000);
+        assert!(d.kernel_time_ms(&skewed) > 10.0 * d.kernel_time_ms(&balanced));
+    }
+
+    #[test]
+    fn bandwidth_floor_applies() {
+        let d = DeviceSpec::p100();
+        // Negligible compute but 7.32 GB moved => ≥ 10 ms at 732 GB/s.
+        let mut p = profile_with(10.0, 10.0, 1);
+        p.bytes_read = 7_320_000_000;
+        let t = d.kernel_time_ms(&p);
+        assert!(t >= 10.0, "t = {t}");
+    }
+
+    #[test]
+    fn atomics_and_contention_cost_extra()
+    {
+        let d = DeviceSpec::k40m();
+        let base = profile_with(1e6, 50.0, 1000);
+        let mut with_atomics = base;
+        with_atomics.atomics = 1_000_000;
+        let mut with_conflicts = with_atomics;
+        with_conflicts.atomic_conflicts = 500_000;
+        let t0 = d.kernel_time_ms(&base);
+        let t1 = d.kernel_time_ms(&with_atomics);
+        let t2 = d.kernel_time_ms(&with_conflicts);
+        assert!(t1 > t0);
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn p100_outruns_k40m_on_same_work() {
+        let p = profile_with(1e9, 1e4, 100_000);
+        assert!(
+            DeviceSpec::p100().kernel_time_ms(&p) < DeviceSpec::k40m().kernel_time_ms(&p)
+        );
+    }
+
+    #[test]
+    fn cycles_to_ms_roundtrip() {
+        let d = DeviceSpec::p100();
+        // 1.328e9 cycles per second = 1.328e6 per ms.
+        assert!((d.cycles_to_ms(1.328e6) - 1.0).abs() < 1e-12);
+    }
+}

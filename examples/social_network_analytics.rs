@@ -1,0 +1,85 @@
+//! Social-network analytics — the workload class from the paper's
+//! introduction (PageRank-style influence + community structure).
+//!
+//! Builds a social graph, then runs PageRank, connected components and
+//! betweenness centrality under the autotuner, showing how the selector
+//! picks *different* variants for the dense (PR) and traversal (BC)
+//! phases of one pipeline — the "algorithmic diversity" problem a
+//! single-point framework cannot solve.
+//!
+//! ```text
+//! cargo run --release --example social_network_analytics
+//! ```
+
+use gswitch::algos::{bc, cc, pr};
+use gswitch::core::{AutoPolicy, Direction, EngineOptions};
+use gswitch::graph::gen;
+use gswitch::prelude::*;
+
+fn main() {
+    let g = gen::barabasi_albert(60_000, 12, 2024);
+    println!(
+        "social graph: {} users, {} follows, max degree {}, Gini {:.2}",
+        g.num_vertices(),
+        g.num_edges(),
+        g.stats().max_degree,
+        g.stats().gini
+    );
+    let opts = EngineOptions::on(DeviceSpec::p100());
+
+    // --- Influence: PageRank.
+    let ranks = pr::pagerank(&g, 1e-4, &AutoPolicy, &opts);
+    let mut top: Vec<(u32, f64)> = ranks.ranks.iter().copied().enumerate()
+        .map(|(i, r)| (i as u32, r))
+        .collect();
+    top.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    println!("\ntop-5 influencers (PageRank, {:.2} ms simulated):", ranks.report.total_ms());
+    for (v, r) in top.iter().take(5) {
+        println!("  user {v:>6}: score {r:.6}, degree {}", g.out_degree(*v));
+    }
+
+    // --- Communities: connected components.
+    let comps = cc::cc(&g, &AutoPolicy, &opts);
+    let distinct: std::collections::HashSet<_> = comps.labels.iter().collect();
+    println!(
+        "\ncommunities: {} connected component(s) in {:.2} ms simulated",
+        distinct.len(),
+        comps.report.total_ms()
+    );
+
+    // --- Brokers: betweenness centrality from the top influencer.
+    let hub = top[0].0;
+    let bc_r = bc::bc(&g, hub, &AutoPolicy, &opts);
+    let broker = bc_r
+        .scores
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap();
+    println!(
+        "\ntop broker w.r.t. user {hub}: user {} (dependency {:.1}), {:.2} ms simulated",
+        broker.0,
+        broker.1,
+        bc_r.total_ms()
+    );
+
+    // --- What the autotuner actually did.
+    let pulls = ranks
+        .report
+        .iterations
+        .iter()
+        .filter(|t| t.config.direction == Direction::Pull)
+        .count();
+    println!(
+        "\nautotuner behaviour: PR ran {} iterations ({} in pull mode); BC forward used {:?} \
+         on its hump iteration",
+        ranks.report.n_iterations(),
+        pulls,
+        bc_r.forward
+            .iterations
+            .iter()
+            .max_by_key(|t| t.stats.e_active)
+            .map(|t| t.config.direction)
+            .unwrap_or(Direction::Push),
+    );
+}
