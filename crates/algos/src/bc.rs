@@ -277,18 +277,14 @@ mod tests {
 
     #[test]
     fn path_graph_dependencies() {
-        let g = GraphBuilder::new(5)
-            .edges([(0, 1), (1, 2), (2, 3), (3, 4)])
-            .build();
+        let g = GraphBuilder::new(5).edges([(0, 1), (1, 2), (2, 3), (3, 4)]).build();
         let r = bc(&g, 0, &AutoPolicy, &EngineOptions::default());
         assert_eq!(r.scores, vec![0.0, 3.0, 2.0, 1.0, 0.0]);
     }
 
     #[test]
     fn diamond_splits_dependency() {
-        let g = GraphBuilder::new(4)
-            .edges([(0, 1), (0, 2), (1, 3), (2, 3)])
-            .build();
+        let g = GraphBuilder::new(4).edges([(0, 1), (0, 2), (1, 3), (2, 3)]).build();
         let r = bc(&g, 0, &AutoPolicy, &EngineOptions::default());
         assert_close(&r.scores, &reference::bc(&g, 0), "diamond");
         assert!((r.scores[1] - 0.5).abs() < 1e-12);
@@ -318,9 +314,7 @@ mod tests {
     #[test]
     fn bc_all_matches_summed_brandes() {
         // Exact BC on an undirected path: the classic n-choose-2 pattern.
-        let g = GraphBuilder::new(5)
-            .edges([(0, 1), (1, 2), (2, 3), (3, 4)])
-            .build();
+        let g = GraphBuilder::new(5).edges([(0, 1), (1, 2), (2, 3), (3, 4)]).build();
         let (cent, ms) = bc_all(&g, 0..5, &AutoPolicy, &EngineOptions::default());
         // For an undirected path a-b-c-d-e, vertex c lies on 2*(2x2)=8
         // directed shortest paths, b and d on 2*3=6.

@@ -121,9 +121,7 @@ mod tests {
 
     #[test]
     fn labels_components_with_min_id() {
-        let g = GraphBuilder::new(6)
-            .edges([(0, 1), (1, 2), (4, 5)])
-            .build();
+        let g = GraphBuilder::new(6).edges([(0, 1), (1, 2), (4, 5)]).build();
         let r = cc(&g, &AutoPolicy, &EngineOptions::default());
         assert!(r.report.converged);
         assert_eq!(r.labels, vec![0, 0, 0, 3, 4, 4]);

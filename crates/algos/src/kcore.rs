@@ -37,9 +37,7 @@ impl KCore {
 
     /// Membership mask after the run: `true` = in the k-core.
     pub fn membership(&self) -> Vec<bool> {
-        (0..self.degree.len() as VertexId)
-            .map(|v| self.degree.load(v) != PEELED)
-            .collect()
+        (0..self.degree.len() as VertexId).map(|v| self.degree.load(v) != PEELED).collect()
     }
 }
 
@@ -139,9 +137,7 @@ mod tests {
     #[test]
     fn triangle_survives_2core_tail_does_not() {
         // Triangle {0,1,2} with a tail 2-3-4.
-        let g = GraphBuilder::new(5)
-            .edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)])
-            .build();
+        let g = GraphBuilder::new(5).edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]).build();
         let r = kcore(&g, 2, &AutoPolicy, &EngineOptions::default());
         assert!(r.report.converged);
         assert_eq!(r.in_core, vec![true, true, true, false, false]);
@@ -181,9 +177,7 @@ mod tests {
     #[test]
     fn peeling_cascades() {
         // A path peels from both ends inward under k=2: everything goes.
-        let g = GraphBuilder::new(6)
-            .edges((0..5u32).map(|i| (i, i + 1)))
-            .build();
+        let g = GraphBuilder::new(6).edges((0..5u32).map(|i| (i, i + 1))).build();
         let r = kcore(&g, 2, &AutoPolicy, &EngineOptions::default());
         assert!(r.in_core.iter().all(|&b| !b));
         // The cascade takes several waves, one per peel layer.

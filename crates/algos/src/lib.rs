@@ -23,8 +23,8 @@ pub mod reference;
 pub mod sssp;
 
 pub use bc::Bc;
-pub use kcore::KCore;
 pub use bfs::Bfs;
 pub use cc::Cc;
+pub use kcore::KCore;
 pub use pr::PageRank;
 pub use sssp::{BellmanFord, DeltaStepping, Sssp};

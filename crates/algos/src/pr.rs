@@ -128,10 +128,7 @@ mod tests {
     fn assert_close(got: &[f64], want: &[f64], tol: f64, tag: &str) {
         assert_eq!(got.len(), want.len());
         for (i, (a, b)) in got.iter().zip(want).enumerate() {
-            assert!(
-                (a - b).abs() < tol,
-                "{tag}: rank[{i}] = {a}, reference {b}"
-            );
+            assert!((a - b).abs() < tol, "{tag}: rank[{i}] = {a}, reference {b}");
         }
     }
 
@@ -164,10 +161,7 @@ mod tests {
             &StaticPolicy::new(KernelConfig::push_baseline()),
             &EngineOptions::default(),
         );
-        let pull_cfg = KernelConfig {
-            direction: Direction::Pull,
-            ..KernelConfig::push_baseline()
-        };
+        let pull_cfg = KernelConfig { direction: Direction::Pull, ..KernelConfig::push_baseline() };
         let pull = pagerank(&g, 1e-6, &StaticPolicy::new(pull_cfg), &EngineOptions::default());
         assert_close(&push.ranks, &pull.ranks, 1e-9, "push vs pull");
     }

@@ -177,9 +177,7 @@ mod tests {
     #[test]
     fn sssp_prefers_light_detour() {
         // 0->2 direct costs 10; 0->1->2 costs 3.
-        let g = GraphBuilder::new(3)
-            .weighted_edges([(0, 2, 10), (0, 1, 1), (1, 2, 2)])
-            .build();
+        let g = GraphBuilder::new(3).weighted_edges([(0, 2, 10), (0, 1, 1), (1, 2, 2)]).build();
         assert_eq!(sssp(&g, 0), vec![0, 1, 3]);
     }
 
@@ -202,9 +200,7 @@ mod tests {
 
     #[test]
     fn bc_path_center_is_highest() {
-        let g = GraphBuilder::new(5)
-            .edges([(0, 1), (1, 2), (2, 3), (3, 4)])
-            .build();
+        let g = GraphBuilder::new(5).edges([(0, 1), (1, 2), (2, 3), (3, 4)]).build();
         let d = bc(&g, 0);
         // From source 0, vertex 1 lies on paths to 2,3,4 -> delta 3; etc.
         assert_eq!(d, vec![0.0, 3.0, 2.0, 1.0, 0.0]);
@@ -213,9 +209,7 @@ mod tests {
     #[test]
     fn bc_counts_multiple_shortest_paths() {
         // Diamond: 0->{1,2}->3; sigma(3)=2; delta(1)=delta(2)=0.5.
-        let g = GraphBuilder::new(4)
-            .edges([(0, 1), (0, 2), (1, 3), (2, 3)])
-            .build();
+        let g = GraphBuilder::new(4).edges([(0, 1), (0, 2), (1, 3), (2, 3)]).build();
         let d = bc(&g, 0);
         assert!((d[1] - 0.5).abs() < 1e-12);
         assert!((d[2] - 0.5).abs() < 1e-12);

@@ -88,8 +88,7 @@ impl SsspState {
         if min_pending == u32::MAX {
             return false;
         }
-        self.threshold
-            .store(min_pending.saturating_add(self.step), Relaxed);
+        self.threshold.store(min_pending.saturating_add(self.step), Relaxed);
         true
     }
 }
@@ -98,9 +97,7 @@ impl SsspState {
 /// degree; the paper's static reference uses cw̄/d from [13]).
 fn default_step(g: &Graph) -> u32 {
     let avg_w = match g.out_weights() {
-        Some(ws) if !ws.is_empty() => {
-            ws.iter().map(|&w| w as u64).sum::<u64>() / ws.len() as u64
-        }
+        Some(ws) if !ws.is_empty() => ws.iter().map(|&w| w as u64).sum::<u64>() / ws.len() as u64,
         _ => 1,
     };
     let d = (g.num_edges() as f64 / g.num_vertices().max(1) as f64).max(1.0);
@@ -294,11 +291,7 @@ mod tests {
             let want = reference::sssp(&g, 0);
             let opts = EngineOptions::default();
             assert_eq!(sssp(&g, 0, &AutoPolicy, &opts).distances, want, "dyn seed {seed}");
-            assert_eq!(
-                bellman_ford(&g, 0, &AutoPolicy, &opts).distances,
-                want,
-                "bf seed {seed}"
-            );
+            assert_eq!(bellman_ford(&g, 0, &AutoPolicy, &opts).distances, want, "bf seed {seed}");
             assert_eq!(
                 delta_stepping(&g, 0, &AutoPolicy, &opts).distances,
                 want,
@@ -342,9 +335,7 @@ mod tests {
 
     #[test]
     fn disconnected_targets_stay_unreachable() {
-        let g = gswitch_graph::GraphBuilder::new(4)
-            .weighted_edges([(0, 1, 3)])
-            .build();
+        let g = gswitch_graph::GraphBuilder::new(4).weighted_edges([(0, 1, 3)]).build();
         let r = sssp(&g, 0, &AutoPolicy, &EngineOptions::default());
         assert_eq!(r.distances, vec![0, 3, u32::MAX, u32::MAX]);
     }

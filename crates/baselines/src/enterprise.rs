@@ -70,10 +70,6 @@ mod tests {
     fn uses_twc_everywhere() {
         let g = gen::barabasi_albert(2_000, 6, 4);
         let r = bfs_run(&g, 0, &EngineOptions::default());
-        assert!(r
-            .report
-            .iterations
-            .iter()
-            .all(|t| t.config.lb == gswitch_core::LoadBalance::Twc));
+        assert!(r.report.iterations.iter().all(|t| t.config.lb == gswitch_core::LoadBalance::Twc));
     }
 }

@@ -89,11 +89,7 @@ pub fn sssp_run(g: &Graph, src: VertexId, colors: usize, spec: &DeviceSpec) -> F
         }
     }
 
-    FrogResult {
-        distances: dist.iter().map(|d| d.load(Relaxed)).collect(),
-        time_ms,
-        sweeps,
-    }
+    FrogResult { distances: dist.iter().map(|d| d.load(Relaxed)).collect(), time_ms, sweeps }
 }
 
 #[cfg(test)]

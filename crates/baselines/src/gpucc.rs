@@ -82,10 +82,7 @@ pub fn cc_run(g: &Graph, spec: &DeviceSpec) -> GpuccResult {
                     let (hi, lo) = if pu > pv { (pu, pv) } else { (pv, pu) };
                     // Hook only roots to keep trees shallow (Soman's
                     // star-hooking condition).
-                    if parent[hi as usize]
-                        .compare_exchange(hi, lo, Relaxed, Relaxed)
-                        .is_ok()
-                    {
+                    if parent[hi as usize].compare_exchange(hi, lo, Relaxed, Relaxed).is_ok() {
                         changed.store(true, Relaxed);
                         local_hooks += 1;
                     }
@@ -117,11 +114,7 @@ pub fn cc_run(g: &Graph, spec: &DeviceSpec) -> GpuccResult {
         }
     }
 
-    GpuccResult {
-        labels: parent.iter().map(|p| p.load(Relaxed)).collect(),
-        time_ms,
-        rounds,
-    }
+    GpuccResult { labels: parent.iter().map(|p| p.load(Relaxed)).collect(), time_ms, rounds }
 }
 
 #[cfg(test)]
@@ -151,9 +144,7 @@ mod tests {
     fn converges_in_logarithmic_rounds() {
         // A path is the worst case for hooking; rounds should still stay
         // well below n thanks to pointer jumping.
-        let g = GraphBuilder::new(512)
-            .edges((0..511u32).map(|i| (i, i + 1)))
-            .build();
+        let g = GraphBuilder::new(512).edges((0..511u32).map(|i| (i, i + 1))).build();
         let r = cc_run(&g, &DeviceSpec::k40m());
         assert!(r.rounds <= 20, "rounds = {}", r.rounds);
         assert!(r.labels.iter().all(|&l| l == 0));

@@ -34,10 +34,7 @@ fn synthetic_records(n: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
             v
         })
         .collect();
-    let labels = rows
-        .iter()
-        .map(|r| usize::from(r[14] > 0.5) + usize::from(r[5] > 0.6))
-        .collect();
+    let labels = rows.iter().map(|r| usize::from(r[14] > 0.5) + usize::from(r[5] > 0.6)).collect();
     (rows, labels)
 }
 

@@ -1,0 +1,79 @@
+//! Criterion benchmarks of the serving runtime: warm versus cold query
+//! latency through the executor on a mid-size R-MAT graph, and the
+//! registry/cache bookkeeping around it. The warm path skips the
+//! per-iteration selector until the workload drifts, so the gap between
+//! the two is the runtime's claim to existence.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gswitch_core::AutoPolicy;
+use gswitch_graph::gen;
+use gswitch_runtime::{execute, ConfigCache, GraphRegistry, Query};
+use gswitch_simt::DeviceSpec;
+
+fn bench_query_latency(c: &mut Criterion) {
+    let registry = GraphRegistry::new();
+    registry.insert("rmat-mid", gen::kronecker(12, 8, 7));
+    let entry = registry.get("rmat-mid").unwrap();
+    let device = DeviceSpec::default();
+
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(10);
+
+    group.bench_function("bfs_cold", |b| {
+        b.iter(|| {
+            // A fresh cache every run: the engine tunes from scratch.
+            let cache = ConfigCache::new();
+            execute(black_box(&entry), &Query::Bfs { src: 0 }, &cache, &AutoPolicy, &device)
+                .unwrap()
+        });
+    });
+
+    let warm_cache = ConfigCache::new();
+    execute(&entry, &Query::Bfs { src: 0 }, &warm_cache, &AutoPolicy, &device).unwrap();
+    group.bench_function("bfs_warm", |b| {
+        b.iter(|| {
+            execute(black_box(&entry), &Query::Bfs { src: 0 }, &warm_cache, &AutoPolicy, &device)
+                .unwrap()
+        });
+    });
+
+    group.bench_function("pr_cold", |b| {
+        b.iter(|| {
+            let cache = ConfigCache::new();
+            execute(black_box(&entry), &Query::Pr { eps: 1e-3 }, &cache, &AutoPolicy, &device)
+                .unwrap()
+        });
+    });
+
+    let warm_pr = ConfigCache::new();
+    execute(&entry, &Query::Pr { eps: 1e-3 }, &warm_pr, &AutoPolicy, &device).unwrap();
+    group.bench_function("pr_warm", |b| {
+        b.iter(|| {
+            execute(black_box(&entry), &Query::Pr { eps: 1e-3 }, &warm_pr, &AutoPolicy, &device)
+                .unwrap()
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_bookkeeping(c: &mut Criterion) {
+    let g = gen::kronecker(12, 8, 7);
+    let mut group = c.benchmark_group("serving_overhead");
+    group.sample_size(10);
+
+    group.bench_function("fingerprint_2to12", |b| {
+        b.iter(|| black_box(&g).fingerprint());
+    });
+
+    let registry = GraphRegistry::new();
+    registry.insert("g", gen::kronecker(12, 8, 7));
+    group.bench_function("registry_get", |b| {
+        b.iter(|| registry.get(black_box("g")).unwrap());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_latency, bench_bookkeeping);
+criterion_main!(benches);

@@ -36,20 +36,20 @@ pub fn run(cfg: &ExpConfig) -> String {
         for algo in [Algo::Bfs, Algo::Pr] {
             let ga = crate::runners::prepare(&g, algo);
             for bypass in [true, false] {
-                let opts = EngineOptions {
-                    stability_bypass: bypass,
-                    ..EngineOptions::on(dev.clone())
-                };
+                let opts =
+                    EngineOptions { stability_bypass: bypass, ..EngineOptions::on(dev.clone()) };
                 let src = crate::runners::source_of(&ga);
                 let rep = match algo {
                     Algo::Bfs => bfs::bfs(&ga, src, cfg.policy.as_ref(), &opts).report,
-                    _ => gswitch_algos::pr::pagerank(
-                        &ga,
-                        crate::runners::PR_TOL,
-                        cfg.policy.as_ref(),
-                        &opts,
-                    )
-                    .report,
+                    _ => {
+                        gswitch_algos::pr::pagerank(
+                            &ga,
+                            crate::runners::PR_TOL,
+                            cfg.policy.as_ref(),
+                            &opts,
+                        )
+                        .report
+                    }
                 };
                 t.row(vec![
                     name.into(),
@@ -66,27 +66,18 @@ pub fn run(cfg: &ExpConfig) -> String {
 
     // (b) Fused-chain switch-back.
     let _ = writeln!(out, "(b) fused-chain switch-back rule (forced-fused BFS)");
-    let mut t = Table::new(
-        "chain breaking",
-        &["graph", "breaks_allowed", "total_ms", "duplicates"],
-    );
+    let mut t =
+        Table::new("chain breaking", &["graph", "breaks_allowed", "total_ms", "duplicates"]);
     let fused_cfg = KernelConfig { fusion: Fusion::Fused, ..KernelConfig::push_baseline() };
     for name in ["roadNet-CA", "soc-orkut"] {
         let g = twin_graph(cfg, name);
         let src = crate::runners::source_of(&g);
         for breaks in [true, false] {
-            let opts = EngineOptions {
-                break_fused_chains: breaks,
-                ..EngineOptions::on(dev.clone())
-            };
+            let opts =
+                EngineOptions { break_fused_chains: breaks, ..EngineOptions::on(dev.clone()) };
             let rep = bfs::bfs(&g, src, &StaticPolicy::new(fused_cfg), &opts).report;
             let dups: u64 = rep.iterations.iter().map(|t| t.duplicates).sum();
-            t.row(vec![
-                name.into(),
-                breaks.to_string(),
-                ms(rep.total_ms()),
-                dups.to_string(),
-            ]);
+            t.row(vec![name.into(), breaks.to_string(), ms(rep.total_ms()), dups.to_string()]);
         }
     }
     let _ = writeln!(out, "{}", t.render());

@@ -13,11 +13,7 @@ pub fn run(cfg: &ExpConfig) -> String {
     let stride = if cfg.quick { 64 } else { 16 };
     let db = cached_labels(stride, &DeviceSpec::k40m());
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "# §5.4 — classifier accuracy, 10-fold CV over {} records\n",
-        db.len()
-    );
+    let _ = writeln!(out, "# §5.4 — classifier accuracy, 10-fold CV over {} records\n", db.len());
     let paper = [98.0, 85.0, 97.0, 82.0, 94.0]; // in decision order P1,P3,P2,P4,P5
     for (i, &p) in Pattern::DECISION_ORDER.iter().enumerate() {
         let (rows, labels) = db.training_matrix(p);

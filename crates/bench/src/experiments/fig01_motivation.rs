@@ -57,10 +57,7 @@ pub fn run(cfg: &ExpConfig) -> String {
 
     // (c) push-only loss across a corpus sample.
     let sample_stride = if cfg.quick { 64 } else { 16 };
-    let recipes: Vec<_> = corpus::evaluation_set()
-        .into_iter()
-        .step_by(sample_stride)
-        .collect();
+    let recipes: Vec<_> = corpus::evaluation_set().into_iter().step_by(sample_stride).collect();
     let losses: Vec<(usize, f64)> = recipes
         .iter()
         .map(|r| {

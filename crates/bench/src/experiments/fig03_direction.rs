@@ -6,8 +6,8 @@ use crate::runners::{prepare, source_of, Algo};
 use crate::table::series;
 use gswitch_algos::{bc, bfs, pr, sssp};
 use gswitch_core::{
-    AsFormat, Direction, EngineOptions, Fusion, KernelConfig, LoadBalance, RunReport,
-    StaticPolicy, SteppingDelta,
+    AsFormat, Direction, EngineOptions, Fusion, KernelConfig, LoadBalance, RunReport, StaticPolicy,
+    SteppingDelta,
 };
 use gswitch_simt::DeviceSpec;
 use std::fmt::Write;
@@ -83,11 +83,7 @@ pub fn run(cfg: &ExpConfig) -> String {
     let _ = writeln!(out, "{}\n", series("  Pull", &expand_series(&s2)));
 
     // Headline check: pull should win the BFS hump iterations.
-    let hump = p1
-        .iterations
-        .iter()
-        .zip(&p2.iterations)
-        .any(|(a, b)| b.expand_ms < a.expand_ms);
+    let hump = p1.iterations.iter().zip(&p2.iterations).any(|(a, b)| b.expand_ms < a.expand_ms);
     let _ = writeln!(
         out,
         "pull wins at least one BFS iteration: {} (paper: pull skips edges in the middle \

@@ -53,9 +53,9 @@ pub fn run(cfg: &ExpConfig) -> String {
     );
     let mut totals = Vec::new();
     for (f, name) in FORMATS {
-        let rep = pr::pagerank(&gk, PR_TOL, &StaticPolicy::new(fmt_cfg(f, LoadBalance::Wm)), &opts).report;
-        let per_it: Vec<f64> =
-            rep.iterations.iter().map(|t| t.filter_ms + t.expand_ms).collect();
+        let rep = pr::pagerank(&gk, PR_TOL, &StaticPolicy::new(fmt_cfg(f, LoadBalance::Wm)), &opts)
+            .report;
+        let per_it: Vec<f64> = rep.iterations.iter().map(|t| t.filter_ms + t.expand_ms).collect();
         let _ = writeln!(out, "{}", series(&format!("  {name:>14}"), &per_it));
         totals.push((name, rep.total_ms()));
     }
@@ -64,17 +64,13 @@ pub fn run(cfg: &ExpConfig) -> String {
     // (b) SSSP on msdoor twin.
     let gm = prepare(&twin_graph(cfg, "sc-msdoor"), Algo::Sssp);
     let src = source_of(&gm);
-    let _ = writeln!(
-        out,
-        "(b) SSSP, sc-msdoor twin (N={}, M={})",
-        gm.num_vertices(),
-        gm.num_edges()
-    );
+    let _ =
+        writeln!(out, "(b) SSSP, sc-msdoor twin (N={}, M={})", gm.num_vertices(), gm.num_edges());
     let mut totals_s = Vec::new();
     for (f, name) in FORMATS {
-        let rep = sssp::sssp(&gm, src, &StaticPolicy::new(fmt_cfg(f, LoadBalance::Strict)), &opts).report;
-        let per_it: Vec<f64> =
-            rep.iterations.iter().map(|t| t.filter_ms + t.expand_ms).collect();
+        let rep =
+            sssp::sssp(&gm, src, &StaticPolicy::new(fmt_cfg(f, LoadBalance::Strict)), &opts).report;
+        let per_it: Vec<f64> = rep.iterations.iter().map(|t| t.filter_ms + t.expand_ms).collect();
         // msdoor runs many sparse iterations; print a sample.
         let stride = (per_it.len() / 20).max(1);
         let sampled: Vec<f64> = per_it.iter().copied().step_by(stride).collect();
@@ -85,16 +81,8 @@ pub fn run(cfg: &ExpConfig) -> String {
 
     // Shape check: bitmap best on the dense PR run, a queue best on the
     // sparse SSSP run.
-    let pr_best = totals
-        .iter()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-        .unwrap()
-        .0;
-    let sssp_best = totals_s
-        .iter()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-        .unwrap()
-        .0;
+    let pr_best = totals.iter().min_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap().0;
+    let sssp_best = totals_s.iter().min_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap().0;
     let _ = writeln!(
         out,
         "winners — PR(dense): {pr_best} (paper: bitmap), SSSP(sparse): {sssp_best} (paper: queue)"

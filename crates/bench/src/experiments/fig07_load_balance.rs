@@ -53,11 +53,7 @@ pub fn run(cfg: &ExpConfig) -> String {
             let _ = writeln!(out, "{}", series(&format!("  {name:>6}"), &per_it));
             totals.push((name, total));
         }
-        let best = totals
-            .iter()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .unwrap()
-            .0;
+        let best = totals.iter().min_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap().0;
         let _ = writeln!(out, "  totals: {totals:?}  -> best: {best}\n");
         best.to_string()
     };
@@ -78,8 +74,8 @@ pub fn run(cfg: &ExpConfig) -> String {
     let runs_push: Vec<(&str, Vec<f64>)> = LBS
         .iter()
         .map(|&(lb, name)| {
-            let rep = bfs::bfs(&g, src, &StaticPolicy::new(lb_cfg(Direction::Push, lb)), &opts)
-                .report;
+            let rep =
+                bfs::bfs(&g, src, &StaticPolicy::new(lb_cfg(Direction::Push, lb)), &opts).report;
             (name, rep.iterations.iter().map(|t| t.expand_ms).collect())
         })
         .collect();
@@ -89,8 +85,8 @@ pub fn run(cfg: &ExpConfig) -> String {
     let runs_pull: Vec<(&str, Vec<f64>)> = LBS
         .iter()
         .map(|&(lb, name)| {
-            let rep = bfs::bfs(&g, src, &StaticPolicy::new(lb_cfg(Direction::Pull, lb)), &opts)
-                .report;
+            let rep =
+                bfs::bfs(&g, src, &StaticPolicy::new(lb_cfg(Direction::Pull, lb)), &opts).report;
             (name, rep.iterations.iter().map(|t| t.expand_ms).collect())
         })
         .collect();

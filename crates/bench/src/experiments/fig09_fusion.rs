@@ -23,14 +23,9 @@ pub fn run(cfg: &ExpConfig) -> String {
     for (tag, name) in [("(a) road-net", "roadNet-CA"), ("(b) social", "soc-orkut")] {
         let g = twin_graph(cfg, name);
         let src = source_of(&g);
-        let standalone = bfs::bfs(
-            &g,
-            src,
-            &StaticPolicy::new(KernelConfig::push_baseline()),
-            &opts,
-        );
-        let fused_cfg =
-            KernelConfig { fusion: Fusion::Fused, ..KernelConfig::push_baseline() };
+        let standalone =
+            bfs::bfs(&g, src, &StaticPolicy::new(KernelConfig::push_baseline()), &opts);
+        let fused_cfg = KernelConfig { fusion: Fusion::Fused, ..KernelConfig::push_baseline() };
         let fused = bfs::bfs(&g, src, &StaticPolicy::new(fused_cfg), &opts);
         assert_eq!(standalone.levels, fused.levels, "fusion must not change results");
 

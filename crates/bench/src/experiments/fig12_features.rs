@@ -41,11 +41,7 @@ pub fn run(cfg: &ExpConfig) -> String {
     // would otherwise crush every other record into the first bin.
     let mut e_a_vals: Vec<f64> = db.records.iter().map(|r| r.features[E_A]).collect();
     e_a_vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let e_a_max = e_a_vals
-        .get(e_a_vals.len() * 95 / 100)
-        .copied()
-        .unwrap_or(1.0)
-        .max(1.0);
+    let e_a_max = e_a_vals.get(e_a_vals.len() * 95 / 100).copied().unwrap_or(1.0).max(1.0);
 
     let blocks = [
         ("(a) direction", Pattern::Direction, E_IAP, "E_iap", 0.0, 1.0),

@@ -9,9 +9,7 @@ use crate::runners::source_of;
 use crate::table::{ms, Table};
 use gswitch_algos::Bfs;
 use gswitch_core::oracle::{analyze_pull, analyze_push, price_direction};
-use gswitch_core::{
-    AppCaps, DecisionContext, Direction, GraphApp, KernelConfig, LoadBalance,
-};
+use gswitch_core::{AppCaps, DecisionContext, Direction, GraphApp, KernelConfig, LoadBalance};
 use gswitch_kernels::{classify, expand, materialize};
 use gswitch_simt::DeviceSpec;
 use std::fmt::Write;
@@ -42,8 +40,17 @@ pub fn run(cfg: &ExpConfig) -> String {
     let mut table = Table::new(
         "expand time (ms) per strategy; [x] = GSWITCH pick, * = true best",
         &[
-            "it", "push/TWC", "push/WM", "push/CM", "push/STRICT", "pull/TWC", "pull/WM",
-            "pull/CM", "pull/STRICT", "GSWITCH", "Best",
+            "it",
+            "push/TWC",
+            "push/WM",
+            "push/CM",
+            "push/STRICT",
+            "pull/TWC",
+            "pull/WM",
+            "pull/CM",
+            "pull/STRICT",
+            "GSWITCH",
+            "Best",
         ],
     );
 
@@ -77,19 +84,15 @@ pub fn run(cfg: &ExpConfig) -> String {
         for &(lb, _) in &LBS {
             cells.push((Direction::Pull, lb, cell(&pull_prices, lb)));
         }
-        let best = cells
-            .iter()
-            .copied()
-            .min_by(|a, b| a.2.partial_cmp(&b.2).unwrap())
-            .unwrap();
+        let best = cells.iter().copied().min_by(|a, b| a.2.partial_cmp(&b.2).unwrap()).unwrap();
         let picked = cfg.policy.decide(&ctx, &caps);
 
         let label = |d: Direction, l: LoadBalance| {
-            format!("{}/{}", if d == Direction::Push { "push" } else { "pull" }, LBS
-                .iter()
-                .find(|(lb, _)| *lb == l)
-                .map(|(_, n)| *n)
-                .unwrap())
+            format!(
+                "{}/{}",
+                if d == Direction::Push { "push" } else { "pull" },
+                LBS.iter().find(|(lb, _)| *lb == l).map(|(_, n)| *n).unwrap()
+            )
         };
         let row_cells: Vec<String> = cells
             .iter()
@@ -121,7 +124,8 @@ pub fn run(cfg: &ExpConfig) -> String {
             ..KernelConfig::push_baseline()
         };
         let exec = caps.clamp(exec);
-        let (frontier, mat) = materialize::<Bfs>(&g, &co.status, exec.direction, exec.format, &spec);
+        let (frontier, mat) =
+            materialize::<Bfs>(&g, &co.status, exec.direction, exec.format, &spec);
         let eo = expand(&g, &app, &frontier, &co.status, exec, &spec);
         let filter_ms = spec.kernel_time_ms(&co.profile) + spec.kernel_time_ms(&mat);
         let expand_ms = spec.kernel_time_ms(&eo.profile);

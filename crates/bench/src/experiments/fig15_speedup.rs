@@ -50,11 +50,8 @@ pub fn run(cfg: &ExpConfig) -> String {
             let r_avg = cells.iter().map(|c| c.gunrock_ms).sum::<f64>() / n;
             let positive =
                 cells.iter().filter(|c| c.gswitch_ms <= c.gunrock_ms).count() as f64 / n * 100.0;
-            let speedup = cells
-                .iter()
-                .map(|c| c.gunrock_ms / c.gswitch_ms.max(1e-12))
-                .sum::<f64>()
-                / n;
+            let speedup =
+                cells.iter().map(|c| c.gunrock_ms / c.gswitch_ms.max(1e-12)).sum::<f64>() / n;
             t.row(vec![
                 algo.tag().to_uppercase(),
                 ms(r_avg),

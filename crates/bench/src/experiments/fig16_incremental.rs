@@ -33,10 +33,7 @@ fn run_masked(
 pub fn run(cfg: &ExpConfig) -> String {
     let dev = DeviceSpec::k40m();
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "# Fig. 16 — incremental speedup over Gunrock as patterns are enabled\n"
-    );
+    let _ = writeln!(out, "# Fig. 16 — incremental speedup over Gunrock as patterns are enabled\n");
     let levels = [
         ("baseline", 0usize),
         ("+P1", 1),
@@ -50,10 +47,8 @@ pub fn run(cfg: &ExpConfig) -> String {
         let g0 = twin_graph(cfg, graph_name);
         let mut header = vec!["algo"];
         header.extend(levels.iter().map(|(n, _)| *n));
-        let mut t = Table::new(
-            format!("{graph_name} twin — speedup vs Gunrock (>1 is faster)"),
-            &header,
-        );
+        let mut t =
+            Table::new(format!("{graph_name} twin — speedup vs Gunrock (>1 is faster)"), &header);
         for algo in Algo::ALL {
             let g = prepare(&g0, algo);
             let gunrock_ms = run_gunrock(&g, algo, &dev).time_ms;

@@ -12,17 +12,11 @@ use std::fmt::Write;
 /// Run the experiment.
 pub fn run(cfg: &ExpConfig) -> String {
     let dev = DeviceSpec::k40m();
-    let reps = if cfg.quick {
-        corpus::representatives_small()
-    } else {
-        corpus::representatives()
-    };
+    let reps = if cfg.quick { corpus::representatives_small() } else { corpus::representatives() };
     let names: Vec<&str> = reps.iter().map(|r| r.paper_name).collect();
     // Build every twin once; algorithms reuse (SSSP attaches weights).
-    let built: Vec<gswitch_graph::Graph> = reps
-        .iter()
-        .map(|r| r.recipe.build().with_name(r.paper_name.to_string()))
-        .collect();
+    let built: Vec<gswitch_graph::Graph> =
+        reps.iter().map(|r| r.recipe.build().with_name(r.paper_name.to_string())).collect();
 
     let mut out = String::new();
     let _ = writeln!(

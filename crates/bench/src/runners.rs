@@ -131,10 +131,9 @@ pub fn run_specialist(g: &Graph, algo: Algo, device: &DeviceSpec) -> (&'static s
     let opts = EngineOptions::on(device.clone());
     let src = source_of(g);
     match algo {
-        Algo::Bfs => (
-            "Enterprise",
-            RunOutcome::from_report(base::enterprise::bfs_run(g, src, &opts).report),
-        ),
+        Algo::Bfs => {
+            ("Enterprise", RunOutcome::from_report(base::enterprise::bfs_run(g, src, &opts).report))
+        }
         Algo::Cc => {
             let r = base::gpucc::cc_run(g, device);
             (
@@ -142,16 +141,10 @@ pub fn run_specialist(g: &Graph, algo: Algo, device: &DeviceSpec) -> (&'static s
                 RunOutcome { time_ms: r.time_ms, iterations: r.rounds as usize, report: None },
             )
         }
-        Algo::Pr => (
-            "WS-VR",
-            RunOutcome::from_report(base::wsvr::pr_run(g, PR_TOL, &opts).report),
-        ),
+        Algo::Pr => ("WS-VR", RunOutcome::from_report(base::wsvr::pr_run(g, PR_TOL, &opts).report)),
         Algo::Sssp => {
             let r = base::frog::sssp_run(g, src, 8, device);
-            (
-                "Frog",
-                RunOutcome { time_ms: r.time_ms, iterations: r.sweeps as usize, report: None },
-            )
+            ("Frog", RunOutcome { time_ms: r.time_ms, iterations: r.sweeps as usize, report: None })
         }
         Algo::Bc => (
             "GPUBC",

@@ -29,7 +29,13 @@ pub struct PatternMask {
 impl PatternMask {
     /// Everything on (production configuration).
     pub fn all() -> Self {
-        PatternMask { direction: true, format: true, load_balance: true, stepping: true, fusion: true }
+        PatternMask {
+            direction: true,
+            format: true,
+            load_balance: true,
+            stepping: true,
+            fusion: true,
+        }
     }
 
     /// Everything off: the non-switching "GSWITCH baseline" of Fig. 16.
@@ -200,6 +206,26 @@ impl RunReport {
     pub fn decisions_made(&self) -> usize {
         self.iterations.iter().filter(|t| t.decided).count()
     }
+
+    /// The configuration the final super-step ran, if any ran at all.
+    pub fn final_config(&self) -> Option<KernelConfig> {
+        self.iterations.last().map(|t| t.config)
+    }
+
+    /// The configuration that ran the most super-steps — what a
+    /// tuned-config cache should remember as "the" tuned configuration
+    /// for this (graph, algorithm) pair. Ties break toward the config
+    /// that reached the count first.
+    pub fn dominant_config(&self) -> Option<KernelConfig> {
+        let mut counts: Vec<(KernelConfig, usize)> = Vec::new();
+        for t in &self.iterations {
+            match counts.iter_mut().find(|(c, _)| *c == t.config) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((t.config, 1)),
+            }
+        }
+        counts.into_iter().max_by_key(|&(_, n)| n).map(|(c, _)| c)
+    }
 }
 
 /// Run `app` on `g` under `policy` until convergence.
@@ -228,16 +254,45 @@ impl RunReport {
 /// assert!(report.converged);
 /// ```
 pub fn run<A: EdgeApp>(g: &Graph, app: &A, policy: &dyn Policy, opts: &EngineOptions) -> RunReport {
+    run_with_seed_config(g, app, policy, opts, None)
+}
+
+/// Run `app` on `g` like [`run`], warm-started from a previously tuned
+/// configuration.
+///
+/// When `seed` is `Some`, the first super-step executes the seed
+/// configuration (masked and clamped like any decision) instead of
+/// consulting the policy, and the decision history is primed as if the
+/// seed had already run a stable streak — so the Fig. 10 stability
+/// bypass can keep it from the second iteration on. The policy regains
+/// control the moment the expand time drifts, exactly as it would after
+/// any stable phase; a stale seed therefore costs at most one
+/// mis-configured super-step. The caller can extract the configuration
+/// to cache from the returned report via [`RunReport::dominant_config`].
+pub fn run_with_seed_config<A: EdgeApp>(
+    g: &Graph,
+    app: &A,
+    policy: &dyn Policy,
+    opts: &EngineOptions,
+    seed: Option<KernelConfig>,
+) -> RunReport {
     let caps = AppCaps::of::<A>();
     let spec = &opts.device;
     let mut report = RunReport::default();
     let mut ctx = DecisionContext::initial(*g.stats());
 
+    // Legalize the seed exactly like a policy decision, so a config
+    // cached under a different mask or app cannot smuggle in an illegal
+    // shape.
+    let seed = seed.map(|c| caps.clamp(opts.mask.apply(c)));
+
     // History accumulators for the Table 1 "historical information" block.
     let mut tf_sum = 0.0f64;
     let mut te_sum = 0.0f64;
-    let mut last_config: Option<KernelConfig> = None;
-    let mut same_config_streak = 0u32;
+    let mut last_config: Option<KernelConfig> = seed;
+    // A seed counts as an established streak: the stability bypass may
+    // retain it as soon as runtime history exists (iteration 1).
+    let mut same_config_streak = if seed.is_some() { 2 } else { 0 };
 
     // Fused-chain state: the raw queue the previous Expand emitted, plus
     // the estimated stats travelling with it.
@@ -256,7 +311,7 @@ pub fn run<A: EdgeApp>(g: &Graph, app: &A, policy: &dyn Policy, opts: &EngineOpt
         // measured around the policy calls only (kernel work is priced by
         // the simulator, not the host clock).
         let mut overhead_host_ms = 0.0;
-        let mut timed = |f: &mut dyn FnMut() | {
+        let mut timed = |f: &mut dyn FnMut()| {
             let t0 = std::time::Instant::now();
             f();
             overhead_host_ms += t0.elapsed().as_secs_f64() * 1e3;
@@ -310,6 +365,11 @@ pub fn run<A: EdgeApp>(g: &Graph, app: &A, policy: &dyn Policy, opts: &EngineOpt
                     && (ctx.t_e - ctx.t_e_avg).abs() <= 0.5 * ctx.t_e_avg;
                 if stable {
                     config = last_config.expect("stable implies history");
+                    decided = false;
+                } else if iteration == 0 && seed.is_some() {
+                    // Warm start: the cached configuration plays the
+                    // role of the first decision.
+                    config = seed.expect("checked is_some");
                     decided = false;
                 } else {
                     let mut c = KernelConfig::push_baseline();
@@ -405,9 +465,8 @@ pub fn run<A: EdgeApp>(g: &Graph, app: &A, policy: &dyn Policy, opts: &EngineOpt
                 // far beyond the chain average (the paper's switch-back
                 // rule).
                 let waste_ms = expand_ms * eo.profile.duplicates as f64 / queue.len() as f64;
-                let refilter_ms = last_filter_ms
-                    + spec.launch_overhead_us / 1e3
-                    + spec.feedback_time_ms();
+                let refilter_ms =
+                    last_filter_ms + spec.launch_overhead_us / 1e3 + spec.feedback_time_ms();
                 let dup_heavy = waste_ms > refilter_ms;
                 // Pre-emptive break on frontier explosion: the enqueued
                 // edge estimate is a side product of the fused kernel, and
@@ -535,9 +594,7 @@ mod tests {
 
     #[test]
     fn engine_bfs_matches_reference_on_path() {
-        let g = GraphBuilder::new(5)
-            .edges([(0, 1), (1, 2), (2, 3), (3, 4)])
-            .build();
+        let g = GraphBuilder::new(5).edges([(0, 1), (1, 2), (2, 3), (3, 4)]).build();
         let app = Bfs::new(5, 0);
         let rep = run(&g, &app, &AutoPolicy, &EngineOptions::default());
         assert!(rep.converged);
@@ -596,10 +653,7 @@ mod tests {
     fn fused_static_policy_chains_and_converges() {
         let g = gen::grid2d(40, 40, 0.0, 2);
         let expected = bfs_reference(&g, 0);
-        let cfg = KernelConfig {
-            fusion: Fusion::Fused,
-            ..KernelConfig::push_baseline()
-        };
+        let cfg = KernelConfig { fusion: Fusion::Fused, ..KernelConfig::push_baseline() };
         let app = Bfs::new(g.num_vertices(), 0);
         let rep = run(&g, &app, &StaticPolicy::new(cfg), &EngineOptions::default());
         assert!(rep.converged);
@@ -626,7 +680,8 @@ mod tests {
         let g = gen::erdos_renyi(300, 1_500, 9);
         let app = Bfs::new(300, 0);
         let rep = run(&g, &app, &AutoPolicy, &EngineOptions::default());
-        let sum: f64 = rep.iterations.iter().map(|t| t.filter_ms + t.expand_ms + t.overhead_ms).sum();
+        let sum: f64 =
+            rep.iterations.iter().map(|t| t.filter_ms + t.expand_ms + t.overhead_ms).sum();
         assert!((rep.total_ms() - sum).abs() < 1e-9);
         assert!(rep.decisions_made() <= rep.n_iterations());
         assert!(rep.edges_touched() > 0);
@@ -644,6 +699,70 @@ mod tests {
             "bypass never engaged over {} iterations",
             rep.n_iterations()
         );
+    }
+
+    #[test]
+    fn warm_start_uses_seed_without_deciding() {
+        let g = gen::kronecker(9, 8, 5);
+        let expected = bfs_reference(&g, 0);
+
+        let cold_app = Bfs::new(g.num_vertices(), 0);
+        let cold = run(&g, &cold_app, &AutoPolicy, &EngineOptions::default());
+        let tuned = cold.dominant_config().expect("cold run iterated");
+
+        let warm_app = Bfs::new(g.num_vertices(), 0);
+        let warm = run_with_seed_config(
+            &g,
+            &warm_app,
+            &AutoPolicy,
+            &EngineOptions::default(),
+            Some(tuned),
+        );
+        assert!(warm.converged);
+        assert_eq!(warm_app.level.to_vec(), expected);
+        // The seed replaces the first decision...
+        assert!(!warm.iterations[0].decided);
+        assert_eq!(warm.iterations[0].config, tuned);
+        // ...and priming the streak means warm never decides more often.
+        assert!(warm.decisions_made() <= cold.decisions_made());
+    }
+
+    #[test]
+    fn warm_start_seed_is_masked_and_clamped() {
+        let g = gen::grid2d(20, 20, 0.0, 6);
+        let seed = KernelConfig {
+            direction: Direction::Pull,
+            format: AsFormat::Bitmap,
+            lb: LoadBalance::Twc,
+            stepping: SteppingDelta::Remain,
+            fusion: Fusion::Fused,
+        };
+        let app = Bfs::new(g.num_vertices(), 0);
+        let opts = EngineOptions { mask: PatternMask::none(), ..Default::default() };
+        let rep = run_with_seed_config(&g, &app, &AutoPolicy, &opts, Some(seed));
+        // The mask pins every pattern to the baseline, seed or not.
+        let c0 = rep.iterations[0].config;
+        assert_eq!(c0.direction, Direction::Push);
+        assert_eq!(c0.format, AsFormat::UnsortedQueue);
+        assert_eq!(c0.lb, LoadBalance::Strict);
+        assert_eq!(c0.fusion, Fusion::Standalone);
+    }
+
+    #[test]
+    fn report_config_summaries() {
+        let g = gen::erdos_renyi(400, 1_600, 11);
+        let app = Bfs::new(400, 0);
+        let rep = run(&g, &app, &AutoPolicy, &EngineOptions::default());
+        let last = rep.iterations.last().unwrap().config;
+        assert_eq!(rep.final_config(), Some(last));
+        let dom = rep.dominant_config().unwrap();
+        let dom_count = rep.iterations.iter().filter(|t| t.config == dom).count();
+        for t in &rep.iterations {
+            let c = rep.iterations.iter().filter(|u| u.config == t.config).count();
+            assert!(c <= dom_count);
+        }
+        assert_eq!(RunReport::default().final_config(), None);
+        assert_eq!(RunReport::default().dominant_config(), None);
     }
 
     #[test]

@@ -174,7 +174,7 @@ mod tests {
         assert_eq!(f[1], 401f64.ln()); // M
         assert_eq!(f[7], 11f64.ln()); // v_a
         assert_eq!(f[10], 301f64.ln()); // e_ia
-        // Ratios and times stay raw.
+                                        // Ratios and times stay raw.
         assert!((f[11] - 0.1).abs() < 1e-12); // v_ap
         assert!((f[15] - 6f64.ln()).abs() < 1e-12); // push cd = 50/10 -> ln(6)
         assert_eq!(f[17], 0.5); // t_f
@@ -182,7 +182,7 @@ mod tests {
 
         let fp = c.features(Direction::Pull);
         assert!((fp[15] - 5f64.ln()).abs() < 1e-12); // pull cd = 320/80 -> ln(5)
-        // Direction changes only cd/r_cd.
+                                                     // Direction changes only cd/r_cd.
         for i in (0..21).filter(|&i| i != 15 && i != 16) {
             assert_eq!(f[i], fp[i], "feature {i} should not depend on direction");
         }

@@ -25,7 +25,9 @@ pub mod features;
 pub mod oracle;
 pub mod policy;
 
-pub use engine::{run, EngineOptions, IterationTrace, PatternMask, RunReport};
+pub use engine::{
+    run, run_with_seed_config, EngineOptions, IterationTrace, PatternMask, RunReport,
+};
 pub use features::DecisionContext;
 pub use policy::{AppCaps, AutoPolicy, ModelPolicy, Policy, StaticPolicy};
 

@@ -68,13 +68,7 @@ pub fn analyze_push(g: &Graph, status: &[u8]) -> DirAnalysis {
     let out = g.out_csr();
     let full: Vec<u32> = (0..g.num_vertices())
         .into_par_iter()
-        .map(|v| {
-            if status[v] == Status::Active as u8 {
-                out.degree(v as u32)
-            } else {
-                0
-            }
-        })
+        .map(|v| if status[v] == Status::Active as u8 { out.degree(v as u32) } else { 0 })
         .collect();
     let compact: Vec<u32> = (0..g.num_vertices())
         .into_par_iter()
@@ -113,10 +107,9 @@ pub fn analyze_pull<A: EdgeApp>(g: &Graph, status: &[u8]) -> DirAnalysis {
                 }
                 (sources.len() as u32, 0)
             } else {
-                let hits = sources
-                    .iter()
-                    .filter(|&&u| status[u as usize] == Status::Active as u8)
-                    .count() as u32;
+                let hits =
+                    sources.iter().filter(|&&u| status[u as usize] == Status::Active as u8).count()
+                        as u32;
                 (sources.len() as u32, hits)
             }
         })
@@ -229,10 +222,7 @@ pub fn oracle_run<A: EdgeApp>(
         };
 
         let best_of = |prices: &[(AsFormat, LoadBalance, SimMs)]| {
-            prices
-                .iter()
-                .copied()
-                .min_by(|a, b| a.2.partial_cmp(&b.2).unwrap())
+            prices.iter().copied().min_by(|a, b| a.2.partial_cmp(&b.2).unwrap())
         };
         let best_push = best_of(&push_prices).expect("push prices nonempty");
         let best_pull = best_of(&pull_prices);
@@ -268,8 +258,12 @@ pub fn oracle_run<A: EdgeApp>(
         // it costs the duplicate ratio on the expand side.
         let fusion_applicable = KernelConfig::fusion_legal(caps.dup_tolerant, direction);
         let fusion_label = if fusion_applicable {
-            let mat_ms =
-                spec.kernel_time_ms(&materialize_cost(best.0, g.num_vertices(), co.stats.push.vertices, spec));
+            let mat_ms = spec.kernel_time_ms(&materialize_cost(
+                best.0,
+                g.num_vertices(),
+                co.stats.push.vertices,
+                spec,
+            ));
             let saving = classify_ms + mat_ms + spec.launch_overhead_us / 1e3;
             let penalty = (prev_dup_ratio - 1.0) * best.2;
             if saving > penalty {
@@ -354,11 +348,7 @@ fn min_time(
     prices: &[(AsFormat, LoadBalance, SimMs)],
     pred: impl Fn(&(AsFormat, LoadBalance, SimMs)) -> bool,
 ) -> SimMs {
-    prices
-        .iter()
-        .filter(|p| pred(p))
-        .map(|p| p.2)
-        .fold(f64::INFINITY, f64::min)
+    prices.iter().filter(|p| pred(p)).map(|p| p.2).fold(f64::INFINITY, f64::min)
 }
 
 /// Label a whole corpus: run the oracle for one app constructor over many
@@ -526,9 +516,7 @@ mod tests {
     #[test]
     fn analyze_pull_respects_early_exit() {
         // 3 has in-neighbors {1, 0... }; make 0 and 1 active, 2,3 inactive.
-        let g = GraphBuilder::new(4)
-            .edges([(0, 3), (1, 3), (0, 2)])
-            .build();
+        let g = GraphBuilder::new(4).edges([(0, 3), (1, 3), (0, 2)]).build();
         let status = vec![0u8, 0, 1, 1];
         let a = analyze_pull::<Bfs>(&g, &status);
         // Receivers: 2 (parents {0}: 1 touch) and 3 (parents {0,1}: stop at first).

@@ -371,14 +371,8 @@ mod tests {
     #[test]
     fn auto_format_tracks_density() {
         let c = caps();
-        assert_eq!(
-            AutoPolicy.decide(&ctx(5_000, 40_000, 40_000), &c).format,
-            AsFormat::Bitmap
-        );
-        assert_eq!(
-            AutoPolicy.decide(&ctx(10, 80, 79_920), &c).format,
-            AsFormat::UnsortedQueue
-        );
+        assert_eq!(AutoPolicy.decide(&ctx(5_000, 40_000, 40_000), &c).format, AsFormat::Bitmap);
+        assert_eq!(AutoPolicy.decide(&ctx(10, 80, 79_920), &c).format, AsFormat::UnsortedQueue);
     }
 
     #[test]

@@ -123,20 +123,11 @@ impl GraphBuilder {
             !weighted || self.weights.len() == self.edges.len(),
             "mixed weighted and unweighted edges"
         );
-        let GraphBuilder {
-            n,
-            edges,
-            weights,
-            symmetric,
-            dedup,
-            drop_self_loops,
-            name,
-        } = self;
+        let GraphBuilder { n, edges, weights, symmetric, dedup, drop_self_loops, name } = self;
 
         // Expand to directed triples (u, v, w).
-        let mut triples: Vec<(VertexId, VertexId, Weight)> = Vec::with_capacity(
-            edges.len() * if symmetric { 2 } else { 1 },
-        );
+        let mut triples: Vec<(VertexId, VertexId, Weight)> =
+            Vec::with_capacity(edges.len() * if symmetric { 2 } else { 1 });
         for (i, &(u, v)) in edges.iter().enumerate() {
             if drop_self_loops && u == v {
                 continue;
@@ -176,13 +167,7 @@ impl GraphBuilder {
         let out = Csr::new(offsets, targets);
 
         if symmetric {
-            return Graph::from_parts(
-                out,
-                None,
-                weighted.then_some(out_weights),
-                None,
-                name,
-            );
+            return Graph::from_parts(out, None, weighted.then_some(out_weights), None, name);
         }
 
         // Directed: build the transpose for the pull direction.
@@ -221,9 +206,7 @@ mod tests {
 
     #[test]
     fn symmetrize_and_dedup() {
-        let g = GraphBuilder::new(3)
-            .edges([(0, 1), (1, 0), (0, 1), (1, 2)])
-            .build();
+        let g = GraphBuilder::new(3).edges([(0, 1), (1, 0), (0, 1), (1, 2)]).build();
         // Unique undirected edges {0,1},{1,2} stored both ways.
         assert_eq!(g.num_edges(), 4);
         assert_eq!(g.out_csr().neighbors(1), &[0, 2]);
@@ -238,19 +221,13 @@ mod tests {
 
     #[test]
     fn self_loops_kept_when_asked() {
-        let g = GraphBuilder::new(2)
-            .edges([(0, 0), (0, 1)])
-            .drop_self_loops(false)
-            .build();
+        let g = GraphBuilder::new(2).edges([(0, 0), (0, 1)]).drop_self_loops(false).build();
         assert_eq!(g.out_csr().neighbors(0), &[0, 1]);
     }
 
     #[test]
     fn directed_transpose_is_correct() {
-        let g = GraphBuilder::new(4)
-            .edges([(0, 1), (0, 2), (3, 2)])
-            .symmetric(false)
-            .build();
+        let g = GraphBuilder::new(4).edges([(0, 1), (0, 2), (3, 2)]).symmetric(false).build();
         assert_eq!(g.in_csr().neighbors(2), &[0, 3]);
         assert_eq!(g.in_csr().neighbors(0), &[] as &[VertexId]);
         assert_eq!(g.out_csr().neighbors(0), &[1, 2]);
@@ -258,9 +235,7 @@ mod tests {
 
     #[test]
     fn weights_follow_edges_both_directions() {
-        let g = GraphBuilder::new(3)
-            .weighted_edges([(0, 1, 5), (1, 2, 7)])
-            .build();
+        let g = GraphBuilder::new(3).weighted_edges([(0, 1, 5), (1, 2, 7)]).build();
         assert!(g.is_weighted());
         let csr = g.out_csr();
         let w = g.out_weights().unwrap();
@@ -272,10 +247,8 @@ mod tests {
 
     #[test]
     fn directed_weights_transpose() {
-        let g = GraphBuilder::new(3)
-            .weighted_edges([(0, 2, 9), (1, 2, 4)])
-            .symmetric(false)
-            .build();
+        let g =
+            GraphBuilder::new(3).weighted_edges([(0, 2, 9), (1, 2, 4)]).symmetric(false).build();
         let r = g.in_csr().edge_range(2);
         assert_eq!(g.in_csr().neighbors(2), &[0, 1]);
         assert_eq!(&g.in_weights().unwrap()[r], &[9, 4]);

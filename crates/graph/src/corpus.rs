@@ -149,23 +149,19 @@ fn corpus_half(seed_base: u64) -> Vec<Recipe> {
         let r = match fam {
             0 => Recipe::ErdosRenyi { n, m: n * (2 + 2 * cls), seed },
             1 => Recipe::BarabasiAlbert { n, m_per_vertex: 2 + (cls * 2) % 13, seed },
-            2 => Recipe::Kronecker {
-                scale: (9 + cls) as u32,
-                edge_factor: 4 + 3 * (cls % 6),
-                seed,
-            },
+            2 => {
+                Recipe::Kronecker { scale: (9 + cls) as u32, edge_factor: 4 + 3 * (cls % 6), seed }
+            }
             3 => Recipe::CopyingModel { n, out_deg: 3 + (cls * 6) % 41, copy_prob: 0.5, seed },
             4 => {
                 let side = (n as f64).sqrt() as usize;
                 Recipe::Grid2d { rows: side, cols: side, defect: 0.02 + 0.01 * (cls as f64), seed }
             }
-            5 => Recipe::Rgg {
-                n,
-                radius: (8.0 / (std::f64::consts::PI * n as f64)).sqrt(),
-                seed,
-            },
+            5 => Recipe::Rgg { n, radius: (8.0 / (std::f64::consts::PI * n as f64)).sqrt(), seed },
             6 => Recipe::Banded { n, half_band: 4 + 4 * (cls % 5), dropout: 0.1, seed },
-            7 => Recipe::SmallWorld { n, k: 2 + cls % 4, beta: 0.05 + 0.05 * (cls % 4) as f64, seed },
+            7 => {
+                Recipe::SmallWorld { n, k: 2 + cls % 4, beta: 0.05 + 0.05 * (cls % 4) as f64, seed }
+            }
             // Star carries no seed, so make n unique per (set, index):
             // seed_base/10 differs between the training (1000+) and
             // evaluation (2000+) halves.
@@ -289,10 +285,7 @@ pub fn motivation_graphs() -> Vec<Representative> {
 
 /// Look up a representative (or motivation) twin by paper name.
 pub fn twin(paper_name: &str) -> Option<Representative> {
-    representatives()
-        .into_iter()
-        .chain(motivation_graphs())
-        .find(|r| r.paper_name == paper_name)
+    representatives().into_iter().chain(motivation_graphs()).find(|r| r.paper_name == paper_name)
 }
 
 /// Reduced-size variants of the representative twins (a further ÷8) used by
@@ -311,27 +304,20 @@ pub fn representatives_small() -> Vec<Representative> {
 /// Shrink a recipe's vertex count by `factor`, preserving its shape class.
 fn shrink(r: &Recipe, factor: usize) -> Recipe {
     match *r {
-        Recipe::ErdosRenyi { n, m, seed } => Recipe::ErdosRenyi {
-            n: (n / factor).max(16),
-            m: (m / factor).max(32),
-            seed,
-        },
-        Recipe::BarabasiAlbert { n, m_per_vertex, seed } => Recipe::BarabasiAlbert {
-            n: (n / factor).max(m_per_vertex * 2 + 2),
-            m_per_vertex,
-            seed,
-        },
+        Recipe::ErdosRenyi { n, m, seed } => {
+            Recipe::ErdosRenyi { n: (n / factor).max(16), m: (m / factor).max(32), seed }
+        }
+        Recipe::BarabasiAlbert { n, m_per_vertex, seed } => {
+            Recipe::BarabasiAlbert { n: (n / factor).max(m_per_vertex * 2 + 2), m_per_vertex, seed }
+        }
         Recipe::Kronecker { scale, edge_factor, seed } => Recipe::Kronecker {
             scale: scale.saturating_sub(factor.trailing_zeros()).max(6),
             edge_factor,
             seed,
         },
-        Recipe::CopyingModel { n, out_deg, copy_prob, seed } => Recipe::CopyingModel {
-            n: (n / factor).max(out_deg * 2 + 2),
-            out_deg,
-            copy_prob,
-            seed,
-        },
+        Recipe::CopyingModel { n, out_deg, copy_prob, seed } => {
+            Recipe::CopyingModel { n: (n / factor).max(out_deg * 2 + 2), out_deg, copy_prob, seed }
+        }
         Recipe::Grid2d { rows, cols, defect, seed } => {
             let s = (factor as f64).sqrt();
             Recipe::Grid2d {
@@ -341,23 +327,15 @@ fn shrink(r: &Recipe, factor: usize) -> Recipe {
                 seed,
             }
         }
-        Recipe::Rgg { n, radius, seed } => Recipe::Rgg {
-            n: (n / factor).max(64),
-            radius: radius * (factor as f64).sqrt(),
-            seed,
-        },
-        Recipe::Banded { n, half_band, dropout, seed } => Recipe::Banded {
-            n: (n / factor).max(half_band * 2 + 2),
-            half_band,
-            dropout,
-            seed,
-        },
-        Recipe::SmallWorld { n, k, beta, seed } => Recipe::SmallWorld {
-            n: (n / factor).max(2 * k + 2),
-            k,
-            beta,
-            seed,
-        },
+        Recipe::Rgg { n, radius, seed } => {
+            Recipe::Rgg { n: (n / factor).max(64), radius: radius * (factor as f64).sqrt(), seed }
+        }
+        Recipe::Banded { n, half_band, dropout, seed } => {
+            Recipe::Banded { n: (n / factor).max(half_band * 2 + 2), half_band, dropout, seed }
+        }
+        Recipe::SmallWorld { n, k, beta, seed } => {
+            Recipe::SmallWorld { n: (n / factor).max(2 * k + 2), k, beta, seed }
+        }
         Recipe::Star { n } => Recipe::Star { n: (n / factor).max(8) },
     }
 }
@@ -417,12 +395,7 @@ mod tests {
     fn small_representatives_match_profile() {
         for r in representatives_small() {
             let g = r.recipe.build();
-            assert!(
-                g.num_vertices() < 40_000,
-                "{} too big: {}",
-                r.paper_name,
-                g.num_vertices()
-            );
+            assert!(g.num_vertices() < 40_000, "{} too big: {}", r.paper_name, g.num_vertices());
             match r.domain {
                 Domain::RoadNetwork => assert!(g.stats().gini < 0.25),
                 Domain::SocialNetwork => assert!(g.stats().gini > 0.2),

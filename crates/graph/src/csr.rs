@@ -42,22 +42,13 @@ impl Csr {
             "offsets must be monotonically non-decreasing"
         );
         let n = offsets.len() - 1;
-        assert!(
-            targets.iter().all(|&t| (t as usize) < n),
-            "edge target out of range"
-        );
-        Csr {
-            offsets: offsets.into_boxed_slice(),
-            targets: targets.into_boxed_slice(),
-        }
+        assert!(targets.iter().all(|&t| (t as usize) < n), "edge target out of range");
+        Csr { offsets: offsets.into_boxed_slice(), targets: targets.into_boxed_slice() }
     }
 
     /// CSR with `n` vertices and no edges.
     pub fn empty(n: usize) -> Self {
-        Csr {
-            offsets: vec![0u64; n + 1].into_boxed_slice(),
-            targets: Box::new([]),
-        }
+        Csr { offsets: vec![0u64; n + 1].into_boxed_slice(), targets: Box::new([]) }
     }
 
     /// Number of vertices.
@@ -128,10 +119,7 @@ impl Csr {
 
     /// Maximum degree over all vertices (0 on an empty graph).
     pub fn max_degree(&self) -> u32 {
-        (0..self.num_vertices() as VertexId)
-            .map(|v| self.degree(v))
-            .max()
-            .unwrap_or(0)
+        (0..self.num_vertices() as VertexId).map(|v| self.degree(v)).max().unwrap_or(0)
     }
 
     /// Sort each adjacency list in place (by target id). Builder output is

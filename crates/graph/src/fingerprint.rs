@@ -1,0 +1,160 @@
+//! Content fingerprinting of graphs.
+//!
+//! The serving runtime keys its tuned-config cache by *what the graph
+//! is*, not what it is called: two registry entries backed by the same
+//! topology (same CSR arrays, same weights) must share cached
+//! configurations, and a permuted or re-weighted variant must not. The
+//! fingerprint is a 64-bit streaming hash over the structure-defining
+//! arrays of the [`Graph`]: vertex/edge counts, the out-CSR offsets and
+//! targets, and the edge weights when present. It is computed once per
+//! graph and is stable across processes and platforms.
+
+use crate::Graph;
+
+/// A 64-bit content hash of a graph's topology and weights.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u64);
+
+impl Fingerprint {
+    /// Canonical 16-digit lowercase hex form (used in cache keys and
+    /// file names).
+    pub fn to_hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Streaming 64-bit mixer (SplitMix64 finalizer over a running state).
+/// Order-sensitive, so permuted CSR arrays hash differently.
+struct Mixer(u64);
+
+impl Mixer {
+    fn new() -> Self {
+        // Arbitrary non-zero seed so an all-zero stream is non-trivial.
+        Mixer(0x5851_F42D_4C95_7F2D)
+    }
+
+    fn word(&mut self, w: u64) {
+        let mut z = self.0 ^ w.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = z ^ (z >> 31);
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Compute the content fingerprint of `g`.
+///
+/// Covers: vertex count, edge count, out-CSR offsets and targets,
+/// symmetry flag, and (when weighted) the out-edge weights. The graph's
+/// display name is deliberately excluded — renaming a registry entry
+/// must not invalidate cached configurations.
+pub fn fingerprint(g: &Graph) -> Fingerprint {
+    let mut m = Mixer::new();
+    m.word(g.num_vertices() as u64);
+    m.word(g.num_edges() as u64);
+    m.word(g.is_symmetric() as u64);
+    let csr = g.out_csr();
+    for &o in csr.offsets() {
+        m.word(o);
+    }
+    // Pack two 32-bit targets per word; the trailing odd one (if any)
+    // goes in alone with a distinguishing tag in the high bits.
+    let targets = g.out_csr().targets();
+    for pair in targets.chunks(2) {
+        match pair {
+            [a, b] => m.word((*a as u64) << 32 | *b as u64),
+            [a] => m.word(1u64 << 63 | *a as u64),
+            _ => unreachable!(),
+        }
+    }
+    if let Some(w) = g.out_weights() {
+        m.word(w.len() as u64);
+        for pair in w.chunks(2) {
+            match pair {
+                [a, b] => m.word((*a as u64) << 32 | *b as u64),
+                [a] => m.word(1u64 << 63 | *a as u64),
+                _ => unreachable!(),
+            }
+        }
+    }
+    Fingerprint(m.finish())
+}
+
+impl Graph {
+    /// Content fingerprint of this graph (see [`fingerprint`]).
+    pub fn fingerprint(&self) -> Fingerprint {
+        fingerprint(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{gen, transform, GraphBuilder};
+
+    #[test]
+    fn same_graph_same_fingerprint() {
+        let a = gen::kronecker(8, 8, 42);
+        let b = gen::kronecker(8, 8, 42);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn name_does_not_matter() {
+        let a = gen::erdos_renyi(100, 400, 1);
+        let renamed = gen::erdos_renyi(100, 400, 1).with_name("completely-different");
+        assert_eq!(a.fingerprint(), renamed.fingerprint());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = gen::erdos_renyi(100, 400, 1);
+        let b = gen::erdos_renyi(100, 400, 2);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn permuted_graph_differs() {
+        let g = gen::barabasi_albert(64, 3, 7);
+        let n = g.num_vertices();
+        // A rotation permutation: same topology up to relabelling, which
+        // changes the CSR arrays and therefore must change the key.
+        let perm: Vec<u32> = (0..n).map(|v| ((v + 1) % n) as u32).collect();
+        let p = transform::permute(&g, &perm);
+        assert_ne!(g.fingerprint(), p.fingerprint());
+    }
+
+    #[test]
+    fn weights_matter() {
+        let g = GraphBuilder::new(4).edges([(0, 1), (1, 2), (2, 3)]).build();
+        let w1 = gen::with_random_weights(&g, 31, 1);
+        let w2 = gen::with_random_weights(&g, 31, 2);
+        assert_ne!(g.fingerprint(), w1.fingerprint());
+        assert_ne!(w1.fingerprint(), w2.fingerprint());
+    }
+
+    #[test]
+    fn hex_form_is_16_digits() {
+        let g = gen::grid2d(4, 4, 0.0, 1);
+        let hex = g.fingerprint().to_hex();
+        assert_eq!(hex.len(), 16);
+        assert!(hex.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(hex, g.fingerprint().to_string());
+    }
+
+    #[test]
+    fn single_trailing_target_is_tagged() {
+        // 3 edges → odd target count exercises the tail branch.
+        let a = GraphBuilder::new(3).edges([(0, 1), (1, 2)]).build();
+        let b = GraphBuilder::new(3).edges([(0, 2), (1, 2)]).build();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+}

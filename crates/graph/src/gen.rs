@@ -94,9 +94,7 @@ pub fn rmat(scale: u32, edge_factor: usize, a: f64, b: f64, c: f64, seed: u64) -
         }
         builder.push_edge(u as VertexId, v as VertexId);
     }
-    builder
-        .name(format!("rmat-{scale}-{edge_factor}-s{seed}"))
-        .build()
+    builder.name(format!("rmat-{scale}-{edge_factor}-s{seed}")).build()
 }
 
 /// Graph500 reference parameters for [`rmat`].
@@ -247,10 +245,7 @@ pub fn banded(n: usize, half_band: usize, dropout: f64, seed: u64) -> Graph {
 /// hub-imbalance stress case for the STRICT load balancer.
 pub fn star(n: usize) -> Graph {
     assert!(n >= 2);
-    GraphBuilder::new(n)
-        .edges((1..n as VertexId).map(|i| (0, i)))
-        .name(format!("star-{n}"))
-        .build()
+    GraphBuilder::new(n).edges((1..n as VertexId).map(|i| (0, i))).name(format!("star-{n}")).build()
 }
 
 /// Watts–Strogatz small world: ring lattice with `k` nearest neighbors per
@@ -293,11 +288,7 @@ pub fn with_random_weights(g: &Graph, max_w: Weight, seed: u64) -> Graph {
             }
         }
     }
-    let b = if g.is_symmetric() {
-        b.symmetric(true)
-    } else {
-        b.symmetric(false)
-    };
+    let b = if g.is_symmetric() { b.symmetric(true) } else { b.symmetric(false) };
     b.name(format!("{}-w{max_w}", g.name())).build()
 }
 
@@ -323,18 +314,9 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic() {
-        assert_eq!(
-            erdos_renyi(50, 100, 7).out_csr(),
-            erdos_renyi(50, 100, 7).out_csr()
-        );
-        assert_eq!(
-            kronecker(8, 8, 3).out_csr(),
-            kronecker(8, 8, 3).out_csr()
-        );
-        assert_ne!(
-            erdos_renyi(50, 100, 7).out_csr(),
-            erdos_renyi(50, 100, 8).out_csr()
-        );
+        assert_eq!(erdos_renyi(50, 100, 7).out_csr(), erdos_renyi(50, 100, 7).out_csr());
+        assert_eq!(kronecker(8, 8, 3).out_csr(), kronecker(8, 8, 3).out_csr());
+        assert_ne!(erdos_renyi(50, 100, 7).out_csr(), erdos_renyi(50, 100, 8).out_csr());
     }
 
     #[test]

@@ -217,18 +217,15 @@ pub fn load_dimacs(r: impl Read) -> Result<Graph, LoadError> {
                 if toks.len() != 4 {
                     return perr(lineno, "expected `a u v w`");
                 }
-                let u: usize = toks[1].parse().map_err(|_| LoadError::Parse {
-                    line: lineno,
-                    msg: "bad u".into(),
-                })?;
-                let v: usize = toks[2].parse().map_err(|_| LoadError::Parse {
-                    line: lineno,
-                    msg: "bad v".into(),
-                })?;
-                let w: Weight = toks[3].parse().map_err(|_| LoadError::Parse {
-                    line: lineno,
-                    msg: "bad w".into(),
-                })?;
+                let u: usize = toks[1]
+                    .parse()
+                    .map_err(|_| LoadError::Parse { line: lineno, msg: "bad u".into() })?;
+                let v: usize = toks[2]
+                    .parse()
+                    .map_err(|_| LoadError::Parse { line: lineno, msg: "bad v".into() })?;
+                let w: Weight = toks[3]
+                    .parse()
+                    .map_err(|_| LoadError::Parse { line: lineno, msg: "bad w".into() })?;
                 if u == 0 || v == 0 || u > n || v > n {
                     return perr(lineno, "arc index out of range");
                 }

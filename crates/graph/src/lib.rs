@@ -26,6 +26,7 @@
 pub mod builder;
 pub mod corpus;
 pub mod csr;
+pub mod fingerprint;
 pub mod gen;
 pub mod io;
 pub mod stats;
@@ -33,6 +34,7 @@ pub mod transform;
 
 pub use builder::GraphBuilder;
 pub use csr::{Csr, EdgeRange};
+pub use fingerprint::Fingerprint;
 pub use stats::GraphStats;
 
 /// Vertex identifier. 32 bits is enough for every graph in the paper's
@@ -80,14 +82,7 @@ impl Graph {
             None if std::sync::Arc::ptr_eq(&out, &incoming) => out_weights.clone(),
             None => None,
         };
-        Graph {
-            out,
-            incoming,
-            out_weights,
-            in_weights,
-            stats,
-            name: name.into(),
-        }
+        Graph { out, incoming, out_weights, in_weights, stats, name: name.into() }
     }
 
     /// Number of vertices.
@@ -182,10 +177,7 @@ mod tests {
 
     fn tiny() -> Graph {
         // Path 0-1-2 plus edge 1-3.
-        GraphBuilder::new(4)
-            .edges([(0, 1), (1, 2), (1, 3)])
-            .symmetric(true)
-            .build()
+        GraphBuilder::new(4).edges([(0, 1), (1, 2), (1, 3)]).symmetric(true).build()
     }
 
     #[test]
@@ -208,10 +200,7 @@ mod tests {
 
     #[test]
     fn directed_graph_distinguishes_in_out() {
-        let g = GraphBuilder::new(3)
-            .edges([(0, 1), (0, 2), (1, 2)])
-            .symmetric(false)
-            .build();
+        let g = GraphBuilder::new(3).edges([(0, 1), (0, 2), (1, 2)]).symmetric(false).build();
         assert!(!g.is_symmetric());
         assert_eq!(g.out_degree(0), 2);
         assert_eq!(g.in_degree(0), 0);

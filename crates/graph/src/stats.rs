@@ -75,11 +75,8 @@ impl GraphStats {
         let gini = if m == 0 {
             0.0
         } else {
-            let weighted: f64 = degrees
-                .iter()
-                .enumerate()
-                .map(|(i, &d)| (i as f64 + 1.0) * d as f64)
-                .sum();
+            let weighted: f64 =
+                degrees.iter().enumerate().map(|(i, &d)| (i as f64 + 1.0) * d as f64).sum();
             ((2.0 * weighted) / (n as f64 * sum) - (n as f64 + 1.0) / n as f64).max(0.0)
         };
 
@@ -119,17 +116,13 @@ mod tests {
 
     /// A k-regular ring: every degree equal.
     fn ring(n: u32) -> Csr {
-        let g = GraphBuilder::new(n as usize)
-            .edges((0..n).map(|i| (i, (i + 1) % n)))
-            .build();
+        let g = GraphBuilder::new(n as usize).edges((0..n).map(|i| (i, (i + 1) % n))).build();
         g.out_csr().clone()
     }
 
     /// A star: one hub connected to everyone.
     fn star(n: u32) -> Csr {
-        let g = GraphBuilder::new(n as usize)
-            .edges((1..n).map(|i| (0, i)))
-            .build();
+        let g = GraphBuilder::new(n as usize).edges((1..n).map(|i| (0, i))).build();
         g.out_csr().clone()
     }
 

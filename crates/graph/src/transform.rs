@@ -94,11 +94,7 @@ pub fn largest_component(g: &Graph) -> (Graph, Vec<VertexId>) {
         }
         sizes.push((id, size));
     }
-    let (big, big_size) = sizes
-        .iter()
-        .max_by_key(|&&(_, s)| s)
-        .copied()
-        .unwrap_or((0, 0));
+    let (big, big_size) = sizes.iter().max_by_key(|&&(_, s)| s).copied().unwrap_or((0, 0));
 
     // Compact relabeling of the winning component.
     let mut old_of_new = Vec::with_capacity(big_size);
@@ -120,20 +116,13 @@ pub fn largest_component(g: &Graph) -> (Graph, Vec<VertexId>) {
                 continue; // edge leaves the component (directed case)
             }
             match ws {
-                Some(ws) => b.push_weighted_edge(
-                    new_of_old[old as usize],
-                    nt,
-                    ws[r.start + i],
-                ),
+                Some(ws) => b.push_weighted_edge(new_of_old[old as usize], nt, ws[r.start + i]),
                 None => b.push_edge(new_of_old[old as usize], nt),
             }
         }
     }
     let b = b.symmetric(g.is_symmetric()).drop_self_loops(false);
-    (
-        b.name(format!("{}-lcc", g.name())).build(),
-        old_of_new,
-    )
+    (b.name(format!("{}-lcc", g.name())).build(), old_of_new)
 }
 
 #[cfg(test)]
@@ -209,9 +198,7 @@ mod tests {
     #[test]
     fn largest_component_extracts_and_maps_back() {
         // Two components: a triangle {0,1,2} and an edge {3,4}.
-        let g = crate::GraphBuilder::new(5)
-            .edges([(0, 1), (1, 2), (2, 0), (3, 4)])
-            .build();
+        let g = crate::GraphBuilder::new(5).edges([(0, 1), (1, 2), (2, 0), (3, 4)]).build();
         let (lcc, old) = largest_component(&g);
         assert_eq!(lcc.num_vertices(), 3);
         assert_eq!(lcc.num_edges(), 6);
@@ -230,9 +217,8 @@ mod tests {
 
     #[test]
     fn largest_component_keeps_weights() {
-        let g = crate::GraphBuilder::new(4)
-            .weighted_edges([(0, 1, 5), (2, 3, 9), (1, 0, 5)])
-            .build();
+        let g =
+            crate::GraphBuilder::new(4).weighted_edges([(0, 1, 5), (2, 3, 9), (1, 0, 5)]).build();
         let (lcc, old) = largest_component(&g);
         assert_eq!(lcc.num_vertices(), 2);
         assert!(lcc.is_weighted());

@@ -179,10 +179,7 @@ impl<T: Value> AtomicArray<T> {
 
     /// Snapshot into a plain vector (host-side readback).
     pub fn to_vec(&self) -> Vec<T> {
-        self.cells
-            .iter()
-            .map(|c| T::from_bits_(c.load(Relaxed)))
-            .collect()
+        self.cells.iter().map(|c| T::from_bits_(c.load(Relaxed))).collect()
     }
 
     /// Overwrite every element with `val`.
@@ -210,10 +207,7 @@ pub struct AtomicBitSet {
 impl AtomicBitSet {
     /// All-zero bitset over `n` bits.
     pub fn new(n: usize) -> Self {
-        AtomicBitSet {
-            words: (0..n.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
-            len: n,
-        }
+        AtomicBitSet { words: (0..n.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(), len: n }
     }
 
     /// Number of bits.
@@ -260,10 +254,7 @@ impl AtomicBitSet {
 
     /// Population count.
     pub fn count(&self) -> usize {
-        self.words
-            .iter()
-            .map(|w| w.load(Relaxed).count_ones() as usize)
-            .sum()
+        self.words.iter().map(|w| w.load(Relaxed).count_ones() as usize).sum()
     }
 
     /// Collect the set bits in ascending order.

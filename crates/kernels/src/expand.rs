@@ -348,7 +348,8 @@ fn finish(
 ) -> ExpandOutput {
     let _ = g;
     let mut touched = Vec::with_capacity(accs.iter().map(|a| a.touched.len()).sum());
-    let mut next_queue = fused.then(|| Vec::with_capacity(accs.iter().map(|a| a.out_queue.len()).sum()));
+    let mut next_queue =
+        fused.then(|| Vec::with_capacity(accs.iter().map(|a| a.out_queue.len()).sum()));
     let mut profile = KernelProfile::launch();
     let mut activations = 0u64;
     let mut distinct = 0u64;
@@ -386,8 +387,7 @@ fn finish(
     let bitmap_mode = frontier.as_queue().is_none();
     if frontier.is_sorted() {
         // Coalescing: ascending vertex order moves fewer memory sectors.
-        profile.bytes_read =
-            (profile.bytes_read as f64 * (1.0 - lb::SORTED_BYTES_DISCOUNT)) as u64;
+        profile.bytes_read = (profile.bytes_read as f64 * (1.0 - lb::SORTED_BYTES_DISCOUNT)) as u64;
     }
     let costs = lb::edge_costs(spec, cfg.direction, frontier.is_sorted());
     let price = lb::price(spec, cfg.lb, &costs, &touched, bitmap_mode);
@@ -492,9 +492,7 @@ mod tests {
     }
 
     fn star_graph() -> Graph {
-        GraphBuilder::new(5)
-            .edges([(0, 1), (0, 2), (0, 3), (3, 4)])
-            .build()
+        GraphBuilder::new(5).edges([(0, 1), (0, 2), (0, 3), (3, 4)]).build()
     }
 
     fn cfg(direction: Direction, fusion: Fusion) -> KernelConfig {
@@ -513,7 +511,14 @@ mod tests {
         let app = LevelApp::new(5, 0);
         let spec = DeviceSpec::k40m();
         let f = filter(&g, &app, Direction::Push, AsFormat::UnsortedQueue, &spec);
-        let out = expand(&g, &app, &f.frontier, &f.status, cfg(Direction::Push, Fusion::Standalone), &spec);
+        let out = expand(
+            &g,
+            &app,
+            &f.frontier,
+            &f.status,
+            cfg(Direction::Push, Fusion::Standalone),
+            &spec,
+        );
         assert_eq!(out.edges_touched, 3); // deg(0) = 3
         assert_eq!(out.distinct_activated, 3);
         assert_eq!(app.level.load(1), 1);
@@ -530,7 +535,14 @@ mod tests {
         let push_app = LevelApp::new(5, 0);
         let pull_app = LevelApp::new(5, 0);
         let f = filter(&g, &push_app, Direction::Push, AsFormat::UnsortedQueue, &spec);
-        expand(&g, &push_app, &f.frontier, &f.status, cfg(Direction::Push, Fusion::Standalone), &spec);
+        expand(
+            &g,
+            &push_app,
+            &f.frontier,
+            &f.status,
+            cfg(Direction::Push, Fusion::Standalone),
+            &spec,
+        );
         let f2 = filter(&g, &pull_app, Direction::Pull, AsFormat::SortedQueue, &spec);
         let out = expand(
             &g,
@@ -548,9 +560,7 @@ mod tests {
     #[test]
     fn pull_early_exit_skips_edges() {
         // Vertex 4 has in-neighbors {0, 3}; 0 and 3 both active.
-        let g = GraphBuilder::new(5)
-            .edges([(0, 4), (3, 4), (0, 3)])
-            .build();
+        let g = GraphBuilder::new(5).edges([(0, 4), (3, 4), (0, 3)]).build();
         let app = LevelApp::new(5, 0);
         app.level.store(3, 0); // both 0 and 3 are sources at level 0
         let spec = DeviceSpec::k40m();
@@ -578,7 +588,8 @@ mod tests {
         app.level.store(1, 0);
         let spec = DeviceSpec::k40m();
         let f = filter(&g, &app, Direction::Push, AsFormat::UnsortedQueue, &spec);
-        let out = expand(&g, &app, &f.frontier, &f.status, cfg(Direction::Push, Fusion::Fused), &spec);
+        let out =
+            expand(&g, &app, &f.frontier, &f.status, cfg(Direction::Push, Fusion::Fused), &spec);
         let q = out.next_queue.unwrap();
         assert_eq!(q, vec![2, 2]);
         assert_eq!(out.activations, 1, "one atomic wins");
@@ -612,8 +623,22 @@ mod tests {
         let a2 = LevelApp::new(5, 0);
         let f1 = filter(&g, &a1, Direction::Push, AsFormat::Bitmap, &spec);
         let f2 = filter(&g, &a2, Direction::Push, AsFormat::SortedQueue, &spec);
-        let o1 = expand(&g, &a1, &f1.frontier, &f1.status, cfg(Direction::Push, Fusion::Standalone), &spec);
-        let o2 = expand(&g, &a2, &f2.frontier, &f2.status, cfg(Direction::Push, Fusion::Standalone), &spec);
+        let o1 = expand(
+            &g,
+            &a1,
+            &f1.frontier,
+            &f1.status,
+            cfg(Direction::Push, Fusion::Standalone),
+            &spec,
+        );
+        let o2 = expand(
+            &g,
+            &a2,
+            &f2.frontier,
+            &f2.status,
+            cfg(Direction::Push, Fusion::Standalone),
+            &spec,
+        );
         assert_eq!(a1.level.to_vec(), a2.level.to_vec());
         assert_eq!(o1.edges_touched, o2.edges_touched);
         assert!(o1.bitmap_mode && !o2.bitmap_mode);
@@ -630,7 +655,14 @@ mod tests {
         app.level.store(1, 0);
         let spec = DeviceSpec::k40m();
         let f = filter(&g, &app, Direction::Push, AsFormat::UnsortedQueue, &spec);
-        let out = expand(&g, &app, &f.frontier, &f.status, cfg(Direction::Push, Fusion::Standalone), &spec);
+        let out = expand(
+            &g,
+            &app,
+            &f.frontier,
+            &f.status,
+            cfg(Direction::Push, Fusion::Standalone),
+            &spec,
+        );
         // Edges: 0->2, 0->1? no. edges: (0,2),(1,2) symmetric adds 2->0, 2->1.
         // Active = {0, 1}: edges 0->2 and 1->2: one succeeds, one conflicts...
         // both may succeed if the second improves (same msg value 1): the
@@ -645,7 +677,14 @@ mod tests {
         let app = LevelApp::new(5, 0);
         let spec = DeviceSpec::k40m();
         let f = filter(&g, &app, Direction::Push, AsFormat::UnsortedQueue, &spec);
-        let out = expand(&g, &app, &f.frontier, &f.status, cfg(Direction::Push, Fusion::Standalone), &spec);
+        let out = expand(
+            &g,
+            &app,
+            &f.frontier,
+            &f.status,
+            cfg(Direction::Push, Fusion::Standalone),
+            &spec,
+        );
         let strict = out.reprice(&spec, LoadBalance::Strict);
         assert_eq!(strict.bytes_read, out.profile.bytes_read);
         assert_eq!(strict.atomics, out.profile.atomics);

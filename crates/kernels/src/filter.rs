@@ -274,11 +274,7 @@ pub fn materialize<A: EdgeApp>(
                 .into_par_iter()
                 .chunks(CHUNK)
                 .map(|chunk| {
-                    chunk
-                        .into_iter()
-                        .map(|v| v as VertexId)
-                        .filter(|&v| in_workload(v))
-                        .collect()
+                    chunk.into_iter().map(|v| v as VertexId).filter(|&v| in_workload(v)).collect()
                 })
                 .collect();
             let w: u64 = segs.iter().map(|s| s.len() as u64).sum();
@@ -338,9 +334,7 @@ mod tests {
 
     fn setup() -> (Graph, LevelApp) {
         // Path 0-1-2-3 plus hub edges 1-{4,5}.
-        let g = GraphBuilder::new(6)
-            .edges([(0, 1), (1, 2), (2, 3), (1, 4), (1, 5)])
-            .build();
+        let g = GraphBuilder::new(6).edges([(0, 1), (1, 2), (2, 3), (1, 4), (1, 5)]).build();
         let app = LevelApp { level: AtomicArray::filled(6, u32::MAX), current: 1 };
         app.level.store(0, 0);
         app.level.store(1, 1);
@@ -414,13 +408,8 @@ mod tests {
             AsFormat::UnsortedQueue,
             &spec,
         );
-        let (_, ps) = materialize::<LevelApp>(
-            &g,
-            &co.status,
-            Direction::Push,
-            AsFormat::SortedQueue,
-            &spec,
-        );
+        let (_, ps) =
+            materialize::<LevelApp>(&g, &co.status, Direction::Push, AsFormat::SortedQueue, &spec);
         assert_eq!(pb.scan_elems, 0);
         assert_eq!(pb.atomics, 0);
         assert!(pu.atomics > 0);

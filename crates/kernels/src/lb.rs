@@ -309,10 +309,7 @@ mod tests {
         let u = uniform();
         let twc = time_of(LoadBalance::Twc, &u);
         for lb in [LoadBalance::Wm, LoadBalance::Cm, LoadBalance::Strict] {
-            assert!(
-                twc <= time_of(lb, &u) * 1.05,
-                "TWC should win on uniform, lost to {lb:?}"
-            );
+            assert!(twc <= time_of(lb, &u) * 1.05, "TWC should win on uniform, lost to {lb:?}");
         }
     }
 
@@ -334,12 +331,7 @@ mod tests {
 
     #[test]
     fn all_strategies_price_empty_workload() {
-        for lb in [
-            LoadBalance::Twc,
-            LoadBalance::Wm,
-            LoadBalance::Cm,
-            LoadBalance::Strict,
-        ] {
+        for lb in [LoadBalance::Twc, LoadBalance::Wm, LoadBalance::Cm, LoadBalance::Strict] {
             let p = price(&spec(), lb, &costs(), &[], false);
             assert_eq!(p.tasks.count, 0, "{lb:?}");
             assert_eq!(p.tasks.total_cycles, 0.0);
@@ -413,10 +405,7 @@ mod tests {
         for lb in [LoadBalance::Twc, LoadBalance::Wm, LoadBalance::Cm, LoadBalance::Strict] {
             let lo = price(&s, lb, &c, &vec![4u32; 4096], false);
             let hi = price(&s, lb, &c, &vec![16u32; 4096], false);
-            assert!(
-                hi.tasks.total_cycles > lo.tasks.total_cycles,
-                "{lb:?} not monotone"
-            );
+            assert!(hi.tasks.total_cycles > lo.tasks.total_cycles, "{lb:?} not monotone");
         }
     }
 

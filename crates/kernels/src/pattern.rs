@@ -120,19 +120,18 @@ impl KernelConfig {
     pub fn all_shapes() -> Vec<KernelConfig> {
         let mut v = Vec::with_capacity(48);
         for &direction in &[Direction::Push, Direction::Pull] {
-            for &format in &[
-                AsFormat::Bitmap,
-                AsFormat::UnsortedQueue,
-                AsFormat::SortedQueue,
-            ] {
-                for &lb in &[
-                    LoadBalance::Twc,
-                    LoadBalance::Wm,
-                    LoadBalance::Cm,
-                    LoadBalance::Strict,
-                ] {
+            for &format in &[AsFormat::Bitmap, AsFormat::UnsortedQueue, AsFormat::SortedQueue] {
+                for &lb in
+                    &[LoadBalance::Twc, LoadBalance::Wm, LoadBalance::Cm, LoadBalance::Strict]
+                {
                     for &fusion in &[Fusion::Standalone, Fusion::Fused] {
-                        v.push(KernelConfig { direction, format, lb, stepping: SteppingDelta::Remain, fusion });
+                        v.push(KernelConfig {
+                            direction,
+                            format,
+                            lb,
+                            stepping: SteppingDelta::Remain,
+                            fusion,
+                        });
                     }
                 }
             }

@@ -14,27 +14,27 @@ pub const FEATURE_COUNT: usize = 21;
 /// of §4.4 (dataset attributes, runtime characteristics, historical
 /// information).
 pub const FEATURE_NAMES: [&str; FEATURE_COUNT] = [
-    "N",     // number of vertices
-    "M",     // number of edges
-    "d_avg", // average degree
-    "d_std", // degree standard deviation
+    "N",           // number of vertices
+    "M",           // number of edges
+    "d_avg",       // average degree
+    "d_std",       // degree standard deviation
     "d_rel_range", // relative range of degrees
-    "gini",  // Gini coefficient
-    "h_er",  // relative edge distribution entropy
-    "v_a",   // active vertices
-    "v_ia",  // inactive vertices
-    "e_a",   // active edges
-    "e_ia",  // inactive edges
-    "v_ap",  // active vertex ratio
-    "v_iap", // inactive vertex ratio
-    "e_ap",  // active edge ratio
-    "e_iap", // inactive edge ratio
-    "cd",    // average degree of current workload
-    "r_cd",  // relative degree range of current workload
-    "t_f",   // last Filter time (ms)
-    "t_e",   // last Expand time (ms)
-    "t_f_avg", // mean of previous Filter times (ms)
-    "t_e_avg", // mean of previous Expand times (ms)
+    "gini",        // Gini coefficient
+    "h_er",        // relative edge distribution entropy
+    "v_a",         // active vertices
+    "v_ia",        // inactive vertices
+    "e_a",         // active edges
+    "e_ia",        // inactive edges
+    "v_ap",        // active vertex ratio
+    "v_iap",       // inactive vertex ratio
+    "e_ap",        // active edge ratio
+    "e_iap",       // inactive edge ratio
+    "cd",          // average degree of current workload
+    "r_cd",        // relative degree range of current workload
+    "t_f",         // last Filter time (ms)
+    "t_e",         // last Expand time (ms)
+    "t_f_avg",     // mean of previous Filter times (ms)
+    "t_e_avg",     // mean of previous Expand times (ms)
 ];
 
 /// The five decision targets.

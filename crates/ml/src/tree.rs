@@ -102,9 +102,8 @@ impl DecisionTree {
         let majority = argmax(&counts);
         let node_gini = gini(&counts, index.len());
 
-        let stop = depth >= params.max_depth
-            || index.len() < params.min_samples_split
-            || node_gini == 0.0;
+        let stop =
+            depth >= params.max_depth || index.len() < params.min_samples_split || node_gini == 0.0;
         if !stop {
             if let Some((feature, threshold, gain)) =
                 best_split(rows, labels, index, self.n_classes, params.min_samples_leaf)
@@ -159,11 +158,7 @@ impl DecisionTree {
         if rows.is_empty() {
             return 1.0;
         }
-        let hits = rows
-            .iter()
-            .zip(labels)
-            .filter(|(r, &l)| self.predict(r) == l)
-            .count();
+        let hits = rows.iter().zip(labels).filter(|(r, &l)| self.predict(r) == l).count();
         hits as f64 / rows.len() as f64
     }
 
@@ -211,14 +206,7 @@ impl DecisionTree {
         out
     }
 
-    fn rule(
-        &self,
-        at: usize,
-        indent: usize,
-        fnames: &[&str],
-        cnames: &[&str],
-        out: &mut String,
-    ) {
+    fn rule(&self, at: usize, indent: usize, fnames: &[&str], cnames: &[&str], out: &mut String) {
         use std::fmt::Write;
         let pad = "  ".repeat(indent);
         match &self.nodes[at] {
@@ -264,12 +252,7 @@ fn gini(counts: &[usize], n: usize) -> f64 {
 }
 
 fn argmax(counts: &[usize]) -> usize {
-    counts
-        .iter()
-        .enumerate()
-        .max_by_key(|(_, &c)| c)
-        .map(|(i, _)| i)
-        .unwrap_or(0)
+    counts.iter().enumerate().max_by_key(|(_, &c)| c).map(|(i, _)| i).unwrap_or(0)
 }
 
 /// Exhaustive best split over features × thresholds: sort the subset by
@@ -350,9 +333,8 @@ mod tests {
 
     /// Linearly separable 2-D data: class = x0 > 0.5.
     fn separable(n: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
-        let rows: Vec<Vec<f64>> = (0..n)
-            .map(|i| vec![i as f64 / n as f64, (i * 7 % 13) as f64])
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..n).map(|i| vec![i as f64 / n as f64, (i * 7 % 13) as f64]).collect();
         let labels = rows.iter().map(|r| usize::from(r[0] > 0.5)).collect();
         (rows, labels)
     }
@@ -385,11 +367,8 @@ mod tests {
                 labels.push(((i / 4) + (j / 4)) % 2);
             }
         }
-        let t = DecisionTree::train(
-            &rows,
-            &labels,
-            TrainParams { max_depth: 2, ..Default::default() },
-        );
+        let t =
+            DecisionTree::train(&rows, &labels, TrainParams { max_depth: 2, ..Default::default() });
         assert!(t.height() <= 2);
     }
 

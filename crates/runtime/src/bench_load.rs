@@ -1,0 +1,235 @@
+//! The `--bench-load` workload: a deterministic mixed stream of queries
+//! over several graphs, replayed twice — once against an empty
+//! tuned-config cache (cold) and once against the cache the first pass
+//! filled (warm) — reporting throughput, latency percentiles, and the
+//! cache hit rate for each phase.
+
+use crate::cache::ConfigCache;
+use crate::query::{JobStatus, Query};
+use crate::registry::GraphRegistry;
+use crate::scheduler::{Scheduler, SchedulerConfig, SubmitError};
+use crate::JobSpec;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Deterministic stream mixer (SplitMix64).
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Register the benchmark graph mix: a scale-free R-MAT, a road-like
+/// grid, and a hub-heavy preferential-attachment graph. Returns their
+/// registry names.
+pub fn default_graphs(registry: &GraphRegistry) -> Vec<String> {
+    use gswitch_graph::gen;
+    registry.insert("rmat-mid", gen::kronecker(10, 8, 7));
+    registry.insert("road-grid", gen::grid2d(40, 40, 0.02, 8));
+    registry.insert("social-ba", gen::barabasi_albert(1_500, 6, 9));
+    vec!["rmat-mid".into(), "road-grid".into(), "social-ba".into()]
+}
+
+/// Build a deterministic mixed workload of `count` queries over
+/// `graphs`, cycling through all five algorithms with varied sources.
+pub fn synthetic_workload(
+    registry: &GraphRegistry,
+    graphs: &[String],
+    count: usize,
+    seed: u64,
+) -> Vec<JobSpec> {
+    let mut state = seed;
+    (0..count)
+        .map(|i| {
+            let graph = graphs[i % graphs.len()].clone();
+            let n =
+                registry.get(&graph).map(|e| e.graph().num_vertices() as u64).unwrap_or(1).max(1);
+            let src = (mix(&mut state) % n) as u32;
+            let query = match i % 5 {
+                0 => Query::Bfs { src },
+                1 => Query::Pr { eps: 1e-3 },
+                2 => Query::Cc,
+                3 => Query::Sssp { src },
+                _ => Query::Bc { src },
+            };
+            JobSpec { graph, query, timeout_ms: None }
+        })
+        .collect()
+}
+
+/// What one phase (cold or warm) of the load run measured.
+#[derive(Clone, Debug)]
+pub struct PhaseReport {
+    /// `"cold"` or `"warm"`.
+    pub phase: &'static str,
+    /// Jobs submitted.
+    pub queries: usize,
+    /// Jobs that did not finish `Ok`.
+    pub failed: usize,
+    /// End-to-end wall time for the whole phase (s).
+    pub wall_s: f64,
+    /// Completed queries per second.
+    pub qps: f64,
+    /// Median per-job latency (ms, admission to completion).
+    pub p50_ms: f64,
+    /// 95th-percentile latency (ms).
+    pub p95_ms: f64,
+    /// 99th-percentile latency (ms).
+    pub p99_ms: f64,
+    /// Tuned-config cache hits during the phase.
+    pub cache_hits: u64,
+    /// Tuned-config cache misses during the phase.
+    pub cache_misses: u64,
+}
+
+impl PhaseReport {
+    /// Cache hit rate in the phase.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Render the human-readable report block.
+    pub fn render(&self) -> String {
+        format!(
+            "{:<5} {:>4} queries  {:>3} failed  {:>8.1} qps  p50 {:>7.2} ms  p95 {:>7.2} ms  \
+             p99 {:>7.2} ms  cache {}/{} hits ({:.0}%)",
+            self.phase,
+            self.queries,
+            self.failed,
+            self.qps,
+            self.p50_ms,
+            self.p95_ms,
+            self.p99_ms,
+            self.cache_hits,
+            self.cache_hits + self.cache_misses,
+            self.hit_rate() * 100.0
+        )
+    }
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+/// Replay `specs` through `scheduler`, waiting for every outcome.
+/// Submission respects admission control: on `QueueFull` the driver
+/// backs off and retries, so a bounded queue throttles rather than
+/// fails the run.
+pub fn run_phase(
+    scheduler: &Scheduler,
+    cache: &ConfigCache,
+    specs: &[JobSpec],
+    phase: &'static str,
+) -> PhaseReport {
+    cache.reset_counters();
+    let t0 = Instant::now();
+    let mut handles = Vec::with_capacity(specs.len());
+    for spec in specs {
+        loop {
+            match scheduler.submit(spec.clone()) {
+                Ok(h) => {
+                    handles.push(h);
+                    break;
+                }
+                Err(SubmitError::QueueFull) => std::thread::sleep(Duration::from_micros(200)),
+                Err(e) => panic!("bench-load submission failed: {e}"),
+            }
+        }
+    }
+    let outcomes: Vec<_> = handles.into_iter().map(|h| h.wait()).collect();
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let failed = outcomes.iter().filter(|o| o.status != JobStatus::Ok).count();
+    let mut lat: Vec<f64> = outcomes.iter().map(|o| o.wall_ms).collect();
+    lat.sort_by(|a, b| a.total_cmp(b));
+    let counters = cache.counters();
+    PhaseReport {
+        phase,
+        queries: specs.len(),
+        failed,
+        wall_s,
+        qps: if wall_s > 0.0 { (specs.len() - failed) as f64 / wall_s } else { 0.0 },
+        p50_ms: percentile(&lat, 0.50),
+        p95_ms: percentile(&lat, 0.95),
+        p99_ms: percentile(&lat, 0.99),
+        cache_hits: counters.hits,
+        cache_misses: counters.misses,
+    }
+}
+
+/// The full cold/warm comparison behind `gswitch-serve --bench-load`.
+/// Returns `(cold, warm)`.
+pub fn bench_load(queries: usize, workers: usize, seed: u64) -> (PhaseReport, PhaseReport) {
+    let registry = Arc::new(GraphRegistry::new());
+    let graphs = default_graphs(&registry);
+    let cache = Arc::new(ConfigCache::new());
+    let config = SchedulerConfig {
+        workers,
+        queue_capacity: 64,
+        default_timeout_ms: 120_000,
+        ..Default::default()
+    };
+    let scheduler = Scheduler::new(Arc::clone(&registry), Arc::clone(&cache), config);
+
+    let specs = synthetic_workload(&registry, &graphs, queries, seed);
+    let cold = run_phase(&scheduler, &cache, &specs, "cold");
+    let warm = run_phase(&scheduler, &cache, &specs, "warm");
+    scheduler.shutdown();
+    (cold, warm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic_and_mixed() {
+        let registry = GraphRegistry::new();
+        let graphs = default_graphs(&registry);
+        let a = synthetic_workload(&registry, &graphs, 40, 1);
+        let b = synthetic_workload(&registry, &graphs, 40, 1);
+        assert_eq!(a.len(), 40);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.graph, y.graph);
+            assert_eq!(x.query, y.query);
+        }
+        // All five algorithms and all graphs appear.
+        for algo in ["bfs", "pr", "cc", "sssp", "bc"] {
+            assert!(a.iter().any(|s| s.query.algo() == algo), "missing {algo}");
+        }
+        for g in &graphs {
+            assert!(a.iter().any(|s| &s.graph == g), "missing graph {g}");
+        }
+    }
+
+    #[test]
+    fn percentiles_are_sane() {
+        let ms: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&ms, 0.50), 50.0);
+        assert_eq!(percentile(&ms, 0.99), 99.0);
+        assert_eq!(percentile(&ms, 1.0), 100.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn small_bench_load_round_trips() {
+        // A miniature run: enough to cross every code path without
+        // making the test suite slow.
+        let (cold, warm) = bench_load(10, 2, 42);
+        assert_eq!(cold.failed, 0, "cold phase had failures");
+        assert_eq!(warm.failed, 0, "warm phase had failures");
+        assert!(warm.hit_rate() > 0.5, "warm hit rate {}", warm.hit_rate());
+        assert_eq!(cold.cache_hits, 0, "cold phase should start empty");
+    }
+}

@@ -1,0 +1,208 @@
+//! `gswitch-serve` — a line-delimited JSON query server over the
+//! GSWITCH runtime, plus a synthetic load generator.
+//!
+//! Serve mode (default): one JSON request per stdin line, one JSON
+//! response per stdout line; see `gswitch_runtime::protocol` for the
+//! command set.
+//!
+//! `--bench-load` mode: replay a deterministic mixed workload twice —
+//! cold (empty tuned-config cache) then warm (cache filled by the cold
+//! pass) — and print QPS, latency percentiles, and hit rates.
+
+use gswitch_runtime::bench_load::bench_load;
+use gswitch_runtime::protocol::Request;
+use gswitch_runtime::{
+    ConfigCache, GraphRegistry, JobSpec, Scheduler, SchedulerConfig, SubmitError,
+};
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gswitch-serve [--bench-load] [--queries N] [--workers N] [--seed N]\n\
+         \n\
+         Without flags, serves line-delimited JSON requests on stdin:\n\
+           {{\"cmd\":\"load\",\"name\":\"kron\",\"gen\":{{\"kind\":\"rmat\",\"scale\":10}}}}\n\
+           {{\"cmd\":\"query\",\"graph\":\"kron\",\"query\":{{\"Bfs\":{{\"src\":0}}}}}}\n\
+           {{\"cmd\":\"stats\"}} | {{\"cmd\":\"save_cache\",\"path\":\"f\"}} | \
+         {{\"cmd\":\"load_cache\",\"path\":\"f\"}} | {{\"cmd\":\"quit\"}}"
+    );
+    std::process::exit(2)
+}
+
+struct Args {
+    bench: bool,
+    queries: usize,
+    workers: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { bench: false, queries: 200, workers: 0, seed: 0x5EED };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut num = |name: &str| -> u64 {
+            it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("{name} needs a numeric argument");
+                std::process::exit(2)
+            })
+        };
+        match a.as_str() {
+            "--bench-load" => args.bench = true,
+            "--queries" => args.queries = num("--queries") as usize,
+            "--workers" => args.workers = num("--workers") as usize,
+            "--seed" => args.seed = num("--seed"),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn run_bench_load(args: &Args) -> i32 {
+    let workers = if args.workers > 0 { args.workers } else { SchedulerConfig::default().workers };
+    println!(
+        "gswitch-serve --bench-load: {} queries, {} workers, seed {:#x}",
+        args.queries, workers, args.seed
+    );
+    println!("graphs: rmat-mid (2^10, ef 8), road-grid (40x40), social-ba (1500, d 6)");
+    println!("algorithms: bfs, pr, cc, sssp, bc (round-robin)\n");
+
+    let (cold, warm) = bench_load(args.queries, workers, args.seed);
+    println!("{}", cold.render());
+    println!("{}", warm.render());
+
+    let speedup = if cold.qps > 0.0 { warm.qps / cold.qps } else { 0.0 };
+    println!(
+        "\nwarm/cold speedup: {speedup:.2}x  warm hit rate: {:.0}%  failures: {}",
+        warm.hit_rate() * 100.0,
+        cold.failed + warm.failed
+    );
+
+    let ok = cold.failed == 0 && warm.failed == 0 && warm.qps > cold.qps && warm.hit_rate() > 0.5;
+    println!("verdict: {}", if ok { "PASS" } else { "FAIL" });
+    i32::from(!ok)
+}
+
+fn jline(v: serde_json::Value) -> String {
+    serde_json::to_string(&v).expect("value serialization cannot fail")
+}
+
+fn err_line(msg: impl std::fmt::Display) -> String {
+    jline(serde_json::json!({ "error": msg.to_string() }))
+}
+
+fn handle(
+    req: Request,
+    registry: &Arc<GraphRegistry>,
+    cache: &Arc<ConfigCache>,
+    scheduler: &Scheduler,
+) -> Result<Option<String>, String> {
+    match req.cmd.as_str() {
+        "load" => {
+            let name = req.name.ok_or("load needs `name`")?;
+            let graph = match (&req.path, &req.gen) {
+                (Some(path), None) => gswitch_graph::io::load_path(path)
+                    .map_err(|e| format!("loading `{path}`: {e}"))?,
+                (None, Some(spec)) => spec.build()?,
+                _ => return Err("load needs exactly one of `path` or `gen`".into()),
+            };
+            let entry = registry.insert(&name, graph);
+            Ok(Some(jline(serde_json::json!({
+                "ok": "loaded",
+                "name": name,
+                "vertices": entry.graph().num_vertices(),
+                "edges": entry.graph().num_edges(),
+                "fingerprint": entry.fingerprint().to_hex(),
+            }))))
+        }
+        "query" => {
+            let graph = req.graph.ok_or("query needs `graph`")?;
+            let query = req.query.ok_or("query needs `query`")?;
+            let spec = JobSpec { graph, query, timeout_ms: req.timeout_ms };
+            let handle = loop {
+                match scheduler.submit(spec.clone()) {
+                    Ok(h) => break h,
+                    Err(SubmitError::QueueFull) => {
+                        std::thread::sleep(std::time::Duration::from_millis(1))
+                    }
+                    Err(e) => return Err(e.to_string()),
+                }
+            };
+            let outcome = handle.wait();
+            let outcome =
+                if req.payload.unwrap_or(false) { outcome } else { outcome.without_payload() };
+            serde_json::to_string(&outcome).map(Some).map_err(|e| e.to_string())
+        }
+        "stats" => {
+            let counters = cache.counters();
+            Ok(Some(jline(serde_json::json!({
+                "ok": "stats",
+                "graphs": registry.summaries(),
+                "cache": counters,
+                "hit_rate": counters.hit_rate(),
+                "queued": scheduler.queued(),
+            }))))
+        }
+        "save_cache" => {
+            let path = req.path.ok_or("save_cache needs `path`")?;
+            cache.save(std::path::Path::new(&path)).map_err(|e| e.to_string())?;
+            Ok(Some(jline(
+                serde_json::json!({ "ok": "saved", "entries": cache.counters().entries }),
+            )))
+        }
+        "load_cache" => {
+            let path = req.path.ok_or("load_cache needs `path`")?;
+            let loaded =
+                ConfigCache::load(std::path::Path::new(&path)).map_err(|e| e.to_string())?;
+            cache.absorb(&loaded);
+            Ok(Some(jline(
+                serde_json::json!({ "ok": "loaded", "entries": cache.counters().entries }),
+            )))
+        }
+        "quit" => Ok(None),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn serve() -> i32 {
+    let registry = Arc::new(GraphRegistry::new());
+    let cache = Arc::new(ConfigCache::new());
+    let scheduler =
+        Scheduler::new(Arc::clone(&registry), Arc::clone(&cache), SchedulerConfig::default());
+
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match serde_json::from_str::<Request>(&line) {
+            Ok(req) => match handle(req, &registry, &cache, &scheduler) {
+                Ok(Some(resp)) => resp,
+                Ok(None) => break, // quit
+                Err(msg) => err_line(msg),
+            },
+            Err(e) => err_line(format!("bad request: {e}")),
+        };
+        let mut out = stdout.lock();
+        if writeln!(out, "{response}").and_then(|()| out.flush()).is_err() {
+            break; // reader went away
+        }
+    }
+    scheduler.shutdown();
+    0
+}
+
+fn main() {
+    let args = parse_args();
+    let code = if args.bench { run_bench_load(&args) } else { serve() };
+    std::process::exit(code);
+}

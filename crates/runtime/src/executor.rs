@@ -1,0 +1,246 @@
+//! Executing one query: cache lookup → (possibly seeded) engine run →
+//! structured result + cache fill.
+
+use crate::cache::{feature_bucket, CacheKey, ConfigCache};
+use crate::query::{IterStat, Metric, Payload, Query};
+use crate::registry::GraphEntry;
+use gswitch_algos::bc::{BcBackward, BcForward};
+use gswitch_algos::{Bfs, Cc, PageRank, Sssp};
+use gswitch_core::{run, run_with_seed_config, EngineOptions, Policy, RunReport};
+use gswitch_simt::DeviceSpec;
+
+/// What [`execute`] hands back to the scheduler.
+pub struct Execution {
+    /// Whether the tuned-config cache had a seed (`"hit"`/`"miss"`).
+    pub cache_hit: bool,
+    /// Dominant configuration of the run, display form.
+    pub config: Option<String>,
+    /// Total simulated device time (ms).
+    pub sim_ms: f64,
+    /// Whether every engine run converged.
+    pub converged: bool,
+    /// Summary metrics.
+    pub metrics: Vec<Metric>,
+    /// Per-iteration trace.
+    pub iterations: Vec<IterStat>,
+    /// Full result vectors.
+    pub payload: Payload,
+}
+
+fn iter_stats(report: &RunReport) -> Vec<IterStat> {
+    report
+        .iterations
+        .iter()
+        .map(|t| IterStat {
+            iteration: t.iteration,
+            config: t.config.to_string(),
+            decided: t.decided,
+            v_active: t.stats.v_active,
+            e_active: t.stats.e_active,
+            filter_ms: t.filter_ms,
+            expand_ms: t.expand_ms,
+            overhead_ms: t.overhead_ms,
+        })
+        .collect()
+}
+
+/// Run `query` against `entry`, warm-starting from `cache` and filling
+/// it on a miss. Errors (bad source vertex) are returned as strings so
+/// the scheduler can report them without dying.
+pub fn execute(
+    entry: &GraphEntry,
+    query: &Query,
+    cache: &ConfigCache,
+    policy: &dyn Policy,
+    device: &DeviceSpec,
+) -> Result<Execution, String> {
+    let g = entry.graph();
+    let n = g.num_vertices();
+    if let Some(src) = query.source() {
+        if (src as usize) >= n {
+            return Err(format!("source vertex {src} out of range (graph has {n} vertices)"));
+        }
+    }
+
+    let key = CacheKey::new(entry.fingerprint(), query.algo(), &feature_bucket(g.stats()));
+    let seed = cache.lookup(&key);
+    let cache_hit = seed.is_some();
+    let opts = EngineOptions::on(device.clone());
+
+    // Run the algorithm; each arm produces (reports, metrics, payload).
+    let (reports, metrics, payload) = match *query {
+        Query::Bfs { src } => {
+            let app = Bfs::new(n, src);
+            let report = run_with_seed_config(g, &app, policy, &opts, seed);
+            let levels = app.levels();
+            let reached = levels.iter().filter(|&&l| l != u32::MAX).count();
+            let depth = levels.iter().filter(|&&l| l != u32::MAX).max().copied().unwrap_or(0);
+            (
+                vec![report],
+                vec![Metric::new("reached", reached as f64), Metric::new("depth", depth as f64)],
+                Payload::Levels { values: levels },
+            )
+        }
+        Query::Sssp { src } => {
+            let wg = entry.weighted();
+            let app = Sssp::new(&wg, src);
+            let report = run_with_seed_config(&wg, &app, policy, &opts, seed);
+            let dist = app.distances();
+            let reached = dist.iter().filter(|&&d| d != u32::MAX).count();
+            let max_dist = dist.iter().filter(|&&d| d != u32::MAX).max().copied().unwrap_or(0);
+            (
+                vec![report],
+                vec![
+                    Metric::new("reached", reached as f64),
+                    Metric::new("max_distance", max_dist as f64),
+                ],
+                Payload::Distances { values: dist },
+            )
+        }
+        Query::Pr { eps } => {
+            if !(eps.is_finite() && eps > 0.0) {
+                return Err(format!("pr tolerance must be positive and finite, got {eps}"));
+            }
+            let app = PageRank::new(g, eps);
+            let report = run_with_seed_config(g, &app, policy, &opts, seed);
+            let ranks = app.ranks();
+            let sum: f64 = ranks.iter().sum();
+            let max = ranks.iter().cloned().fold(0.0f64, f64::max);
+            (
+                vec![report],
+                vec![Metric::new("rank_sum", sum), Metric::new("rank_max", max)],
+                Payload::Ranks { values: ranks },
+            )
+        }
+        Query::Cc => {
+            let app = Cc::new(n);
+            let report = run_with_seed_config(g, &app, policy, &opts, seed);
+            let labels = app.labels();
+            let components = labels.iter().enumerate().filter(|&(v, &l)| l == v as u32).count();
+            (
+                vec![report],
+                vec![Metric::new("components", components as f64)],
+                Payload::Labels { values: labels },
+            )
+        }
+        Query::Bc { src } => {
+            // Mirrors gswitch_algos::bc, but the forward phase (a BFS-like
+            // traversal, the part worth seeding) warm-starts from the
+            // cache; the backward sweep has its own access pattern and
+            // always consults the policy.
+            let fwd = BcForward::new(n, src);
+            let forward = run_with_seed_config(g, &fwd, policy, &opts, seed);
+            let bwd = BcBackward::new(&fwd);
+            let backward = run(g, &bwd, policy, &opts);
+            let mut scores = bwd.deltas();
+            if let Some(s) = scores.get_mut(src as usize) {
+                *s = 0.0;
+            }
+            let nonzero = scores.iter().filter(|&&s| s > 0.0).count();
+            let max = scores.iter().cloned().fold(0.0f64, f64::max);
+            (
+                vec![forward, backward],
+                vec![Metric::new("nonzero_scores", nonzero as f64), Metric::new("score_max", max)],
+                Payload::Scores { values: scores },
+            )
+        }
+    };
+
+    let converged = reports.iter().all(|r| r.converged);
+    let sim_ms: f64 = reports.iter().map(|r| r.total_ms()).sum();
+    // The first report is the seeded phase; its dominant config is what
+    // the cache should remember.
+    let tuned = reports[0].dominant_config();
+    if !cache_hit && converged {
+        if let Some(cfg) = tuned {
+            cache.store(&key, cfg);
+        }
+    }
+    let iterations = reports.iter().flat_map(iter_stats).collect();
+
+    Ok(Execution {
+        cache_hit,
+        config: tuned.map(|c| c.to_string()),
+        sim_ms,
+        converged,
+        metrics,
+        iterations,
+        payload,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::GraphRegistry;
+    use gswitch_algos::reference;
+    use gswitch_core::AutoPolicy;
+    use gswitch_graph::gen;
+
+    fn setup() -> (GraphRegistry, ConfigCache, DeviceSpec) {
+        let reg = GraphRegistry::new();
+        reg.insert("kron", gen::kronecker(8, 8, 3));
+        (reg, ConfigCache::new(), DeviceSpec::k40m())
+    }
+
+    #[test]
+    fn bfs_matches_reference_and_fills_cache() {
+        let (reg, cache, dev) = setup();
+        let e = reg.get("kron").unwrap();
+        let r = execute(&e, &Query::Bfs { src: 0 }, &cache, &AutoPolicy, &dev).unwrap();
+        assert!(!r.cache_hit);
+        assert!(r.converged);
+        let Payload::Levels { values } = &r.payload else { panic!("wrong payload") };
+        assert_eq!(values, &reference::bfs(e.graph(), 0));
+        assert_eq!(cache.counters().stores, 1);
+
+        // Second identical query hits and still matches.
+        let r2 = execute(&e, &Query::Bfs { src: 0 }, &cache, &AutoPolicy, &dev).unwrap();
+        assert!(r2.cache_hit);
+        let Payload::Levels { values } = &r2.payload else { panic!("wrong payload") };
+        assert_eq!(values, &reference::bfs(e.graph(), 0));
+    }
+
+    #[test]
+    fn source_out_of_range_is_an_error() {
+        let (reg, cache, dev) = setup();
+        let e = reg.get("kron").unwrap();
+        let err = execute(&e, &Query::Bfs { src: 1 << 20 }, &cache, &AutoPolicy, &dev);
+        assert!(err.is_err());
+        // The failed lookup still counted as a... nothing: we error out
+        // before consulting the cache.
+        assert_eq!(cache.counters().misses, 0);
+    }
+
+    #[test]
+    fn cc_counts_components() {
+        let (reg, cache, dev) = setup();
+        reg.insert("two", {
+            use gswitch_graph::GraphBuilder;
+            GraphBuilder::new(6).edges([(0, 1), (1, 2), (4, 5)]).build()
+        });
+        let e = reg.get("two").unwrap();
+        let r = execute(&e, &Query::Cc, &cache, &AutoPolicy, &dev).unwrap();
+        // Components: {0,1,2}, {3}, {4,5}.
+        assert_eq!(r.metrics.iter().find(|m| m.name == "components").unwrap().value, 3.0);
+        let Payload::Labels { values } = &r.payload else { panic!("wrong payload") };
+        assert_eq!(values, &reference::cc(e.graph()));
+    }
+
+    #[test]
+    fn sssp_runs_on_weighted_twin() {
+        let (reg, cache, dev) = setup();
+        let e = reg.get("kron").unwrap();
+        let r = execute(&e, &Query::Sssp { src: 0 }, &cache, &AutoPolicy, &dev).unwrap();
+        let Payload::Distances { values } = &r.payload else { panic!("wrong payload") };
+        assert_eq!(values, &reference::sssp(&e.weighted(), 0));
+    }
+
+    #[test]
+    fn pr_rejects_bad_tolerance() {
+        let (reg, cache, dev) = setup();
+        let e = reg.get("kron").unwrap();
+        assert!(execute(&e, &Query::Pr { eps: 0.0 }, &cache, &AutoPolicy, &dev).is_err());
+        assert!(execute(&e, &Query::Pr { eps: f64::NAN }, &cache, &AutoPolicy, &dev).is_err());
+    }
+}

@@ -1,0 +1,41 @@
+//! Long-lived serving runtime over the gswitch engine.
+//!
+//! The paper's engine answers one query per process: build a graph, run
+//! an algorithm, exit. This crate turns it into a resident service, the
+//! deployment shape an autotuner actually pays off in — the tuning work
+//! done for one query is remembered and re-applied to the next:
+//!
+//! - [`registry`] — loads and fingerprints each graph **once**, then
+//!   shares it across all queries via `Arc` (plus a lazily built
+//!   weighted twin for SSSP).
+//! - [`scheduler`] — a bounded-queue worker pool executing typed
+//!   queries ([`Query`]) with admission control, per-job timeouts and
+//!   cancellation, returning structured [`JobOutcome`]s with
+//!   per-iteration traces.
+//! - [`cache`] — the tuned-config cache: keyed by (graph fingerprint,
+//!   algorithm, feature bucket), it persists the dominant
+//!   [`KernelConfig`](gswitch_kernels::KernelConfig) of a completed run
+//!   to disk as JSON and warm-starts later runs through
+//!   [`run_with_seed_config`](gswitch_core::run_with_seed_config).
+//! - [`bench_load`] — the synthetic mixed workload behind
+//!   `gswitch-serve --bench-load`, reporting QPS and latency
+//!   percentiles cold (empty cache) versus warm.
+//!
+//! The `gswitch-serve` binary speaks line-delimited JSON over
+//! stdin/stdout; see `protocol` and the README's "Serving" section.
+
+#![warn(missing_docs)]
+
+pub mod bench_load;
+pub mod cache;
+pub mod executor;
+pub mod protocol;
+pub mod query;
+pub mod registry;
+pub mod scheduler;
+
+pub use cache::{CacheCounters, CacheKey, ConfigCache};
+pub use executor::execute;
+pub use query::{IterStat, JobOutcome, JobSpec, JobStatus, Metric, Payload, Query};
+pub use registry::{GraphEntry, GraphRegistry};
+pub use scheduler::{Scheduler, SchedulerConfig, SubmitError};

@@ -1,0 +1,153 @@
+//! The line-delimited JSON protocol `gswitch-serve` speaks.
+//!
+//! One request per line on stdin, one JSON response per line on stdout.
+//! Requests are a flat object with a `cmd` discriminator:
+//!
+//! ```json
+//! {"cmd":"load","name":"kron","gen":{"kind":"rmat","scale":10,"ef":8,"seed":1}}
+//! {"cmd":"load","name":"wiki","path":"graphs/wiki.mtx"}
+//! {"cmd":"query","graph":"kron","query":{"Bfs":{"src":0}}}
+//! {"cmd":"query","graph":"kron","query":"Cc","timeout_ms":5000,"payload":true}
+//! {"cmd":"stats"}
+//! {"cmd":"save_cache","path":"tuned.json"}
+//! {"cmd":"load_cache","path":"tuned.json"}
+//! {"cmd":"quit"}
+//! ```
+//!
+//! `query` responses are the full [`JobOutcome`](crate::JobOutcome)
+//! (per-vertex payload stripped unless `"payload":true`); other
+//! commands answer `{"ok":...}` or `{"error":"..."}`.
+
+use crate::query::Query;
+use gswitch_graph::{gen, Graph};
+
+/// A parsed request line.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Request {
+    /// Command discriminator: `load`, `query`, `stats`, `save_cache`,
+    /// `load_cache`, or `quit`.
+    pub cmd: String,
+    /// Graph name (`load`).
+    pub name: Option<String>,
+    /// File path (`load` from disk, `save_cache`, `load_cache`).
+    pub path: Option<String>,
+    /// Synthetic generator spec (`load` without a path).
+    pub gen: Option<GenSpec>,
+    /// Target graph (`query`).
+    pub graph: Option<String>,
+    /// The query itself (`query`).
+    pub query: Option<Query>,
+    /// Per-job deadline override (`query`).
+    pub timeout_ms: Option<u64>,
+    /// Include per-vertex result vectors in the response (`query`).
+    pub payload: Option<bool>,
+}
+
+/// A synthetic graph recipe, mirroring `gswitch_graph::gen`.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct GenSpec {
+    /// Family: `rmat`, `er`, `ba`, `grid`, `banded`.
+    pub kind: String,
+    /// R-MAT scale (`rmat`).
+    pub scale: Option<u32>,
+    /// R-MAT edge factor (`rmat`).
+    pub ef: Option<usize>,
+    /// Vertex count (`er`, `ba`, `banded`).
+    pub n: Option<usize>,
+    /// Edge count (`er`).
+    pub m: Option<usize>,
+    /// Attachment degree (`ba`) / half band width (`banded`).
+    pub d: Option<usize>,
+    /// Grid width (`grid`).
+    pub w: Option<usize>,
+    /// Grid height (`grid`).
+    pub h: Option<usize>,
+    /// RNG seed (all families).
+    pub seed: Option<u64>,
+}
+
+impl GenSpec {
+    /// Materialize the graph, or explain what is wrong with the spec.
+    pub fn build(&self) -> Result<Graph, String> {
+        let seed = self.seed.unwrap_or(1);
+        match self.kind.as_str() {
+            "rmat" => {
+                let scale = self.scale.ok_or("rmat needs `scale`")?;
+                let ef = self.ef.unwrap_or(8);
+                if !(1..=24).contains(&scale) {
+                    return Err(format!("rmat scale {scale} out of range 1..=24"));
+                }
+                Ok(gen::kronecker(scale, ef, seed))
+            }
+            "er" => {
+                let n = self.n.ok_or("er needs `n`")?;
+                let m = self.m.unwrap_or(n * 8);
+                Ok(gen::erdos_renyi(n, m, seed))
+            }
+            "ba" => {
+                let n = self.n.ok_or("ba needs `n`")?;
+                let d = self.d.unwrap_or(4);
+                Ok(gen::barabasi_albert(n, d, seed))
+            }
+            "grid" => {
+                let w = self.w.ok_or("grid needs `w`")?;
+                let h = self.h.unwrap_or(w);
+                Ok(gen::grid2d(w, h, 0.0, seed))
+            }
+            "banded" => {
+                let n = self.n.ok_or("banded needs `n`")?;
+                let d = self.d.unwrap_or(8);
+                Ok(gen::banded(n, d, 0.0, seed))
+            }
+            other => Err(format!("unknown generator `{other}` (expected rmat|er|ba|grid|banded)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_minimal_query_request() {
+        let line = r#"{"cmd":"query","graph":"g","query":{"Bfs":{"src":4}}}"#;
+        let req: Request = serde_json::from_str(line).unwrap();
+        assert_eq!(req.cmd, "query");
+        assert_eq!(req.graph.as_deref(), Some("g"));
+        assert_eq!(req.query, Some(Query::Bfs { src: 4 }));
+        assert_eq!(req.timeout_ms, None);
+        assert_eq!(req.payload, None);
+    }
+
+    #[test]
+    fn parse_load_with_gen() {
+        let line = r#"{"cmd":"load","name":"k","gen":{"kind":"rmat","scale":9,"ef":8,"seed":3}}"#;
+        let req: Request = serde_json::from_str(line).unwrap();
+        let spec = req.gen.unwrap();
+        let g = spec.build().unwrap();
+        assert_eq!(g.num_vertices(), 1 << 9);
+    }
+
+    #[test]
+    fn genspec_errors_are_readable() {
+        let bad: GenSpec = serde_json::from_str(r#"{"kind":"warp"}"#).unwrap();
+        assert!(bad.build().unwrap_err().contains("unknown generator"));
+        let no_scale: GenSpec = serde_json::from_str(r#"{"kind":"rmat"}"#).unwrap();
+        assert!(no_scale.build().unwrap_err().contains("scale"));
+    }
+
+    #[test]
+    fn every_family_builds() {
+        for line in [
+            r#"{"kind":"rmat","scale":6}"#,
+            r#"{"kind":"er","n":50}"#,
+            r#"{"kind":"ba","n":50,"d":3}"#,
+            r#"{"kind":"grid","w":5}"#,
+            r#"{"kind":"banded","n":40,"d":4}"#,
+        ] {
+            let spec: GenSpec = serde_json::from_str(line).unwrap();
+            let g = spec.build().unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert!(g.num_vertices() > 0, "{line}");
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Typed queries and structured results.
+
+/// A query against a registered graph — one of the paper's five
+/// benchmarks, with its per-algorithm parameter.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Query {
+    /// Breadth-first search from `src`.
+    Bfs {
+        /// Source vertex.
+        src: u32,
+    },
+    /// Single-source shortest paths from `src` (runs on the entry's
+    /// weighted twin when the graph is unweighted).
+    Sssp {
+        /// Source vertex.
+        src: u32,
+    },
+    /// Delta-PageRank to tolerance `eps`.
+    Pr {
+        /// Convergence tolerance.
+        eps: f64,
+    },
+    /// Connected components.
+    Cc,
+    /// Single-source betweenness centrality (Brandes dependencies).
+    Bc {
+        /// Source vertex.
+        src: u32,
+    },
+}
+
+impl Query {
+    /// Algorithm tag used in cache keys and reports.
+    pub fn algo(&self) -> &'static str {
+        match self {
+            Query::Bfs { .. } => "bfs",
+            Query::Sssp { .. } => "sssp",
+            Query::Pr { .. } => "pr",
+            Query::Cc => "cc",
+            Query::Bc { .. } => "bc",
+        }
+    }
+
+    /// The source vertex, for queries that have one.
+    pub fn source(&self) -> Option<u32> {
+        match *self {
+            Query::Bfs { src } | Query::Sssp { src } | Query::Bc { src } => Some(src),
+            Query::Pr { .. } | Query::Cc => None,
+        }
+    }
+}
+
+/// A job submission: which graph, what query, how long it may take.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct JobSpec {
+    /// Registry name of the graph.
+    pub graph: String,
+    /// The query to run.
+    pub query: Query,
+    /// Per-job deadline in milliseconds, measured from admission
+    /// (queue wait included). `None` uses the scheduler default.
+    pub timeout_ms: Option<u64>,
+}
+
+/// Terminal state of a job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum JobStatus {
+    /// Completed within its deadline.
+    Ok,
+    /// Exceeded its deadline (result withheld).
+    Timeout,
+    /// Cancelled before execution started.
+    Cancelled,
+    /// Failed (unknown graph, bad parameter, non-convergence).
+    Error,
+}
+
+/// One engine super-step, trimmed for the wire.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct IterStat {
+    /// Super-step index.
+    pub iteration: u32,
+    /// The kernel configuration that ran, in display form
+    /// (e.g. `push/queue/twc/remain/standalone`).
+    pub config: String,
+    /// Whether the selector actually decided this step.
+    pub decided: bool,
+    /// Active vertices.
+    pub v_active: u64,
+    /// Active edges.
+    pub e_active: u64,
+    /// Simulated filter time (ms).
+    pub filter_ms: f64,
+    /// Simulated expand time (ms).
+    pub expand_ms: f64,
+    /// Tuning overhead (ms).
+    pub overhead_ms: f64,
+}
+
+/// A named scalar result (e.g. `reached`, `components`).
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Metric {
+    /// Metric name.
+    pub name: String,
+    /// Metric value.
+    pub value: f64,
+}
+
+impl Metric {
+    /// Shorthand constructor.
+    pub fn new(name: &str, value: f64) -> Self {
+        Metric { name: name.to_string(), value }
+    }
+}
+
+/// Full per-vertex result vectors, for callers that want more than the
+/// summary metrics (tests compare these against reference
+/// implementations; the serve binary strips them unless asked).
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Payload {
+    /// BFS levels (`u32::MAX` = unreachable).
+    Levels {
+        /// Per-vertex values.
+        values: Vec<u32>,
+    },
+    /// SSSP distances (`u32::MAX` = unreachable).
+    Distances {
+        /// Per-vertex values.
+        values: Vec<u32>,
+    },
+    /// CC labels (minimum vertex id per component).
+    Labels {
+        /// Per-vertex values.
+        values: Vec<u32>,
+    },
+    /// PageRank scores.
+    Ranks {
+        /// Per-vertex values.
+        values: Vec<f64>,
+    },
+    /// BC dependency scores.
+    Scores {
+        /// Per-vertex values.
+        values: Vec<f64>,
+    },
+}
+
+/// Everything the scheduler reports back about one job.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct JobOutcome {
+    /// Job id assigned at admission.
+    pub id: u64,
+    /// Graph the job ran against.
+    pub graph: String,
+    /// Algorithm tag.
+    pub algo: String,
+    /// Terminal status.
+    pub status: JobStatus,
+    /// Error description when `status == Error`.
+    pub error: Option<String>,
+    /// `"hit"` or `"miss"` when the tuned-config cache was consulted.
+    pub cache: Option<String>,
+    /// Dominant kernel configuration of the run, display form.
+    pub config: Option<String>,
+    /// Wall-clock time from admission to completion (ms).
+    pub wall_ms: f64,
+    /// Total simulated device time (ms).
+    pub sim_ms: f64,
+    /// Whether the engine converged.
+    pub converged: bool,
+    /// Summary metrics.
+    pub metrics: Vec<Metric>,
+    /// Per-iteration engine trace.
+    pub iterations: Vec<IterStat>,
+    /// Full result vectors (stripped on the wire by default).
+    pub payload: Option<Payload>,
+}
+
+impl JobOutcome {
+    /// A copy without the bulky per-vertex payload, for the wire.
+    pub fn without_payload(mut self) -> Self {
+        self.payload = None;
+        self
+    }
+
+    /// Fetch a summary metric by name.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics.iter().find(|m| m.name == name).map(|m| m.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_json_shapes() {
+        let q = Query::Bfs { src: 3 };
+        let j = serde_json::to_string(&q).unwrap();
+        assert_eq!(j, r#"{"Bfs":{"src":3}}"#);
+        let back: Query = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, q);
+
+        let cc: Query = serde_json::from_str("\"Cc\"").unwrap();
+        assert_eq!(cc, Query::Cc);
+
+        let pr: Query = serde_json::from_str(r#"{"Pr":{"eps":0.001}}"#).unwrap();
+        assert_eq!(pr, Query::Pr { eps: 0.001 });
+    }
+
+    #[test]
+    fn algo_tags() {
+        assert_eq!(Query::Bfs { src: 0 }.algo(), "bfs");
+        assert_eq!(Query::Sssp { src: 0 }.algo(), "sssp");
+        assert_eq!(Query::Pr { eps: 1e-3 }.algo(), "pr");
+        assert_eq!(Query::Cc.algo(), "cc");
+        assert_eq!(Query::Bc { src: 0 }.algo(), "bc");
+        assert_eq!(Query::Cc.source(), None);
+        assert_eq!(Query::Bc { src: 9 }.source(), Some(9));
+    }
+
+    #[test]
+    fn jobspec_roundtrip_with_missing_timeout() {
+        let text = r#"{"graph":"g1","query":{"Sssp":{"src":5}},"timeout_ms":null}"#;
+        let spec: JobSpec = serde_json::from_str(text).unwrap();
+        assert_eq!(spec.graph, "g1");
+        assert_eq!(spec.query, Query::Sssp { src: 5 });
+        assert_eq!(spec.timeout_ms, None);
+    }
+}

@@ -1,0 +1,455 @@
+//! The job scheduler: a bounded queue feeding a worker pool.
+//!
+//! Admission control is explicit — [`Scheduler::submit`] fails fast
+//! with [`SubmitError::QueueFull`] instead of buffering unboundedly,
+//! and with [`SubmitError::UnknownGraph`] before a bad job ever
+//! occupies a queue slot. Each job carries a deadline measured from
+//! admission (so queue wait counts); jobs whose deadline passes before
+//! a worker picks them up are dropped unrun, and jobs that finish past
+//! it report [`JobStatus::Timeout`] with the result withheld.
+//! Cancellation is cooperative: a job cancelled before execution starts
+//! never runs; one already executing runs to completion (the engine has
+//! no preemption points) and reports its terminal status normally.
+
+use crate::cache::ConfigCache;
+use crate::executor::execute;
+use crate::query::{JobOutcome, JobSpec, JobStatus};
+use crate::registry::GraphRegistry;
+use gswitch_core::AutoPolicy;
+use gswitch_simt::DeviceSpec;
+use std::collections::{HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Scheduler tuning knobs.
+#[derive(Clone, Debug)]
+pub struct SchedulerConfig {
+    /// Worker threads.
+    pub workers: usize,
+    /// Admission bound: jobs queued (not yet picked up) beyond which
+    /// submissions are rejected.
+    pub queue_capacity: usize,
+    /// Deadline for jobs that do not set one, in milliseconds.
+    pub default_timeout_ms: u64,
+    /// The simulated device every job runs on.
+    pub device: DeviceSpec,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).min(8),
+            queue_capacity: 256,
+            default_timeout_ms: 60_000,
+            device: DeviceSpec::default(),
+        }
+    }
+}
+
+/// Why a submission was refused at admission.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity; retry later.
+    QueueFull,
+    /// The named graph is not registered.
+    UnknownGraph(String),
+    /// The scheduler is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "job queue is full"),
+            SubmitError::UnknownGraph(g) => write!(f, "unknown graph `{g}`"),
+            SubmitError::ShuttingDown => write!(f, "scheduler is shutting down"),
+        }
+    }
+}
+
+struct Job {
+    id: u64,
+    spec: JobSpec,
+    admitted: Instant,
+    deadline: Duration,
+    tx: mpsc::Sender<JobOutcome>,
+}
+
+struct Shared {
+    registry: Arc<GraphRegistry>,
+    cache: Arc<ConfigCache>,
+    device: DeviceSpec,
+    queue: Mutex<VecDeque<Job>>,
+    work_ready: Condvar,
+    shutdown: AtomicBool,
+    cancelled: Mutex<HashSet<u64>>,
+}
+
+/// Handle to one admitted job; wait on it for the outcome.
+pub struct JobHandle {
+    /// Id assigned at admission (use for [`Scheduler::cancel`]).
+    pub id: u64,
+    rx: mpsc::Receiver<JobOutcome>,
+}
+
+impl JobHandle {
+    /// Block until the job reaches a terminal state.
+    pub fn wait(self) -> JobOutcome {
+        self.rx.recv().expect("worker dropped without reporting")
+    }
+
+    /// Non-blocking poll.
+    pub fn try_wait(&self) -> Option<JobOutcome> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// The worker pool.
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    next_id: AtomicU64,
+    capacity: usize,
+    default_timeout_ms: u64,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Scheduler {
+    /// Start `config.workers` workers over `registry` and `cache`.
+    pub fn new(
+        registry: Arc<GraphRegistry>,
+        cache: Arc<ConfigCache>,
+        config: SchedulerConfig,
+    ) -> Self {
+        let shared = Arc::new(Shared {
+            registry,
+            cache,
+            device: config.device.clone(),
+            queue: Mutex::new(VecDeque::new()),
+            work_ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            cancelled: Mutex::new(HashSet::new()),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("gswitch-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Scheduler {
+            shared,
+            next_id: AtomicU64::new(1),
+            capacity: config.queue_capacity.max(1),
+            default_timeout_ms: config.default_timeout_ms,
+            workers,
+        }
+    }
+
+    /// Submit a job; fails fast on admission problems.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if self.shared.registry.get(&spec.graph).is_none() {
+            return Err(SubmitError::UnknownGraph(spec.graph.clone()));
+        }
+        let deadline = Duration::from_millis(spec.timeout_ms.unwrap_or(self.default_timeout_ms));
+        let (tx, rx) = mpsc::channel();
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut q = self.shared.queue.lock().expect("queue lock");
+            if q.len() >= self.capacity {
+                return Err(SubmitError::QueueFull);
+            }
+            q.push_back(Job { id, spec, admitted: Instant::now(), deadline, tx });
+        }
+        self.shared.work_ready.notify_one();
+        Ok(JobHandle { id, rx })
+    }
+
+    /// Request cancellation of job `id`. Effective only while the job
+    /// is still queued; a running job completes normally.
+    pub fn cancel(&self, id: u64) {
+        self.shared.cancelled.lock().expect("cancel lock").insert(id);
+    }
+
+    /// Jobs currently waiting for a worker.
+    pub fn queued(&self) -> usize {
+        self.shared.queue.lock().expect("queue lock").len()
+    }
+
+    /// Stop accepting jobs, drain the queue, and join the workers.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.work_ready.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.work_ready.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn outcome_skeleton(job: &Job, status: JobStatus) -> JobOutcome {
+    JobOutcome {
+        id: job.id,
+        graph: job.spec.graph.clone(),
+        algo: job.spec.query.algo().to_string(),
+        status,
+        error: None,
+        cache: None,
+        config: None,
+        wall_ms: job.admitted.elapsed().as_secs_f64() * 1e3,
+        sim_ms: 0.0,
+        converged: false,
+        metrics: Vec::new(),
+        iterations: Vec::new(),
+        payload: None,
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                q = shared.work_ready.wait(q).expect("queue lock");
+            }
+        };
+
+        // Cancelled while queued?
+        if shared.cancelled.lock().expect("cancel lock").remove(&job.id) {
+            let _ = job.tx.send(outcome_skeleton(&job, JobStatus::Cancelled));
+            continue;
+        }
+        // Deadline passed while queued?
+        if job.admitted.elapsed() > job.deadline {
+            let _ = job.tx.send(outcome_skeleton(&job, JobStatus::Timeout));
+            continue;
+        }
+
+        let entry = match shared.registry.get(&job.spec.graph) {
+            Some(e) => e,
+            None => {
+                // Registered at admission but replaced/removed since.
+                let mut out = outcome_skeleton(&job, JobStatus::Error);
+                out.error = Some(format!("graph `{}` disappeared", job.spec.graph));
+                let _ = job.tx.send(out);
+                continue;
+            }
+        };
+
+        let result = execute(&entry, &job.spec.query, &shared.cache, &AutoPolicy, &shared.device);
+        let mut out = match result {
+            Ok(exec) => {
+                let mut out = outcome_skeleton(&job, JobStatus::Ok);
+                out.cache = Some(if exec.cache_hit { "hit" } else { "miss" }.to_string());
+                out.config = exec.config;
+                out.sim_ms = exec.sim_ms;
+                out.converged = exec.converged;
+                out.metrics = exec.metrics;
+                out.iterations = exec.iterations;
+                out.payload = Some(exec.payload);
+                out
+            }
+            Err(msg) => {
+                let mut out = outcome_skeleton(&job, JobStatus::Error);
+                out.error = Some(msg);
+                out
+            }
+        };
+        // Deadline enforced at completion: late results are withheld.
+        if out.status == JobStatus::Ok && job.admitted.elapsed() > job.deadline {
+            out.status = JobStatus::Timeout;
+            out.metrics.clear();
+            out.iterations.clear();
+            out.payload = None;
+        }
+        out.wall_ms = job.admitted.elapsed().as_secs_f64() * 1e3;
+        let _ = job.tx.send(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Query;
+    use gswitch_graph::gen;
+
+    fn make_scheduler(workers: usize) -> (Scheduler, Arc<GraphRegistry>, Arc<ConfigCache>) {
+        let registry = Arc::new(GraphRegistry::new());
+        registry.insert("kron", gen::kronecker(8, 8, 3));
+        let cache = Arc::new(ConfigCache::new());
+        let config = SchedulerConfig { workers, ..Default::default() };
+        let s = Scheduler::new(Arc::clone(&registry), Arc::clone(&cache), config);
+        (s, registry, cache)
+    }
+
+    fn bfs_spec(src: u32) -> JobSpec {
+        JobSpec { graph: "kron".into(), query: Query::Bfs { src }, timeout_ms: None }
+    }
+
+    #[test]
+    fn unknown_graph_is_rejected_at_admission() {
+        let (s, _r, _c) = make_scheduler(1);
+        let err = s
+            .submit(JobSpec { graph: "nope".into(), query: Query::Cc, timeout_ms: None })
+            .err()
+            .unwrap();
+        assert_eq!(err, SubmitError::UnknownGraph("nope".into()));
+        s.shutdown();
+    }
+
+    #[test]
+    fn queue_overflow_fails_fast() {
+        let registry = Arc::new(GraphRegistry::new());
+        registry.insert("kron", gen::kronecker(8, 8, 3));
+        let cache = Arc::new(ConfigCache::new());
+        // Zero workers are clamped to one, so stuff the queue faster than
+        // a single worker drains it by using a tiny capacity.
+        let config = SchedulerConfig { workers: 1, queue_capacity: 2, ..Default::default() };
+        let s = Scheduler::new(registry, cache, config);
+        let mut handles = Vec::new();
+        let mut saw_full = false;
+        for src in 0..64 {
+            match s.submit(bfs_spec(src)) {
+                Ok(h) => handles.push(h),
+                Err(SubmitError::QueueFull) => {
+                    saw_full = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected admission error: {e}"),
+            }
+        }
+        assert!(saw_full, "a capacity-2 queue never filled under burst submission");
+        for h in handles {
+            assert_eq!(h.wait().status, JobStatus::Ok);
+        }
+        s.shutdown();
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_refused() {
+        let (s, _r, _c) = make_scheduler(1);
+        s.shared.shutdown.store(true, Ordering::SeqCst);
+        s.shared.work_ready.notify_all();
+        match s.submit(bfs_spec(0)) {
+            Err(SubmitError::ShuttingDown) => {}
+            Err(e) => panic!("wrong admission error: {e}"),
+            Ok(_) => panic!("job accepted after shutdown"),
+        }
+    }
+
+    #[test]
+    fn zero_deadline_times_out_without_running() {
+        let (s, _r, _c) = make_scheduler(1);
+        let spec = JobSpec { graph: "kron".into(), query: Query::Cc, timeout_ms: Some(0) };
+        let out = s.submit(spec).unwrap().wait();
+        assert_eq!(out.status, JobStatus::Timeout);
+        assert!(out.iterations.is_empty(), "timed-out job must not leak results");
+        assert!(out.payload.is_none());
+        s.shutdown();
+    }
+
+    #[test]
+    fn cancel_while_queued_prevents_execution() {
+        let registry = Arc::new(GraphRegistry::new());
+        registry.insert("kron", gen::kronecker(8, 8, 3));
+        let cache = Arc::new(ConfigCache::new());
+        let config = SchedulerConfig { workers: 1, ..Default::default() };
+        let s = Scheduler::new(registry, cache, config);
+        // One long-ish job occupies the single worker while we cancel
+        // the jobs stacked behind it.
+        let busy = s.submit(JobSpec {
+            graph: "kron".into(),
+            query: Query::Pr { eps: 1e-6 },
+            timeout_ms: None,
+        });
+        let mut cancelled = 0;
+        let mut handles = Vec::new();
+        for src in 0..8 {
+            let h = s.submit(bfs_spec(src)).unwrap();
+            s.cancel(h.id);
+            handles.push(h);
+        }
+        for h in handles {
+            let out = h.wait();
+            if out.status == JobStatus::Cancelled {
+                cancelled += 1;
+                assert!(out.iterations.is_empty());
+            }
+        }
+        assert!(cancelled > 0, "no queued job observed its cancellation");
+        assert_eq!(busy.unwrap().wait().status, JobStatus::Ok);
+        s.shutdown();
+    }
+
+    /// The satellite concurrency test: a mixed batch through a real
+    /// worker pool, every answer checked against the sequential
+    /// reference implementations.
+    #[test]
+    fn concurrent_mixed_queries_match_references() {
+        use crate::query::Payload;
+        use gswitch_algos::reference;
+
+        let registry = Arc::new(GraphRegistry::new());
+        registry.insert("kron", gen::kronecker(8, 8, 3));
+        registry.insert("grid", gen::grid2d(16, 16, 0.0, 5));
+        let cache = Arc::new(ConfigCache::new());
+        let s = Scheduler::new(
+            Arc::clone(&registry),
+            cache,
+            SchedulerConfig { workers: 4, ..Default::default() },
+        );
+
+        let mut handles = Vec::new();
+        for graph in ["kron", "grid"] {
+            for src in [0u32, 7, 99] {
+                for query in [Query::Bfs { src }, Query::Sssp { src }, Query::Cc] {
+                    let spec = JobSpec { graph: graph.into(), query, timeout_ms: None };
+                    handles.push((graph, spec.clone(), s.submit(spec).unwrap()));
+                }
+            }
+        }
+
+        for (graph, spec, h) in handles {
+            let out = h.wait();
+            assert_eq!(out.status, JobStatus::Ok, "{graph}/{}: {:?}", out.algo, out.error);
+            let entry = registry.get(graph).unwrap();
+            match (spec.query, out.payload.expect("payload")) {
+                (Query::Bfs { src }, Payload::Levels { values }) => {
+                    assert_eq!(values, reference::bfs(entry.graph(), src), "{graph} bfs {src}");
+                }
+                (Query::Sssp { src }, Payload::Distances { values }) => {
+                    assert_eq!(
+                        values,
+                        reference::sssp(&entry.weighted(), src),
+                        "{graph} sssp {src}"
+                    );
+                }
+                (Query::Cc, Payload::Labels { values }) => {
+                    assert_eq!(values, reference::cc(entry.graph()), "{graph} cc");
+                }
+                (q, p) => panic!("mismatched payload for {q:?}: {p:?}"),
+            }
+        }
+        s.shutdown();
+    }
+}

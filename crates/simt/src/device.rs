@@ -208,8 +208,7 @@ mod tests {
     }
 
     #[test]
-    fn atomics_and_contention_cost_extra()
-    {
+    fn atomics_and_contention_cost_extra() {
         let d = DeviceSpec::k40m();
         let base = profile_with(1e6, 50.0, 1000);
         let mut with_atomics = base;
@@ -226,9 +225,7 @@ mod tests {
     #[test]
     fn p100_outruns_k40m_on_same_work() {
         let p = profile_with(1e9, 1e4, 100_000);
-        assert!(
-            DeviceSpec::p100().kernel_time_ms(&p) < DeviceSpec::k40m().kernel_time_ms(&p)
-        );
+        assert!(DeviceSpec::p100().kernel_time_ms(&p) < DeviceSpec::k40m().kernel_time_ms(&p));
     }
 
     #[test]

@@ -171,11 +171,13 @@ mod tests {
         let mut p = KernelProfile::launch();
         p.bytes_read = 100;
         p.atomics = 5;
-        let mut q = KernelProfile::default();
-        q.bytes_read = 50;
-        q.bytes_written = 7;
-        q.atomic_conflicts = 2;
-        q.duplicates = 3;
+        let q = KernelProfile {
+            bytes_read: 50,
+            bytes_written: 7,
+            atomic_conflicts: 2,
+            duplicates: 3,
+            ..Default::default()
+        };
         p.merge(&q);
         assert_eq!(p.bytes_read, 150);
         assert_eq!(p.bytes_moved(), 157);
@@ -191,9 +193,7 @@ mod tests {
             KernelProfile { bytes_read: 2, ..Default::default() },
             KernelProfile { bytes_read: 4, ..Default::default() },
         ];
-        let total = profiles
-            .into_iter()
-            .fold(KernelProfile::default(), KernelProfile::merged);
+        let total = profiles.into_iter().fold(KernelProfile::default(), KernelProfile::merged);
         assert_eq!(total.bytes_read, 7);
     }
 }

@@ -50,9 +50,8 @@ fn main() {
     let opts_bfs = EngineOptions::on(DeviceSpec::k40m());
     let road_bfs = gswitch::algos::bfs::bfs(&road, src, &AutoPolicy, &opts_bfs);
     let social_bfs = gswitch::algos::bfs::bfs(&social, 0, &AutoPolicy, &opts_bfs);
-    let fused_iters = |r: &RunReport| {
-        r.iterations.iter().filter(|t| t.config.fusion == Fusion::Fused).count()
-    };
+    let fused_iters =
+        |r: &RunReport| r.iterations.iter().filter(|t| t.config.fusion == Fusion::Fused).count();
     println!(
         "\nfusion decisions (BFS): road network {} / {} iterations fused; \
          social network {} / {} fused",

@@ -29,9 +29,8 @@ fn main() {
 
     // --- Influence: PageRank.
     let ranks = pr::pagerank(&g, 1e-4, &AutoPolicy, &opts);
-    let mut top: Vec<(u32, f64)> = ranks.ranks.iter().copied().enumerate()
-        .map(|(i, r)| (i as u32, r))
-        .collect();
+    let mut top: Vec<(u32, f64)> =
+        ranks.ranks.iter().copied().enumerate().map(|(i, r)| (i as u32, r)).collect();
     top.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     println!("\ntop-5 influencers (PageRank, {:.2} ms simulated):", ranks.report.total_ms());
     for (v, r) in top.iter().take(5) {
@@ -50,12 +49,8 @@ fn main() {
     // --- Brokers: betweenness centrality from the top influencer.
     let hub = top[0].0;
     let bc_r = bc::bc(&g, hub, &AutoPolicy, &opts);
-    let broker = bc_r
-        .scores
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-        .unwrap();
+    let broker =
+        bc_r.scores.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap();
     println!(
         "\ntop broker w.r.t. user {hub}: user {} (dependency {:.1}), {:.2} ms simulated",
         broker.0,
@@ -64,12 +59,8 @@ fn main() {
     );
 
     // --- What the autotuner actually did.
-    let pulls = ranks
-        .report
-        .iterations
-        .iter()
-        .filter(|t| t.config.direction == Direction::Pull)
-        .count();
+    let pulls =
+        ranks.report.iterations.iter().filter(|t| t.config.direction == Direction::Pull).count();
     println!(
         "\nautotuner behaviour: PR ran {} iterations ({} in pull mode); BC forward used {:?} \
          on its hump iteration",

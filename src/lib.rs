@@ -1,0 +1,48 @@
+//! GSWITCH: a pattern-based algorithmic autotuner for graph processing
+//! (PPoPP'19) on a simulated GPU, as one facade crate.
+//!
+//! Re-exports every subsystem crate under a short module name, plus a
+//! [`prelude`] with the handful of types nearly every program needs.
+
+/// Graph substrate: CSR storage, builders, generators, I/O, transforms.
+pub mod graph {
+    pub use gswitch_graph::*;
+}
+
+/// Simulated SIMT device: specs, kernel cost model, profiles.
+pub mod simt {
+    pub use gswitch_simt::*;
+}
+
+/// Device-side primitives: filter, expand, load balancing, atomics.
+pub mod kernels {
+    pub use gswitch_kernels::*;
+}
+
+/// Learned models: CART trees, feature datasets, cross-validation.
+pub mod ml {
+    pub use gswitch_ml::*;
+}
+
+/// The autotuning engine: inspector, selector, executor, policies.
+pub mod core {
+    pub use gswitch_core::*;
+}
+
+/// The five paper benchmarks plus reference implementations.
+pub mod algos {
+    pub use gswitch_algos::*;
+}
+
+/// Hand-tuned baseline systems the paper compares against.
+pub mod baselines {
+    pub use gswitch_baselines::*;
+}
+
+/// The names almost every gswitch program needs.
+pub mod prelude {
+    pub use gswitch_core::{run, AutoPolicy, EngineOptions, Policy, RunReport};
+    pub use gswitch_graph::{Graph, GraphBuilder, VertexId, Weight};
+    pub use gswitch_kernels::KernelConfig;
+    pub use gswitch_simt::DeviceSpec;
+}

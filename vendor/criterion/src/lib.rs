@@ -1,0 +1,260 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the harness surface the workspace's benches use:
+//! `Criterion`, `benchmark_group` / `sample_size` / `bench_function` /
+//! `bench_with_input` / `finish`, `BenchmarkId::from_parameter`,
+//! `Bencher::iter` / `iter_batched`, `BatchSize`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Cargo runs `harness = false` bench targets during both `cargo bench`
+//! (with a `--bench` argument) and `cargo test` (without). Like real
+//! criterion, this harness detects the missing `--bench` flag and
+//! switches to a smoke-test mode that executes each benchmark body once
+//! so `cargo test` stays fast.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Wall-clock budget per benchmark in measurement mode.
+const TIME_BUDGET: Duration = Duration::from_secs(3);
+
+/// How a batched iteration's input should be sized. Only a hint here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup output; batches could be large.
+    SmallInput,
+    /// Large setup output; run one routine call per setup call.
+    LargeInput,
+    /// Setup output per iteration.
+    PerIteration,
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a parameter's `Display` form.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+
+    /// Build an id from a function name and a parameter.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing collector handed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    smoke_only: bool,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let n = if self.smoke_only { 1 } else { self.sample_size };
+        let deadline = Instant::now() + TIME_BUDGET;
+        for _ in 0..n {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+            if !self.smoke_only && Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup is untimed.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let n = if self.smoke_only { 1 } else { self.sample_size };
+        let deadline = Instant::now() + TIME_BUDGET;
+        for _ in 0..n {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+            if !self.smoke_only && Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn report(name: &str, samples: &[Duration], smoke_only: bool) {
+    if smoke_only {
+        println!("bench {name}: ok (smoke)");
+        return;
+    }
+    if samples.is_empty() {
+        println!("bench {name}: no samples");
+        return;
+    }
+    let mut us: Vec<f64> = samples.iter().map(|d| d.as_secs_f64() * 1e6).collect();
+    us.sort_by(|a, b| a.total_cmp(b));
+    let mean = us.iter().sum::<f64>() / us.len() as f64;
+    let median = us[us.len() / 2];
+    println!(
+        "bench {name}: mean {mean:.2} us, median {median:.2} us, min {:.2} us, max {:.2} us ({} samples)",
+        us[0],
+        us[us.len() - 1],
+        us.len()
+    );
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    smoke_only: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo passes `--bench` when invoked via `cargo bench`; its
+        // absence means we are running under `cargo test`.
+        let smoke_only = !std::env::args().any(|a| a == "--bench");
+        Criterion { smoke_only }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: 100, criterion: self }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: Vec::new(), sample_size: 100, smoke_only: self.smoke_only };
+        f(&mut b);
+        report(name, &b.samples, self.smoke_only);
+        self
+    }
+}
+
+/// A set of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            smoke_only: self.criterion.smoke_only,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.id), &b.samples, self.criterion.smoke_only);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, In, F>(&mut self, id: I, input: &In, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher, &In),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            smoke_only: self.criterion.smoke_only,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), &b.samples, self.criterion.smoke_only);
+        self
+    }
+
+    /// End the group (kept for API parity; reporting is per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher { samples: Vec::new(), sample_size: 5, smoke_only: false };
+        let mut count = 0u32;
+        b.iter(|| {
+            count += 1;
+            count
+        });
+        assert_eq!(b.samples.len(), 5);
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut b = Bencher { samples: Vec::new(), sample_size: 50, smoke_only: true };
+        let mut count = 0u32;
+        b.iter_batched(|| 1u32, |x| count += x, BatchSize::LargeInput);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::from_parameter(4096).id, "4096");
+        assert_eq!(BenchmarkId::new("expand", "push").id, "expand/push");
+    }
+}

@@ -1,0 +1,683 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no crates.io access, so this crate
+//! re-implements the slice of the rayon API the workspace uses:
+//! `par_iter` / `par_chunks` / `par_chunks_mut` on slices,
+//! `into_par_iter` on integer ranges and vectors, and the adapter and
+//! terminal methods (`map`, `filter`, `chunks`, `enumerate`, `fold`,
+//! `reduce`, `collect`, `for_each`, `sum`, `count`).
+//!
+//! Execution model: every parallel iterator knows its remaining length
+//! and can split itself at an index. Terminal operations split the chain
+//! into one contiguous part per available core and run each part's
+//! sequential iterator on a `std::thread::scope` thread, then combine
+//! the per-part results in order. Semantics match rayon's for the
+//! operations provided (ordered `collect`, unordered side effects); the
+//! number of `fold` accumulators equals the number of parts rather than
+//! rayon's adaptive split count, which `reduce` makes observationally
+//! equivalent.
+
+use std::ops::Range;
+
+/// Everything a caller needs in scope, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use super::{
+        FromParallelIterator, IntoParallelIterator, ParallelIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+/// Smallest number of items a worker thread is worth spawning for.
+const MIN_ITEMS_PER_PART: usize = 256;
+
+fn num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// A splittable, exactly-sized parallel iterator.
+pub trait ParallelIterator: Sized + Send {
+    /// Element type.
+    type Item: Send;
+    /// The sequential iterator driving one part.
+    type SeqIter: Iterator<Item = Self::Item>;
+
+    /// Remaining item count (an upper bound downstream of `filter`).
+    fn pi_len(&self) -> usize;
+
+    /// Split into `[0, index)` and `[index, len)`.
+    fn pi_split_at(self, index: usize) -> (Self, Self);
+
+    /// Sequential drain of this part.
+    fn into_seq(self) -> Self::SeqIter;
+
+    // ---- adapters ----------------------------------------------------
+
+    /// Map each item.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send + Clone,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep items satisfying the predicate.
+    fn filter<P>(self, p: P) -> Filter<Self, P>
+    where
+        P: Fn(&Self::Item) -> bool + Sync + Send + Clone,
+    {
+        Filter { inner: self, p }
+    }
+
+    /// Group items into `Vec`s of `size` (last may be short). Chunk
+    /// boundaries are global, exactly as in rayon.
+    fn chunks(self, size: usize) -> Chunks<Self> {
+        assert!(size > 0, "chunk size must be positive");
+        Chunks { inner: self, size }
+    }
+
+    /// Pair each item with its global index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { inner: self, base: 0 }
+    }
+
+    /// Per-part accumulation; combine the accumulators with [`reduce`].
+    ///
+    /// [`reduce`]: ParallelIterator::reduce
+    fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> Fold<Self, ID, F>
+    where
+        T: Send,
+        ID: Fn() -> T + Sync + Send + Clone,
+        F: Fn(T, Self::Item) -> T + Sync + Send + Clone,
+    {
+        Fold { inner: self, identity, fold_op }
+    }
+
+    // ---- terminals ---------------------------------------------------
+
+    /// Collect into a container, preserving order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Run `f` on every item.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        run_parts(self, &|part: Self| part.into_seq().for_each(&f));
+    }
+
+    /// Sum all items.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        run_parts(self, &|part: Self| part.into_seq().sum::<S>()).into_iter().sum()
+    }
+
+    /// Count surviving items.
+    fn count(self) -> usize {
+        run_parts(self, &|part: Self| part.into_seq().count()).into_iter().sum()
+    }
+
+    /// Combine all items with `op`, seeding each part with `identity()`.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync + Send,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        run_parts(self, &|part: Self| part.into_seq().fold(identity(), &op))
+            .into_iter()
+            .reduce(&op)
+            .unwrap_or_else(identity)
+    }
+
+    /// Minimum by a comparator.
+    fn min_by<F>(self, cmp: F) -> Option<Self::Item>
+    where
+        F: Fn(&Self::Item, &Self::Item) -> std::cmp::Ordering + Sync + Send,
+    {
+        run_parts(self, &|part: Self| part.into_seq().min_by(&cmp))
+            .into_iter()
+            .flatten()
+            .min_by(&cmp)
+    }
+
+    /// Maximum by a comparator.
+    fn max_by<F>(self, cmp: F) -> Option<Self::Item>
+    where
+        F: Fn(&Self::Item, &Self::Item) -> std::cmp::Ordering + Sync + Send,
+    {
+        run_parts(self, &|part: Self| part.into_seq().max_by(&cmp))
+            .into_iter()
+            .flatten()
+            .max_by(&cmp)
+    }
+}
+
+/// Split `iter` into per-core parts, run `f` on each part on a scoped
+/// thread, and return the per-part results in order.
+fn run_parts<I, R>(iter: I, f: &(dyn Fn(I) -> R + Sync)) -> Vec<R>
+where
+    I: ParallelIterator,
+    R: Send,
+{
+    let len = iter.pi_len();
+    let nparts = num_threads().min(len.div_ceil(MIN_ITEMS_PER_PART).max(1)).max(1);
+    if nparts == 1 {
+        return vec![f(iter)];
+    }
+    let per = len.div_ceil(nparts).max(1);
+    let mut parts = Vec::with_capacity(nparts);
+    let mut rest = iter;
+    let mut remaining = len;
+    while remaining > per {
+        let (left, right) = rest.pi_split_at(per);
+        parts.push(left);
+        rest = right;
+        remaining -= per;
+    }
+    parts.push(rest);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = parts.into_iter().map(|part| s.spawn(move || f(part))).collect();
+        handles.into_iter().map(|h| h.join().expect("parallel worker panicked")).collect()
+    })
+}
+
+/// Containers buildable from a parallel iterator.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Build the container, preserving item order.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        let parts = run_parts(iter, &|part: I| part.into_seq().collect::<Vec<_>>());
+        let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+        for p in parts {
+            out.extend(p);
+        }
+        out
+    }
+}
+
+// ---- adapters --------------------------------------------------------
+
+/// See [`ParallelIterator::map`].
+pub struct Map<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync + Send + Clone,
+{
+    type Item = R;
+    type SeqIter = std::iter::Map<I::SeqIter, F>;
+
+    fn pi_len(&self) -> usize {
+        self.inner.pi_len()
+    }
+
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.inner.pi_split_at(index);
+        (Map { inner: l, f: self.f.clone() }, Map { inner: r, f: self.f })
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.inner.into_seq().map(self.f)
+    }
+}
+
+/// See [`ParallelIterator::filter`].
+pub struct Filter<I, P> {
+    inner: I,
+    p: P,
+}
+
+impl<I, P> ParallelIterator for Filter<I, P>
+where
+    I: ParallelIterator,
+    P: Fn(&I::Item) -> bool + Sync + Send + Clone,
+{
+    type Item = I::Item;
+    type SeqIter = std::iter::Filter<I::SeqIter, P>;
+
+    fn pi_len(&self) -> usize {
+        self.inner.pi_len()
+    }
+
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.inner.pi_split_at(index);
+        (Filter { inner: l, p: self.p.clone() }, Filter { inner: r, p: self.p })
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.inner.into_seq().filter(self.p)
+    }
+}
+
+/// See [`ParallelIterator::chunks`].
+pub struct Chunks<I> {
+    inner: I,
+    size: usize,
+}
+
+impl<I> ParallelIterator for Chunks<I>
+where
+    I: ParallelIterator,
+{
+    type Item = Vec<I::Item>;
+    type SeqIter = ChunksSeq<I::SeqIter>;
+
+    fn pi_len(&self) -> usize {
+        self.inner.pi_len().div_ceil(self.size)
+    }
+
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.inner.pi_split_at(index * self.size);
+        (Chunks { inner: l, size: self.size }, Chunks { inner: r, size: self.size })
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        ChunksSeq { inner: self.inner.into_seq(), size: self.size }
+    }
+}
+
+/// Sequential driver for [`Chunks`].
+pub struct ChunksSeq<It> {
+    inner: It,
+    size: usize,
+}
+
+impl<It: Iterator> Iterator for ChunksSeq<It> {
+    type Item = Vec<It::Item>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let mut chunk = Vec::with_capacity(self.size);
+        for _ in 0..self.size {
+            match self.inner.next() {
+                Some(x) => chunk.push(x),
+                None => break,
+            }
+        }
+        if chunk.is_empty() {
+            None
+        } else {
+            Some(chunk)
+        }
+    }
+}
+
+/// See [`ParallelIterator::enumerate`].
+pub struct Enumerate<I> {
+    inner: I,
+    base: usize,
+}
+
+impl<I> ParallelIterator for Enumerate<I>
+where
+    I: ParallelIterator,
+{
+    type Item = (usize, I::Item);
+    type SeqIter = EnumerateSeq<I::SeqIter>;
+
+    fn pi_len(&self) -> usize {
+        self.inner.pi_len()
+    }
+
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.inner.pi_split_at(index);
+        (Enumerate { inner: l, base: self.base }, Enumerate { inner: r, base: self.base + index })
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        EnumerateSeq { inner: self.inner.into_seq(), next: self.base }
+    }
+}
+
+/// Sequential driver for [`Enumerate`], carrying the global base index.
+pub struct EnumerateSeq<It> {
+    inner: It,
+    next: usize,
+}
+
+impl<It: Iterator> Iterator for EnumerateSeq<It> {
+    type Item = (usize, It::Item);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let x = self.inner.next()?;
+        let i = self.next;
+        self.next += 1;
+        Some((i, x))
+    }
+}
+
+/// See [`ParallelIterator::fold`].
+pub struct Fold<I, ID, F> {
+    inner: I,
+    identity: ID,
+    fold_op: F,
+}
+
+impl<I, T, ID, F> ParallelIterator for Fold<I, ID, F>
+where
+    I: ParallelIterator,
+    T: Send,
+    ID: Fn() -> T + Sync + Send + Clone,
+    F: Fn(T, I::Item) -> T + Sync + Send + Clone,
+{
+    type Item = T;
+    type SeqIter = std::iter::Once<T>;
+
+    fn pi_len(&self) -> usize {
+        self.inner.pi_len()
+    }
+
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.inner.pi_split_at(index);
+        (
+            Fold { inner: l, identity: self.identity.clone(), fold_op: self.fold_op.clone() },
+            Fold { inner: r, identity: self.identity, fold_op: self.fold_op },
+        )
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        let acc = self.inner.into_seq().fold((self.identity)(), self.fold_op);
+        std::iter::once(acc)
+    }
+}
+
+// ---- sources ---------------------------------------------------------
+
+/// Conversion into a parallel iterator, mirroring rayon's trait.
+pub trait IntoParallelIterator {
+    /// The resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Element type.
+    type Item: Send;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Parallel iterator over an integer range.
+pub struct ParRange<T> {
+    range: Range<T>,
+}
+
+macro_rules! impl_par_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Iter = ParRange<$t>;
+            type Item = $t;
+            fn into_par_iter(self) -> ParRange<$t> {
+                ParRange { range: self }
+            }
+        }
+
+        impl ParallelIterator for ParRange<$t> {
+            type Item = $t;
+            type SeqIter = Range<$t>;
+
+            fn pi_len(&self) -> usize {
+                (self.range.end.saturating_sub(self.range.start)) as usize
+            }
+
+            fn pi_split_at(self, index: usize) -> (Self, Self) {
+                let mid = self
+                    .range
+                    .start
+                    .checked_add(index as $t)
+                    .unwrap_or(self.range.end)
+                    .min(self.range.end);
+                (
+                    ParRange { range: self.range.start..mid },
+                    ParRange { range: mid..self.range.end },
+                )
+            }
+
+            fn into_seq(self) -> Range<$t> {
+                self.range
+            }
+        }
+    )*};
+}
+
+impl_par_range!(usize, u32, u64, i32, i64);
+
+/// Parallel iterator over an owned vector.
+pub struct ParVec<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = ParVec<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { items: self }
+    }
+}
+
+impl<T: Send> ParallelIterator for ParVec<T> {
+    type Item = T;
+    type SeqIter = std::vec::IntoIter<T>;
+
+    fn pi_len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn pi_split_at(mut self, index: usize) -> (Self, Self) {
+        let tail = self.items.split_off(index.min(self.items.len()));
+        (self, ParVec { items: tail })
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.items.into_iter()
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct ParSliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParSliceIter<'a, T> {
+    type Item = &'a T;
+    type SeqIter = std::slice::Iter<'a, T>;
+
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at(index.min(self.slice.len()));
+        (ParSliceIter { slice: l }, ParSliceIter { slice: r })
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.iter()
+    }
+}
+
+/// Parallel iterator over `size`-chunks of `&[T]`.
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
+    type Item = &'a [T];
+    type SeqIter = std::slice::Chunks<'a, T>;
+
+    fn pi_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let at = (index * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at(at);
+        (ParChunks { slice: l, size: self.size }, ParChunks { slice: r, size: self.size })
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.chunks(self.size)
+    }
+}
+
+/// Parallel iterator over `size`-chunks of `&mut [T]`.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for ParChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    type SeqIter = std::slice::ChunksMut<'a, T>;
+
+    fn pi_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let at = (index * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at_mut(at);
+        (ParChunksMut { slice: l, size: self.size }, ParChunksMut { slice: r, size: self.size })
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.chunks_mut(self.size)
+    }
+}
+
+/// `par_iter` / `par_chunks` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel shared iteration.
+    fn par_iter(&self) -> ParSliceIter<'_, T>;
+    /// Parallel iteration over `size`-chunks.
+    fn par_chunks(&self, size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParSliceIter<'_, T> {
+        ParSliceIter { slice: self }
+    }
+
+    fn par_chunks(&self, size: usize) -> ParChunks<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        ParChunks { slice: self, size }
+    }
+}
+
+/// `par_chunks_mut` on exclusive slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iteration over exclusive `size`-chunks.
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        ParChunksMut { slice: self, size }
+    }
+}
+
+/// Run two closures, potentially in parallel (sequential here: the
+/// workspace never calls this on hot paths).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn collect_preserves_order() {
+        let v: Vec<usize> = (0..10_000usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v.len(), 10_000);
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(v[7], 14);
+    }
+
+    #[test]
+    fn filter_then_sum() {
+        let s: u64 = (0..1_000u64).into_par_iter().filter(|&x| x % 2 == 0).sum();
+        assert_eq!(s, (0..1_000).filter(|&x| x % 2 == 0).sum::<u64>());
+    }
+
+    #[test]
+    fn chunks_are_globally_aligned() {
+        let chunks: Vec<Vec<usize>> = (0..2_500usize).into_par_iter().chunks(512).collect();
+        assert_eq!(chunks.len(), 5);
+        for (i, c) in chunks.iter().enumerate() {
+            assert_eq!(c[0], i * 512, "chunk {i} misaligned");
+        }
+        assert_eq!(chunks[4].len(), 2_500 - 4 * 512);
+    }
+
+    #[test]
+    fn enumerate_has_global_indices() {
+        let data = vec![7u8; 5_000];
+        let pairs: Vec<(usize, &u8)> = data.par_iter().enumerate().collect();
+        for (expect, (got, _)) in pairs.iter().enumerate() {
+            assert_eq!(expect, *got);
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_disjointly() {
+        let mut data = vec![0u32; 10_000];
+        data.par_chunks_mut(256).enumerate().for_each(|(ci, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = ci as u32;
+            }
+        });
+        assert_eq!(data[0], 0);
+        assert_eq!(data[256], 1);
+        assert_eq!(data[9_999], (9_999 / 256) as u32);
+    }
+
+    #[test]
+    fn fold_reduce_matches_sequential() {
+        let data: Vec<u32> = (0..50_000).collect();
+        let total: u64 = data
+            .par_chunks(128)
+            .fold(|| 0u64, |acc, chunk| acc + chunk.iter().map(|&x| x as u64).sum::<u64>())
+            .reduce(|| 0u64, |a, b| a + b);
+        assert_eq!(total, (0..50_000u64).sum::<u64>());
+    }
+
+    #[test]
+    fn reduce_on_map() {
+        let (any, total) = (0..1_000usize)
+            .into_par_iter()
+            .map(|x| (x == 997, x as u64))
+            .reduce(|| (false, 0), |(a, s1), (b, s2)| (a || b, s1 + s2));
+        assert!(any);
+        assert_eq!(total, (0..1_000u64).sum::<u64>());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let v: Vec<u32> = (0..0u32).into_par_iter().collect();
+        assert!(v.is_empty());
+        let s: u64 = Vec::<u64>::new().into_par_iter().sum();
+        assert_eq!(s, 0);
+        let r = (0..0usize).into_par_iter().reduce(|| 42, |a, b| a + b);
+        assert_eq!(r, 42);
+    }
+}
