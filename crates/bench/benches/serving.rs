@@ -5,7 +5,7 @@
 //! the two is the runtime's claim to existence.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use gswitch_core::AutoPolicy;
+use gswitch_core::{AutoPolicy, RecorderHandle};
 use gswitch_graph::gen;
 use gswitch_runtime::{execute, ConfigCache, GraphRegistry, Query};
 use gswitch_simt::DeviceSpec;
@@ -23,34 +23,78 @@ fn bench_query_latency(c: &mut Criterion) {
         b.iter(|| {
             // A fresh cache every run: the engine tunes from scratch.
             let cache = ConfigCache::new();
-            execute(black_box(&entry), &Query::Bfs { src: 0 }, &cache, &AutoPolicy, &device)
-                .unwrap()
+            execute(
+                black_box(&entry),
+                &Query::Bfs { src: 0 },
+                &cache,
+                &AutoPolicy,
+                &device,
+                RecorderHandle::none(),
+            )
+            .unwrap()
         });
     });
 
     let warm_cache = ConfigCache::new();
-    execute(&entry, &Query::Bfs { src: 0 }, &warm_cache, &AutoPolicy, &device).unwrap();
+    execute(
+        &entry,
+        &Query::Bfs { src: 0 },
+        &warm_cache,
+        &AutoPolicy,
+        &device,
+        RecorderHandle::none(),
+    )
+    .unwrap();
     group.bench_function("bfs_warm", |b| {
         b.iter(|| {
-            execute(black_box(&entry), &Query::Bfs { src: 0 }, &warm_cache, &AutoPolicy, &device)
-                .unwrap()
+            execute(
+                black_box(&entry),
+                &Query::Bfs { src: 0 },
+                &warm_cache,
+                &AutoPolicy,
+                &device,
+                RecorderHandle::none(),
+            )
+            .unwrap()
         });
     });
 
     group.bench_function("pr_cold", |b| {
         b.iter(|| {
             let cache = ConfigCache::new();
-            execute(black_box(&entry), &Query::Pr { eps: 1e-3 }, &cache, &AutoPolicy, &device)
-                .unwrap()
+            execute(
+                black_box(&entry),
+                &Query::Pr { eps: 1e-3 },
+                &cache,
+                &AutoPolicy,
+                &device,
+                RecorderHandle::none(),
+            )
+            .unwrap()
         });
     });
 
     let warm_pr = ConfigCache::new();
-    execute(&entry, &Query::Pr { eps: 1e-3 }, &warm_pr, &AutoPolicy, &device).unwrap();
+    execute(
+        &entry,
+        &Query::Pr { eps: 1e-3 },
+        &warm_pr,
+        &AutoPolicy,
+        &device,
+        RecorderHandle::none(),
+    )
+    .unwrap();
     group.bench_function("pr_warm", |b| {
         b.iter(|| {
-            execute(black_box(&entry), &Query::Pr { eps: 1e-3 }, &warm_pr, &AutoPolicy, &device)
-                .unwrap()
+            execute(
+                black_box(&entry),
+                &Query::Pr { eps: 1e-3 },
+                &warm_pr,
+                &AutoPolicy,
+                &device,
+                RecorderHandle::none(),
+            )
+            .unwrap()
         });
     });
 

@@ -7,6 +7,7 @@ use gswitch_kernels::pattern::{
     AsFormat, Direction, Fusion, KernelConfig, LoadBalance, SteppingDelta,
 };
 use gswitch_kernels::{classify, expand, materialize, EdgeApp, Frontier, IterStats};
+use gswitch_obs::{Provenance, RecorderHandle, TraceEvent};
 use gswitch_simt::{DeviceSpec, SimMs};
 
 /// Which patterns the Selector may actually switch — the ablation knob
@@ -104,6 +105,9 @@ pub struct EngineOptions {
     /// paper's switch-back rule). Disable only to study the *pure* fused
     /// candidate, as Fig. 9 does.
     pub break_fused_chains: bool,
+    /// Decision-trace sink. Off by default; when off the loop pays one
+    /// `Option` check per iteration and builds no event.
+    pub recorder: RecorderHandle,
 }
 
 impl Default for EngineOptions {
@@ -114,6 +118,7 @@ impl Default for EngineOptions {
             mask: PatternMask::all(),
             stability_bypass: true,
             break_fused_chains: true,
+            recorder: RecorderHandle::none(),
         }
     }
 }
@@ -327,7 +332,7 @@ pub fn run_with_seed_config<A: EdgeApp>(
         }
 
         // ---- Executor: Filter phase (or fused continuation).
-        let (frontier, status, stats, filter_ms, estimated, mut config, decided);
+        let (frontier, status, stats, filter_ms, estimated, mut config, decided, provenance);
         match pending.take() {
             Some((queue, est_stats)) => {
                 // Fused chain: skip Filter entirely; reuse the last config.
@@ -336,6 +341,7 @@ pub fn run_with_seed_config<A: EdgeApp>(
                 config = last_config.expect("fused chain implies a previous config");
                 config.stepping = stepping;
                 decided = false;
+                provenance = Provenance::FusedChain;
                 estimated = true;
                 frontier = Frontier::RawQueue(queue);
                 status = Vec::new();
@@ -366,11 +372,13 @@ pub fn run_with_seed_config<A: EdgeApp>(
                 if stable {
                     config = last_config.expect("stable implies history");
                     decided = false;
+                    provenance = Provenance::StabilityBypass;
                 } else if iteration == 0 && seed.is_some() {
                     // Warm start: the cached configuration plays the
                     // role of the first decision.
                     config = seed.expect("checked is_some");
                     decided = false;
+                    provenance = Provenance::WarmStart;
                 } else {
                     let mut c = KernelConfig::push_baseline();
                     timed(&mut || {
@@ -378,6 +386,7 @@ pub fn run_with_seed_config<A: EdgeApp>(
                     });
                     config = c;
                     decided = true;
+                    provenance = Provenance::Decided;
                 }
                 config.stepping = stepping;
                 config = caps.clamp(opts.mask.apply(config));
@@ -420,6 +429,31 @@ pub fn run_with_seed_config<A: EdgeApp>(
             duplicates: eo.profile.duplicates,
             features,
         });
+
+        // Decision trace: one event per super-step. The prediction is
+        // the Inspector's historical expectation (`t_e_avg` *before*
+        // this iteration folds in) — the exact signal the stability
+        // bypass gambles on, so `measured - predicted` is its regret.
+        if let Some(rec) = opts.recorder.active() {
+            rec.record(&TraceEvent {
+                iteration,
+                config,
+                provenance,
+                predicted_ms: ctx.t_e_avg,
+                measured_ms: expand_ms,
+                filter_ms,
+                overhead_ms,
+                v_active: stats.v_active,
+                e_active: stats.e_active,
+                edges_touched: eo.edges_touched,
+                activations: eo.activations,
+                duplicates: eo.profile.duplicates,
+                task_total_cycles: eo.profile.tasks.total_cycles,
+                task_max_cycles: eo.profile.tasks.max_cycles,
+                task_count: eo.profile.tasks.count,
+                features,
+            });
+        }
 
         // History for the next Inspector.
         tf_sum += filter_ms;

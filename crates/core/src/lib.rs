@@ -31,6 +31,11 @@ pub use engine::{
 pub use features::DecisionContext;
 pub use policy::{AppCaps, AutoPolicy, ModelPolicy, Policy, StaticPolicy};
 
+// Observability handles callers need to request a decision trace
+// (`EngineOptions.recorder`); the full registry/summary API lives in
+// `gswitch-obs`.
+pub use gswitch_obs::{Provenance, Recorder, RecorderHandle, TraceEvent, TraceRing};
+
 // The user programming API re-exported at the crate root: implementing
 // `GraphApp` (the paper's filter/emit/comp/compAtomic quartet) is all a
 // user writes.

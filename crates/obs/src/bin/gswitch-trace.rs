@@ -1,0 +1,54 @@
+//! Summarize a gswitch decision trace (JSONL, as written by the
+//! `trace` verb of `gswitch-serve` or `TraceRing::to_jsonl`).
+//!
+//! Usage: `gswitch-trace [FILE|-]` — reads stdin when the argument is
+//! `-` or absent. Exits nonzero if any line fails to parse, so CI can
+//! pipe a fresh trace through it as a schema check.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let arg = std::env::args().nth(1);
+    let (source, text) = match arg.as_deref() {
+        Some("--help") | Some("-h") => {
+            eprintln!("usage: gswitch-trace [FILE|-]   (default: stdin)");
+            return ExitCode::SUCCESS;
+        }
+        Some("-") | None => {
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("gswitch-trace: reading stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+            ("<stdin>".to_string(), buf)
+        }
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(buf) => (path.to_string(), buf),
+            Err(e) => {
+                eprintln!("gswitch-trace: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    let parsed = gswitch_obs::parse_jsonl(&text);
+    print!("{}", gswitch_obs::summarize(&parsed.events).render());
+
+    if parsed.errors.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for (line, err) in parsed.errors.iter().take(5) {
+            eprintln!("gswitch-trace: {source}:{line}: {err}");
+        }
+        if parsed.errors.len() > 5 {
+            eprintln!("gswitch-trace: ... {} more bad lines", parsed.errors.len() - 5);
+        }
+        eprintln!(
+            "gswitch-trace: {} of {} lines failed to parse",
+            parsed.errors.len(),
+            parsed.errors.len() + parsed.events.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,411 @@
+//! A minimal JSON encoder/decoder — just enough for the trace and
+//! metrics formats, with zero dependencies.
+//!
+//! The writer produces compact, deterministic output (insertion order
+//! preserved, shortest-round-trip floats, non-finite floats written as
+//! `0` so a line never becomes unparseable). The parser accepts the full
+//! JSON grammar and returns a [`JsonValue`] tree. Neither side tries to
+//! be a general serde replacement: `gswitch-obs` must stay pullable into
+//! the engine's hot loop without widening the dependency graph, so the
+//! vendored serde stack is deliberately not used here.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// An incremental writer for one JSON object or array.
+pub struct JsonWriter {
+    buf: String,
+    close: char,
+    need_comma: bool,
+    after_key: bool,
+}
+
+impl JsonWriter {
+    /// Start an object (`{`).
+    pub fn object() -> Self {
+        JsonWriter { buf: String::from("{"), close: '}', need_comma: false, after_key: false }
+    }
+
+    /// Start an array (`[`).
+    pub fn array() -> Self {
+        JsonWriter { buf: String::from("["), close: ']', need_comma: false, after_key: false }
+    }
+
+    /// Write an object key (call before each value inside an object).
+    pub fn key(&mut self, k: &str) {
+        if self.need_comma {
+            self.buf.push(',');
+        }
+        escape_into(k, &mut self.buf);
+        self.buf.push(':');
+        self.after_key = true;
+    }
+
+    fn value_slot(&mut self) {
+        if self.after_key {
+            self.after_key = false;
+        } else if self.need_comma {
+            self.buf.push(',');
+        }
+        self.need_comma = true;
+    }
+
+    /// Write a string value.
+    pub fn string(&mut self, s: &str) {
+        self.value_slot();
+        escape_into(s, &mut self.buf);
+    }
+
+    /// Write an unsigned integer value.
+    pub fn uint(&mut self, v: u64) {
+        self.value_slot();
+        let _ = write!(self.buf, "{v}");
+    }
+
+    /// Write a signed integer value.
+    pub fn int(&mut self, v: i64) {
+        self.value_slot();
+        let _ = write!(self.buf, "{v}");
+    }
+
+    /// Write a float value (non-finite → `0`, keeping lines parseable).
+    pub fn float(&mut self, v: f64) {
+        self.value_slot();
+        if v.is_finite() {
+            let _ = write!(self.buf, "{v}");
+        } else {
+            self.buf.push('0');
+        }
+    }
+
+    /// Write a boolean value.
+    pub fn bool(&mut self, v: bool) {
+        self.value_slot();
+        self.buf.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Splice an already-encoded JSON fragment as a value.
+    pub fn raw(&mut self, fragment: &str) {
+        self.value_slot();
+        self.buf.push_str(fragment);
+    }
+
+    /// Close and return the encoded text.
+    pub fn finish(mut self) -> String {
+        self.buf.push(self.close);
+        self.buf
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (carried as f64; integral values round-trip exactly up
+    /// to 2^53, far beyond anything a trace records).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object (sorted by key).
+    Obj(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// As f64, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// As u64, if numeric and non-negative.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) if *n >= 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// As i64, if numeric.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::Num(n) => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// As &str, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// As a slice, if an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one JSON document. Trailing non-whitespace is an error.
+pub fn parse(text: &str) -> Result<JsonValue, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing characters at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Obj(map));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    JsonValue::Str(s) => s,
+                    _ => return Err(format!("object key at byte {pos} is not a string")),
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let val = parse_value(b, pos)?;
+                map.insert(key, val);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Obj(map));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(b, pos).map(JsonValue::Str),
+        Some(b't') => parse_lit(b, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", JsonValue::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(b[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                            16,
+                        )
+                        .map_err(|_| "bad \\u escape")?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (the input is a &str, so byte
+                // boundaries are safe to recover).
+                let start = *pos;
+                *pos += 1;
+                while *pos < b.len() && (b[*pos] & 0xC0) == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?);
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(JsonValue::Num)
+        .map_err(|_| format!("bad number `{text}` at byte {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_builds_nested_objects() {
+        let mut inner = JsonWriter::array();
+        inner.uint(1);
+        inner.float(2.5);
+        inner.string("a\"b");
+        let mut w = JsonWriter::object();
+        w.key("n");
+        w.uint(7);
+        w.key("items");
+        w.raw(&inner.finish());
+        w.key("ok");
+        w.bool(true);
+        assert_eq!(w.finish(), r#"{"n":7,"items":[1,2.5,"a\"b"],"ok":true}"#);
+    }
+
+    #[test]
+    fn nonfinite_floats_stay_parseable() {
+        let mut w = JsonWriter::object();
+        w.key("x");
+        w.float(f64::NAN);
+        let text = w.finish();
+        assert_eq!(text, r#"{"x":0}"#);
+        assert!(parse(&text).is_ok());
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let mut w = JsonWriter::object();
+        w.key("iter");
+        w.uint(3);
+        w.key("ms");
+        w.float(0.125);
+        w.key("tag");
+        w.string("push/queue");
+        let v = parse(&w.finish()).unwrap();
+        assert_eq!(v.get("iter").and_then(JsonValue::as_u64), Some(3));
+        assert_eq!(v.get("ms").and_then(JsonValue::as_f64), Some(0.125));
+        assert_eq!(v.get("tag").and_then(JsonValue::as_str), Some("push/queue"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("{\"a\":}").is_err());
+        assert!(parse("[1,2,]").is_err());
+        assert!(parse("123 trailing").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_unicode() {
+        let v = parse(r#"{"s":"line\nbreak A é"}"#).unwrap();
+        assert_eq!(v.get("s").and_then(JsonValue::as_str), Some("line\nbreak A é"));
+    }
+
+    #[test]
+    fn numbers_parse_in_all_forms() {
+        assert_eq!(parse("-3.5e2").unwrap().as_f64(), Some(-350.0));
+        assert_eq!(parse("0").unwrap().as_u64(), Some(0));
+        assert_eq!(parse("-7").unwrap().as_i64(), Some(-7));
+    }
+}

@@ -1,0 +1,36 @@
+//! Observability for the GSWITCH autotuner: a lock-cheap metrics
+//! registry, a decision trace of the Inspector→Selector→Executor loop,
+//! and analytics over exported traces.
+//!
+//! The paper's evaluation hinges on *why* a configuration was chosen —
+//! which features drove the Selector, whether the stability bypass
+//! skipped it, how far the expectation missed the measurement. This
+//! crate captures exactly that, one [`TraceEvent`] per engine
+//! iteration, behind a [`Recorder`] trait that costs a null-check when
+//! disabled:
+//!
+//! * [`metrics`] — named [`Counter`]s, [`Gauge`]s and fixed-bucket
+//!   [`Histogram`]s with mergeable snapshots and p50/p95/p99 estimates.
+//! * [`trace`] — the per-iteration [`TraceEvent`], the bounded
+//!   [`TraceRing`] it lands in, and JSONL export/import.
+//! * [`summary`] — switch counts, direction-flip timeline, regret and
+//!   load-balance imbalance; what the `gswitch-trace` binary prints.
+//! * [`json`] — the dependency-free JSON writer/parser behind the wire
+//!   format (this crate deliberately takes no external dependencies so
+//!   it can sit below `gswitch-core` in the build graph).
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod summary;
+pub mod trace;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+    LATENCY_MS_BUCKETS, SIZE_BUCKETS,
+};
+pub use summary::{parse_jsonl, summarize, DirectionFlip, LbStats, ParsedTrace, TraceSummary};
+pub use trace::{
+    names, NullRecorder, Provenance, Recorder, RecorderHandle, StampedEvent, TraceEvent, TraceRing,
+};

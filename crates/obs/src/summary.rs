@@ -1,0 +1,345 @@
+//! Trace analytics: turn a JSONL decision trace into the numbers the
+//! evaluation methodology cares about — per-pattern switch counts, the
+//! direction-flip timeline, prediction quality and regret, and
+//! load-balance imbalance per strategy.
+
+use crate::trace::{names, StampedEvent};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Result of parsing a JSONL trace: the good lines and the bad ones.
+#[derive(Debug, Default)]
+pub struct ParsedTrace {
+    /// Successfully decoded events, in file order.
+    pub events: Vec<StampedEvent>,
+    /// `(1-based line number, error)` for every undecodable line.
+    pub errors: Vec<(usize, String)>,
+}
+
+/// Parse a whole JSONL document (blank lines are skipped).
+pub fn parse_jsonl(text: &str) -> ParsedTrace {
+    let mut out = ParsedTrace::default();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match StampedEvent::from_json_line(line) {
+            Ok(ev) => out.events.push(ev),
+            Err(e) => out.errors.push((i + 1, e)),
+        }
+    }
+    out
+}
+
+/// One direction flip: where a run changed traversal direction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DirectionFlip {
+    /// Job the flip happened in.
+    pub job: u64,
+    /// Iteration that ran the new direction.
+    pub iteration: u32,
+    /// Direction before.
+    pub from: &'static str,
+    /// Direction after.
+    pub to: &'static str,
+}
+
+/// Per-load-balance-strategy imbalance accounting.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LbStats {
+    /// Iterations that ran this strategy.
+    pub events: u64,
+    /// Mean max/mean warp-task imbalance over those iterations.
+    pub mean_imbalance: f64,
+    /// Worst single-iteration imbalance.
+    pub max_imbalance: f64,
+}
+
+/// Everything `gswitch-trace` reports about one trace.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSummary {
+    /// Events analyzed.
+    pub events: usize,
+    /// Distinct job ids seen.
+    pub jobs: usize,
+    /// Per-pattern switch counts: iterations (within a job) whose value
+    /// for that pattern differs from the previous iteration's.
+    pub switches: BTreeMap<&'static str, u64>,
+    /// Provenance counts (decided / bypass / warm / fused-chain).
+    pub provenance: BTreeMap<&'static str, u64>,
+    /// Direction flips in event order.
+    pub flips: Vec<DirectionFlip>,
+    /// Events with a real prediction (`predicted_ms > 0`).
+    pub predicted_events: u64,
+    /// Mean |measured − predicted| / measured over predicted events.
+    pub mean_abs_rel_error: f64,
+    /// Predicted events missing by more than 50% either way.
+    pub mispredicts: u64,
+    /// Total positive miss (measured − predicted clamped at 0) — regret
+    /// against the Inspector's own expectation, the reproducible proxy
+    /// for oracle regret when no brute-force labels ride in the trace.
+    pub regret_ms: f64,
+    /// Total measured expand time, for scale.
+    pub measured_ms: f64,
+    /// Imbalance per load-balance strategy.
+    pub lb: BTreeMap<&'static str, LbStats>,
+}
+
+/// Analyze events (grouping by job id; iterations are assumed ordered
+/// within a job, which is how the engine emits them).
+pub fn summarize(events: &[StampedEvent]) -> TraceSummary {
+    let mut s = TraceSummary { events: events.len(), ..Default::default() };
+    for key in ["direction", "format", "lb", "stepping", "fusion"] {
+        s.switches.insert(key, 0);
+    }
+    for key in ["decided", "bypass", "warm", "fused-chain"] {
+        s.provenance.insert(key, 0);
+    }
+
+    let mut last_by_job: BTreeMap<u64, &StampedEvent> = BTreeMap::new();
+    let mut lb_sums: BTreeMap<&'static str, (u64, f64, f64)> = BTreeMap::new();
+    let mut err_sum = 0.0;
+
+    for ev in events {
+        let e = &ev.event;
+        *s.provenance.entry(e.provenance.as_str()).or_insert(0) += 1;
+
+        if let Some(prev) = last_by_job.get(&ev.job) {
+            let p = &prev.event.config;
+            let c = &e.config;
+            if p.direction != c.direction {
+                *s.switches.get_mut("direction").unwrap() += 1;
+                s.flips.push(DirectionFlip {
+                    job: ev.job,
+                    iteration: e.iteration,
+                    from: names::direction(p.direction),
+                    to: names::direction(c.direction),
+                });
+            }
+            if p.format != c.format {
+                *s.switches.get_mut("format").unwrap() += 1;
+            }
+            if p.lb != c.lb {
+                *s.switches.get_mut("lb").unwrap() += 1;
+            }
+            if p.stepping != c.stepping {
+                *s.switches.get_mut("stepping").unwrap() += 1;
+            }
+            if p.fusion != c.fusion {
+                *s.switches.get_mut("fusion").unwrap() += 1;
+            }
+        }
+        last_by_job.insert(ev.job, ev);
+
+        s.measured_ms += e.measured_ms;
+        if e.predicted_ms > 0.0 && e.measured_ms > 0.0 {
+            s.predicted_events += 1;
+            let rel = (e.measured_ms - e.predicted_ms).abs() / e.measured_ms;
+            err_sum += rel;
+            if rel > 0.5 {
+                s.mispredicts += 1;
+            }
+            s.regret_ms += (e.measured_ms - e.predicted_ms).max(0.0);
+        }
+
+        let entry = lb_sums.entry(names::lb(e.config.lb)).or_insert((0, 0.0, 0.0));
+        entry.0 += 1;
+        let imb = e.imbalance();
+        entry.1 += imb;
+        entry.2 = entry.2.max(imb);
+    }
+
+    s.jobs = last_by_job.len();
+    if s.predicted_events > 0 {
+        s.mean_abs_rel_error = err_sum / s.predicted_events as f64;
+    }
+    for (k, (n, sum, max)) in lb_sums {
+        s.lb.insert(
+            k,
+            LbStats {
+                events: n,
+                mean_imbalance: if n == 0 { 0.0 } else { sum / n as f64 },
+                max_imbalance: max,
+            },
+        );
+    }
+    s
+}
+
+impl TraceSummary {
+    /// Render the human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "trace: {} events across {} jobs", self.events, self.jobs);
+
+        let _ = write!(out, "switches:   ");
+        for key in ["direction", "format", "lb", "stepping", "fusion"] {
+            let _ = write!(out, "{key} {}  ", self.switches.get(key).copied().unwrap_or(0));
+        }
+        out.push('\n');
+
+        let _ = write!(out, "provenance: ");
+        for key in ["decided", "bypass", "warm", "fused-chain"] {
+            let _ = write!(out, "{key} {}  ", self.provenance.get(key).copied().unwrap_or(0));
+        }
+        out.push('\n');
+
+        if self.predicted_events > 0 {
+            let _ = writeln!(
+                out,
+                "prediction: {} events  mean |err| {:.1}%  mispredicts(>50%) {}  regret {:.3} ms \
+                 ({:.1}% of {:.3} ms measured)",
+                self.predicted_events,
+                self.mean_abs_rel_error * 100.0,
+                self.mispredicts,
+                self.regret_ms,
+                if self.measured_ms > 0.0 {
+                    self.regret_ms / self.measured_ms * 100.0
+                } else {
+                    0.0
+                },
+                self.measured_ms,
+            );
+        } else {
+            let _ = writeln!(out, "prediction: no events carried a prediction");
+        }
+
+        if self.lb.is_empty() {
+            let _ = writeln!(out, "load balance: no events");
+        } else {
+            let _ = writeln!(out, "load balance (imbalance = max/mean warp-task cycles):");
+            for (k, v) in &self.lb {
+                let _ = writeln!(
+                    out,
+                    "  {k:<7} {:>6} iters  mean {:>6.2}  worst {:>6.2}",
+                    v.events, v.mean_imbalance, v.max_imbalance
+                );
+            }
+        }
+
+        if self.flips.is_empty() {
+            let _ = writeln!(out, "direction flips: none");
+        } else {
+            let _ = writeln!(out, "direction flips ({}):", self.flips.len());
+            for f in self.flips.iter().take(20) {
+                let _ = writeln!(
+                    out,
+                    "  job {:<4} iter {:<5} {} -> {}",
+                    f.job, f.iteration, f.from, f.to
+                );
+            }
+            if self.flips.len() > 20 {
+                let _ = writeln!(out, "  ... {} more", self.flips.len() - 20);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Provenance, TraceEvent, TraceRing};
+    use gswitch_kernels::pattern::{Direction, Fusion, KernelConfig, LoadBalance};
+    use gswitch_ml::FEATURE_COUNT;
+    use std::sync::Arc;
+
+    fn event(iteration: u32, config: KernelConfig, predicted: f64, measured: f64) -> TraceEvent {
+        TraceEvent {
+            iteration,
+            config,
+            provenance: if iteration == 0 {
+                Provenance::Decided
+            } else {
+                Provenance::StabilityBypass
+            },
+            predicted_ms: predicted,
+            measured_ms: measured,
+            filter_ms: 0.1,
+            overhead_ms: 0.01,
+            v_active: 5,
+            e_active: 40,
+            edges_touched: 38,
+            activations: 20,
+            duplicates: 0,
+            task_total_cycles: 400.0,
+            task_max_cycles: 100.0,
+            task_count: 8,
+            features: [0.0; FEATURE_COUNT],
+        }
+    }
+
+    #[test]
+    fn summary_counts_switches_flips_and_regret() {
+        let push = KernelConfig::push_baseline();
+        let pull = KernelConfig { direction: Direction::Pull, ..push };
+        let fused = KernelConfig { fusion: Fusion::Fused, ..push };
+        let ring = Arc::new(TraceRing::new(64));
+        ring.push(1, "g", "bfs", &event(0, push, 0.0, 1.0));
+        ring.push(1, "g", "bfs", &event(1, pull, 1.0, 3.0)); // flip, regret 2
+        ring.push(1, "g", "bfs", &event(2, pull, 2.0, 1.0)); // no regret
+        ring.push(2, "g", "cc", &event(0, push, 0.0, 1.0));
+        ring.push(2, "g", "cc", &event(1, fused, 1.0, 1.2)); // fusion switch
+        let events = ring.snapshot();
+
+        let s = summarize(&events);
+        assert_eq!(s.events, 5);
+        assert_eq!(s.jobs, 2);
+        assert_eq!(s.switches["direction"], 1);
+        assert_eq!(s.switches["fusion"], 1);
+        assert_eq!(s.switches["format"], 0);
+        assert_eq!(s.flips, vec![DirectionFlip { job: 1, iteration: 1, from: "push", to: "pull" }]);
+        assert_eq!(s.predicted_events, 3);
+        // regret: (3-1) + 0 + (1.2-1) = 2.2
+        assert!((s.regret_ms - 2.2).abs() < 1e-9);
+        // mispredicts: |3-1|/3 = 0.67 > 0.5; |1-2|/1 = 1.0 > 0.5 → 2
+        assert_eq!(s.mispredicts, 2);
+        assert_eq!(s.lb["twc"].events, 5);
+        assert_eq!(s.lb["twc"].mean_imbalance, 2.0);
+        let text = s.render();
+        assert!(text.contains("direction 1"));
+        assert!(text.contains("job 1    iter 1"));
+    }
+
+    #[test]
+    fn jsonl_parse_reports_line_numbers_for_errors() {
+        let ring = Arc::new(TraceRing::new(8));
+        ring.push(1, "g", "bfs", &event(0, KernelConfig::push_baseline(), 0.0, 1.0));
+        let mut text = ring.to_jsonl();
+        text.push_str("this is not json\n");
+        text.push('\n'); // blank lines are fine
+        let parsed = parse_jsonl(&text);
+        assert_eq!(parsed.events.len(), 1);
+        assert_eq!(parsed.errors.len(), 1);
+        assert_eq!(parsed.errors[0].0, 2);
+    }
+
+    #[test]
+    fn full_ring_to_summary_round_trip() {
+        let ring = Arc::new(TraceRing::new(128));
+        let push = KernelConfig::push_baseline();
+        let strict = KernelConfig { lb: LoadBalance::Strict, ..push };
+        for i in 0..10 {
+            let cfg = if i % 2 == 0 { push } else { strict };
+            ring.push(3, "kron", "pr", &event(i, cfg, 0.5, 1.0));
+        }
+        let parsed = parse_jsonl(&ring.to_jsonl());
+        assert!(parsed.errors.is_empty());
+        let s = summarize(&parsed.events);
+        assert_eq!(s.events, 10);
+        assert_eq!(s.switches["lb"], 9);
+        assert_eq!(s.lb["twc"].events, 5);
+        assert_eq!(s.lb["strict"].events, 5);
+    }
+
+    #[test]
+    fn empty_trace_summarizes_cleanly() {
+        let s = summarize(&[]);
+        assert_eq!(s.events, 0);
+        assert_eq!(s.jobs, 0);
+        assert_eq!(s.predicted_events, 0);
+        let text = s.render();
+        assert!(text.contains("0 events"));
+        assert!(text.contains("no events carried a prediction"));
+    }
+}

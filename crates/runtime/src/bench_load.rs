@@ -5,6 +5,7 @@
 //! cache hit rate for each phase.
 
 use crate::cache::ConfigCache;
+use crate::obs::RuntimeObs;
 use crate::query::{JobStatus, Query};
 use crate::registry::GraphRegistry;
 use crate::scheduler::{Scheduler, SchedulerConfig, SubmitError};
@@ -171,6 +172,19 @@ pub fn run_phase(
 /// The full cold/warm comparison behind `gswitch-serve --bench-load`.
 /// Returns `(cold, warm)`.
 pub fn bench_load(queries: usize, workers: usize, seed: u64) -> (PhaseReport, PhaseReport) {
+    bench_load_with_obs(queries, workers, seed, &Arc::new(RuntimeObs::new()))
+}
+
+/// [`bench_load`] reporting into a caller-owned observability root.
+/// With `obs` tracing enabled, every engine iteration of both phases
+/// lands in `obs.trace` (sized for the run: pass a ring large enough or
+/// accept eviction of the oldest events).
+pub fn bench_load_with_obs(
+    queries: usize,
+    workers: usize,
+    seed: u64,
+    obs: &Arc<RuntimeObs>,
+) -> (PhaseReport, PhaseReport) {
     let registry = Arc::new(GraphRegistry::new());
     let graphs = default_graphs(&registry);
     let cache = Arc::new(ConfigCache::new());
@@ -180,7 +194,8 @@ pub fn bench_load(queries: usize, workers: usize, seed: u64) -> (PhaseReport, Ph
         default_timeout_ms: 120_000,
         ..Default::default()
     };
-    let scheduler = Scheduler::new(Arc::clone(&registry), Arc::clone(&cache), config);
+    let scheduler =
+        Scheduler::with_obs(Arc::clone(&registry), Arc::clone(&cache), config, Arc::clone(obs));
 
     let specs = synthetic_workload(&registry, &graphs, queries, seed);
     let cold = run_phase(&scheduler, &cache, &specs, "cold");
@@ -220,6 +235,19 @@ mod tests {
         assert_eq!(percentile(&ms, 0.99), 99.0);
         assert_eq!(percentile(&ms, 1.0), 100.0);
         assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn traced_bench_load_fills_the_ring_with_parseable_events() {
+        let obs = Arc::new(RuntimeObs::new());
+        obs.set_tracing(true);
+        let (cold, warm) = bench_load_with_obs(5, 2, 7, &obs);
+        assert_eq!(cold.failed + warm.failed, 0);
+        assert!(!obs.trace.is_empty(), "tracing enabled but ring is empty");
+        let parsed = gswitch_obs::parse_jsonl(&obs.trace.to_jsonl());
+        assert!(parsed.errors.is_empty(), "unparseable trace lines: {:?}", parsed.errors);
+        let summary = gswitch_obs::summarize(&parsed.events);
+        assert!(summary.jobs >= 5, "expected at least one job per cold query");
     }
 
     #[test]

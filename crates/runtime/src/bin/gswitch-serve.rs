@@ -9,22 +9,28 @@
 //! cold (empty tuned-config cache) then warm (cache filled by the cold
 //! pass) — and print QPS, latency percentiles, and hit rates.
 
-use gswitch_runtime::bench_load::bench_load;
+use gswitch_runtime::bench_load::bench_load_with_obs;
 use gswitch_runtime::protocol::Request;
 use gswitch_runtime::{
-    ConfigCache, GraphRegistry, JobSpec, Scheduler, SchedulerConfig, SubmitError,
+    ConfigCache, GraphRegistry, JobSpec, RuntimeObs, Scheduler, SchedulerConfig, SubmitError,
 };
 use std::io::{BufRead, Write};
 use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: gswitch-serve [--bench-load] [--queries N] [--workers N] [--seed N]\n\
+        "usage: gswitch-serve [--bench-load] [--queries N] [--workers N] [--seed N] \
+         [--trace FILE]\n\
+         \n\
+         --trace FILE (with --bench-load): record a decision trace of the whole run\n\
+         as JSONL to FILE; inspect it with `gswitch-trace FILE`.\n\
          \n\
          Without flags, serves line-delimited JSON requests on stdin:\n\
            {{\"cmd\":\"load\",\"name\":\"kron\",\"gen\":{{\"kind\":\"rmat\",\"scale\":10}}}}\n\
            {{\"cmd\":\"query\",\"graph\":\"kron\",\"query\":{{\"Bfs\":{{\"src\":0}}}}}}\n\
-           {{\"cmd\":\"stats\"}} | {{\"cmd\":\"save_cache\",\"path\":\"f\"}} | \
+           {{\"cmd\":\"stats\"}} | {{\"cmd\":\"trace\",\"enable\":true}} | \
+         {{\"cmd\":\"trace\",\"path\":\"f.jsonl\",\"clear\":true}}\n\
+           {{\"cmd\":\"save_cache\",\"path\":\"f\"}} | \
          {{\"cmd\":\"load_cache\",\"path\":\"f\"}} | {{\"cmd\":\"quit\"}}"
     );
     std::process::exit(2)
@@ -35,10 +41,11 @@ struct Args {
     queries: usize,
     workers: usize,
     seed: u64,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { bench: false, queries: 200, workers: 0, seed: 0x5EED };
+    let mut args = Args { bench: false, queries: 200, workers: 0, seed: 0x5EED, trace: None };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         let mut num = |name: &str| -> u64 {
@@ -52,6 +59,12 @@ fn parse_args() -> Args {
             "--queries" => args.queries = num("--queries") as usize,
             "--workers" => args.workers = num("--workers") as usize,
             "--seed" => args.seed = num("--seed"),
+            "--trace" => {
+                args.trace = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--trace needs a file argument");
+                    std::process::exit(2)
+                }))
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -71,7 +84,9 @@ fn run_bench_load(args: &Args) -> i32 {
     println!("graphs: rmat-mid (2^10, ef 8), road-grid (40x40), social-ba (1500, d 6)");
     println!("algorithms: bfs, pr, cc, sssp, bc (round-robin)\n");
 
-    let (cold, warm) = bench_load(args.queries, workers, args.seed);
+    let obs = Arc::new(RuntimeObs::new());
+    obs.set_tracing(args.trace.is_some());
+    let (cold, warm) = bench_load_with_obs(args.queries, workers, args.seed, &obs);
     println!("{}", cold.render());
     println!("{}", warm.render());
 
@@ -82,7 +97,26 @@ fn run_bench_load(args: &Args) -> i32 {
         cold.failed + warm.failed
     );
 
-    let ok = cold.failed == 0 && warm.failed == 0 && warm.qps > cold.qps && warm.hit_rate() > 0.5;
+    let mut trace_ok = true;
+    if let Some(path) = &args.trace {
+        match std::fs::write(path, obs.trace.to_jsonl()) {
+            Ok(()) => println!(
+                "trace: {} events written to {path} ({} evicted from the ring)",
+                obs.trace.len(),
+                obs.trace.dropped()
+            ),
+            Err(e) => {
+                eprintln!("trace: writing {path}: {e}");
+                trace_ok = false;
+            }
+        }
+    }
+
+    let ok = cold.failed == 0
+        && warm.failed == 0
+        && warm.qps > cold.qps
+        && warm.hit_rate() > 0.5
+        && trace_ok;
     println!("verdict: {}", if ok { "PASS" } else { "FAIL" });
     i32::from(!ok)
 }
@@ -100,6 +134,7 @@ fn handle(
     registry: &Arc<GraphRegistry>,
     cache: &Arc<ConfigCache>,
     scheduler: &Scheduler,
+    obs: &Arc<RuntimeObs>,
 ) -> Result<Option<String>, String> {
     match req.cmd.as_str() {
         "load" => {
@@ -139,12 +174,43 @@ fn handle(
         }
         "stats" => {
             let counters = cache.counters();
+            // The unified registry snapshot (queue depth gauge, stage
+            // latency histograms, job outcome counters including the
+            // deadline/cancel drops, shared cache counters). gswitch-obs
+            // renders its own JSON; re-parse it into a Value to embed.
+            let metrics: serde_json::Value =
+                serde_json::from_str(&obs.metrics.snapshot().to_json())
+                    .map_err(|e| format!("metrics snapshot: {e}"))?;
             Ok(Some(jline(serde_json::json!({
                 "ok": "stats",
                 "graphs": registry.summaries(),
                 "cache": counters,
                 "hit_rate": counters.hit_rate(),
                 "queued": scheduler.queued(),
+                "metrics": metrics,
+                "trace_enabled": obs.tracing(),
+                "trace_events": obs.trace.len(),
+            }))))
+        }
+        "trace" => {
+            if let Some(on) = req.enable {
+                obs.set_tracing(on);
+            }
+            let mut written: Option<u64> = None;
+            if let Some(path) = &req.path {
+                let text = obs.trace.to_jsonl();
+                std::fs::write(path, &text).map_err(|e| format!("writing `{path}`: {e}"))?;
+                written = Some(obs.trace.len() as u64);
+            }
+            if req.clear.unwrap_or(false) {
+                obs.trace.clear();
+            }
+            Ok(Some(jline(serde_json::json!({
+                "ok": "trace",
+                "enabled": obs.tracing(),
+                "events": obs.trace.len(),
+                "dropped": obs.trace.dropped(),
+                "written": written,
             }))))
         }
         "save_cache" => {
@@ -171,8 +237,13 @@ fn handle(
 fn serve() -> i32 {
     let registry = Arc::new(GraphRegistry::new());
     let cache = Arc::new(ConfigCache::new());
-    let scheduler =
-        Scheduler::new(Arc::clone(&registry), Arc::clone(&cache), SchedulerConfig::default());
+    let obs = Arc::new(RuntimeObs::new());
+    let scheduler = Scheduler::with_obs(
+        Arc::clone(&registry),
+        Arc::clone(&cache),
+        SchedulerConfig::default(),
+        Arc::clone(&obs),
+    );
 
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
@@ -185,7 +256,7 @@ fn serve() -> i32 {
             continue;
         }
         let response = match serde_json::from_str::<Request>(&line) {
-            Ok(req) => match handle(req, &registry, &cache, &scheduler) {
+            Ok(req) => match handle(req, &registry, &cache, &scheduler, &obs) {
                 Ok(Some(resp)) => resp,
                 Ok(None) => break, // quit
                 Err(msg) => err_line(msg),

@@ -16,9 +16,9 @@
 
 use gswitch_graph::{Fingerprint, GraphStats};
 use gswitch_kernels::KernelConfig;
+use gswitch_obs::{Counter, MetricsRegistry};
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
 /// Cache key: which graph, which algorithm, which workload shape.
@@ -107,12 +107,16 @@ struct CacheFile {
 }
 
 /// Thread-safe tuned-config store with hit/miss accounting.
+///
+/// The counters are `gswitch_obs` handles so a serving process can
+/// share them with its unified [`MetricsRegistry`] (see
+/// [`ConfigCache::bind_metrics`]); standalone use needs no registry.
 #[derive(Default)]
 pub struct ConfigCache {
     entries: RwLock<HashMap<String, KernelConfig>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    stores: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    stores: Counter,
 }
 
 impl ConfigCache {
@@ -121,12 +125,21 @@ impl ConfigCache {
         Self::default()
     }
 
+    /// Register this cache's counters into `registry` under the
+    /// canonical names, sharing state: increments show up in both the
+    /// legacy [`ConfigCache::counters`] shape and the registry snapshot.
+    pub fn bind_metrics(&self, registry: &MetricsRegistry) {
+        registry.adopt_counter(crate::obs::metric::CACHE_HITS, &self.hits);
+        registry.adopt_counter(crate::obs::metric::CACHE_MISSES, &self.misses);
+        registry.adopt_counter(crate::obs::metric::CACHE_STORES, &self.stores);
+    }
+
     /// Look up a tuned config, counting the hit or miss.
     pub fn lookup(&self, key: &CacheKey) -> Option<KernelConfig> {
         let got = self.entries.read().expect("cache lock").get(&key.flat()).copied();
         match got {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => self.hits.inc(),
+            None => self.misses.inc(),
         };
         got
     }
@@ -138,16 +151,16 @@ impl ConfigCache {
 
     /// Remember `config` as the tuned choice for `key`.
     pub fn store(&self, key: &CacheKey, config: KernelConfig) {
-        self.stores.fetch_add(1, Ordering::Relaxed);
+        self.stores.inc();
         self.entries.write().expect("cache lock").insert(key.flat(), config);
     }
 
     /// Current counter values.
     pub fn counters(&self) -> CacheCounters {
         CacheCounters {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            stores: self.stores.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            stores: self.stores.get(),
             entries: self.entries.read().expect("cache lock").len() as u64,
         }
     }
@@ -155,9 +168,9 @@ impl ConfigCache {
     /// Zero the hit/miss/store counters (entries are kept) — used
     /// between the cold and warm phases of `--bench-load`.
     pub fn reset_counters(&self) {
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
-        self.stores.store(0, Ordering::Relaxed);
+        self.hits.reset();
+        self.misses.reset();
+        self.stores.reset();
     }
 
     /// Serialize the whole cache as a JSON document.
@@ -238,6 +251,23 @@ mod tests {
         let c = cache.counters();
         assert_eq!((c.hits, c.misses, c.stores), (0, 0, 0));
         assert_eq!(c.entries, 1, "entries survive a counter reset");
+    }
+
+    #[test]
+    fn bind_metrics_shares_counter_state() {
+        let cache = ConfigCache::new();
+        let registry = MetricsRegistry::new();
+        cache.bind_metrics(&registry);
+        cache.lookup(&key(1)); // miss
+        cache.store(&key(1), KernelConfig::push_baseline());
+        cache.lookup(&key(1)); // hit
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter(crate::obs::metric::CACHE_HITS), 1);
+        assert_eq!(snap.counter(crate::obs::metric::CACHE_MISSES), 1);
+        assert_eq!(snap.counter(crate::obs::metric::CACHE_STORES), 1);
+        // The legacy shape still reports the same numbers.
+        let c = cache.counters();
+        assert_eq!((c.hits, c.misses, c.stores), (1, 1, 1));
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::registry::GraphEntry;
 use gswitch_algos::bc::{BcBackward, BcForward};
 use gswitch_algos::{Bfs, Cc, PageRank, Sssp};
 use gswitch_core::{run, run_with_seed_config, EngineOptions, Policy, RunReport};
+use gswitch_obs::RecorderHandle;
 use gswitch_simt::DeviceSpec;
 
 /// What [`execute`] hands back to the scheduler.
@@ -46,13 +47,16 @@ fn iter_stats(report: &RunReport) -> Vec<IterStat> {
 
 /// Run `query` against `entry`, warm-starting from `cache` and filling
 /// it on a miss. Errors (bad source vertex) are returned as strings so
-/// the scheduler can report them without dying.
+/// the scheduler can report them without dying. An enabled `recorder`
+/// receives one decision-trace event per engine iteration (for BC that
+/// covers both the forward and backward phases).
 pub fn execute(
     entry: &GraphEntry,
     query: &Query,
     cache: &ConfigCache,
     policy: &dyn Policy,
     device: &DeviceSpec,
+    recorder: RecorderHandle,
 ) -> Result<Execution, String> {
     let g = entry.graph();
     let n = g.num_vertices();
@@ -65,7 +69,7 @@ pub fn execute(
     let key = CacheKey::new(entry.fingerprint(), query.algo(), &feature_bucket(g.stats()));
     let seed = cache.lookup(&key);
     let cache_hit = seed.is_some();
-    let opts = EngineOptions::on(device.clone());
+    let opts = EngineOptions { recorder, ..EngineOptions::on(device.clone()) };
 
     // Run the algorithm; each arm produces (reports, metrics, payload).
     let (reports, metrics, payload) = match *query {
@@ -187,7 +191,9 @@ mod tests {
     fn bfs_matches_reference_and_fills_cache() {
         let (reg, cache, dev) = setup();
         let e = reg.get("kron").unwrap();
-        let r = execute(&e, &Query::Bfs { src: 0 }, &cache, &AutoPolicy, &dev).unwrap();
+        let r =
+            execute(&e, &Query::Bfs { src: 0 }, &cache, &AutoPolicy, &dev, RecorderHandle::none())
+                .unwrap();
         assert!(!r.cache_hit);
         assert!(r.converged);
         let Payload::Levels { values } = &r.payload else { panic!("wrong payload") };
@@ -195,7 +201,9 @@ mod tests {
         assert_eq!(cache.counters().stores, 1);
 
         // Second identical query hits and still matches.
-        let r2 = execute(&e, &Query::Bfs { src: 0 }, &cache, &AutoPolicy, &dev).unwrap();
+        let r2 =
+            execute(&e, &Query::Bfs { src: 0 }, &cache, &AutoPolicy, &dev, RecorderHandle::none())
+                .unwrap();
         assert!(r2.cache_hit);
         let Payload::Levels { values } = &r2.payload else { panic!("wrong payload") };
         assert_eq!(values, &reference::bfs(e.graph(), 0));
@@ -205,7 +213,14 @@ mod tests {
     fn source_out_of_range_is_an_error() {
         let (reg, cache, dev) = setup();
         let e = reg.get("kron").unwrap();
-        let err = execute(&e, &Query::Bfs { src: 1 << 20 }, &cache, &AutoPolicy, &dev);
+        let err = execute(
+            &e,
+            &Query::Bfs { src: 1 << 20 },
+            &cache,
+            &AutoPolicy,
+            &dev,
+            RecorderHandle::none(),
+        );
         assert!(err.is_err());
         // The failed lookup still counted as a... nothing: we error out
         // before consulting the cache.
@@ -220,7 +235,7 @@ mod tests {
             GraphBuilder::new(6).edges([(0, 1), (1, 2), (4, 5)]).build()
         });
         let e = reg.get("two").unwrap();
-        let r = execute(&e, &Query::Cc, &cache, &AutoPolicy, &dev).unwrap();
+        let r = execute(&e, &Query::Cc, &cache, &AutoPolicy, &dev, RecorderHandle::none()).unwrap();
         // Components: {0,1,2}, {3}, {4,5}.
         assert_eq!(r.metrics.iter().find(|m| m.name == "components").unwrap().value, 3.0);
         let Payload::Labels { values } = &r.payload else { panic!("wrong payload") };
@@ -231,7 +246,9 @@ mod tests {
     fn sssp_runs_on_weighted_twin() {
         let (reg, cache, dev) = setup();
         let e = reg.get("kron").unwrap();
-        let r = execute(&e, &Query::Sssp { src: 0 }, &cache, &AutoPolicy, &dev).unwrap();
+        let r =
+            execute(&e, &Query::Sssp { src: 0 }, &cache, &AutoPolicy, &dev, RecorderHandle::none())
+                .unwrap();
         let Payload::Distances { values } = &r.payload else { panic!("wrong payload") };
         assert_eq!(values, &reference::sssp(&e.weighted(), 0));
     }
@@ -240,7 +257,23 @@ mod tests {
     fn pr_rejects_bad_tolerance() {
         let (reg, cache, dev) = setup();
         let e = reg.get("kron").unwrap();
-        assert!(execute(&e, &Query::Pr { eps: 0.0 }, &cache, &AutoPolicy, &dev).is_err());
-        assert!(execute(&e, &Query::Pr { eps: f64::NAN }, &cache, &AutoPolicy, &dev).is_err());
+        assert!(execute(
+            &e,
+            &Query::Pr { eps: 0.0 },
+            &cache,
+            &AutoPolicy,
+            &dev,
+            RecorderHandle::none()
+        )
+        .is_err());
+        assert!(execute(
+            &e,
+            &Query::Pr { eps: f64::NAN },
+            &cache,
+            &AutoPolicy,
+            &dev,
+            RecorderHandle::none()
+        )
+        .is_err());
     }
 }

@@ -29,6 +29,7 @@
 pub mod bench_load;
 pub mod cache;
 pub mod executor;
+pub mod obs;
 pub mod protocol;
 pub mod query;
 pub mod registry;
@@ -36,6 +37,7 @@ pub mod scheduler;
 
 pub use cache::{CacheCounters, CacheKey, ConfigCache};
 pub use executor::execute;
+pub use obs::RuntimeObs;
 pub use query::{IterStat, JobOutcome, JobSpec, JobStatus, Metric, Payload, Query};
 pub use registry::{GraphEntry, GraphRegistry};
 pub use scheduler::{Scheduler, SchedulerConfig, SubmitError};

@@ -11,12 +11,21 @@
 //! {"cmd":"stats"}
 //! {"cmd":"save_cache","path":"tuned.json"}
 //! {"cmd":"load_cache","path":"tuned.json"}
+//! {"cmd":"trace","enable":true}
+//! {"cmd":"trace","path":"decisions.jsonl","clear":true}
 //! {"cmd":"quit"}
 //! ```
 //!
 //! `query` responses are the full [`JobOutcome`](crate::JobOutcome)
 //! (per-vertex payload stripped unless `"payload":true`); other
 //! commands answer `{"ok":...}` or `{"error":"..."}`.
+//!
+//! `stats` returns the legacy cache/queue fields plus a `metrics`
+//! object — the unified registry snapshot (queue depth, stage latency
+//! histograms, job outcome counters including deadline/cancel drops).
+//! `trace` controls decision tracing: `enable` toggles it, `path`
+//! writes the buffered trace as JSONL (readable by `gswitch-trace`),
+//! `clear` empties the buffer; any combination works in one request.
 
 use crate::query::Query;
 use gswitch_graph::{gen, Graph};
@@ -25,7 +34,7 @@ use gswitch_graph::{gen, Graph};
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct Request {
     /// Command discriminator: `load`, `query`, `stats`, `save_cache`,
-    /// `load_cache`, or `quit`.
+    /// `load_cache`, `trace`, or `quit`.
     pub cmd: String,
     /// Graph name (`load`).
     pub name: Option<String>,
@@ -41,6 +50,10 @@ pub struct Request {
     pub timeout_ms: Option<u64>,
     /// Include per-vertex result vectors in the response (`query`).
     pub payload: Option<bool>,
+    /// Turn decision tracing on or off (`trace`).
+    pub enable: Option<bool>,
+    /// Empty the trace buffer, after any `path` dump (`trace`).
+    pub clear: Option<bool>,
 }
 
 /// A synthetic graph recipe, mirroring `gswitch_graph::gen`.

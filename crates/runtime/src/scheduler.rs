@@ -13,9 +13,11 @@
 
 use crate::cache::ConfigCache;
 use crate::executor::execute;
+use crate::obs::{metric, RuntimeObs};
 use crate::query::{JobOutcome, JobSpec, JobStatus};
 use crate::registry::GraphRegistry;
 use gswitch_core::AutoPolicy;
+use gswitch_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use gswitch_simt::DeviceSpec;
 use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -76,9 +78,45 @@ struct Job {
     tx: mpsc::Sender<JobOutcome>,
 }
 
+/// Pre-resolved metric handles, so the hot paths never touch the
+/// registry's name map.
+struct SchedulerMetrics {
+    queue_depth: Gauge,
+    submitted: Counter,
+    rejected: Counter,
+    ok: Counter,
+    error: Counter,
+    cancelled: Counter,
+    timeout_queued: Counter,
+    timeout_late: Counter,
+    queue_wait_ms: Histogram,
+    execute_ms: Histogram,
+    total_ms: Histogram,
+}
+
+impl SchedulerMetrics {
+    fn bind(r: &MetricsRegistry) -> Self {
+        SchedulerMetrics {
+            queue_depth: r.gauge(metric::QUEUE_DEPTH),
+            submitted: r.counter(metric::JOBS_SUBMITTED),
+            rejected: r.counter(metric::JOBS_REJECTED),
+            ok: r.counter(metric::JOBS_OK),
+            error: r.counter(metric::JOBS_ERROR),
+            cancelled: r.counter(metric::JOBS_CANCELLED),
+            timeout_queued: r.counter(metric::JOBS_TIMEOUT_QUEUED),
+            timeout_late: r.counter(metric::JOBS_TIMEOUT_LATE),
+            queue_wait_ms: r.latency(metric::QUEUE_WAIT_MS),
+            execute_ms: r.latency(metric::EXECUTE_MS),
+            total_ms: r.latency(metric::JOB_TOTAL_MS),
+        }
+    }
+}
+
 struct Shared {
     registry: Arc<GraphRegistry>,
     cache: Arc<ConfigCache>,
+    obs: Arc<RuntimeObs>,
+    m: SchedulerMetrics,
     device: DeviceSpec,
     queue: Mutex<VecDeque<Job>>,
     work_ready: Condvar,
@@ -115,15 +153,33 @@ pub struct Scheduler {
 }
 
 impl Scheduler {
-    /// Start `config.workers` workers over `registry` and `cache`.
+    /// Start `config.workers` workers over `registry` and `cache`, with
+    /// a private [`RuntimeObs`] (metrics still work; nobody reads them).
     pub fn new(
         registry: Arc<GraphRegistry>,
         cache: Arc<ConfigCache>,
         config: SchedulerConfig,
     ) -> Self {
+        Self::with_obs(registry, cache, config, Arc::new(RuntimeObs::new()))
+    }
+
+    /// Start workers reporting into a caller-owned observability root:
+    /// scheduler gauges/counters/latency histograms land in
+    /// `obs.metrics`, the cache counters are bound into the same
+    /// registry, and decision traces (when `obs` has tracing on) land
+    /// in `obs.trace`.
+    pub fn with_obs(
+        registry: Arc<GraphRegistry>,
+        cache: Arc<ConfigCache>,
+        config: SchedulerConfig,
+        obs: Arc<RuntimeObs>,
+    ) -> Self {
+        cache.bind_metrics(&obs.metrics);
         let shared = Arc::new(Shared {
             registry,
             cache,
+            m: SchedulerMetrics::bind(&obs.metrics),
+            obs,
             device: config.device.clone(),
             queue: Mutex::new(VecDeque::new()),
             work_ready: Condvar::new(),
@@ -151,9 +207,11 @@ impl Scheduler {
     /// Submit a job; fails fast on admission problems.
     pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
         if self.shared.shutdown.load(Ordering::SeqCst) {
+            self.shared.m.rejected.inc();
             return Err(SubmitError::ShuttingDown);
         }
         if self.shared.registry.get(&spec.graph).is_none() {
+            self.shared.m.rejected.inc();
             return Err(SubmitError::UnknownGraph(spec.graph.clone()));
         }
         let deadline = Duration::from_millis(spec.timeout_ms.unwrap_or(self.default_timeout_ms));
@@ -162,10 +220,13 @@ impl Scheduler {
         {
             let mut q = self.shared.queue.lock().expect("queue lock");
             if q.len() >= self.capacity {
+                self.shared.m.rejected.inc();
                 return Err(SubmitError::QueueFull);
             }
             q.push_back(Job { id, spec, admitted: Instant::now(), deadline, tx });
+            self.shared.m.queue_depth.set(q.len() as i64);
         }
+        self.shared.m.submitted.inc();
         self.shared.work_ready.notify_one();
         Ok(JobHandle { id, rx })
     }
@@ -179,6 +240,11 @@ impl Scheduler {
     /// Jobs currently waiting for a worker.
     pub fn queued(&self) -> usize {
         self.shared.queue.lock().expect("queue lock").len()
+    }
+
+    /// The observability root this scheduler reports into.
+    pub fn obs(&self) -> &Arc<RuntimeObs> {
+        &self.shared.obs
     }
 
     /// Stop accepting jobs, drain the queue, and join the workers.
@@ -225,6 +291,7 @@ fn worker_loop(shared: &Shared) {
             let mut q = shared.queue.lock().expect("queue lock");
             loop {
                 if let Some(job) = q.pop_front() {
+                    shared.m.queue_depth.set(q.len() as i64);
                     break job;
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
@@ -233,14 +300,20 @@ fn worker_loop(shared: &Shared) {
                 q = shared.work_ready.wait(q).expect("queue lock");
             }
         };
+        shared.m.queue_wait_ms.observe(job.admitted.elapsed().as_secs_f64() * 1e3);
 
-        // Cancelled while queued?
+        // Cancelled while queued? Previously this outcome vanished from
+        // every aggregate — the counter is the only server-side record.
         if shared.cancelled.lock().expect("cancel lock").remove(&job.id) {
+            shared.m.cancelled.inc();
+            shared.m.total_ms.observe(job.admitted.elapsed().as_secs_f64() * 1e3);
             let _ = job.tx.send(outcome_skeleton(&job, JobStatus::Cancelled));
             continue;
         }
-        // Deadline passed while queued?
+        // Deadline passed while queued? Same silent-loss fix as above.
         if job.admitted.elapsed() > job.deadline {
+            shared.m.timeout_queued.inc();
+            shared.m.total_ms.observe(job.admitted.elapsed().as_secs_f64() * 1e3);
             let _ = job.tx.send(outcome_skeleton(&job, JobStatus::Timeout));
             continue;
         }
@@ -249,6 +322,7 @@ fn worker_loop(shared: &Shared) {
             Some(e) => e,
             None => {
                 // Registered at admission but replaced/removed since.
+                shared.m.error.inc();
                 let mut out = outcome_skeleton(&job, JobStatus::Error);
                 out.error = Some(format!("graph `{}` disappeared", job.spec.graph));
                 let _ = job.tx.send(out);
@@ -256,7 +330,11 @@ fn worker_loop(shared: &Shared) {
             }
         };
 
-        let result = execute(&entry, &job.spec.query, &shared.cache, &AutoPolicy, &shared.device);
+        let recorder = shared.obs.recorder_for(job.id, &job.spec.graph, job.spec.query.algo());
+        let exec_start = Instant::now();
+        let result =
+            execute(&entry, &job.spec.query, &shared.cache, &AutoPolicy, &shared.device, recorder);
+        shared.m.execute_ms.observe(exec_start.elapsed().as_secs_f64() * 1e3);
         let mut out = match result {
             Ok(exec) => {
                 let mut out = outcome_skeleton(&job, JobStatus::Ok);
@@ -282,7 +360,14 @@ fn worker_loop(shared: &Shared) {
             out.iterations.clear();
             out.payload = None;
         }
+        match out.status {
+            JobStatus::Ok => shared.m.ok.inc(),
+            JobStatus::Error => shared.m.error.inc(),
+            JobStatus::Timeout => shared.m.timeout_late.inc(),
+            _ => {}
+        }
         out.wall_ms = job.admitted.elapsed().as_secs_f64() * 1e3;
+        shared.m.total_ms.observe(out.wall_ms);
         let _ = job.tx.send(out);
     }
 }
@@ -398,6 +483,75 @@ mod tests {
         }
         assert!(cancelled > 0, "no queued job observed its cancellation");
         assert_eq!(busy.unwrap().wait().status, JobStatus::Ok);
+        s.shutdown();
+    }
+
+    #[test]
+    fn lost_outcomes_surface_as_counters() {
+        // Deadline-exceeded-while-queued and cancelled-while-queued jobs
+        // used to leave no server-side record at all; both must show up
+        // in the unified registry now.
+        let registry = Arc::new(GraphRegistry::new());
+        registry.insert("kron", gen::kronecker(8, 8, 3));
+        let cache = Arc::new(ConfigCache::new());
+        let obs = Arc::new(RuntimeObs::new());
+        let config = SchedulerConfig { workers: 1, ..Default::default() };
+        let s = Scheduler::with_obs(registry, cache, config, Arc::clone(&obs));
+
+        // A busy job pins the single worker so queued jobs age.
+        let busy = s.submit(JobSpec {
+            graph: "kron".into(),
+            query: Query::Pr { eps: 1e-6 },
+            timeout_ms: None,
+        });
+        let dead = s
+            .submit(JobSpec { graph: "kron".into(), query: Query::Cc, timeout_ms: Some(0) })
+            .unwrap();
+        let doomed = s.submit(bfs_spec(0)).unwrap();
+        s.cancel(doomed.id);
+        let _ = s.submit(JobSpec { graph: "nope".into(), query: Query::Cc, timeout_ms: None });
+
+        assert_eq!(dead.wait().status, JobStatus::Timeout);
+        let doomed_status = doomed.wait().status;
+        assert_eq!(busy.unwrap().wait().status, JobStatus::Ok);
+
+        let snap = obs.metrics.snapshot();
+        assert_eq!(snap.counter(metric::JOBS_TIMEOUT_QUEUED), 1);
+        if doomed_status == JobStatus::Cancelled {
+            assert_eq!(snap.counter(metric::JOBS_CANCELLED), 1);
+        }
+        assert_eq!(snap.counter(metric::JOBS_REJECTED), 1);
+        assert!(snap.counter(metric::JOBS_SUBMITTED) >= 3);
+        assert!(snap.counter(metric::JOBS_OK) >= 1);
+        // Stage histograms saw every terminal job.
+        let waits = snap.histograms.get(metric::QUEUE_WAIT_MS).expect("wait histogram");
+        assert!(waits.count >= 3);
+        let totals = snap.histograms.get(metric::JOB_TOTAL_MS).expect("total histogram");
+        assert!(totals.count >= 3);
+        // Cache counters live in the same registry (shared state).
+        assert!(snap.counter(metric::CACHE_MISSES) >= 1);
+        s.shutdown();
+    }
+
+    #[test]
+    fn tracing_produces_events_for_scheduled_jobs() {
+        let registry = Arc::new(GraphRegistry::new());
+        registry.insert("kron", gen::kronecker(8, 8, 3));
+        let cache = Arc::new(ConfigCache::new());
+        let obs = Arc::new(RuntimeObs::new());
+        obs.set_tracing(true);
+        let s = Scheduler::with_obs(
+            registry,
+            cache,
+            SchedulerConfig { workers: 2, ..Default::default() },
+            Arc::clone(&obs),
+        );
+        let out = s.submit(bfs_spec(0)).unwrap().wait();
+        assert_eq!(out.status, JobStatus::Ok);
+        let events = obs.trace.snapshot();
+        assert!(!events.is_empty(), "traced job produced no events");
+        assert!(events.iter().all(|e| e.algo == "bfs" && e.graph == "kron"));
+        assert_eq!(events.len(), out.iterations.len());
         s.shutdown();
     }
 

@@ -97,6 +97,13 @@ impl KernelProfile {
         KernelProfile { launches: 1, ..Default::default() }
     }
 
+    /// Warp-task imbalance of this kernel: max/mean task cycles (see
+    /// [`TaskStats::imbalance`]) — the load-balance quality signal the
+    /// decision trace reports per strategy.
+    pub fn imbalance(&self) -> f64 {
+        self.tasks.imbalance()
+    }
+
     /// Merge another profile into this one (rayon reduce step). Launches
     /// add — merging partial profiles of the *same* kernel should first
     /// zero one side's `launches`.

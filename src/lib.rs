@@ -24,6 +24,11 @@ pub mod ml {
     pub use gswitch_ml::*;
 }
 
+/// Observability: metrics registry, decision tracing, trace summaries.
+pub mod obs {
+    pub use gswitch_obs::*;
+}
+
 /// The autotuning engine: inspector, selector, executor, policies.
 pub mod core {
     pub use gswitch_core::*;
