@@ -5,7 +5,7 @@
 //! the two is the runtime's claim to existence.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use gswitch_core::{AutoPolicy, RecorderHandle};
+use gswitch_core::{AutoPolicy, ProbeHandle, RecorderHandle};
 use gswitch_graph::gen;
 use gswitch_runtime::{execute, ConfigCache, GraphRegistry, Query};
 use gswitch_simt::DeviceSpec;
@@ -30,6 +30,7 @@ fn bench_query_latency(c: &mut Criterion) {
                 &AutoPolicy,
                 &device,
                 RecorderHandle::none(),
+                ProbeHandle::none(),
             )
             .unwrap()
         });
@@ -43,6 +44,7 @@ fn bench_query_latency(c: &mut Criterion) {
         &AutoPolicy,
         &device,
         RecorderHandle::none(),
+        ProbeHandle::none(),
     )
     .unwrap();
     group.bench_function("bfs_warm", |b| {
@@ -54,6 +56,7 @@ fn bench_query_latency(c: &mut Criterion) {
                 &AutoPolicy,
                 &device,
                 RecorderHandle::none(),
+                ProbeHandle::none(),
             )
             .unwrap()
         });
@@ -69,6 +72,7 @@ fn bench_query_latency(c: &mut Criterion) {
                 &AutoPolicy,
                 &device,
                 RecorderHandle::none(),
+                ProbeHandle::none(),
             )
             .unwrap()
         });
@@ -82,6 +86,7 @@ fn bench_query_latency(c: &mut Criterion) {
         &AutoPolicy,
         &device,
         RecorderHandle::none(),
+        ProbeHandle::none(),
     )
     .unwrap();
     group.bench_function("pr_warm", |b| {
@@ -93,6 +98,7 @@ fn bench_query_latency(c: &mut Criterion) {
                 &AutoPolicy,
                 &device,
                 RecorderHandle::none(),
+                ProbeHandle::none(),
             )
             .unwrap()
         });

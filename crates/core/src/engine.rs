@@ -1,5 +1,6 @@
 //! The Inspector → Selector → Executor loop (Fig. 10).
 
+use crate::cancel::{ProbeHandle, StopReason};
 use crate::features::DecisionContext;
 use crate::policy::{AppCaps, Policy};
 use gswitch_graph::Graph;
@@ -108,6 +109,11 @@ pub struct EngineOptions {
     /// Decision-trace sink. Off by default; when off the loop pays one
     /// `Option` check per iteration and builds no event.
     pub recorder: RecorderHandle,
+    /// Cooperative stop probe, polled at the top of every super-step.
+    /// None by default (the run cannot be interrupted); a serving
+    /// scheduler installs a [`CancelToken`](crate::CancelToken) so
+    /// deadlines and cancellations take effect mid-run.
+    pub probe: ProbeHandle,
 }
 
 impl Default for EngineOptions {
@@ -119,6 +125,7 @@ impl Default for EngineOptions {
             stability_bypass: true,
             break_fused_chains: true,
             recorder: RecorderHandle::none(),
+            probe: ProbeHandle::none(),
         }
     }
 }
@@ -173,6 +180,8 @@ pub struct RunReport {
     pub iterations: Vec<IterationTrace>,
     /// Whether the active set emptied before `max_iterations`.
     pub converged: bool,
+    /// `Some` when the probe stopped the run early (never converged).
+    pub stopped: Option<StopReason>,
 }
 
 impl RunReport {
@@ -308,6 +317,12 @@ pub fn run_with_seed_config<A: EdgeApp>(
     let mut last_filter_ms = 0.0f64;
 
     for iteration in 0..opts.max_iterations {
+        // Cooperative stop: deadline/cancellation takes effect at
+        // super-step granularity, before this iteration does any work.
+        if let Some(reason) = opts.probe.check(iteration) {
+            report.stopped = Some(reason);
+            break;
+        }
         app.advance(iteration);
         ctx.iteration = iteration;
 
@@ -797,6 +812,55 @@ mod tests {
         }
         assert_eq!(RunReport::default().final_config(), None);
         assert_eq!(RunReport::default().dominant_config(), None);
+    }
+
+    #[test]
+    fn probe_stops_run_mid_flight() {
+        use crate::cancel::{ProbeHandle, RunProbe, StopReason};
+
+        struct StopAt(u32);
+        impl RunProbe for StopAt {
+            fn check(&self, iteration: u32) -> Option<StopReason> {
+                (iteration >= self.0).then_some(StopReason::DeadlineExceeded)
+            }
+        }
+
+        let g = gen::grid2d(50, 50, 0.0, 4);
+        let app = Bfs::new(g.num_vertices(), 0);
+        let opts = EngineOptions {
+            probe: ProbeHandle::new(std::sync::Arc::new(StopAt(2))),
+            ..Default::default()
+        };
+        let rep = run(&g, &app, &AutoPolicy, &opts);
+        assert_eq!(rep.stopped, Some(StopReason::DeadlineExceeded));
+        assert!(!rep.converged);
+        assert_eq!(rep.n_iterations(), 2, "stop lands before iteration 2 does work");
+    }
+
+    #[test]
+    fn cancel_token_stops_before_first_iteration() {
+        use crate::cancel::{CancelToken, ProbeHandle};
+
+        let token = std::sync::Arc::new(CancelToken::new());
+        token.cancel();
+        let g = gen::grid2d(10, 10, 0.0, 4);
+        let app = Bfs::new(g.num_vertices(), 0);
+        let opts = EngineOptions { probe: ProbeHandle::new(token), ..Default::default() };
+        let rep = run(&g, &app, &AutoPolicy, &opts);
+        assert_eq!(rep.stopped, Some(crate::cancel::StopReason::Cancelled));
+        assert_eq!(rep.n_iterations(), 0);
+        // The app was never advanced: every vertex but the source is
+        // untouched.
+        assert_eq!(app.level.load(1), u32::MAX);
+    }
+
+    #[test]
+    fn unprobed_run_reports_no_stop() {
+        let g = gen::grid2d(10, 10, 0.0, 4);
+        let app = Bfs::new(g.num_vertices(), 0);
+        let rep = run(&g, &app, &AutoPolicy, &EngineOptions::default());
+        assert!(rep.converged);
+        assert_eq!(rep.stopped, None);
     }
 
     #[test]

@@ -20,11 +20,13 @@
 
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod engine;
 pub mod features;
 pub mod oracle;
 pub mod policy;
 
+pub use cancel::{CancelToken, ProbeHandle, RunProbe, StopReason};
 pub use engine::{
     run, run_with_seed_config, EngineOptions, IterationTrace, PatternMask, RunReport,
 };

@@ -18,12 +18,15 @@
 //! * [`json`] — the dependency-free JSON writer/parser behind the wire
 //!   format (this crate deliberately takes no external dependencies so
 //!   it can sit below `gswitch-core` in the build graph).
+//! * [`sync`] — poison-recovering lock wrappers, so one panicking
+//!   thread cannot wedge every other holder of shared state.
 
 #![warn(missing_docs)]
 
 pub mod json;
 pub mod metrics;
 pub mod summary;
+pub mod sync;
 pub mod trace;
 
 pub use metrics::{

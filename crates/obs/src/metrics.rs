@@ -7,9 +7,10 @@
 //! snapshot time. Snapshots are plain owned data that merge across
 //! processes/shards and render to JSON for the serve protocol.
 
+use crate::sync::RwLock;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 
 /// A monotonically increasing event count.
 #[derive(Clone, Debug, Default)]
@@ -283,36 +284,35 @@ impl MetricsRegistry {
     /// Get or create the counter named `name`. The returned handle stays
     /// valid (and shared) for the registry's lifetime.
     pub fn counter(&self, name: &str) -> Counter {
-        if let Some(c) = self.counters.read().expect("metrics lock").get(name) {
+        if let Some(c) = self.counters.read().get(name) {
             return c.clone();
         }
-        self.counters.write().expect("metrics lock").entry(name.to_string()).or_default().clone()
+        self.counters.write().entry(name.to_string()).or_default().clone()
     }
 
     /// Adopt an existing counter handle under `name` — how a subsystem
     /// that predates the registry (e.g. the tuned-config cache) migrates
     /// its counters in without changing its own accounting.
     pub fn adopt_counter(&self, name: &str, counter: &Counter) {
-        self.counters.write().expect("metrics lock").insert(name.to_string(), counter.clone());
+        self.counters.write().insert(name.to_string(), counter.clone());
     }
 
     /// Get or create the gauge named `name`.
     pub fn gauge(&self, name: &str) -> Gauge {
-        if let Some(g) = self.gauges.read().expect("metrics lock").get(name) {
+        if let Some(g) = self.gauges.read().get(name) {
             return g.clone();
         }
-        self.gauges.write().expect("metrics lock").entry(name.to_string()).or_default().clone()
+        self.gauges.write().entry(name.to_string()).or_default().clone()
     }
 
     /// Get or create the histogram named `name` with `bounds` (bounds
     /// are only consulted on first registration).
     pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
-        if let Some(h) = self.histograms.read().expect("metrics lock").get(name) {
+        if let Some(h) = self.histograms.read().get(name) {
             return h.clone();
         }
         self.histograms
             .write()
-            .expect("metrics lock")
             .entry(name.to_string())
             .or_insert_with(|| Histogram::new(bounds))
             .clone()
@@ -326,24 +326,11 @@ impl MetricsRegistry {
     /// An owned snapshot of every registered metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
-            counters: self
-                .counters
-                .read()
-                .expect("metrics lock")
-                .iter()
-                .map(|(k, v)| (k.clone(), v.get()))
-                .collect(),
-            gauges: self
-                .gauges
-                .read()
-                .expect("metrics lock")
-                .iter()
-                .map(|(k, v)| (k.clone(), v.get()))
-                .collect(),
+            counters: self.counters.read().iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            gauges: self.gauges.read().iter().map(|(k, v)| (k.clone(), v.get())).collect(),
             histograms: self
                 .histograms
                 .read()
-                .expect("metrics lock")
                 .iter()
                 .map(|(k, v)| (k.clone(), v.snapshot()))
                 .collect(),

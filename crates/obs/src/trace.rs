@@ -10,6 +10,7 @@
 //! silently truncates would lie about coverage).
 
 use crate::json::{JsonValue, JsonWriter};
+use crate::sync::Lock;
 use gswitch_kernels::pattern::{
     AsFormat, Direction, Fusion, KernelConfig, LoadBalance, SteppingDelta,
 };
@@ -17,7 +18,7 @@ use gswitch_ml::FEATURE_COUNT;
 use gswitch_simt::SimMs;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// How the iteration's configuration came to be.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -396,7 +397,7 @@ struct RingInner {
 /// A bounded, thread-safe event ring. When full, the oldest event is
 /// evicted and counted in [`TraceRing::dropped`].
 pub struct TraceRing {
-    inner: Mutex<RingInner>,
+    inner: Lock<RingInner>,
     capacity: usize,
     seq: AtomicU64,
     dropped: AtomicU64,
@@ -406,7 +407,7 @@ impl TraceRing {
     /// A ring holding at most `capacity` events (min 1).
     pub fn new(capacity: usize) -> Self {
         TraceRing {
-            inner: Mutex::new(RingInner { events: VecDeque::new() }),
+            inner: Lock::new(RingInner { events: VecDeque::new() }),
             capacity: capacity.max(1),
             seq: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
@@ -423,7 +424,7 @@ impl TraceRing {
             algo: algo.to_string(),
             event: *event,
         };
-        let mut inner = self.inner.lock().expect("trace lock");
+        let mut inner = self.inner.lock();
         if inner.events.len() >= self.capacity {
             inner.events.pop_front();
             self.dropped.fetch_add(1, Ordering::Relaxed);
@@ -433,7 +434,7 @@ impl TraceRing {
 
     /// Events currently retained.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("trace lock").events.len()
+        self.inner.lock().events.len()
     }
 
     /// Whether the ring holds no events.
@@ -448,12 +449,12 @@ impl TraceRing {
 
     /// Copy out every retained event, oldest first.
     pub fn snapshot(&self) -> Vec<StampedEvent> {
-        self.inner.lock().expect("trace lock").events.iter().cloned().collect()
+        self.inner.lock().events.iter().cloned().collect()
     }
 
     /// Drop every retained event (the `trace` verb's `clear`).
     pub fn clear(&self) {
-        self.inner.lock().expect("trace lock").events.clear();
+        self.inner.lock().events.clear();
     }
 
     /// Encode the whole ring as JSONL (one event per line, oldest first,

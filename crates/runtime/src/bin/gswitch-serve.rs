@@ -20,10 +20,15 @@ use std::sync::Arc;
 fn usage() -> ! {
     eprintln!(
         "usage: gswitch-serve [--bench-load] [--queries N] [--workers N] [--seed N] \
-         [--trace FILE]\n\
+         [--trace FILE] [--cache FILE] [--retries N]\n\
          \n\
          --trace FILE (with --bench-load): record a decision trace of the whole run\n\
          as JSONL to FILE; inspect it with `gswitch-trace FILE`.\n\
+         --cache FILE (serve mode): warm the tuned-config cache from FILE at startup\n\
+         (a missing or corrupt file degrades to an empty cache — the server always\n\
+         starts) and persist it back on quit.\n\
+         --retries N (serve mode): resubmit a query up to N times when it fails for\n\
+         an infrastructure reason (status `failed`, e.g. a worker panic); default 2.\n\
          \n\
          Without flags, serves line-delimited JSON requests on stdin:\n\
            {{\"cmd\":\"load\",\"name\":\"kron\",\"gen\":{{\"kind\":\"rmat\",\"scale\":10}}}}\n\
@@ -42,29 +47,42 @@ struct Args {
     workers: usize,
     seed: u64,
     trace: Option<String>,
+    cache: Option<String>,
+    retries: u32,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { bench: false, queries: 200, workers: 0, seed: 0x5EED, trace: None };
+    let mut args = Args {
+        bench: false,
+        queries: 200,
+        workers: 0,
+        seed: 0x5EED,
+        trace: None,
+        cache: None,
+        retries: 2,
+    };
+    fn num(it: &mut impl Iterator<Item = String>, name: &str) -> u64 {
+        it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("{name} needs a numeric argument");
+            std::process::exit(2)
+        })
+    }
+    fn file(it: &mut impl Iterator<Item = String>, name: &str) -> String {
+        it.next().unwrap_or_else(|| {
+            eprintln!("{name} needs a file argument");
+            std::process::exit(2)
+        })
+    }
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
-        let mut num = |name: &str| -> u64 {
-            it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                eprintln!("{name} needs a numeric argument");
-                std::process::exit(2)
-            })
-        };
         match a.as_str() {
             "--bench-load" => args.bench = true,
-            "--queries" => args.queries = num("--queries") as usize,
-            "--workers" => args.workers = num("--workers") as usize,
-            "--seed" => args.seed = num("--seed"),
-            "--trace" => {
-                args.trace = Some(it.next().unwrap_or_else(|| {
-                    eprintln!("--trace needs a file argument");
-                    std::process::exit(2)
-                }))
-            }
+            "--queries" => args.queries = num(&mut it, "--queries") as usize,
+            "--workers" => args.workers = num(&mut it, "--workers") as usize,
+            "--seed" => args.seed = num(&mut it, "--seed"),
+            "--retries" => args.retries = num(&mut it, "--retries") as u32,
+            "--trace" => args.trace = Some(file(&mut it, "--trace")),
+            "--cache" => args.cache = Some(file(&mut it, "--cache")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -135,6 +153,7 @@ fn handle(
     cache: &Arc<ConfigCache>,
     scheduler: &Scheduler,
     obs: &Arc<RuntimeObs>,
+    retries: u32,
 ) -> Result<Option<String>, String> {
     match req.cmd.as_str() {
         "load" => {
@@ -158,16 +177,22 @@ fn handle(
             let graph = req.graph.ok_or("query needs `graph`")?;
             let query = req.query.ok_or("query needs `query`")?;
             let spec = JobSpec { graph, query, timeout_ms: req.timeout_ms };
-            let handle = loop {
-                match scheduler.submit(spec.clone()) {
-                    Ok(h) => break h,
+            // Transient worker failures (status `failed`) are retried
+            // transparently up to --retries times; only the final
+            // outcome reaches the client.
+            let outcome = loop {
+                match scheduler.submit_with_retry(
+                    spec.clone(),
+                    retries,
+                    std::time::Duration::from_millis(5),
+                ) {
+                    Ok(out) => break out,
                     Err(SubmitError::QueueFull) => {
                         std::thread::sleep(std::time::Duration::from_millis(1))
                     }
                     Err(e) => return Err(e.to_string()),
                 }
             };
-            let outcome = handle.wait();
             let outcome =
                 if req.payload.unwrap_or(false) { outcome } else { outcome.without_payload() };
             serde_json::to_string(&outcome).map(Some).map_err(|e| e.to_string())
@@ -234,9 +259,23 @@ fn handle(
     }
 }
 
-fn serve() -> i32 {
+fn serve(args: &Args) -> i32 {
     let registry = Arc::new(GraphRegistry::new());
-    let cache = Arc::new(ConfigCache::new());
+    // --cache degrades, never blocks startup: a missing file is a
+    // normal first run, a corrupt one comes up empty (and counted).
+    let cache = Arc::new(match &args.cache {
+        Some(path) => {
+            let cache = ConfigCache::load_or_empty(path);
+            let c = cache.counters();
+            if c.load_failed > 0 {
+                eprintln!("cache: `{path}` is corrupt; starting with an empty cache");
+            } else {
+                eprintln!("cache: {} tuned configs loaded from `{path}`", c.entries);
+            }
+            cache
+        }
+        None => ConfigCache::new(),
+    });
     let obs = Arc::new(RuntimeObs::new());
     let scheduler = Scheduler::with_obs(
         Arc::clone(&registry),
@@ -256,7 +295,7 @@ fn serve() -> i32 {
             continue;
         }
         let response = match serde_json::from_str::<Request>(&line) {
-            Ok(req) => match handle(req, &registry, &cache, &scheduler, &obs) {
+            Ok(req) => match handle(req, &registry, &cache, &scheduler, &obs, args.retries) {
                 Ok(Some(resp)) => resp,
                 Ok(None) => break, // quit
                 Err(msg) => err_line(msg),
@@ -269,11 +308,19 @@ fn serve() -> i32 {
         }
     }
     scheduler.shutdown();
+    if let Some(path) = &args.cache {
+        match cache.save(path) {
+            Ok(()) => {
+                eprintln!("cache: {} tuned configs saved to `{path}`", cache.counters().entries)
+            }
+            Err(e) => eprintln!("cache: saving `{path}`: {e}"),
+        }
+    }
     0
 }
 
 fn main() {
     let args = parse_args();
-    let code = if args.bench { run_bench_load(&args) } else { serve() };
+    let code = if args.bench { run_bench_load(&args) } else { serve(&args) };
     std::process::exit(code);
 }

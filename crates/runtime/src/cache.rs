@@ -16,10 +16,10 @@
 
 use gswitch_graph::{Fingerprint, GraphStats};
 use gswitch_kernels::KernelConfig;
+use gswitch_obs::sync::RwLock;
 use gswitch_obs::{Counter, MetricsRegistry};
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::RwLock;
 
 /// Cache key: which graph, which algorithm, which workload shape.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -78,6 +78,9 @@ pub struct CacheCounters {
     pub stores: u64,
     /// Entries currently cached.
     pub entries: u64,
+    /// Persisted-cache loads that failed to parse and degraded to an
+    /// empty cache (see [`ConfigCache::load_or_empty`]).
+    pub load_failed: u64,
 }
 
 impl CacheCounters {
@@ -117,6 +120,7 @@ pub struct ConfigCache {
     hits: Counter,
     misses: Counter,
     stores: Counter,
+    load_failed: Counter,
 }
 
 impl ConfigCache {
@@ -132,11 +136,12 @@ impl ConfigCache {
         registry.adopt_counter(crate::obs::metric::CACHE_HITS, &self.hits);
         registry.adopt_counter(crate::obs::metric::CACHE_MISSES, &self.misses);
         registry.adopt_counter(crate::obs::metric::CACHE_STORES, &self.stores);
+        registry.adopt_counter(crate::obs::metric::CACHE_LOAD_FAILED, &self.load_failed);
     }
 
     /// Look up a tuned config, counting the hit or miss.
     pub fn lookup(&self, key: &CacheKey) -> Option<KernelConfig> {
-        let got = self.entries.read().expect("cache lock").get(&key.flat()).copied();
+        let got = self.entries.read().get(&key.flat()).copied();
         match got {
             Some(_) => self.hits.inc(),
             None => self.misses.inc(),
@@ -146,13 +151,18 @@ impl ConfigCache {
 
     /// Look without touching the counters (diagnostics).
     pub fn peek(&self, key: &CacheKey) -> Option<KernelConfig> {
-        self.entries.read().expect("cache lock").get(&key.flat()).copied()
+        self.entries.read().get(&key.flat()).copied()
     }
 
     /// Remember `config` as the tuned choice for `key`.
     pub fn store(&self, key: &CacheKey, config: KernelConfig) {
         self.stores.inc();
-        self.entries.write().expect("cache lock").insert(key.flat(), config);
+        let mut entries = self.entries.write();
+        // Fault site fired *inside* the write lock on purpose: an
+        // injected panic here poisons the lock, which the poison-safe
+        // wrapper must survive (tests/faults.rs).
+        crate::faults::fire(crate::faults::site::CACHE_STORE);
+        entries.insert(key.flat(), config);
     }
 
     /// Current counter values.
@@ -161,7 +171,8 @@ impl ConfigCache {
             hits: self.hits.get(),
             misses: self.misses.get(),
             stores: self.stores.get(),
-            entries: self.entries.read().expect("cache lock").len() as u64,
+            entries: self.entries.read().len() as u64,
+            load_failed: self.load_failed.get(),
         }
     }
 
@@ -175,7 +186,7 @@ impl ConfigCache {
 
     /// Serialize the whole cache as a JSON document.
     pub fn to_json(&self) -> String {
-        let map = self.entries.read().expect("cache lock");
+        let map = self.entries.read();
         let mut entries: Vec<CacheRecord> =
             map.iter().map(|(k, v)| CacheRecord { key: k.clone(), config: *v }).collect();
         entries.sort_by(|a, b| a.key.cmp(&b.key));
@@ -189,7 +200,7 @@ impl ConfigCache {
         let file: CacheFile = serde_json::from_str(text)?;
         let cache = ConfigCache::new();
         {
-            let mut map = cache.entries.write().expect("cache lock");
+            let mut map = cache.entries.write();
             for rec in file.entries {
                 map.insert(rec.key, rec.config);
             }
@@ -202,8 +213,8 @@ impl ConfigCache {
     /// absorb a persisted cache without replacing what it has learned
     /// since startup.
     pub fn absorb(&self, other: &ConfigCache) {
-        let theirs = other.entries.read().expect("cache lock");
-        let mut mine = self.entries.write().expect("cache lock");
+        let theirs = other.entries.read();
+        let mut mine = self.entries.write();
         for (k, v) in theirs.iter() {
             mine.insert(k.clone(), *v);
         }
@@ -219,6 +230,27 @@ impl ConfigCache {
         let text = std::fs::read_to_string(path)?;
         Self::from_json(&text)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Load a persisted cache, degrading instead of failing: a missing
+    /// file yields a fresh empty cache (normal first run), and a
+    /// truncated/corrupt file yields an empty cache with `load_failed`
+    /// counted — a serving process must start either way, because the
+    /// cache is an optimization, never a correctness dependency.
+    pub fn load_or_empty(path: impl AsRef<Path>) -> Self {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(_) => return Self::new(),
+        };
+        let text = crate::faults::transform_text(crate::faults::site::CACHE_LOAD, text);
+        match Self::from_json(&text) {
+            Ok(cache) => cache,
+            Err(_) => {
+                let cache = Self::new();
+                cache.load_failed.inc();
+                cache
+            }
+        }
     }
 }
 
@@ -302,6 +334,39 @@ mod tests {
         cache.save(&path).unwrap();
         let back = ConfigCache::load(&path).unwrap();
         assert_eq!(back.peek(&key(7)), Some(KernelConfig::gunrock_like()));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_or_empty_degrades_on_corruption() {
+        let dir = std::env::temp_dir();
+
+        // Missing file: a fresh cache, not a load failure.
+        let cache = ConfigCache::load_or_empty(dir.join("gswitch-no-such-cache.json"));
+        assert_eq!(cache.counters().entries, 0);
+        assert_eq!(cache.counters().load_failed, 0);
+
+        // Truncated JSON: empty cache, load_failed counted.
+        let path = dir.join("gswitch-corrupt-cache-test.json");
+        let full = {
+            let c = ConfigCache::new();
+            c.store(&key(1), KernelConfig::push_baseline());
+            c.to_json()
+        };
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let cache = ConfigCache::load_or_empty(&path);
+        assert_eq!(cache.counters().entries, 0, "corrupt file must yield an empty cache");
+        assert_eq!(cache.counters().load_failed, 1);
+        // The degraded cache is fully usable.
+        cache.store(&key(2), KernelConfig::gunrock_like());
+        assert_eq!(cache.lookup(&key(2)), Some(KernelConfig::gunrock_like()));
+
+        // A valid file still round-trips through the degrading loader.
+        std::fs::write(&path, &full).unwrap();
+        let cache = ConfigCache::load_or_empty(&path);
+        assert_eq!(cache.counters().entries, 1);
+        assert_eq!(cache.counters().load_failed, 0);
+        assert_eq!(cache.peek(&key(1)), Some(KernelConfig::push_baseline()));
         let _ = std::fs::remove_file(&path);
     }
 

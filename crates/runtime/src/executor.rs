@@ -6,12 +6,18 @@ use crate::query::{IterStat, Metric, Payload, Query};
 use crate::registry::GraphEntry;
 use gswitch_algos::bc::{BcBackward, BcForward};
 use gswitch_algos::{Bfs, Cc, PageRank, Sssp};
-use gswitch_core::{run, run_with_seed_config, EngineOptions, Policy, RunReport};
+use gswitch_core::{
+    run, run_with_seed_config, EngineOptions, Policy, ProbeHandle, RunReport, StopReason,
+};
 use gswitch_obs::RecorderHandle;
 use gswitch_simt::DeviceSpec;
 
 /// What [`execute`] hands back to the scheduler.
 pub struct Execution {
+    /// `Some` when the run probe stopped the engine early (deadline or
+    /// cancellation); partial results are present but untrustworthy —
+    /// the scheduler withholds them.
+    pub stopped: Option<StopReason>,
     /// Whether the tuned-config cache had a seed (`"hit"`/`"miss"`).
     pub cache_hit: bool,
     /// Dominant configuration of the run, display form.
@@ -49,7 +55,10 @@ fn iter_stats(report: &RunReport) -> Vec<IterStat> {
 /// it on a miss. Errors (bad source vertex) are returned as strings so
 /// the scheduler can report them without dying. An enabled `recorder`
 /// receives one decision-trace event per engine iteration (for BC that
-/// covers both the forward and backward phases).
+/// covers both the forward and backward phases). `probe` is polled at
+/// every super-step so a deadline or cancellation stops the run
+/// cooperatively; the stop reason comes back in
+/// [`Execution::stopped`].
 pub fn execute(
     entry: &GraphEntry,
     query: &Query,
@@ -57,7 +66,9 @@ pub fn execute(
     policy: &dyn Policy,
     device: &DeviceSpec,
     recorder: RecorderHandle,
+    probe: ProbeHandle,
 ) -> Result<Execution, String> {
+    crate::faults::fire(crate::faults::site::EXECUTOR_START);
     let g = entry.graph();
     let n = g.num_vertices();
     if let Some(src) = query.source() {
@@ -69,7 +80,7 @@ pub fn execute(
     let key = CacheKey::new(entry.fingerprint(), query.algo(), &feature_bucket(g.stats()));
     let seed = cache.lookup(&key);
     let cache_hit = seed.is_some();
-    let opts = EngineOptions { recorder, ..EngineOptions::on(device.clone()) };
+    let opts = EngineOptions { recorder, probe, ..EngineOptions::on(device.clone()) };
 
     // Run the algorithm; each arm produces (reports, metrics, payload).
     let (reports, metrics, payload) = match *query {
@@ -151,9 +162,11 @@ pub fn execute(
     };
 
     let converged = reports.iter().all(|r| r.converged);
+    let stopped = reports.iter().find_map(|r| r.stopped);
     let sim_ms: f64 = reports.iter().map(|r| r.total_ms()).sum();
     // The first report is the seeded phase; its dominant config is what
-    // the cache should remember.
+    // the cache should remember. A stopped run never converged, so it
+    // can never pollute the cache.
     let tuned = reports[0].dominant_config();
     if !cache_hit && converged {
         if let Some(cfg) = tuned {
@@ -163,6 +176,7 @@ pub fn execute(
     let iterations = reports.iter().flat_map(iter_stats).collect();
 
     Ok(Execution {
+        stopped,
         cache_hit,
         config: tuned.map(|c| c.to_string()),
         sim_ms,
@@ -191,9 +205,16 @@ mod tests {
     fn bfs_matches_reference_and_fills_cache() {
         let (reg, cache, dev) = setup();
         let e = reg.get("kron").unwrap();
-        let r =
-            execute(&e, &Query::Bfs { src: 0 }, &cache, &AutoPolicy, &dev, RecorderHandle::none())
-                .unwrap();
+        let r = execute(
+            &e,
+            &Query::Bfs { src: 0 },
+            &cache,
+            &AutoPolicy,
+            &dev,
+            RecorderHandle::none(),
+            ProbeHandle::none(),
+        )
+        .unwrap();
         assert!(!r.cache_hit);
         assert!(r.converged);
         let Payload::Levels { values } = &r.payload else { panic!("wrong payload") };
@@ -201,9 +222,16 @@ mod tests {
         assert_eq!(cache.counters().stores, 1);
 
         // Second identical query hits and still matches.
-        let r2 =
-            execute(&e, &Query::Bfs { src: 0 }, &cache, &AutoPolicy, &dev, RecorderHandle::none())
-                .unwrap();
+        let r2 = execute(
+            &e,
+            &Query::Bfs { src: 0 },
+            &cache,
+            &AutoPolicy,
+            &dev,
+            RecorderHandle::none(),
+            ProbeHandle::none(),
+        )
+        .unwrap();
         assert!(r2.cache_hit);
         let Payload::Levels { values } = &r2.payload else { panic!("wrong payload") };
         assert_eq!(values, &reference::bfs(e.graph(), 0));
@@ -220,6 +248,7 @@ mod tests {
             &AutoPolicy,
             &dev,
             RecorderHandle::none(),
+            ProbeHandle::none(),
         );
         assert!(err.is_err());
         // The failed lookup still counted as a... nothing: we error out
@@ -235,7 +264,16 @@ mod tests {
             GraphBuilder::new(6).edges([(0, 1), (1, 2), (4, 5)]).build()
         });
         let e = reg.get("two").unwrap();
-        let r = execute(&e, &Query::Cc, &cache, &AutoPolicy, &dev, RecorderHandle::none()).unwrap();
+        let r = execute(
+            &e,
+            &Query::Cc,
+            &cache,
+            &AutoPolicy,
+            &dev,
+            RecorderHandle::none(),
+            ProbeHandle::none(),
+        )
+        .unwrap();
         // Components: {0,1,2}, {3}, {4,5}.
         assert_eq!(r.metrics.iter().find(|m| m.name == "components").unwrap().value, 3.0);
         let Payload::Labels { values } = &r.payload else { panic!("wrong payload") };
@@ -246,11 +284,43 @@ mod tests {
     fn sssp_runs_on_weighted_twin() {
         let (reg, cache, dev) = setup();
         let e = reg.get("kron").unwrap();
-        let r =
-            execute(&e, &Query::Sssp { src: 0 }, &cache, &AutoPolicy, &dev, RecorderHandle::none())
-                .unwrap();
+        let r = execute(
+            &e,
+            &Query::Sssp { src: 0 },
+            &cache,
+            &AutoPolicy,
+            &dev,
+            RecorderHandle::none(),
+            ProbeHandle::none(),
+        )
+        .unwrap();
         let Payload::Distances { values } = &r.payload else { panic!("wrong payload") };
         assert_eq!(values, &reference::sssp(&e.weighted(), 0));
+    }
+
+    #[test]
+    fn stopped_run_reports_reason_and_skips_cache_fill() {
+        use gswitch_core::CancelToken;
+        use std::sync::Arc;
+
+        let (reg, cache, dev) = setup();
+        let e = reg.get("kron").unwrap();
+        let token = Arc::new(CancelToken::new());
+        token.cancel();
+        let r = execute(
+            &e,
+            &Query::Bfs { src: 0 },
+            &cache,
+            &AutoPolicy,
+            &dev,
+            RecorderHandle::none(),
+            ProbeHandle::new(token),
+        )
+        .unwrap();
+        assert_eq!(r.stopped, Some(StopReason::Cancelled));
+        assert!(!r.converged);
+        // A stopped run must never be remembered as "the tuned config".
+        assert_eq!(cache.counters().stores, 0);
     }
 
     #[test]
@@ -263,7 +333,8 @@ mod tests {
             &cache,
             &AutoPolicy,
             &dev,
-            RecorderHandle::none()
+            RecorderHandle::none(),
+            ProbeHandle::none()
         )
         .is_err());
         assert!(execute(
@@ -272,7 +343,8 @@ mod tests {
             &cache,
             &AutoPolicy,
             &dev,
-            RecorderHandle::none()
+            RecorderHandle::none(),
+            ProbeHandle::none()
         )
         .is_err());
     }

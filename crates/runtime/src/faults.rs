@@ -1,0 +1,208 @@
+//! Deterministic fault injection for the serving runtime.
+//!
+//! Compiled to no-ops unless the `fault-injection` cargo feature is on,
+//! so production builds pay nothing and cannot be armed. With the
+//! feature on (CI runs `cargo test -p gswitch-runtime --features
+//! fault-injection`), tests arm faults at **named sites** — fixed
+//! strings listed in [`site`] — and the runtime fires them at exactly
+//! those points:
+//!
+//! * [`Fault::Panic`] — panic at the site (one-shot: auto-disarms when
+//!   it fires, so a retry of the same job can succeed).
+//! * [`Fault::SlowMs`] — sleep at the site, every time it is reached
+//!   (how tests make a fast simulated job overrun a real deadline).
+//! * [`Fault::CorruptText`] — mangle text flowing through the site
+//!   (how tests corrupt a cache file between disk and parser).
+//!
+//! A `skip` count delays a fault past the first `skip` firings, which
+//! is what "panic mid-expand on iteration 3" means in the integration
+//! suite. All state is process-global; tests that arm faults serialize
+//! themselves behind a mutex (see `tests/faults.rs`).
+
+/// Named injection sites. Arming any other string is legal but will
+/// never fire.
+pub mod site {
+    /// Fired by [`execute`](crate::execute) before the engine starts.
+    pub const EXECUTOR_START: &str = "executor::start";
+    /// Fired once per engine super-step, from the scheduler's run
+    /// probe (so `SlowMs` stretches iterations and `Panic` lands
+    /// mid-run, between super-steps).
+    pub const ENGINE_ITERATION: &str = "engine::iteration";
+    /// Fired inside [`ConfigCache::store`](crate::ConfigCache::store)
+    /// **while the write lock is held** — a panic here poisons the
+    /// cache lock, which is exactly what the poison-recovery tests
+    /// need to prove survivable.
+    pub const CACHE_STORE: &str = "cache::store";
+    /// Text-transform site on the bytes read by
+    /// [`ConfigCache::load_or_empty`](crate::ConfigCache::load_or_empty).
+    pub const CACHE_LOAD: &str = "cache::load";
+}
+
+/// What an armed site does when reached.
+#[derive(Clone, Debug)]
+pub enum Fault {
+    /// Panic with this message. One-shot: disarms as it fires.
+    Panic(String),
+    /// Sleep this many milliseconds. Persistent until disarmed.
+    SlowMs(u64),
+    /// Replace text passing through the site with unparseable garbage.
+    /// Persistent until disarmed.
+    CorruptText,
+}
+
+#[cfg(feature = "fault-injection")]
+mod armed {
+    use super::Fault;
+    use gswitch_obs::sync::Lock;
+    use std::collections::HashMap;
+
+    struct ArmedFault {
+        fault: Fault,
+        /// Firings to let pass before acting.
+        skip: u64,
+    }
+
+    static SITES: Lock<Option<HashMap<String, ArmedFault>>> = Lock::new(None);
+
+    fn with_sites<R>(f: impl FnOnce(&mut HashMap<String, ArmedFault>) -> R) -> R {
+        let mut guard = SITES.lock();
+        f(guard.get_or_insert_with(HashMap::new))
+    }
+
+    /// Arm `fault` at `site`, firing on the first arrival.
+    pub fn arm(site: &str, fault: Fault) {
+        arm_after(site, 0, fault);
+    }
+
+    /// Arm `fault` at `site`, letting the first `skip` arrivals pass.
+    pub fn arm_after(site: &str, skip: u64, fault: Fault) {
+        with_sites(|s| s.insert(site.to_string(), ArmedFault { fault, skip }));
+    }
+
+    /// Disarm one site.
+    pub fn disarm(site: &str) {
+        with_sites(|s| s.remove(site));
+    }
+
+    /// Disarm everything (test teardown).
+    pub fn reset() {
+        with_sites(|s| s.clear());
+    }
+
+    /// Decide what to do at `site` without holding the lock while
+    /// acting (a panic must not poison the fault table itself).
+    fn take_action(site: &str) -> Option<Fault> {
+        with_sites(|s| {
+            let armed = s.get_mut(site)?;
+            if armed.skip > 0 {
+                armed.skip -= 1;
+                return None;
+            }
+            match armed.fault {
+                // One-shot: remove before firing.
+                Fault::Panic(_) => s.remove(site).map(|a| a.fault),
+                ref f => Some(f.clone()),
+            }
+        })
+    }
+
+    /// Fire `site`: may panic or sleep.
+    pub fn fire(site: &str) {
+        match take_action(site) {
+            Some(Fault::Panic(msg)) => panic!("injected fault at {site}: {msg}"),
+            Some(Fault::SlowMs(ms)) => std::thread::sleep(std::time::Duration::from_millis(ms)),
+            Some(Fault::CorruptText) | None => {}
+        }
+    }
+
+    /// Pass `text` through `site`, corrupting it if so armed. Panics
+    /// and sleeps also apply here.
+    pub fn transform_text(site: &str, text: String) -> String {
+        match take_action(site) {
+            Some(Fault::CorruptText) => {
+                // Truncate mid-token and append garbage: defeats both
+                // full and partial JSON parses.
+                let mut cut = text.len() / 2;
+                while cut > 0 && !text.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                format!("{}\u{0}garbage%%", &text[..cut])
+            }
+            Some(Fault::Panic(msg)) => panic!("injected fault at {site}: {msg}"),
+            Some(Fault::SlowMs(ms)) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                text
+            }
+            None => text,
+        }
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+pub use armed::{arm, arm_after, disarm, fire, reset, transform_text};
+
+/// No-op stubs compiled when the `fault-injection` feature is off:
+/// sites cannot be armed and firing costs nothing.
+#[cfg(not(feature = "fault-injection"))]
+mod disarmed {
+    use super::Fault;
+
+    /// No-op (enable the `fault-injection` feature to arm faults).
+    pub fn arm(_site: &str, _fault: Fault) {}
+    /// No-op (enable the `fault-injection` feature to arm faults).
+    pub fn arm_after(_site: &str, _skip: u64, _fault: Fault) {}
+    /// No-op.
+    pub fn disarm(_site: &str) {}
+    /// No-op.
+    pub fn reset() {}
+    /// No-op.
+    #[inline(always)]
+    pub fn fire(_site: &str) {}
+    /// Identity.
+    #[inline(always)]
+    pub fn transform_text(_site: &str, text: String) -> String {
+        text
+    }
+}
+
+#[cfg(not(feature = "fault-injection"))]
+pub use disarmed::{arm, arm_after, disarm, fire, reset, transform_text};
+
+#[cfg(all(test, feature = "fault-injection"))]
+mod tests {
+    use super::*;
+
+    // Module-level serialization: fault state is process-global, and
+    // the integration suite (tests/faults.rs) runs in its own process,
+    // so only these unit tests share it.
+    static GUARD: gswitch_obs::sync::Lock<()> = gswitch_obs::sync::Lock::new(());
+
+    #[test]
+    fn panic_fault_is_one_shot_and_skippable() {
+        let _g = GUARD.lock();
+        reset();
+        arm_after(site::EXECUTOR_START, 2, Fault::Panic("boom".into()));
+        fire(site::EXECUTOR_START); // skip 1
+        fire(site::EXECUTOR_START); // skip 2
+        let err = std::panic::catch_unwind(|| fire(site::EXECUTOR_START)).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("boom"), "panic message was `{msg}`");
+        // One-shot: the site is clean again.
+        fire(site::EXECUTOR_START);
+        reset();
+    }
+
+    #[test]
+    fn corrupt_text_mangles_until_disarmed() {
+        let _g = GUARD.lock();
+        reset();
+        let clean = "{\"version\":1}".to_string();
+        assert_eq!(transform_text(site::CACHE_LOAD, clean.clone()), clean);
+        arm(site::CACHE_LOAD, Fault::CorruptText);
+        let mangled = transform_text(site::CACHE_LOAD, clean.clone());
+        assert_ne!(mangled, clean);
+        assert!(serde_json::from_str::<serde_json::Value>(&mangled).is_err());
+        disarm(site::CACHE_LOAD);
+        assert_eq!(transform_text(site::CACHE_LOAD, clean.clone()), clean);
+    }
+}

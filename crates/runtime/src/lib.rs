@@ -17,6 +17,11 @@
 //!   [`KernelConfig`](gswitch_kernels::KernelConfig) of a completed run
 //!   to disk as JSON and warm-starts later runs through
 //!   [`run_with_seed_config`](gswitch_core::run_with_seed_config).
+//! - [`faults`] — deterministic fault injection at named sites
+//!   (panics, slow iterations, corrupt cache text), compiled to no-ops
+//!   unless the `fault-injection` cargo feature is on; the lever the
+//!   fault-tolerance integration suite uses to prove the pool survives
+//!   panicking jobs, poisoned locks and corrupt cache files.
 //! - [`bench_load`] — the synthetic mixed workload behind
 //!   `gswitch-serve --bench-load`, reporting QPS and latency
 //!   percentiles cold (empty cache) versus warm.
@@ -29,6 +34,7 @@
 pub mod bench_load;
 pub mod cache;
 pub mod executor;
+pub mod faults;
 pub mod obs;
 pub mod protocol;
 pub mod query;
@@ -40,4 +46,4 @@ pub use executor::execute;
 pub use obs::RuntimeObs;
 pub use query::{IterStat, JobOutcome, JobSpec, JobStatus, Metric, Payload, Query};
 pub use registry::{GraphEntry, GraphRegistry};
-pub use scheduler::{Scheduler, SchedulerConfig, SubmitError};
+pub use scheduler::{JobHandle, Scheduler, SchedulerConfig, SubmitError};

@@ -22,13 +22,22 @@ pub mod metric {
     pub const JOBS_OK: &str = "jobs_ok";
     /// Counter: jobs that completed `Error`.
     pub const JOBS_ERROR: &str = "jobs_error";
-    /// Counter: jobs cancelled while still queued (never ran).
+    /// Counter: jobs cancelled — while queued (never ran) or mid-run
+    /// (the engine stopped at a super-step boundary).
     pub const JOBS_CANCELLED: &str = "jobs_cancelled";
+    /// Counter: jobs that panicked in a worker (status `Failed`); the
+    /// worker survived and kept serving.
+    pub const JOBS_FAILED: &str = "jobs_failed";
     /// Counter: jobs whose deadline passed while queued (never ran).
     pub const JOBS_TIMEOUT_QUEUED: &str = "jobs_timeout_queued";
-    /// Counter: jobs that ran but finished past their deadline (result
-    /// withheld).
+    /// Counter: jobs stopped *mid-run* because their deadline passed —
+    /// the engine exited cooperatively at the next super-step.
+    pub const JOBS_TIMEOUT_MIDRUN: &str = "jobs_timeout_midrun";
+    /// Counter: jobs that ran to completion but finished past their
+    /// deadline (result withheld).
     pub const JOBS_TIMEOUT_LATE: &str = "jobs_timeout_late";
+    /// Counter: transiently-failed jobs resubmitted by the retry layer.
+    pub const JOBS_RETRIED: &str = "jobs_retried";
     /// Histogram: admission-to-pickup wait, ms.
     pub const QUEUE_WAIT_MS: &str = "queue_wait_ms";
     /// Histogram: worker execution time per job, ms.
@@ -41,6 +50,9 @@ pub mod metric {
     pub const CACHE_MISSES: &str = "cache_misses";
     /// Counter: tuned-config cache writes.
     pub const CACHE_STORES: &str = "cache_stores";
+    /// Counter: persisted-cache loads that failed to parse and degraded
+    /// to an empty cache.
+    pub const CACHE_LOAD_FAILED: &str = "cache_load_failed";
 }
 
 /// Default decision-trace ring capacity (events, not bytes). A

@@ -18,7 +18,13 @@
 //!
 //! `query` responses are the full [`JobOutcome`](crate::JobOutcome)
 //! (per-vertex payload stripped unless `"payload":true`); other
-//! commands answer `{"ok":...}` or `{"error":"..."}`.
+//! commands answer `{"ok":...}` or `{"error":"..."}`. A query's
+//! `status` is one of `"Ok"`, `"Error"` (the request itself was bad —
+//! not retryable), `"Failed"` (infrastructure fault such as a worker
+//! panic — the server retries these transparently, see `--retries`),
+//! `"Cancelled"`, or `"DeadlineExceeded"` (the job ran past its
+//! `timeout_ms`, whether queued, mid-run, or at completion; results
+//! are withheld). See DESIGN.md's "Failure model" for the taxonomy.
 //!
 //! `stats` returns the legacy cache/queue fields plus a `metrics`
 //! object — the unified registry snapshot (queue depth, stage latency

@@ -63,16 +63,34 @@ pub struct JobSpec {
 }
 
 /// Terminal state of a job.
+///
+/// The full taxonomy (see DESIGN.md §"Failure model"):
+/// `Ok` / `Error` / `Failed` / `Cancelled` / `DeadlineExceeded`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum JobStatus {
     /// Completed within its deadline.
     Ok,
-    /// Exceeded its deadline (result withheld).
-    Timeout,
-    /// Cancelled before execution started.
+    /// Exceeded its deadline — while queued, mid-run (the engine was
+    /// stopped cooperatively), or discovered at completion. The result
+    /// is withheld in every case.
+    DeadlineExceeded,
+    /// Cancelled by the caller — before execution started, or mid-run
+    /// at a super-step boundary.
     Cancelled,
-    /// Failed (unknown graph, bad parameter, non-convergence).
+    /// The job itself was invalid (unknown graph, bad parameter,
+    /// non-convergence). Retrying the same request fails the same way.
     Error,
+    /// The runtime failed the job (worker panic, worker death). The
+    /// request may be fine — retrying can succeed.
+    Failed,
+}
+
+impl JobStatus {
+    /// Whether a retry of the identical request could plausibly
+    /// succeed: true only for infrastructure failures.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, JobStatus::Failed)
+    }
 }
 
 /// One engine super-step, trimmed for the wire.
@@ -156,7 +174,8 @@ pub struct JobOutcome {
     pub algo: String,
     /// Terminal status.
     pub status: JobStatus,
-    /// Error description when `status == Error`.
+    /// Error description when `status` is `Error` (what was wrong with
+    /// the request) or `Failed` (the worker's panic payload).
     pub error: Option<String>,
     /// `"hit"` or `"miss"` when the tuned-config cache was consulted.
     pub cache: Option<String>,
@@ -217,6 +236,27 @@ mod tests {
         assert_eq!(Query::Bc { src: 0 }.algo(), "bc");
         assert_eq!(Query::Cc.source(), None);
         assert_eq!(Query::Bc { src: 9 }.source(), Some(9));
+    }
+
+    #[test]
+    fn job_status_wire_shapes_and_retryability() {
+        for (status, wire) in [
+            (JobStatus::Ok, "\"Ok\""),
+            (JobStatus::DeadlineExceeded, "\"DeadlineExceeded\""),
+            (JobStatus::Cancelled, "\"Cancelled\""),
+            (JobStatus::Error, "\"Error\""),
+            (JobStatus::Failed, "\"Failed\""),
+        ] {
+            assert_eq!(serde_json::to_string(&status).unwrap(), wire);
+            let back: JobStatus = serde_json::from_str(wire).unwrap();
+            assert_eq!(back, status);
+        }
+        assert!(JobStatus::Failed.is_retryable());
+        for s in
+            [JobStatus::Ok, JobStatus::Error, JobStatus::Cancelled, JobStatus::DeadlineExceeded]
+        {
+            assert!(!s.is_retryable(), "{s:?} must not be retryable");
+        }
     }
 
     #[test]

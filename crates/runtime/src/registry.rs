@@ -7,8 +7,9 @@
 //! BFS jobs on the same social graph cost one graph's worth of memory.
 
 use gswitch_graph::{gen, io, Fingerprint, Graph};
+use gswitch_obs::sync::RwLock;
 use std::collections::BTreeMap;
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, OnceLock};
 
 /// Weight attachment parameters for the SSSP twin — the same the bench
 /// harness uses, so tuned configs transfer between the two.
@@ -75,7 +76,7 @@ impl GraphRegistry {
     pub fn insert(&self, name: impl Into<String>, graph: Graph) -> Arc<GraphEntry> {
         let name = name.into();
         let entry = Arc::new(GraphEntry::new(name.clone(), graph));
-        self.entries.write().expect("registry lock").insert(name, Arc::clone(&entry));
+        self.entries.write().insert(name, Arc::clone(&entry));
         entry
     }
 
@@ -92,12 +93,12 @@ impl GraphRegistry {
 
     /// Look up a registered graph.
     pub fn get(&self, name: &str) -> Option<Arc<GraphEntry>> {
-        self.entries.read().expect("registry lock").get(name).cloned()
+        self.entries.read().get(name).cloned()
     }
 
     /// Number of registered graphs.
     pub fn len(&self) -> usize {
-        self.entries.read().expect("registry lock").len()
+        self.entries.read().len()
     }
 
     /// Whether the registry is empty.
@@ -107,7 +108,7 @@ impl GraphRegistry {
 
     /// Registered names in sorted order.
     pub fn names(&self) -> Vec<String> {
-        self.entries.read().expect("registry lock").keys().cloned().collect()
+        self.entries.read().keys().cloned().collect()
     }
 
     /// One [`GraphSummary`] per entry, for the serve protocol's
@@ -115,7 +116,6 @@ impl GraphRegistry {
     pub fn summaries(&self) -> Vec<GraphSummary> {
         self.entries
             .read()
-            .expect("registry lock")
             .values()
             .map(|e| GraphSummary {
                 name: e.name.clone(),

@@ -5,23 +5,34 @@
 //! and with [`SubmitError::UnknownGraph`] before a bad job ever
 //! occupies a queue slot. Each job carries a deadline measured from
 //! admission (so queue wait counts); jobs whose deadline passes before
-//! a worker picks them up are dropped unrun, and jobs that finish past
-//! it report [`JobStatus::Timeout`] with the result withheld.
-//! Cancellation is cooperative: a job cancelled before execution starts
-//! never runs; one already executing runs to completion (the engine has
-//! no preemption points) and reports its terminal status normally.
+//! a worker picks them up are dropped unrun, running jobs are stopped
+//! cooperatively at the next engine super-step, and jobs that finish
+//! past it report [`JobStatus::DeadlineExceeded`] with the result
+//! withheld.
+//! Cancellation is cooperative at super-step granularity: a job
+//! cancelled before execution starts never runs; one already executing
+//! is stopped at its next engine super-step via the job's
+//! [`CancelToken`] and reports [`JobStatus::Cancelled`].
+//!
+//! Workers are panic-isolated: each job body runs under
+//! `catch_unwind`, so a panicking job becomes a structured
+//! [`JobStatus::Failed`] outcome (panic payload in `error`) while the
+//! worker thread — and every other queued or running job — carries on.
+//! Shared state uses poison-recovering locks (`gswitch_obs::sync`), so
+//! even a panic at an unlucky point cannot wedge the scheduler.
 
 use crate::cache::ConfigCache;
 use crate::executor::execute;
 use crate::obs::{metric, RuntimeObs};
 use crate::query::{JobOutcome, JobSpec, JobStatus};
 use crate::registry::GraphRegistry;
-use gswitch_core::AutoPolicy;
+use gswitch_core::{AutoPolicy, CancelToken, ProbeHandle, RunProbe, StopReason};
+use gswitch_obs::sync::{recover, Lock};
 use gswitch_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use gswitch_simt::DeviceSpec;
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar};
 use std::time::{Duration, Instant};
 
 /// Scheduler tuning knobs.
@@ -86,9 +97,12 @@ struct SchedulerMetrics {
     rejected: Counter,
     ok: Counter,
     error: Counter,
+    failed: Counter,
     cancelled: Counter,
     timeout_queued: Counter,
+    timeout_midrun: Counter,
     timeout_late: Counter,
+    retried: Counter,
     queue_wait_ms: Histogram,
     execute_ms: Histogram,
     total_ms: Histogram,
@@ -102,9 +116,12 @@ impl SchedulerMetrics {
             rejected: r.counter(metric::JOBS_REJECTED),
             ok: r.counter(metric::JOBS_OK),
             error: r.counter(metric::JOBS_ERROR),
+            failed: r.counter(metric::JOBS_FAILED),
             cancelled: r.counter(metric::JOBS_CANCELLED),
             timeout_queued: r.counter(metric::JOBS_TIMEOUT_QUEUED),
+            timeout_midrun: r.counter(metric::JOBS_TIMEOUT_MIDRUN),
             timeout_late: r.counter(metric::JOBS_TIMEOUT_LATE),
+            retried: r.counter(metric::JOBS_RETRIED),
             queue_wait_ms: r.latency(metric::QUEUE_WAIT_MS),
             execute_ms: r.latency(metric::EXECUTE_MS),
             total_ms: r.latency(metric::JOB_TOTAL_MS),
@@ -118,10 +135,30 @@ struct Shared {
     obs: Arc<RuntimeObs>,
     m: SchedulerMetrics,
     device: DeviceSpec,
-    queue: Mutex<VecDeque<Job>>,
+    queue: Lock<VecDeque<Job>>,
     work_ready: Condvar,
     shutdown: AtomicBool,
-    cancelled: Mutex<HashSet<u64>>,
+    /// Ids cancelled while still queued; pruned at pickup, and only
+    /// ever populated with ids actually present in the queue, so the
+    /// set stays bounded by the queue capacity.
+    cancelled: Lock<HashSet<u64>>,
+    /// Cancel tokens of currently executing jobs, so [`Scheduler::cancel`]
+    /// can reach a job mid-run.
+    running: Lock<HashMap<u64, Arc<CancelToken>>>,
+}
+
+/// The engine-facing stop probe for one job: the job's cancel token
+/// (which also carries the deadline), with a fault-injection site per
+/// super-step so the test harness can stretch or kill iterations.
+struct JobProbe {
+    token: Arc<CancelToken>,
+}
+
+impl RunProbe for JobProbe {
+    fn check(&self, iteration: u32) -> Option<StopReason> {
+        crate::faults::fire(crate::faults::site::ENGINE_ITERATION);
+        self.token.check(iteration)
+    }
 }
 
 /// Handle to one admitted job; wait on it for the outcome.
@@ -129,12 +166,40 @@ pub struct JobHandle {
     /// Id assigned at admission (use for [`Scheduler::cancel`]).
     pub id: u64,
     rx: mpsc::Receiver<JobOutcome>,
+    graph: String,
+    algo: String,
+    admitted: Instant,
 }
 
 impl JobHandle {
     /// Block until the job reaches a terminal state.
+    ///
+    /// Never panics: if the worker died without reporting (its thread
+    /// was killed, or the scheduler was torn down mid-job), the outcome
+    /// is a synthesized [`JobStatus::Failed`] instead.
     pub fn wait(self) -> JobOutcome {
-        self.rx.recv().expect("worker dropped without reporting")
+        match self.rx.recv() {
+            Ok(out) => out,
+            Err(_) => JobOutcome {
+                id: self.id,
+                graph: self.graph,
+                algo: self.algo,
+                status: JobStatus::Failed,
+                error: Some(
+                    "worker dropped without reporting (worker thread died or the scheduler \
+                     was torn down mid-job)"
+                        .to_string(),
+                ),
+                cache: None,
+                config: None,
+                wall_ms: self.admitted.elapsed().as_secs_f64() * 1e3,
+                sim_ms: 0.0,
+                converged: false,
+                metrics: Vec::new(),
+                iterations: Vec::new(),
+                payload: None,
+            },
+        }
     }
 
     /// Non-blocking poll.
@@ -181,10 +246,11 @@ impl Scheduler {
             m: SchedulerMetrics::bind(&obs.metrics),
             obs,
             device: config.device.clone(),
-            queue: Mutex::new(VecDeque::new()),
+            queue: Lock::new(VecDeque::new()),
             work_ready: Condvar::new(),
             shutdown: AtomicBool::new(false),
-            cancelled: Mutex::new(HashSet::new()),
+            cancelled: Lock::new(HashSet::new()),
+            running: Lock::new(HashMap::new()),
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -217,29 +283,76 @@ impl Scheduler {
         let deadline = Duration::from_millis(spec.timeout_ms.unwrap_or(self.default_timeout_ms));
         let (tx, rx) = mpsc::channel();
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let graph = spec.graph.clone();
+        let algo = spec.query.algo().to_string();
+        let admitted = Instant::now();
         {
-            let mut q = self.shared.queue.lock().expect("queue lock");
+            let mut q = self.shared.queue.lock();
             if q.len() >= self.capacity {
                 self.shared.m.rejected.inc();
                 return Err(SubmitError::QueueFull);
             }
-            q.push_back(Job { id, spec, admitted: Instant::now(), deadline, tx });
+            q.push_back(Job { id, spec, admitted, deadline, tx });
             self.shared.m.queue_depth.set(q.len() as i64);
         }
         self.shared.m.submitted.inc();
         self.shared.work_ready.notify_one();
-        Ok(JobHandle { id, rx })
+        Ok(JobHandle { id, rx, graph, algo, admitted })
     }
 
-    /// Request cancellation of job `id`. Effective only while the job
-    /// is still queued; a running job completes normally.
+    /// Submit `spec`, wait for the outcome, and transparently resubmit
+    /// when the outcome is retryable (a worker [`JobStatus::Failed`],
+    /// never a user error) — up to `retries` extra attempts, sleeping
+    /// `backoff` before the first retry and doubling it each time.
+    /// Admission errors propagate immediately; each retry is counted in
+    /// the `jobs_retried` metric.
+    pub fn submit_with_retry(
+        &self,
+        spec: JobSpec,
+        retries: u32,
+        backoff: Duration,
+    ) -> Result<JobOutcome, SubmitError> {
+        let mut delay = backoff;
+        for attempt in 0..=retries {
+            let out = self.submit(spec.clone())?.wait();
+            if !out.status.is_retryable() || attempt == retries {
+                return Ok(out);
+            }
+            self.shared.m.retried.inc();
+            std::thread::sleep(delay);
+            delay = delay.saturating_mul(2);
+        }
+        unreachable!("the final attempt returns above")
+    }
+
+    /// Request cancellation of job `id`, wherever it is:
+    ///
+    /// * still queued — it never runs and reports
+    ///   [`JobStatus::Cancelled`];
+    /// * currently executing — its engine run is stopped at the next
+    ///   super-step and reports [`JobStatus::Cancelled`];
+    /// * already finished (or unknown) — no-op, and nothing is
+    ///   remembered, so cancelling completed ids cannot grow any state.
     pub fn cancel(&self, id: u64) {
-        self.shared.cancelled.lock().expect("cancel lock").insert(id);
+        // Order matters: a job moves queue → running, never backwards,
+        // so checking the queue first narrows the race window to the
+        // instant between pickup and token registration (where a cancel
+        // is a benign no-op).
+        {
+            let q = self.shared.queue.lock();
+            if q.iter().any(|j| j.id == id) {
+                self.shared.cancelled.lock().insert(id);
+                return;
+            }
+        }
+        if let Some(token) = self.shared.running.lock().get(&id) {
+            token.cancel();
+        }
     }
 
     /// Jobs currently waiting for a worker.
     pub fn queued(&self) -> usize {
-        self.shared.queue.lock().expect("queue lock").len()
+        self.shared.queue.lock().len()
     }
 
     /// The observability root this scheduler reports into.
@@ -285,10 +398,21 @@ fn outcome_skeleton(job: &Job, status: JobStatus) -> JobOutcome {
     }
 }
 
+/// Render a `catch_unwind` payload for the outcome's `error` field.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
-            let mut q = shared.queue.lock().expect("queue lock");
+            let mut q = shared.queue.lock();
             loop {
                 if let Some(job) = q.pop_front() {
                     shared.m.queue_depth.set(q.len() as i64);
@@ -297,14 +421,15 @@ fn worker_loop(shared: &Shared) {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                q = shared.work_ready.wait(q).expect("queue lock");
+                q = recover(shared.work_ready.wait(q));
             }
         };
         shared.m.queue_wait_ms.observe(job.admitted.elapsed().as_secs_f64() * 1e3);
 
         // Cancelled while queued? Previously this outcome vanished from
         // every aggregate — the counter is the only server-side record.
-        if shared.cancelled.lock().expect("cancel lock").remove(&job.id) {
+        // The `remove` also prunes the id, keeping the set bounded.
+        if shared.cancelled.lock().remove(&job.id) {
             shared.m.cancelled.inc();
             shared.m.total_ms.observe(job.admitted.elapsed().as_secs_f64() * 1e3);
             let _ = job.tx.send(outcome_skeleton(&job, JobStatus::Cancelled));
@@ -314,7 +439,7 @@ fn worker_loop(shared: &Shared) {
         if job.admitted.elapsed() > job.deadline {
             shared.m.timeout_queued.inc();
             shared.m.total_ms.observe(job.admitted.elapsed().as_secs_f64() * 1e3);
-            let _ = job.tx.send(outcome_skeleton(&job, JobStatus::Timeout));
+            let _ = job.tx.send(outcome_skeleton(&job, JobStatus::DeadlineExceeded));
             continue;
         }
 
@@ -331,31 +456,64 @@ fn worker_loop(shared: &Shared) {
         };
 
         let recorder = shared.obs.recorder_for(job.id, &job.spec.graph, job.spec.query.algo());
+        // The job's cancel token doubles as its deadline probe: the
+        // engine polls it each super-step, and `Scheduler::cancel` can
+        // reach it through the `running` map while the job executes.
+        let token = Arc::new(CancelToken::with_deadline(job.admitted + job.deadline));
+        shared.running.lock().insert(job.id, Arc::clone(&token));
         let exec_start = Instant::now();
-        let result =
-            execute(&entry, &job.spec.query, &shared.cache, &AutoPolicy, &shared.device, recorder);
+        // Panic isolation: a panicking job must not take the worker —
+        // or any lock-holding bystander — down with it. The shared
+        // state is poison-recovering, so unwinding through it is safe.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute(
+                &entry,
+                &job.spec.query,
+                &shared.cache,
+                &AutoPolicy,
+                &shared.device,
+                recorder,
+                ProbeHandle::new(Arc::new(JobProbe { token: Arc::clone(&token) })),
+            )
+        }));
+        shared.running.lock().remove(&job.id);
         shared.m.execute_ms.observe(exec_start.elapsed().as_secs_f64() * 1e3);
+
+        let mut midrun_deadline = false;
         let mut out = match result {
-            Ok(exec) => {
-                let mut out = outcome_skeleton(&job, JobStatus::Ok);
-                out.cache = Some(if exec.cache_hit { "hit" } else { "miss" }.to_string());
-                out.config = exec.config;
-                out.sim_ms = exec.sim_ms;
-                out.converged = exec.converged;
-                out.metrics = exec.metrics;
-                out.iterations = exec.iterations;
-                out.payload = Some(exec.payload);
-                out
-            }
-            Err(msg) => {
+            Ok(Ok(exec)) => match exec.stopped {
+                Some(StopReason::Cancelled) => outcome_skeleton(&job, JobStatus::Cancelled),
+                Some(StopReason::DeadlineExceeded) => {
+                    midrun_deadline = true;
+                    outcome_skeleton(&job, JobStatus::DeadlineExceeded)
+                }
+                None => {
+                    let mut out = outcome_skeleton(&job, JobStatus::Ok);
+                    out.cache = Some(if exec.cache_hit { "hit" } else { "miss" }.to_string());
+                    out.config = exec.config;
+                    out.sim_ms = exec.sim_ms;
+                    out.converged = exec.converged;
+                    out.metrics = exec.metrics;
+                    out.iterations = exec.iterations;
+                    out.payload = Some(exec.payload);
+                    out
+                }
+            },
+            Ok(Err(msg)) => {
                 let mut out = outcome_skeleton(&job, JobStatus::Error);
                 out.error = Some(msg);
                 out
             }
+            Err(payload) => {
+                let mut out = outcome_skeleton(&job, JobStatus::Failed);
+                out.error = Some(format!("worker panic: {}", panic_message(payload)));
+                out
+            }
         };
-        // Deadline enforced at completion: late results are withheld.
+        // Deadline also enforced at completion: late results are
+        // withheld even when the run finished.
         if out.status == JobStatus::Ok && job.admitted.elapsed() > job.deadline {
-            out.status = JobStatus::Timeout;
+            out.status = JobStatus::DeadlineExceeded;
             out.metrics.clear();
             out.iterations.clear();
             out.payload = None;
@@ -363,8 +521,15 @@ fn worker_loop(shared: &Shared) {
         match out.status {
             JobStatus::Ok => shared.m.ok.inc(),
             JobStatus::Error => shared.m.error.inc(),
-            JobStatus::Timeout => shared.m.timeout_late.inc(),
-            _ => {}
+            JobStatus::Failed => shared.m.failed.inc(),
+            JobStatus::Cancelled => shared.m.cancelled.inc(),
+            JobStatus::DeadlineExceeded => {
+                if midrun_deadline {
+                    shared.m.timeout_midrun.inc()
+                } else {
+                    shared.m.timeout_late.inc()
+                }
+            }
         }
         out.wall_ms = job.admitted.elapsed().as_secs_f64() * 1e3;
         shared.m.total_ms.observe(out.wall_ms);
@@ -447,7 +612,7 @@ mod tests {
         let (s, _r, _c) = make_scheduler(1);
         let spec = JobSpec { graph: "kron".into(), query: Query::Cc, timeout_ms: Some(0) };
         let out = s.submit(spec).unwrap().wait();
-        assert_eq!(out.status, JobStatus::Timeout);
+        assert_eq!(out.status, JobStatus::DeadlineExceeded);
         assert!(out.iterations.is_empty(), "timed-out job must not leak results");
         assert!(out.payload.is_none());
         s.shutdown();
@@ -511,7 +676,7 @@ mod tests {
         s.cancel(doomed.id);
         let _ = s.submit(JobSpec { graph: "nope".into(), query: Query::Cc, timeout_ms: None });
 
-        assert_eq!(dead.wait().status, JobStatus::Timeout);
+        assert_eq!(dead.wait().status, JobStatus::DeadlineExceeded);
         let doomed_status = doomed.wait().status;
         assert_eq!(busy.unwrap().wait().status, JobStatus::Ok);
 
@@ -604,6 +769,66 @@ mod tests {
                 (q, p) => panic!("mismatched payload for {q:?}: {p:?}"),
             }
         }
+        s.shutdown();
+    }
+
+    /// Regression: `wait()` used to panic with "worker dropped without
+    /// reporting" when the sender side vanished. It must synthesize a
+    /// structured `Failed` outcome instead.
+    #[test]
+    fn wait_on_dropped_worker_reports_failed_not_panic() {
+        let (tx, rx) = mpsc::channel::<JobOutcome>();
+        let handle = JobHandle {
+            id: 42,
+            rx,
+            graph: "kron".into(),
+            algo: "bfs".into(),
+            admitted: Instant::now(),
+        };
+        drop(tx); // the "worker died" case
+        let out = handle.wait();
+        assert_eq!(out.status, JobStatus::Failed);
+        assert_eq!(out.id, 42);
+        assert_eq!(out.graph, "kron");
+        assert!(out.error.as_deref().unwrap_or("").contains("worker dropped"));
+    }
+
+    /// Regression: cancelling ids of completed (or never-admitted) jobs
+    /// used to accumulate forever in the `cancelled` set. Now only ids
+    /// actually found in the queue are remembered, so the set stays
+    /// bounded and arbitrary cancels leave no residue.
+    #[test]
+    fn cancel_of_completed_ids_leaves_no_residue() {
+        let (s, _r, _c) = make_scheduler(2);
+        let h = s.submit(bfs_spec(0)).unwrap();
+        let finished = h.id;
+        assert_eq!(h.wait().status, JobStatus::Ok);
+
+        // Cancel the finished job plus a pile of ids that never existed.
+        s.cancel(finished);
+        for bogus in 1_000..1_100 {
+            s.cancel(bogus);
+        }
+        assert_eq!(
+            s.shared.cancelled.lock().len(),
+            0,
+            "cancelled set must not retain ids that were not queued"
+        );
+
+        // The scheduler still works afterwards.
+        assert_eq!(s.submit(bfs_spec(1)).unwrap().wait().status, JobStatus::Ok);
+        s.shutdown();
+    }
+
+    /// `submit_with_retry` with zero budget behaves exactly like
+    /// `submit().wait()` for healthy jobs, and never sleeps.
+    #[test]
+    fn submit_with_retry_passes_healthy_jobs_through() {
+        let (s, _r, _c) = make_scheduler(2);
+        let out = s.submit_with_retry(bfs_spec(0), 2, Duration::from_millis(1)).unwrap();
+        assert_eq!(out.status, JobStatus::Ok);
+        let snap = s.obs().metrics.snapshot();
+        assert_eq!(snap.counter(metric::JOBS_RETRIED), 0);
         s.shutdown();
     }
 }
