@@ -43,7 +43,7 @@ fn bench_training(c: &mut Criterion) {
     let mut group = c.benchmark_group("cart");
     group.sample_size(10);
     group.bench_function("train_5k_records", |b| {
-        b.iter(|| DecisionTree::train(&rows, &labels, TrainParams::default()));
+        b.iter(|| DecisionTree::train(&rows, &labels, TrainParams::default()).unwrap());
     });
     group.bench_function("cv10_5k_records", |b| {
         b.iter(|| cross_validate(&rows, &labels, 10, TrainParams::default()));

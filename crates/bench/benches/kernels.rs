@@ -114,7 +114,7 @@ fn bench_selector(c: &mut Criterion) {
         })
         .collect();
     let labels: Vec<usize> = rows.iter().map(|r| usize::from(r[9] > 50.0)).collect();
-    let tree = DecisionTree::train(&rows, &labels, TrainParams::default());
+    let tree = DecisionTree::train(&rows, &labels, TrainParams::default()).unwrap();
     let feat = ctx.features(Direction::Push);
     c.bench_function("selector/cart_inference", |b| {
         b.iter(|| tree.predict(&feat));

@@ -31,6 +31,7 @@ fn bench_query_latency(c: &mut Criterion) {
                 &device,
                 RecorderHandle::none(),
                 ProbeHandle::none(),
+                0,
             )
             .unwrap()
         });
@@ -45,6 +46,7 @@ fn bench_query_latency(c: &mut Criterion) {
         &device,
         RecorderHandle::none(),
         ProbeHandle::none(),
+        0,
     )
     .unwrap();
     group.bench_function("bfs_warm", |b| {
@@ -57,6 +59,7 @@ fn bench_query_latency(c: &mut Criterion) {
                 &device,
                 RecorderHandle::none(),
                 ProbeHandle::none(),
+                0,
             )
             .unwrap()
         });
@@ -73,6 +76,7 @@ fn bench_query_latency(c: &mut Criterion) {
                 &device,
                 RecorderHandle::none(),
                 ProbeHandle::none(),
+                0,
             )
             .unwrap()
         });
@@ -87,6 +91,7 @@ fn bench_query_latency(c: &mut Criterion) {
         &device,
         RecorderHandle::none(),
         ProbeHandle::none(),
+        0,
     )
     .unwrap();
     group.bench_function("pr_warm", |b| {
@@ -99,6 +104,7 @@ fn bench_query_latency(c: &mut Criterion) {
                 &device,
                 RecorderHandle::none(),
                 ProbeHandle::none(),
+                0,
             )
             .unwrap()
         });

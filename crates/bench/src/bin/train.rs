@@ -13,8 +13,10 @@
 
 use gswitch_bench::labelling::cached_labels;
 use gswitch_bench::{default_model_path, results_dir};
-use gswitch_core::ModelPolicy;
-use gswitch_ml::{cross_validate, DecisionTree, Pattern, TrainParams, FEATURE_NAMES};
+use gswitch_core::{ModelEnvelope, ModelPolicy};
+use gswitch_ml::{
+    cross_validate, DecisionTree, Pattern, TrainParams, FEATURE_COUNT, FEATURE_NAMES,
+};
 use gswitch_simt::DeviceSpec;
 use std::time::Instant;
 
@@ -48,14 +50,33 @@ fn main() {
     let params = TrainParams::default();
     let mut model = ModelPolicy::empty();
     let fnames: Vec<&str> = FEATURE_NAMES.to_vec();
+    // Per-feature min/max over every training row, across all patterns:
+    // stamped into the model envelope so the serving side can clamp
+    // out-of-distribution features back into the region the trees have
+    // actually seen.
+    let mut ranges = vec![(f64::INFINITY, f64::NEG_INFINITY); FEATURE_COUNT];
     for p in Pattern::DECISION_ORDER {
         let (rows, labels) = db.training_matrix(p);
         if rows.len() < 20 {
             println!("{p:?}: skipped ({} records)", rows.len());
             continue;
         }
+        for row in &rows {
+            for (r, &x) in ranges.iter_mut().zip(row.iter()) {
+                if x.is_finite() {
+                    r.0 = r.0.min(x);
+                    r.1 = r.1.max(x);
+                }
+            }
+        }
         let cv = cross_validate(&rows, &labels, 10.min(rows.len()), params);
-        let tree = DecisionTree::train(&rows, &labels, params);
+        let tree = match DecisionTree::train(&rows, &labels, params) {
+            Ok(t) => t,
+            Err(e) => {
+                println!("{p:?}: training rejected ({e}); the Selector falls back to rules");
+                continue;
+            }
+        };
         println!(
             "{p:?}: {} records, tree height {}, {} nodes, 10-fold accuracy {:.1}%",
             rows.len(),
@@ -72,13 +93,24 @@ fn main() {
     if let Some(dir) = out_path.parent() {
         let _ = std::fs::create_dir_all(dir);
     }
-    model.save(&out_path).expect("write model");
-    println!("model ({} trees) saved to {}", model.n_trees(), out_path.display());
+    // Features never observed finite (possible under tiny strides)
+    // default to the unit range so the envelope stays well-formed.
+    let ranges: Vec<(f64, f64)> =
+        ranges.into_iter().map(|(lo, hi)| if lo <= hi { (lo, hi) } else { (0.0, 1.0) }).collect();
+    let n_trees = model.n_trees();
+    let envelope = ModelEnvelope::wrap(model, ranges);
+    envelope.save(&out_path).expect("write model");
+    println!(
+        "model ({n_trees} trees, schema v{}, checksum {}) saved to {}",
+        envelope.schema_version,
+        envelope.checksum,
+        out_path.display()
+    );
 
     // Also export the rules next to the results for inspection.
     let mut rules = String::new();
     for p in Pattern::DECISION_ORDER {
-        if let Some(t) = model.tree(p) {
+        if let Some(t) = envelope.model.tree(p) {
             rules.push_str(&format!("// {p:?}\n{}\n", t.to_rules(&fnames, p.class_names())));
         }
     }

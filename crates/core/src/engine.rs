@@ -4,10 +4,12 @@ use crate::cancel::{ProbeHandle, StopReason};
 use crate::features::DecisionContext;
 use crate::policy::{AppCaps, Policy};
 use gswitch_graph::Graph;
+use gswitch_graph::VertexId;
+use gswitch_kernels::filter::status_of;
 use gswitch_kernels::pattern::{
     AsFormat, Direction, Fusion, KernelConfig, LoadBalance, SteppingDelta,
 };
-use gswitch_kernels::{classify, expand, materialize, EdgeApp, Frontier, IterStats};
+use gswitch_kernels::{classify, expand, materialize, EdgeApp, Frontier, IterStats, Status};
 use gswitch_obs::{Provenance, RecorderHandle, TraceEvent};
 use gswitch_simt::{DeviceSpec, SimMs};
 
@@ -114,6 +116,16 @@ pub struct EngineOptions {
     /// scheduler installs a [`CancelToken`](crate::CancelToken) so
     /// deadlines and cancellations take effect mid-run.
     pub probe: ProbeHandle,
+    /// Divergence-sentinel cadence: every `n` super-steps the engine
+    /// cross-checks the chosen variant's frontier (and, for
+    /// duplicate-tolerant apps, its vertex values) against a serial
+    /// re-derivation from the classification snapshot. On a mismatch
+    /// the run records a [`Provenance::Sentinel`] trace event, bumps
+    /// `gswitch_obs::hardening::sentinel_mismatch`, repairs the damage
+    /// and pins the rest of the run to the reference (push-baseline)
+    /// variant. `0` (the default) disables the sentinel; the checks run
+    /// on the host and are priced at zero simulated cost.
+    pub verify_every: u32,
 }
 
 impl Default for EngineOptions {
@@ -126,6 +138,7 @@ impl Default for EngineOptions {
             break_fused_chains: true,
             recorder: RecorderHandle::none(),
             probe: ProbeHandle::none(),
+            verify_every: 0,
         }
     }
 }
@@ -134,6 +147,12 @@ impl EngineOptions {
     /// Options on a specific device.
     pub fn on(device: DeviceSpec) -> Self {
         EngineOptions { device, ..Default::default() }
+    }
+
+    /// Enable the divergence sentinel every `n` super-steps (0 = off).
+    pub fn verify_every(mut self, n: u32) -> Self {
+        self.verify_every = n;
+        self
     }
 }
 
@@ -173,6 +192,19 @@ pub struct IterationTrace {
     pub features: [f64; gswitch_ml::FEATURE_COUNT],
 }
 
+/// What the divergence sentinel saw (all zero when it was off).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SentinelReport {
+    /// Cross-checks performed.
+    pub checks: u32,
+    /// Mismatches detected (each also bumps the global
+    /// `gswitch_obs::hardening::sentinel_mismatch` counter).
+    pub mismatches: u32,
+    /// Iteration at which the run was pinned to the reference variant,
+    /// if a mismatch ever fired.
+    pub pinned_at: Option<u32>,
+}
+
 /// The result of running an application to convergence.
 #[derive(Clone, Debug, Default)]
 pub struct RunReport {
@@ -182,6 +214,8 @@ pub struct RunReport {
     pub converged: bool,
     /// `Some` when the probe stopped the run early (never converged).
     pub stopped: Option<StopReason>,
+    /// Divergence-sentinel outcome (`EngineOptions::verify_every`).
+    pub sentinel: SentinelReport,
 }
 
 impl RunReport {
@@ -308,6 +342,16 @@ pub fn run_with_seed_config<A: EdgeApp>(
     // retain it as soon as runtime history exists (iteration 1).
     let mut same_config_streak = if seed.is_some() { 2 } else { 0 };
 
+    // Divergence-sentinel state: the legal reference shape every app can
+    // run, and whether a mismatch has pinned the run to it.
+    let reference_config = caps.clamp(opts.mask.apply(KernelConfig::push_baseline()));
+    let mut pinned = false;
+    // Standalone super-steps since the last check: fused-chain
+    // iterations have no status snapshot to verify against, so the
+    // cadence counts verifiable iterations (a chain cannot starve the
+    // sentinel past its budget).
+    let mut since_check = 0u32;
+
     // Fused-chain state: the raw queue the previous Expand emitted, plus
     // the estimated stats travelling with it.
     let mut pending: Option<(Vec<u32>, IterStats)> = None;
@@ -347,7 +391,10 @@ pub fn run_with_seed_config<A: EdgeApp>(
         }
 
         // ---- Executor: Filter phase (or fused continuation).
-        let (frontier, status, stats, filter_ms, estimated, mut config, decided, provenance);
+        let (frontier, status, stats, filter_ms, estimated, mut config, decided, mut provenance);
+        // Whether the post-Expand half of the sentinel applies to this
+        // iteration (standalone + sentinel scheduled + not yet pinned).
+        let mut verify_values = false;
         match pending.take() {
             Some((queue, est_stats)) => {
                 // Fused chain: skip Filter entirely; reuse the last config.
@@ -384,35 +431,82 @@ pub fn run_with_seed_config<A: EdgeApp>(
                     && same_config_streak >= 2
                     && ctx.t_e_avg > 0.0
                     && (ctx.t_e - ctx.t_e_avg).abs() <= 0.5 * ctx.t_e_avg;
-                if stable {
-                    config = last_config.expect("stable implies history");
-                    decided = false;
-                    provenance = Provenance::StabilityBypass;
-                } else if iteration == 0 && seed.is_some() {
+                let (mut cfg, dec, mut prov);
+                if pinned {
+                    // A previous sentinel mismatch distrusts every tuned
+                    // variant: run the reference shape to completion.
+                    cfg = reference_config;
+                    dec = false;
+                    prov = Provenance::Sentinel;
+                } else if stable {
+                    cfg = last_config.expect("stable implies history");
+                    dec = false;
+                    prov = Provenance::StabilityBypass;
+                } else if let Some(s) = seed.filter(|_| iteration == 0) {
                     // Warm start: the cached configuration plays the
                     // role of the first decision.
-                    config = seed.expect("checked is_some");
-                    decided = false;
-                    provenance = Provenance::WarmStart;
+                    cfg = s;
+                    dec = false;
+                    prov = Provenance::WarmStart;
                 } else {
                     let mut c = KernelConfig::push_baseline();
                     timed(&mut || {
                         c = policy.decide(&ctx, &caps);
                     });
-                    config = c;
-                    decided = true;
-                    provenance = Provenance::Decided;
+                    cfg = c;
+                    dec = true;
+                    prov = Provenance::Decided;
                 }
-                config.stepping = stepping;
-                config = caps.clamp(opts.mask.apply(config));
-                let (f, mat_profile) =
-                    materialize::<A>(g, &co.status, config.direction, config.format, spec);
+                cfg.stepping = stepping;
+                cfg = caps.clamp(opts.mask.apply(cfg));
+                let (mut f, mat_profile) =
+                    materialize::<A>(g, &co.status, cfg.direction, cfg.format, spec);
+                let mut mat_ms = spec.kernel_time_ms(&mat_profile);
+                #[cfg(feature = "fault-injection")]
+                crate::faults::corrupt_frontier(&mut f, cfg == reference_config);
+
+                // ---- Divergence sentinel, frontier half: the chosen
+                // format/direction must materialize exactly the workload
+                // the status snapshot implies.
+                since_check += 1;
+                let verify = opts.verify_every > 0 && !pinned && since_check >= opts.verify_every;
+                if verify {
+                    since_check = 0;
+                    report.sentinel.checks += 1;
+                    let expected = sentinel_expected_frontier::<A>(
+                        g.num_vertices(),
+                        &co.status,
+                        cfg.direction,
+                    );
+                    let mut got = f.to_vec();
+                    got.sort_unstable();
+                    got.dedup();
+                    if got != expected {
+                        gswitch_obs::hardening::note_sentinel_mismatch();
+                        report.sentinel.mismatches += 1;
+                        report.sentinel.pinned_at.get_or_insert(iteration);
+                        pinned = true;
+                        cfg = reference_config;
+                        prov = Provenance::Sentinel;
+                        // Repair: rebuild the frontier with the reference
+                        // shape so this very iteration completes correctly.
+                        let (f2, mat2) =
+                            materialize::<A>(g, &co.status, cfg.direction, cfg.format, spec);
+                        f = f2;
+                        mat_ms += spec.kernel_time_ms(&mat2);
+                    }
+                }
+                verify_values = verify && !pinned;
+
                 frontier = f;
                 status = co.status;
                 stats = co.stats;
                 estimated = false;
-                filter_ms = classify_ms + spec.kernel_time_ms(&mat_profile);
+                filter_ms = classify_ms + mat_ms;
                 last_filter_ms = filter_ms;
+                config = cfg;
+                decided = dec;
+                provenance = prov;
             }
         }
         // ---- Executor: Expand phase.
@@ -424,6 +518,25 @@ pub fn run_with_seed_config<A: EdgeApp>(
             eo.profile.launches = 0;
         }
         let expand_ms = spec.kernel_time_ms(&eo.profile);
+
+        // ---- Divergence sentinel, value half: after a correct Expand a
+        // serial re-application of emit/comp over the active vertices
+        // finds nothing left to do. Each successful comp is work the
+        // chosen variant missed — and is also the repair, so the run
+        // converges to the right answer even on the mismatch iteration.
+        // Only duplicate-tolerant (idempotent/monotonic) apps can absorb
+        // the re-application safely.
+        if verify_values && A::DUP_TOLERANT {
+            report.sentinel.checks += 1;
+            let repairs = sentinel_value_sweep(g, app, &status);
+            if repairs > 0 {
+                gswitch_obs::hardening::note_sentinel_mismatch();
+                report.sentinel.mismatches += 1;
+                report.sentinel.pinned_at.get_or_insert(iteration);
+                pinned = true;
+                provenance = Provenance::Sentinel;
+            }
+        }
 
         // ---- Feedback (device→host copy) + trace.
         let feedback_ms = if estimated { 0.0 } else { spec.feedback_time_ms() };
@@ -523,8 +636,9 @@ pub fn run_with_seed_config<A: EdgeApp>(
                 // decision exactly where it matters (Enterprise's
                 // bottom-up switch uses the same signal).
                 let exploding = eo.activated_out_edges > 4 * eo.edges_touched.max(1);
-                let keep = !opts.break_fused_chains
-                    || (!dup_heavy && !exploding && expand_ms <= 4.0 * chain_avg);
+                let keep = !pinned
+                    && (!opts.break_fused_chains
+                        || (!dup_heavy && !exploding && expand_ms <= 4.0 * chain_avg));
                 if keep {
                     let est = estimate_stats(&stats, &eo, queue.len() as u64);
                     pending = Some((queue, est));
@@ -545,6 +659,52 @@ pub fn run_with_seed_config<A: EdgeApp>(
         report.converged = false;
     }
     report
+}
+
+/// Serially re-derive the workload the status snapshot implies for a
+/// direction — the sentinel's ground truth for the frontier check. The
+/// predicate mirrors `materialize` by construction: push visits actives,
+/// pull visits receivers.
+fn sentinel_expected_frontier<A: EdgeApp>(
+    n: usize,
+    status: &[u8],
+    direction: Direction,
+) -> Vec<VertexId> {
+    (0..n as VertexId)
+        .filter(|&v| {
+            let st = status_of(status[v as usize]);
+            match direction {
+                Direction::Push => st == Status::Active,
+                Direction::Pull => A::pull_receives(st),
+            }
+        })
+        .collect()
+}
+
+/// Serial reference push sweep: re-apply emit/comp over every out-edge
+/// of every active vertex. Returns the number of successful comps —
+/// zero after a correct Expand; anything else is missed work (now
+/// repaired by the sweep itself).
+fn sentinel_value_sweep<A: EdgeApp>(g: &Graph, app: &A, status: &[u8]) -> u64 {
+    let out = g.out_csr();
+    let ws = g.out_weights();
+    let mut repairs = 0u64;
+    for v in 0..g.num_vertices() as VertexId {
+        if status_of(status[v as usize]) != Status::Active {
+            continue;
+        }
+        let r = out.edge_range(v);
+        for (i, &t) in out.neighbors(v).iter().enumerate() {
+            let w = match (A::NEEDS_WEIGHTS, ws) {
+                (true, Some(ws)) => ws[r.start + i],
+                _ => 1,
+            };
+            if app.comp(t, app.emit(v, w)) {
+                repairs += 1;
+            }
+        }
+    }
+    repairs
 }
 
 /// Estimate the next iteration's runtime characteristics from Expand
@@ -861,6 +1021,77 @@ mod tests {
         let rep = run(&g, &app, &AutoPolicy, &EngineOptions::default());
         assert!(rep.converged);
         assert_eq!(rep.stopped, None);
+    }
+
+    #[test]
+    fn sentinel_on_healthy_run_checks_without_mismatch() {
+        let g = gen::erdos_renyi(400, 1_600, 21);
+        let expected = bfs_reference(&g, 0);
+        let app = Bfs::new(400, 0);
+        let opts = EngineOptions::default().verify_every(1);
+        let rep = run(&g, &app, &AutoPolicy, &opts);
+        assert!(rep.converged);
+        assert_eq!(app.level.to_vec(), expected);
+        assert!(rep.sentinel.checks > 0, "sentinel never engaged");
+        assert_eq!(rep.sentinel.mismatches, 0);
+        assert_eq!(rep.sentinel.pinned_at, None);
+    }
+
+    #[test]
+    fn sentinel_off_by_default() {
+        let g = gen::grid2d(10, 10, 0.0, 4);
+        let app = Bfs::new(g.num_vertices(), 0);
+        let rep = run(&g, &app, &AutoPolicy, &EngineOptions::default());
+        assert_eq!(rep.sentinel, SentinelReport::default());
+    }
+
+    #[test]
+    fn sentinel_cadence_skips_iterations() {
+        // Long-diameter grid with fusion masked off: every super-step is
+        // standalone, so every-5 must check far less often than every-1
+        // (each scheduled iteration performs the frontier check and, for
+        // BFS, the value check).
+        let g = gen::grid2d(30, 30, 0.0, 7);
+        let every = |n: u32| {
+            let app = Bfs::new(g.num_vertices(), 0);
+            let opts = EngineOptions {
+                mask: PatternMask::up_to(3),
+                ..EngineOptions::default().verify_every(n)
+            };
+            run(&g, &app, &AutoPolicy, &opts).sentinel.checks
+        };
+        let dense = every(1);
+        let sparse = every(5);
+        assert!(sparse < dense, "every-5 ({sparse}) should check less than every-1 ({dense})");
+        assert!(sparse > 0);
+    }
+
+    #[test]
+    fn value_sweep_finds_and_repairs_missed_work() {
+        // Path 0→1→2. Pretend iteration 0's expand lost the 0→1 update:
+        // vertex 0 is Active, vertex 1 still unvisited. The sweep must
+        // both report the miss and repair it.
+        let g = GraphBuilder::new(3).symmetric(false).edges([(0, 1), (1, 2)]).build();
+        let app = Bfs::new(3, 0);
+        let status = vec![Status::Active as u8, Status::Inactive as u8, Status::Inactive as u8];
+        let repairs = sentinel_value_sweep(&g, &app, &status);
+        assert_eq!(repairs, 1);
+        assert_eq!(app.level.load(1), 1, "sweep repaired the dropped update");
+        // A second sweep finds nothing: the state is consistent now.
+        assert_eq!(sentinel_value_sweep(&g, &app, &status), 0);
+    }
+
+    #[test]
+    fn expected_frontier_mirrors_materialize() {
+        let g = gen::erdos_renyi(200, 800, 3);
+        let app = Bfs::new(200, 0);
+        let spec = DeviceSpec::default();
+        let co = classify(&g, &app, &spec);
+        for dir in [Direction::Push, Direction::Pull] {
+            let expected = sentinel_expected_frontier::<Bfs>(g.num_vertices(), &co.status, dir);
+            let (f, _) = materialize::<Bfs>(&g, &co.status, dir, AsFormat::Bitmap, &spec);
+            assert_eq!(f.to_vec(), expected, "{dir:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,53 @@
+//! Deterministic fault injection for the divergence sentinel, compiled
+//! only under the `fault-injection` feature (CI runs the suite; release
+//! builds contain none of this).
+//!
+//! The one fault modelled here is the one the sentinel exists to catch:
+//! a buggy tuned variant that silently produces an incomplete frontier.
+//! Arming is process-global, so tests that arm it must run in their own
+//! process (see `tests/sentinel.rs`) rather than alongside the unit
+//! tests.
+
+use gswitch_kernels::Frontier;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static FIRED: AtomicU64 = AtomicU64::new(0);
+
+/// Arm the frontier-corruption fault: every subsequent non-reference
+/// materialization silently loses one workload entry.
+pub fn arm_frontier_corruption() {
+    ARMED.store(true, Ordering::SeqCst);
+}
+
+/// Disarm and zero the fired counter.
+pub fn reset() {
+    ARMED.store(false, Ordering::SeqCst);
+    FIRED.store(0, Ordering::SeqCst);
+}
+
+/// How many times a frontier was actually corrupted.
+pub fn fired() -> u64 {
+    FIRED.load(Ordering::SeqCst)
+}
+
+/// Drop one entry from `f` when armed. Reference-shape materializations
+/// are exempt — the injected bug lives in the tuned variants, so the
+/// sentinel's pinned fallback genuinely recovers.
+pub fn corrupt_frontier(f: &mut Frontier, is_reference: bool) {
+    if is_reference || !ARMED.load(Ordering::SeqCst) {
+        return;
+    }
+    let dropped = match f {
+        Frontier::Bitmap(b) => match b.to_sorted_vec().first() {
+            Some(&v) => b.unset(v),
+            None => false,
+        },
+        Frontier::UnsortedQueue(q) | Frontier::SortedQueue(q) | Frontier::RawQueue(q) => {
+            q.pop().is_some()
+        }
+    };
+    if dropped {
+        FIRED.fetch_add(1, Ordering::SeqCst);
+    }
+}

@@ -22,6 +22,8 @@
 
 pub mod cancel;
 pub mod engine;
+#[cfg(feature = "fault-injection")]
+pub mod faults;
 pub mod features;
 pub mod oracle;
 pub mod policy;
@@ -29,9 +31,13 @@ pub mod policy;
 pub use cancel::{CancelToken, ProbeHandle, RunProbe, StopReason};
 pub use engine::{
     run, run_with_seed_config, EngineOptions, IterationTrace, PatternMask, RunReport,
+    SentinelReport,
 };
 pub use features::DecisionContext;
-pub use policy::{AppCaps, AutoPolicy, ModelPolicy, Policy, StaticPolicy};
+pub use policy::{
+    AppCaps, AutoPolicy, ModelEnvelope, ModelLoadReport, ModelPolicy, Policy, StaticPolicy,
+    MODEL_SCHEMA_VERSION,
+};
 
 // Observability handles callers need to request a decision trace
 // (`EngineOptions.recorder`); the full registry/summary API lives in

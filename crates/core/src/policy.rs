@@ -4,7 +4,7 @@ use crate::features::DecisionContext;
 use gswitch_kernels::pattern::{
     AsFormat, Direction, Fusion, KernelConfig, LoadBalance, SteppingDelta,
 };
-use gswitch_ml::{DecisionTree, Pattern};
+use gswitch_ml::{DecisionTree, Pattern, FEATURE_COUNT};
 
 /// What the running application permits, derived from its `EdgeApp`
 /// constants. The Selector must never choose an illegal candidate.
@@ -184,6 +184,13 @@ pub struct ModelPolicy {
     pub stepping: Option<DecisionTree>,
     /// P5 classifier (classes: standalone, fused).
     pub fusion: Option<DecisionTree>,
+    /// Per-feature `[min, max]` seen at training time. Installed by
+    /// [`ModelPolicy::load_or_fallback`] from the envelope; when
+    /// present, features are clamped into these ranges before every
+    /// prediction (trees extrapolate badly out-of-distribution) and
+    /// each clamp bumps `gswitch_obs::hardening::ood_feature_clamped`.
+    /// Absent in legacy model files (`Option` fields may be missing).
+    pub feature_ranges: Option<Vec<(f64, f64)>>,
 }
 
 impl ModelPolicy {
@@ -240,6 +247,225 @@ impl ModelPolicy {
         let s = std::fs::read_to_string(path)?;
         Self::from_json(&s).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
+
+    /// Remove the tree for one pattern (that pattern falls back to the
+    /// built-in [`AutoPolicy`] rule).
+    pub fn clear_tree(&mut self, pattern: Pattern) {
+        match pattern {
+            Pattern::Direction => self.direction = None,
+            Pattern::Format => self.format = None,
+            Pattern::LoadBalance => self.load_balance = None,
+            Pattern::Stepping => self.stepping = None,
+            Pattern::Fusion => self.fusion = None,
+        }
+    }
+
+    /// Load a model file defensively: a missing/unreadable/invalid file
+    /// degrades to the empty model (pure [`AutoPolicy`] behaviour), and
+    /// any individual tree failing structural validation is dropped to
+    /// the heuristic for just its pattern. Accepts both the versioned
+    /// [`ModelEnvelope`] format and the legacy bare-model JSON. Never
+    /// fails; what happened is in the [`ModelLoadReport`] and the
+    /// `gswitch_obs::hardening` counters.
+    pub fn load_or_fallback(path: impl AsRef<std::path::Path>) -> (Self, ModelLoadReport) {
+        let mut report = ModelLoadReport::default();
+        let fail = |report: &mut ModelLoadReport, msg: String| {
+            gswitch_obs::hardening::note_model_load_failed();
+            report.error = Some(msg);
+        };
+        let s = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                fail(&mut report, format!("reading model file: {e}"));
+                return (Self::empty(), report);
+            }
+        };
+        // The envelope parse must come first: its JSON is a superset
+        // that would also deserialize as an (empty) bare model.
+        let (mut model, ranges) = match ModelEnvelope::from_json(&s) {
+            Ok(env) => {
+                report.enveloped = true;
+                if let Err(e) = env.validate() {
+                    fail(&mut report, format!("model envelope rejected: {e}"));
+                    return (Self::empty(), report);
+                }
+                (env.model, Some(env.feature_ranges))
+            }
+            Err(_) => match Self::from_json(&s) {
+                Ok(m) => (m, None),
+                Err(e) => {
+                    fail(&mut report, format!("model JSON rejected: {e}"));
+                    return (Self::empty(), report);
+                }
+            },
+        };
+        for p in Pattern::DECISION_ORDER {
+            let bad = model.tree(p).and_then(|t| validate_tree(p, t).err());
+            if let Some(e) = bad {
+                gswitch_obs::hardening::note_model_fallback();
+                report.dropped.push((p, e));
+                model.clear_tree(p);
+            }
+        }
+        report.kept = model.n_trees();
+        if ranges.is_some() {
+            model.feature_ranges = ranges;
+        }
+        (model, report)
+    }
+
+    /// Clamp a feature vector into the training ranges, counting every
+    /// out-of-distribution value.
+    fn clamp_features(&self, f: &mut [f64; FEATURE_COUNT]) {
+        let Some(ranges) = &self.feature_ranges else { return };
+        let mut clamped = 0u64;
+        for (x, &(lo, hi)) in f.iter_mut().zip(ranges.iter()) {
+            if x.is_finite() && (*x < lo || *x > hi) {
+                *x = x.clamp(lo, hi);
+                clamped += 1;
+            }
+        }
+        gswitch_obs::hardening::note_ood_features_clamped(clamped);
+    }
+}
+
+/// Structural admission test for one pattern's tree.
+fn validate_tree(pattern: Pattern, tree: &DecisionTree) -> Result<(), String> {
+    tree.validate()?;
+    if tree.n_features() != FEATURE_COUNT {
+        return Err(format!(
+            "tree expects {} features, the engine produces {FEATURE_COUNT}",
+            tree.n_features()
+        ));
+    }
+    if tree.n_classes() > pattern.n_classes() {
+        return Err(format!(
+            "tree predicts {} classes, pattern {pattern:?} has {}",
+            tree.n_classes(),
+            pattern.n_classes()
+        ));
+    }
+    Ok(())
+}
+
+/// Current envelope schema version.
+pub const MODEL_SCHEMA_VERSION: u32 = 1;
+
+/// The versioned on-disk wrapper around [`ModelPolicy`]: schema
+/// version, expected feature arity, per-pattern class counts, the
+/// per-feature training ranges (for OOD clamping at inference), and an
+/// FNV-1a checksum of the canonical model JSON so silent corruption is
+/// caught before a tree is followed.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct ModelEnvelope {
+    /// Envelope format version ([`MODEL_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Feature arity every tree must match (21).
+    pub feature_count: usize,
+    /// Class counts in [`Pattern::DECISION_ORDER`] order.
+    pub class_counts: Vec<usize>,
+    /// Per-feature `(min, max)` observed at training time.
+    pub feature_ranges: Vec<(f64, f64)>,
+    /// FNV-1a-64 of the canonical `model` JSON, lowercase hex.
+    pub checksum: String,
+    /// The wrapped model.
+    pub model: ModelPolicy,
+}
+
+impl ModelEnvelope {
+    /// Wrap a trained model, stamping version, class counts and
+    /// checksum. `feature_ranges` must hold one `(min, max)` per
+    /// feature column of the training matrix.
+    pub fn wrap(model: ModelPolicy, feature_ranges: Vec<(f64, f64)>) -> Self {
+        let checksum = fnv1a_hex(model.to_json().as_bytes());
+        ModelEnvelope {
+            schema_version: MODEL_SCHEMA_VERSION,
+            feature_count: FEATURE_COUNT,
+            class_counts: Pattern::DECISION_ORDER.iter().map(|p| p.n_classes()).collect(),
+            feature_ranges,
+            checksum,
+            model,
+        }
+    }
+
+    /// Check everything the envelope promises; tree structure itself is
+    /// validated per-pattern by [`ModelPolicy::load_or_fallback`].
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema_version != MODEL_SCHEMA_VERSION {
+            return Err(format!(
+                "schema version {} (this build reads {MODEL_SCHEMA_VERSION})",
+                self.schema_version
+            ));
+        }
+        if self.feature_count != FEATURE_COUNT {
+            return Err(format!(
+                "feature count {} (this build computes {FEATURE_COUNT})",
+                self.feature_count
+            ));
+        }
+        let expected: Vec<usize> = Pattern::DECISION_ORDER.iter().map(|p| p.n_classes()).collect();
+        if self.class_counts != expected {
+            return Err(format!("class counts {:?} != expected {expected:?}", self.class_counts));
+        }
+        if self.feature_ranges.len() != self.feature_count {
+            return Err(format!(
+                "{} feature ranges for {} features",
+                self.feature_ranges.len(),
+                self.feature_count
+            ));
+        }
+        for (i, &(lo, hi)) in self.feature_ranges.iter().enumerate() {
+            if !lo.is_finite() || !hi.is_finite() || lo > hi {
+                return Err(format!("feature range {i} is malformed: ({lo}, {hi})"));
+            }
+        }
+        let actual = fnv1a_hex(self.model.to_json().as_bytes());
+        if actual != self.checksum {
+            return Err(format!(
+                "checksum mismatch: recorded {}, computed {actual}",
+                self.checksum
+            ));
+        }
+        Ok(())
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("envelope serializes")
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Save to a file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// FNV-1a 64-bit, lowercase hex (dependency-free checksum).
+fn fnv1a_hex(bytes: &[u8]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// What [`ModelPolicy::load_or_fallback`] did.
+#[derive(Clone, Debug, Default)]
+pub struct ModelLoadReport {
+    /// Error that made the whole file unusable (the model is empty).
+    pub error: Option<String>,
+    /// Trees dropped to the built-in heuristic, with reasons.
+    pub dropped: Vec<(Pattern, String)>,
+    /// Trees retained.
+    pub kept: usize,
+    /// Whether the file used the versioned envelope format.
+    pub enveloped: bool,
 }
 
 impl Policy for ModelPolicy {
@@ -251,7 +477,8 @@ impl Policy for ModelPolicy {
         // P1 decides on push-side workload features (cd/r_cd are defined
         // only once a workload side is chosen; the paper breaks the cycle
         // the same way by ordering P1 first).
-        let push_features = ctx.features(Direction::Push);
+        let mut push_features = ctx.features(Direction::Push);
+        self.clamp_features(&mut push_features);
         let direction = match &self.direction {
             Some(t) => match t.predict(&push_features) {
                 1 if ctx.stats.pull.vertices > 0 => Direction::Pull,
@@ -259,7 +486,8 @@ impl Policy for ModelPolicy {
             },
             None => AutoPolicy::direction(ctx),
         };
-        let features = ctx.features(direction);
+        let mut features = ctx.features(direction);
+        self.clamp_features(&mut features);
         let lb = match &self.load_balance {
             Some(t) => match t.predict(&features) {
                 0 => LoadBalance::Twc,
@@ -296,11 +524,15 @@ impl Policy for ModelPolicy {
             return SteppingDelta::Remain;
         }
         match &self.stepping {
-            Some(t) => match t.predict(&ctx.features(Direction::Push)) {
-                0 => SteppingDelta::Increase,
-                1 => SteppingDelta::Decrease,
-                _ => SteppingDelta::Remain,
-            },
+            Some(t) => {
+                let mut features = ctx.features(Direction::Push);
+                self.clamp_features(&mut features);
+                match t.predict(&features) {
+                    0 => SteppingDelta::Increase,
+                    1 => SteppingDelta::Decrease,
+                    _ => SteppingDelta::Remain,
+                }
+            }
             None => ctx.stepping_by_rule(),
         }
     }
@@ -409,7 +641,7 @@ mod tests {
             })
             .collect();
         let labels: Vec<usize> = rows.iter().map(|r| usize::from(r[13] > 0.5)).collect();
-        let tree = DecisionTree::train(&rows, &labels, TrainParams::default());
+        let tree = DecisionTree::train(&rows, &labels, TrainParams::default()).unwrap();
         let policy = ModelPolicy::empty().with_tree(Pattern::Direction, tree);
         assert_eq!(policy.n_trees(), 1);
 
@@ -422,7 +654,7 @@ mod tests {
     #[test]
     fn model_policy_json_roundtrip() {
         let rows = vec![vec![0.0; 21], vec![1.0; 21]];
-        let tree = DecisionTree::train(&rows, &[0, 1], TrainParams::default());
+        let tree = DecisionTree::train(&rows, &[0, 1], TrainParams::default()).unwrap();
         let p = ModelPolicy::empty().with_tree(Pattern::Fusion, tree);
         let p2 = ModelPolicy::from_json(&p.to_json()).unwrap();
         assert_eq!(p2.n_trees(), 1);
@@ -437,5 +669,162 @@ mod tests {
             p.decide(&dense, &caps()).direction,
             AutoPolicy.decide(&dense, &caps()).direction
         );
+    }
+
+    fn trained_policy() -> ModelPolicy {
+        let rows: Vec<Vec<f64>> = (0..100)
+            .map(|i| {
+                let mut f = vec![0.0; FEATURE_COUNT];
+                f[13] = i as f64 / 100.0;
+                f
+            })
+            .collect();
+        let labels: Vec<usize> = rows.iter().map(|r| usize::from(r[13] > 0.5)).collect();
+        let tree = DecisionTree::train(&rows, &labels, TrainParams::default()).unwrap();
+        ModelPolicy::empty().with_tree(Pattern::Direction, tree)
+    }
+
+    fn unit_ranges() -> Vec<(f64, f64)> {
+        vec![(0.0, 1.0); FEATURE_COUNT]
+    }
+
+    #[test]
+    fn envelope_roundtrip_validates() {
+        let env = ModelEnvelope::wrap(trained_policy(), unit_ranges());
+        let back = ModelEnvelope::from_json(&env.to_json()).unwrap();
+        assert!(back.validate().is_ok());
+        assert_eq!(back.schema_version, MODEL_SCHEMA_VERSION);
+        assert_eq!(back.class_counts, vec![2, 4, 3, 3, 2]);
+    }
+
+    #[test]
+    fn envelope_rejects_tampering() {
+        let good = ModelEnvelope::wrap(trained_policy(), unit_ranges());
+
+        let mut bad = good.clone();
+        bad.schema_version = 99;
+        assert!(bad.validate().unwrap_err().contains("schema version"));
+
+        let mut bad = good.clone();
+        bad.feature_count = 7;
+        assert!(bad.validate().unwrap_err().contains("feature count"));
+
+        let mut bad = good.clone();
+        bad.class_counts[0] = 9;
+        assert!(bad.validate().unwrap_err().contains("class counts"));
+
+        let mut bad = good.clone();
+        bad.feature_ranges[3] = (f64::NAN, 1.0);
+        assert!(bad.validate().unwrap_err().contains("malformed"));
+
+        let mut bad = good.clone();
+        bad.feature_ranges.pop();
+        assert!(bad.validate().unwrap_err().contains("feature ranges"));
+
+        // Swap in a different (valid) model without restamping: the
+        // checksum catches the content change.
+        let mut bad = good.clone();
+        bad.model = ModelPolicy::empty();
+        assert!(bad.validate().unwrap_err().contains("checksum"));
+    }
+
+    #[test]
+    fn load_or_fallback_reads_envelope_and_legacy() {
+        let dir = std::env::temp_dir();
+
+        let env_path = dir.join("gswitch-policy-test-envelope.json");
+        ModelEnvelope::wrap(trained_policy(), unit_ranges()).save(&env_path).unwrap();
+        let (m, rep) = ModelPolicy::load_or_fallback(&env_path);
+        assert!(rep.error.is_none(), "{:?}", rep.error);
+        assert!(rep.enveloped);
+        assert_eq!(rep.kept, 1);
+        assert!(rep.dropped.is_empty());
+        assert_eq!(m.feature_ranges.as_ref().unwrap().len(), FEATURE_COUNT);
+
+        let legacy_path = dir.join("gswitch-policy-test-legacy.json");
+        trained_policy().save(&legacy_path).unwrap();
+        let (m, rep) = ModelPolicy::load_or_fallback(&legacy_path);
+        assert!(rep.error.is_none());
+        assert!(!rep.enveloped);
+        assert_eq!(rep.kept, 1);
+        assert!(m.feature_ranges.is_none());
+
+        let _ = std::fs::remove_file(env_path);
+        let _ = std::fs::remove_file(legacy_path);
+    }
+
+    #[test]
+    fn load_or_fallback_degrades_instead_of_failing() {
+        let dir = std::env::temp_dir();
+        let before = gswitch_obs::hardening::snapshot();
+
+        // Missing file → empty model, counter bumped.
+        let (m, rep) =
+            ModelPolicy::load_or_fallback(dir.join("gswitch-policy-test-does-not-exist.json"));
+        assert_eq!(m.n_trees(), 0);
+        assert!(rep.error.as_ref().unwrap().contains("reading model file"));
+
+        // Truncated/garbage JSON → empty model.
+        let garbage = dir.join("gswitch-policy-test-garbage.json");
+        std::fs::write(&garbage, "{\"direction\": {\"nodes\": [").unwrap();
+        let (m, rep) = ModelPolicy::load_or_fallback(&garbage);
+        assert_eq!(m.n_trees(), 0);
+        assert!(rep.error.as_ref().unwrap().contains("model JSON rejected"));
+
+        // Corrupt envelope (bit-rotted checksum) → empty model.
+        let rotten = dir.join("gswitch-policy-test-rotten.json");
+        let mut env = ModelEnvelope::wrap(trained_policy(), unit_ranges());
+        env.checksum = "0000000000000000".into();
+        env.save(&rotten).unwrap();
+        let (m, rep) = ModelPolicy::load_or_fallback(&rotten);
+        assert_eq!(m.n_trees(), 0);
+        assert!(rep.error.as_ref().unwrap().contains("checksum"));
+
+        let after = gswitch_obs::hardening::snapshot();
+        assert!(after.model_load_failed >= before.model_load_failed + 3);
+
+        let _ = std::fs::remove_file(garbage);
+        let _ = std::fs::remove_file(rotten);
+    }
+
+    #[test]
+    fn load_or_fallback_drops_wrong_arity_tree() {
+        // A structurally valid tree trained on 3 features can't consume
+        // the engine's 21-feature vectors: that pattern falls back.
+        let rows = vec![vec![0.0; 3], vec![1.0; 3]];
+        let narrow = DecisionTree::train(&rows, &[0, 1], TrainParams::default()).unwrap();
+        let policy = trained_policy().with_tree(Pattern::Fusion, narrow);
+        let path = std::env::temp_dir().join("gswitch-policy-test-arity.json");
+        policy.save(&path).unwrap();
+
+        let before = gswitch_obs::hardening::snapshot();
+        let (m, rep) = ModelPolicy::load_or_fallback(&path);
+        assert!(rep.error.is_none());
+        assert_eq!(rep.kept, 1);
+        assert_eq!(rep.dropped.len(), 1);
+        assert_eq!(rep.dropped[0].0, Pattern::Fusion);
+        assert!(m.fusion.is_none() && m.direction.is_some());
+        let after = gswitch_obs::hardening::snapshot();
+        assert!(after.model_fallback > before.model_fallback);
+
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn ood_features_clamp_to_training_ranges() {
+        // Train on f13 ∈ [0, 1]; then hand the policy a context whose
+        // e_ap is in-range but set ranges to force clamping of other
+        // features (they sit far outside [0, 0.001]).
+        let mut policy = trained_policy();
+        let before = gswitch_obs::hardening::snapshot();
+        let dense = ctx(8_000, 70_000, 10_000);
+        let unclamped = policy.decide(&dense, &caps()).direction;
+        policy.feature_ranges = Some(unit_ranges());
+        let clamped = policy.decide(&dense, &caps()).direction;
+        // e_ap = 0.875 stays in [0, 1], so the decision is unchanged...
+        assert_eq!(unclamped, clamped);
+        // ...but other features (degrees, counts) were clamped and counted.
+        let after = gswitch_obs::hardening::snapshot();
+        assert!(after.ood_feature_clamped > before.ood_feature_clamped);
     }
 }

@@ -1,0 +1,201 @@
+//! Divergence-sentinel integration tests, driven by the core fault
+//! hooks (`--features fault-injection`). The armed fault is
+//! process-global, so this suite lives in its own integration-test
+//! binary — its process contains nothing but these tests — and each
+//! test serializes behind `GUARD` and resets the fault state on entry.
+
+#![cfg(feature = "fault-injection")]
+
+use gswitch_core::{faults, run, EngineOptions, GraphApp, KernelConfig, StaticPolicy, Status};
+use gswitch_graph::{gen, Graph, GraphBuilder, VertexId};
+use gswitch_kernels::atomics::AtomicArray;
+use gswitch_kernels::pattern::AsFormat;
+use gswitch_obs::sync::Lock;
+
+static GUARD: Lock<()> = Lock::new(());
+
+/// Minimal BFS app (mirrors the engine's unit-test app).
+struct Bfs {
+    level: AtomicArray<u32>,
+    current: std::sync::atomic::AtomicU32,
+}
+
+impl Bfs {
+    fn new(n: usize, src: VertexId) -> Self {
+        let b = Bfs {
+            level: AtomicArray::filled(n, u32::MAX),
+            current: std::sync::atomic::AtomicU32::new(0),
+        };
+        b.level.store(src, 0);
+        b
+    }
+}
+
+impl GraphApp for Bfs {
+    type Msg = u32;
+    const PULL_EARLY_EXIT: bool = true;
+    fn filter(&self, v: VertexId) -> Status {
+        let l = self.level.load(v);
+        let cur = self.current.load(std::sync::atomic::Ordering::Relaxed);
+        if l == cur {
+            Status::Active
+        } else if l == u32::MAX {
+            Status::Inactive
+        } else {
+            Status::Fixed
+        }
+    }
+    fn emit(&self, u: VertexId, _w: u32) -> u32 {
+        self.level.load(u) + 1
+    }
+    fn comp_atomic(&self, dst: VertexId, msg: u32) -> bool {
+        self.level.fetch_min(dst, msg) > msg
+    }
+    fn comp(&self, dst: VertexId, msg: u32) -> bool {
+        if msg < self.level.load(dst) {
+            self.level.store(dst, msg);
+            true
+        } else {
+            false
+        }
+    }
+    fn advance(&self, it: u32) {
+        self.current.store(it, std::sync::atomic::Ordering::Relaxed);
+    }
+    fn would_tie(&self, dst: VertexId, msg: u32) -> bool {
+        self.level.load(dst) == msg
+    }
+}
+
+fn bfs_reference(g: &Graph, src: VertexId) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; g.num_vertices()];
+    dist[src as usize] = 0;
+    let mut q = std::collections::VecDeque::from([src]);
+    while let Some(u) = q.pop_front() {
+        for &v in g.out_csr().neighbors(u) {
+            if dist[v as usize] == u32::MAX {
+                dist[v as usize] = dist[u as usize] + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// A tuned (non-reference) shape, so the injected fault applies to it.
+fn buggy_variant() -> StaticPolicy {
+    StaticPolicy::new(KernelConfig {
+        format: AsFormat::SortedQueue,
+        ..KernelConfig::push_baseline()
+    })
+}
+
+fn path_graph(n: usize) -> Graph {
+    GraphBuilder::new(n).edges((0..n as VertexId - 1).map(|i| (i, i + 1))).build()
+}
+
+#[test]
+fn injected_fault_without_sentinel_corrupts_the_answer() {
+    let _g = GUARD.lock();
+    faults::reset();
+    let g = path_graph(16);
+    let app = Bfs::new(16, 0);
+    faults::arm_frontier_corruption();
+    let rep = run(&g, &app, &buggy_variant(), &EngineOptions::default());
+    faults::reset();
+    // The path frontier is a single vertex; losing it ends the traversal
+    // immediately. The run "converges" — to the wrong answer.
+    assert!(rep.converged);
+    assert_eq!(rep.sentinel.mismatches, 0, "sentinel was off");
+    assert_eq!(app.level.load(15), u32::MAX, "fault silently truncated the traversal");
+}
+
+#[test]
+fn sentinel_detects_the_fault_and_recovers_the_exact_answer() {
+    let _g = GUARD.lock();
+    faults::reset();
+    let g = path_graph(16);
+    let expected = bfs_reference(&g, 0);
+    let app = Bfs::new(16, 0);
+    let before = gswitch_obs::hardening::snapshot();
+    faults::arm_frontier_corruption();
+    let rep = run(&g, &app, &buggy_variant(), &EngineOptions::default().verify_every(1));
+    let fired = faults::fired();
+    faults::reset();
+    assert!(fired >= 1, "the fault never actually fired");
+    // Detection on the very first corrupted iteration, in-place repair,
+    // and a pinned reference run to the exact BFS levels.
+    assert!(rep.converged);
+    assert!(rep.sentinel.mismatches >= 1);
+    assert_eq!(rep.sentinel.pinned_at, Some(0));
+    assert_eq!(app.level.to_vec(), expected);
+    let after = gswitch_obs::hardening::snapshot();
+    assert!(after.sentinel_mismatch > before.sentinel_mismatch);
+}
+
+#[test]
+fn sentinel_detects_within_the_configured_cadence() {
+    let _g = GUARD.lock();
+    faults::reset();
+    let g = gen::erdos_renyi(300, 2_400, 13);
+    let app = Bfs::new(300, 0);
+    // Multiple sources keep the traversal alive through the lost entry,
+    // so the fault damages the run without ending it before the first
+    // scheduled check.
+    for s in [1, 2, 3] {
+        app.level.store(s, 0);
+    }
+    faults::arm_frontier_corruption();
+    let rep = run(&g, &app, &buggy_variant(), &EngineOptions::default().verify_every(2));
+    faults::reset();
+    assert!(rep.converged);
+    // The fault corrupts every tuned materialization, so the first
+    // scheduled check (the second standalone super-step) must catch it.
+    assert_eq!(rep.sentinel.pinned_at, Some(1));
+    // From the pin onward the reference shape runs fault-free: every
+    // vertex the reference traversal reaches is reached here too.
+    let expected = bfs_reference(&g, 0);
+    for (v, (&got, &want)) in app.level.to_vec().iter().zip(&expected).enumerate() {
+        if want != u32::MAX {
+            assert_ne!(got, u32::MAX, "vertex {v} lost to the pre-pin fault");
+        }
+    }
+}
+
+#[test]
+fn pinned_run_reports_sentinel_provenance() {
+    let _g = GUARD.lock();
+    faults::reset();
+    let g = path_graph(12);
+    let app = Bfs::new(12, 0);
+    let ring = std::sync::Arc::new(gswitch_obs::TraceRing::new(64));
+    let recorder = gswitch_core::RecorderHandle::new(ring.recorder(1, "path", "bfs"));
+    faults::arm_frontier_corruption();
+    let opts = EngineOptions { recorder, ..EngineOptions::default().verify_every(1) };
+    let rep = run(&g, &app, &buggy_variant(), &opts);
+    faults::reset();
+    assert!(rep.sentinel.pinned_at.is_some());
+    let events = ring.snapshot();
+    assert!(
+        events.iter().any(|e| e.event.provenance == gswitch_core::Provenance::Sentinel),
+        "no Sentinel-provenance trace event was recorded"
+    );
+}
+
+#[test]
+fn reference_shape_is_exempt_from_the_fault() {
+    let _g = GUARD.lock();
+    faults::reset();
+    let g = path_graph(10);
+    let expected = bfs_reference(&g, 0);
+    let app = Bfs::new(10, 0);
+    faults::arm_frontier_corruption();
+    // AutoPolicy on a path picks push baseline shapes; wherever it picks
+    // exactly the reference config the fault must not apply. Run the
+    // reference statically to prove the exemption end to end.
+    let rep =
+        run(&g, &app, &StaticPolicy::new(KernelConfig::push_baseline()), &EngineOptions::default());
+    faults::reset();
+    assert!(rep.converged);
+    assert_eq!(app.level.to_vec(), expected, "reference run must be untouched");
+}

@@ -116,20 +116,32 @@ impl GraphBuilder {
         self.edges.is_empty()
     }
 
-    /// Finalize into a [`Graph`].
+    /// Finalize into a [`Graph`], discarding the repair counts.
     pub fn build(self) -> Graph {
+        self.build_with_report().0
+    }
+
+    /// Finalize into a [`Graph`] and report what was repaired along the
+    /// way: self loops skipped and parallel edges collapsed by dedup.
+    /// Counts are in *directed-edge* units — with `symmetric(true)` a
+    /// duplicated undirected input edge shows up as two deduped
+    /// directed edges, matching the `num_edges` convention everywhere
+    /// else in this crate.
+    pub fn build_with_report(self) -> (Graph, BuildReport) {
         let weighted = !self.weights.is_empty();
         assert!(
             !weighted || self.weights.len() == self.edges.len(),
             "mixed weighted and unweighted edges"
         );
         let GraphBuilder { n, edges, weights, symmetric, dedup, drop_self_loops, name } = self;
+        let mut report = BuildReport::default();
 
         // Expand to directed triples (u, v, w).
         let mut triples: Vec<(VertexId, VertexId, Weight)> =
             Vec::with_capacity(edges.len() * if symmetric { 2 } else { 1 });
         for (i, &(u, v)) in edges.iter().enumerate() {
             if drop_self_loops && u == v {
+                report.self_loops_dropped += 1;
                 continue;
             }
             let w = if weighted { weights[i] } else { 1 };
@@ -144,7 +156,9 @@ impl GraphBuilder {
         // sort is stable on the (u, v, w) triple.
         triples.sort_unstable();
         if dedup {
+            let before = triples.len();
             triples.dedup_by_key(|t| (t.0, t.1));
+            report.parallel_edges_deduped = before - triples.len();
         }
 
         // Counting pass into CSR.
@@ -167,7 +181,8 @@ impl GraphBuilder {
         let out = Csr::new(offsets, targets);
 
         if symmetric {
-            return Graph::from_parts(out, None, weighted.then_some(out_weights), None, name);
+            let g = Graph::from_parts(out, None, weighted.then_some(out_weights), None, name);
+            return (g, report);
         }
 
         // Directed: build the transpose for the pull direction.
@@ -190,13 +205,31 @@ impl GraphBuilder {
             *c += 1;
         }
         let incoming = Csr::new(in_offsets, in_targets);
-        Graph::from_parts(
+        let g = Graph::from_parts(
             out,
             Some(incoming),
             weighted.then_some(out_weights),
             weighted.then_some(in_weights),
             name,
-        )
+        );
+        (g, report)
+    }
+}
+
+/// What [`GraphBuilder::build_with_report`] had to repair, in
+/// directed-edge units.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BuildReport {
+    /// Input edges skipped because source == target.
+    pub self_loops_dropped: usize,
+    /// Directed triples removed by dedup (parallel edges).
+    pub parallel_edges_deduped: usize,
+}
+
+impl BuildReport {
+    /// True when nothing needed repairing.
+    pub fn is_clean(&self) -> bool {
+        self.self_loops_dropped == 0 && self.parallel_edges_deduped == 0
     }
 }
 
@@ -258,6 +291,23 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn rejects_out_of_range_edge() {
         GraphBuilder::new(2).edge(0, 5);
+    }
+
+    #[test]
+    fn build_report_counts_repairs() {
+        let (g, rep) = GraphBuilder::new(3)
+            .edges([(0, 0), (0, 1), (1, 0), (0, 1), (1, 2)])
+            .build_with_report();
+        // One self loop; {0,1} appears three times post-symmetrization
+        // (0→1 twice + mirrored 1→0 twice + 1→0 mirrored back), so four
+        // directed duplicates collapse away.
+        assert_eq!(rep.self_loops_dropped, 1);
+        assert_eq!(rep.parallel_edges_deduped, 4);
+        assert!(!rep.is_clean());
+        assert_eq!(g.num_edges(), 4);
+
+        let (_, clean) = GraphBuilder::new(3).edges([(0, 1), (1, 2)]).build_with_report();
+        assert!(clean.is_clean());
     }
 
     #[test]

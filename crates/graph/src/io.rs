@@ -2,7 +2,16 @@
 //! DIMACS shortest-path (`.gr`) — the three formats networkrepository.com
 //! and the SNAP/DIMACS mirrors distribute. Real datasets can therefore be
 //! dropped into any experiment in place of the synthetic twins.
+//!
+//! Loaders treat their input as **untrusted**: every id and dimension is
+//! parsed with checked arithmetic, non-finite weights are rejected, and
+//! [`LoadLimits`] bound how large a graph a header may declare (a hostile
+//! header must not be able to command a huge allocation). The `_opts`
+//! variants additionally choose between [`LoadMode::Repair`] — dedupe
+//! parallel edges and drop self loops, reporting counts — and
+//! [`LoadMode::Strict`], which turns any needed repair into an error.
 
+use crate::builder::BuildReport;
 use crate::{Graph, GraphBuilder, VertexId, Weight};
 use std::io::{BufRead, BufReader, Read};
 use std::path::Path;
@@ -43,12 +52,125 @@ fn perr<T>(line: usize, msg: impl Into<String>) -> Result<T, LoadError> {
     Err(LoadError::Parse { line, msg: msg.into() })
 }
 
+/// Hard ceilings on what a loader will accept, regardless of what the
+/// file's header claims. Defaults comfortably cover the paper's corpus
+/// (largest graph: 16.8M vertices) while keeping a hostile header from
+/// commanding a multi-terabyte build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LoadLimits {
+    /// Maximum vertex count (declared or inferred).
+    pub max_vertices: usize,
+    /// Maximum edge count (declared or actual).
+    pub max_edges: usize,
+}
+
+impl Default for LoadLimits {
+    fn default() -> Self {
+        LoadLimits { max_vertices: 1 << 28, max_edges: 1 << 31 }
+    }
+}
+
+/// What to do with input that needs repair (self loops, parallel edges).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LoadMode {
+    /// Repair silently-fixable problems and report counts: dedupe
+    /// parallel edges, drop self loops (the builder's normal
+    /// preprocessing, matching the paper's §5.1). The default.
+    #[default]
+    Repair,
+    /// Any needed repair — and any declared-vs-actual entry-count
+    /// mismatch — is a structured error. Parallel edges are counted in
+    /// directed units post-symmetrization, so a file listing both
+    /// orientations of an undirected edge is rejected too.
+    Strict,
+}
+
+/// Options accepted by the `_opts` loader variants.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LoadOptions {
+    /// Size ceilings.
+    pub limits: LoadLimits,
+    /// Strict or repair handling of dirty input.
+    pub mode: LoadMode,
+}
+
+impl LoadOptions {
+    /// Default limits, strict mode.
+    pub fn strict() -> Self {
+        LoadOptions { mode: LoadMode::Strict, ..Default::default() }
+    }
+}
+
+/// A loaded graph plus what repair-mode loading had to fix.
+#[derive(Clone, Debug)]
+pub struct Loaded {
+    /// The graph, fully built.
+    pub graph: Graph,
+    /// Repair counts (all zero in strict mode — anything non-zero
+    /// would have been an error).
+    pub report: BuildReport,
+}
+
+/// Reserve at most this many edges up front on the strength of a
+/// header's claim; anything larger grows amortized as real entries
+/// arrive, so an oversized header alone cannot command the allocation.
+const HEADER_RESERVE_CAP: usize = 1 << 20;
+
+fn check_counts(line: usize, n: usize, m: usize, limits: &LoadLimits) -> Result<(), LoadError> {
+    if n > limits.max_vertices {
+        return perr(line, format!("vertex count {n} exceeds limit {}", limits.max_vertices));
+    }
+    if n > VertexId::MAX as usize {
+        return perr(line, format!("vertex count {n} does not fit a 32-bit vertex id"));
+    }
+    if m > limits.max_edges {
+        return perr(line, format!("edge count {m} exceeds limit {}", limits.max_edges));
+    }
+    Ok(())
+}
+
+/// Build the accumulated edges, enforcing strict mode and bumping the
+/// repair counter.
+fn finish(b: GraphBuilder, opts: &LoadOptions) -> Result<Loaded, LoadError> {
+    let (graph, report) = b.build_with_report();
+    if opts.mode == LoadMode::Strict && !report.is_clean() {
+        return perr(
+            0,
+            format!(
+                "strict mode: input needs repair ({} self loops, {} parallel directed edges)",
+                report.self_loops_dropped, report.parallel_edges_deduped
+            ),
+        );
+    }
+    crate::validate::note_edges_repaired(
+        (report.self_loops_dropped + report.parallel_edges_deduped) as u64,
+    );
+    Ok(Loaded { graph, report })
+}
+
+/// Count a rejection in [`validate::load_rejected`](crate::validate::load_rejected).
+fn track(r: Result<Loaded, LoadError>) -> Result<Loaded, LoadError> {
+    if r.is_err() {
+        crate::validate::note_load_rejected();
+    }
+    r
+}
+
 /// Load a MatrixMarket coordinate file. Supports `pattern`, `integer`, and
 /// `real` fields; `general` and `symmetric` symmetry. Real weights are
 /// rounded to the nearest positive integer (the paper uses integer-weighted
 /// SSSP). The graph is always symmetrized, matching the paper's
-/// preprocessing.
+/// preprocessing. Equivalent to [`load_mtx_opts`] with default options.
 pub fn load_mtx(r: impl Read) -> Result<Graph, LoadError> {
+    load_mtx_opts(r, &LoadOptions::default()).map(|l| l.graph)
+}
+
+/// [`load_mtx`] with explicit [`LoadOptions`], returning repair counts.
+pub fn load_mtx_opts(r: impl Read, opts: &LoadOptions) -> Result<Loaded, LoadError> {
+    track(load_mtx_inner(r, opts))
+}
+
+fn load_mtx_inner(r: impl Read, opts: &LoadOptions) -> Result<Loaded, LoadError> {
     let mut lines = BufReader::new(r).lines();
     let mut lineno = 0usize;
 
@@ -93,20 +215,26 @@ pub fn load_mtx(r: impl Read) -> Result<Graph, LoadError> {
         .split_whitespace()
         .map(|t| t.parse::<usize>())
         .collect::<Result<_, _>>()
-        .map_err(|e| LoadError::Parse { line: lineno, msg: e.to_string() })?;
+        .map_err(|e| LoadError::Parse { line: lineno, msg: format!("bad size line: {e}") })?;
     if dims.len() != 3 {
         return perr(lineno, "size line must be `rows cols nnz`");
     }
     let n = dims[0].max(dims[1]);
     let nnz = dims[2];
+    check_counts(lineno, n, nnz, &opts.limits)?;
 
-    let mut b = GraphBuilder::with_capacity(n, nnz);
+    let mut b = GraphBuilder::with_capacity(n, nnz.min(HEADER_RESERVE_CAP));
+    let mut entries = 0usize;
     for l in lines {
         lineno += 1;
         let l = l?;
         let t = l.trim();
         if t.is_empty() || t.starts_with('%') {
             continue;
+        }
+        entries += 1;
+        if entries > nnz {
+            return perr(lineno, format!("more entries than the declared nnz ({nnz})"));
         }
         let mut it = t.split_whitespace();
         let u: usize = match it.next().map(str::parse) {
@@ -126,18 +254,38 @@ pub fn load_mtx(r: impl Read) -> Result<Graph, LoadError> {
                 Some(Ok(w)) => w,
                 _ => return perr(lineno, "missing weight"),
             };
+            if !w.is_finite() {
+                return perr(lineno, format!("non-finite weight {w}"));
+            }
+            if opts.mode == LoadMode::Strict && w < 0.0 {
+                return perr(lineno, format!("strict mode: negative weight {w}"));
+            }
             let w = w.abs().round().max(1.0) as Weight;
             b.push_weighted_edge(u, v, w);
         } else {
             b.push_edge(u, v);
         }
     }
-    Ok(b.name("mtx").build())
+    if opts.mode == LoadMode::Strict && entries != nnz {
+        return perr(lineno, format!("truncated: header declared {nnz} entries, found {entries}"));
+    }
+    finish(b.name("mtx"), opts)
 }
 
 /// Load a whitespace/tab edge list (`u v [w]` per line, `#`/`%` comments).
 /// Vertex ids may start at 0 or 1; `n` is inferred as `max_id + 1`.
+/// Equivalent to [`load_edge_list_opts`] with default options.
 pub fn load_edge_list(r: impl Read) -> Result<Graph, LoadError> {
+    load_edge_list_opts(r, &LoadOptions::default()).map(|l| l.graph)
+}
+
+/// [`load_edge_list`] with explicit [`LoadOptions`], returning repair
+/// counts.
+pub fn load_edge_list_opts(r: impl Read, opts: &LoadOptions) -> Result<Loaded, LoadError> {
+    track(load_edge_list_inner(r, opts))
+}
+
+fn load_edge_list_inner(r: impl Read, opts: &LoadOptions) -> Result<Loaded, LoadError> {
     let mut edges: Vec<(VertexId, VertexId, Option<Weight>)> = Vec::new();
     let mut max_id: VertexId = 0;
     for (i, l) in BufReader::new(r).lines().enumerate() {
@@ -150,11 +298,11 @@ pub fn load_edge_list(r: impl Read) -> Result<Graph, LoadError> {
         let mut it = t.split_whitespace();
         let u: VertexId = match it.next().map(str::parse) {
             Some(Ok(v)) => v,
-            _ => return perr(lineno, "bad source id"),
+            _ => return perr(lineno, "bad source id (must fit a 32-bit unsigned integer)"),
         };
         let v: VertexId = match it.next().map(str::parse) {
             Some(Ok(v)) => v,
-            _ => return perr(lineno, "bad target id"),
+            _ => return perr(lineno, "bad target id (must fit a 32-bit unsigned integer)"),
         };
         let w = match it.next() {
             Some(tok) => match tok.parse::<Weight>() {
@@ -165,6 +313,9 @@ pub fn load_edge_list(r: impl Read) -> Result<Graph, LoadError> {
         };
         max_id = max_id.max(u).max(v);
         edges.push((u, v, w));
+        if edges.len() > opts.limits.max_edges {
+            return perr(lineno, format!("edge count exceeds limit {}", opts.limits.max_edges));
+        }
     }
     if edges.is_empty() {
         return perr(0, "no edges in file");
@@ -173,23 +324,43 @@ pub fn load_edge_list(r: impl Read) -> Result<Graph, LoadError> {
     if edges.iter().any(|e| e.2.is_some() != weighted) {
         return perr(0, "mixed weighted and unweighted lines");
     }
-    let mut b = GraphBuilder::with_capacity(max_id as usize + 1, edges.len());
+    // Checked: a hostile id of u32::MAX on a 32-bit host would wrap
+    // `max_id + 1` to zero and build an empty vertex set.
+    let n = (max_id as usize).checked_add(1).ok_or_else(|| LoadError::Parse {
+        line: 0,
+        msg: format!("vertex id {max_id} overflows"),
+    })?;
+    check_counts(0, n, edges.len(), &opts.limits)?;
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
     for (u, v, w) in edges {
         match w {
             Some(w) => b.push_weighted_edge(u, v, w),
             None => b.push_edge(u, v),
         }
     }
-    Ok(b.name("edgelist").build())
+    finish(b.name("edgelist"), opts)
 }
 
 /// Load a DIMACS shortest-path `.gr` file (`p sp n m`, `a u v w` arcs,
-/// 1-based ids).
+/// 1-based ids). Equivalent to [`load_dimacs_opts`] with default options.
 pub fn load_dimacs(r: impl Read) -> Result<Graph, LoadError> {
+    load_dimacs_opts(r, &LoadOptions::default()).map(|l| l.graph)
+}
+
+/// [`load_dimacs`] with explicit [`LoadOptions`], returning repair counts.
+pub fn load_dimacs_opts(r: impl Read, opts: &LoadOptions) -> Result<Loaded, LoadError> {
+    track(load_dimacs_inner(r, opts))
+}
+
+fn load_dimacs_inner(r: impl Read, opts: &LoadOptions) -> Result<Loaded, LoadError> {
     let mut b: Option<GraphBuilder> = None;
     let mut n = 0usize;
+    let mut m = 0usize;
+    let mut arcs = 0usize;
+    let mut last_line = 0usize;
     for (i, l) in BufReader::new(r).lines().enumerate() {
         let lineno = i + 1;
+        last_line = lineno;
         let l = l?;
         let t = l.trim();
         if t.is_empty() || t.starts_with('c') {
@@ -204,10 +375,11 @@ pub fn load_dimacs(r: impl Read) -> Result<Graph, LoadError> {
                 n = toks[2]
                     .parse()
                     .map_err(|_| LoadError::Parse { line: lineno, msg: "bad n".into() })?;
-                let m: usize = toks[3]
+                m = toks[3]
                     .parse()
                     .map_err(|_| LoadError::Parse { line: lineno, msg: "bad m".into() })?;
-                b = Some(GraphBuilder::with_capacity(n, m));
+                check_counts(lineno, n, m, &opts.limits)?;
+                b = Some(GraphBuilder::with_capacity(n, m.min(HEADER_RESERVE_CAP)));
             }
             "a" => {
                 let builder = match b.as_mut() {
@@ -216,6 +388,10 @@ pub fn load_dimacs(r: impl Read) -> Result<Graph, LoadError> {
                 };
                 if toks.len() != 4 {
                     return perr(lineno, "expected `a u v w`");
+                }
+                arcs += 1;
+                if arcs > m {
+                    return perr(lineno, format!("more arcs than the declared m ({m})"));
                 }
                 let u: usize = toks[1]
                     .parse()
@@ -227,17 +403,21 @@ pub fn load_dimacs(r: impl Read) -> Result<Graph, LoadError> {
                     .parse()
                     .map_err(|_| LoadError::Parse { line: lineno, msg: "bad w".into() })?;
                 if u == 0 || v == 0 || u > n || v > n {
-                    return perr(lineno, "arc index out of range");
+                    return perr(lineno, "arc index out of range (DIMACS ids are 1-based)");
                 }
                 builder.push_weighted_edge((u - 1) as VertexId, (v - 1) as VertexId, w.max(1));
             }
             other => return perr(lineno, format!("unknown record `{other}`")),
         }
     }
-    match b {
-        Some(b) => Ok(b.name("dimacs").build()),
-        None => perr(0, "missing problem line"),
+    let b = match b {
+        Some(b) => b,
+        None => return perr(0, "missing problem line"),
+    };
+    if opts.mode == LoadMode::Strict && arcs != m {
+        return perr(last_line, format!("truncated: header declared {m} arcs, found {arcs}"));
     }
+    finish(b.name("dimacs"), opts)
 }
 
 /// Write a graph as a MatrixMarket coordinate file (pattern or integer
@@ -280,19 +460,26 @@ pub fn save_edge_list(g: &Graph, mut w: impl std::io::Write) -> std::io::Result<
 }
 
 /// Load by file extension: `.mtx`, `.gr`, anything else as an edge list.
+/// Equivalent to [`load_path_opts`] with default options.
 pub fn load_path(path: impl AsRef<Path>) -> Result<Graph, LoadError> {
+    load_path_opts(path, &LoadOptions::default()).map(|l| l.graph)
+}
+
+/// [`load_path`] with explicit [`LoadOptions`], returning repair counts.
+pub fn load_path_opts(path: impl AsRef<Path>, opts: &LoadOptions) -> Result<Loaded, LoadError> {
     let path = path.as_ref();
     let f = std::fs::File::open(path)?;
     let name = path
         .file_stem()
         .map(|s| s.to_string_lossy().into_owned())
         .unwrap_or_else(|| "dataset".into());
-    let g = match path.extension().and_then(|e| e.to_str()) {
-        Some("mtx") => load_mtx(f)?,
-        Some("gr") => load_dimacs(f)?,
-        _ => load_edge_list(f)?,
+    let mut loaded = match path.extension().and_then(|e| e.to_str()) {
+        Some("mtx") => load_mtx_opts(f, opts)?,
+        Some("gr") => load_dimacs_opts(f, opts)?,
+        _ => load_edge_list_opts(f, opts)?,
     };
-    Ok(g.with_name(name))
+    loaded.graph = loaded.graph.with_name(name);
+    Ok(loaded)
 }
 
 #[cfg(test)]
@@ -333,6 +520,47 @@ mod tests {
     }
 
     #[test]
+    fn mtx_rejects_nonfinite_weights() {
+        for w in ["NaN", "inf", "-inf"] {
+            let text = format!("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 {w}\n");
+            let err = load_mtx(text.as_bytes()).unwrap_err();
+            assert!(matches!(err, LoadError::Parse { line: 3, .. }), "{w}: {err}");
+        }
+    }
+
+    #[test]
+    fn mtx_limits_bound_declared_sizes() {
+        let opts = LoadOptions {
+            limits: LoadLimits { max_vertices: 3, max_edges: 2 },
+            ..Default::default()
+        };
+        let big_n = "%%MatrixMarket matrix coordinate pattern general\n9 9 1\n1 2\n";
+        assert!(load_mtx_opts(big_n.as_bytes(), &opts).is_err());
+        let big_m = "%%MatrixMarket matrix coordinate pattern general\n3 3 5\n1 2\n";
+        assert!(load_mtx_opts(big_m.as_bytes(), &opts).is_err());
+        let ok = "%%MatrixMarket matrix coordinate pattern general\n3 3 2\n1 2\n2 3\n";
+        assert!(load_mtx_opts(ok.as_bytes(), &opts).is_ok());
+    }
+
+    #[test]
+    fn mtx_strict_vs_repair() {
+        // One self loop and one duplicated entry.
+        let dirty = "%%MatrixMarket matrix coordinate pattern general\n3 3 4\n1 1\n1 2\n1 2\n2 3\n";
+        let l = load_mtx_opts(dirty.as_bytes(), &LoadOptions::default()).unwrap();
+        assert_eq!(l.report.self_loops_dropped, 1);
+        assert!(l.report.parallel_edges_deduped > 0);
+        assert_eq!(l.graph.num_edges(), 4);
+        assert!(load_mtx_opts(dirty.as_bytes(), &LoadOptions::strict()).is_err());
+        // Truncation (fewer entries than declared) only fails strict.
+        let short = "%%MatrixMarket matrix coordinate pattern general\n3 3 3\n1 2\n";
+        assert!(load_mtx_opts(short.as_bytes(), &LoadOptions::default()).is_ok());
+        assert!(load_mtx_opts(short.as_bytes(), &LoadOptions::strict()).is_err());
+        // Extra entries past the declared nnz fail in every mode.
+        let long = "%%MatrixMarket matrix coordinate pattern general\n3 3 1\n1 2\n2 3\n";
+        assert!(load_mtx_opts(long.as_bytes(), &LoadOptions::default()).is_err());
+    }
+
+    #[test]
     fn edge_list_infers_size() {
         let g = load_edge_list("# c\n0 5\n5 3\n".as_bytes()).unwrap();
         assert_eq!(g.num_vertices(), 6);
@@ -349,6 +577,29 @@ mod tests {
     fn edge_list_rejects_mixed() {
         assert!(load_edge_list("0 1 10\n1 2\n".as_bytes()).is_err());
         assert!(load_edge_list("".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn edge_list_rejects_oversized_ids() {
+        // Larger than u32: must be a structured error, not a wrap.
+        let err = load_edge_list("0 99999999999\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, LoadError::Parse { line: 1, .. }), "{err}");
+        // Negative ids are equally structured.
+        assert!(load_edge_list("0 -3\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn edge_list_respects_limits() {
+        let opts = LoadOptions {
+            limits: LoadLimits { max_vertices: 4, max_edges: 10 },
+            ..Default::default()
+        };
+        assert!(load_edge_list_opts("0 9\n".as_bytes(), &opts).is_err());
+        let opts = LoadOptions {
+            limits: LoadLimits { max_vertices: 100, max_edges: 1 },
+            ..Default::default()
+        };
+        assert!(load_edge_list_opts("0 1\n1 2\n".as_bytes(), &opts).is_err());
     }
 
     #[test]
@@ -382,5 +633,22 @@ mod tests {
     #[test]
     fn dimacs_rejects_arc_before_header() {
         assert!(load_dimacs("a 1 2 3\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn dimacs_rejects_zero_based_ids() {
+        let err = load_dimacs("p sp 3 1\na 0 2 4\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("1-based"), "{err}");
+    }
+
+    #[test]
+    fn dimacs_arc_count_checks() {
+        // More arcs than declared: error in every mode.
+        let long = "p sp 3 1\na 1 2 4\na 2 3 6\n";
+        assert!(load_dimacs(long.as_bytes()).is_err());
+        // Fewer arcs: only strict rejects.
+        let short = "p sp 3 2\na 1 2 4\n";
+        assert!(load_dimacs_opts(short.as_bytes(), &LoadOptions::default()).is_ok());
+        assert!(load_dimacs_opts(short.as_bytes(), &LoadOptions::strict()).is_err());
     }
 }

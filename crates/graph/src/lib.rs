@@ -14,7 +14,10 @@
 //!   paper's Table 2 (social network, web graph, generated graph, road
 //!   network, scientific computing).
 //! - [`io`] — MatrixMarket / edge-list / DIMACS loaders so real
-//!   networkrepository.com data can be substituted in.
+//!   networkrepository.com data can be substituted in, with size limits
+//!   and a strict-vs-repair mode for untrusted files.
+//! - [`validate`] — panic-free [`CsrValidator`] re-checking every CSR
+//!   invariant, for graphs that arrive from outside the builder.
 //! - [`stats`] — the "dataset attributes" slice of the paper's Table 1
 //!   feature vector: N, M, average/σ/relative-range of degrees, Gini
 //!   coefficient and relative edge-distribution entropy.
@@ -31,11 +34,13 @@ pub mod gen;
 pub mod io;
 pub mod stats;
 pub mod transform;
+pub mod validate;
 
-pub use builder::GraphBuilder;
+pub use builder::{BuildReport, GraphBuilder};
 pub use csr::{Csr, EdgeRange};
 pub use fingerprint::Fingerprint;
 pub use stats::GraphStats;
+pub use validate::{CsrValidator, ValidationReport};
 
 /// Vertex identifier. 32 bits is enough for every graph in the paper's
 /// corpus (largest: 16.8M vertices) and halves memory traffic versus u64 —

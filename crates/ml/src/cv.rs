@@ -71,7 +71,8 @@ pub fn cross_validate(
                     train_labels.push(l);
                 }
             }
-            let tree = DecisionTree::train(&train_rows, &train_labels, params);
+            let tree = DecisionTree::train(&train_rows, &train_labels, params)
+                .expect("cv folds are non-empty and rectangular");
             let mut confusion = vec![vec![0usize; n_classes]; n_classes];
             let mut hits = 0usize;
             for (r, &l) in test_rows.iter().zip(&test_labels) {

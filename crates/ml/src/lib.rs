@@ -22,4 +22,4 @@ pub mod tree;
 
 pub use cv::{cross_validate, CvReport};
 pub use dataset::{FeatureDb, Labels, Pattern, Record, FEATURE_COUNT, FEATURE_NAMES};
-pub use tree::{DecisionTree, TrainParams};
+pub use tree::{DecisionTree, TrainError, TrainParams};

@@ -26,6 +26,45 @@ impl Default for TrainParams {
     }
 }
 
+/// Why [`DecisionTree::train`] rejected its input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TrainError {
+    /// The training set is empty.
+    EmptyDataset,
+    /// `rows` and `labels` differ in length.
+    LengthMismatch {
+        /// Number of feature rows.
+        rows: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+    /// A row's arity differs from the first row's.
+    RaggedRows {
+        /// Index of the offending row.
+        row: usize,
+        /// Arity of the first row.
+        expected: usize,
+        /// Arity of the offending row.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::EmptyDataset => write!(f, "cannot train on an empty dataset"),
+            TrainError::LengthMismatch { rows, labels } => {
+                write!(f, "rows/labels length mismatch: {rows} rows, {labels} labels")
+            }
+            TrainError::RaggedRows { row, expected, got } => {
+                write!(f, "ragged feature rows: row {row} has {got} features, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
 /// One tree node. Children are indices into the tree's node arena so the
 /// whole model serializes flat.
 #[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
@@ -58,7 +97,7 @@ pub enum Node {
 /// // with fewer than 8 samples.)
 /// let rows: Vec<Vec<f64>> = (1..=8).map(|x| vec![x as f64]).collect();
 /// let labels = vec![0, 0, 0, 0, 1, 1, 1, 1];
-/// let tree = DecisionTree::train(&rows, &labels, TrainParams::default());
+/// let tree = DecisionTree::train(&rows, &labels, TrainParams::default()).unwrap();
 /// assert_eq!(tree.predict(&[1.5]), 0);
 /// assert_eq!(tree.predict(&[7.5]), 1);
 /// ```
@@ -71,21 +110,30 @@ pub struct DecisionTree {
 
 impl DecisionTree {
     /// Train on `rows` (each of equal length) with class `labels`.
-    ///
-    /// # Panics
-    /// Panics on empty input, ragged rows, or labels out of range of the
-    /// observed class count.
-    pub fn train(rows: &[Vec<f64>], labels: &[usize], params: TrainParams) -> Self {
-        assert!(!rows.is_empty(), "cannot train on an empty dataset");
-        assert_eq!(rows.len(), labels.len(), "rows/labels length mismatch");
+    /// Malformed input — an empty set, mismatched lengths, ragged rows —
+    /// is a [`TrainError`], never a panic: training data may come from a
+    /// feature database on disk.
+    pub fn train(
+        rows: &[Vec<f64>],
+        labels: &[usize],
+        params: TrainParams,
+    ) -> Result<Self, TrainError> {
+        if rows.is_empty() {
+            return Err(TrainError::EmptyDataset);
+        }
+        if rows.len() != labels.len() {
+            return Err(TrainError::LengthMismatch { rows: rows.len(), labels: labels.len() });
+        }
         let n_features = rows[0].len();
-        assert!(rows.iter().all(|r| r.len() == n_features), "ragged feature rows");
-        let n_classes = labels.iter().copied().max().unwrap() + 1;
+        if let Some((i, r)) = rows.iter().enumerate().find(|(_, r)| r.len() != n_features) {
+            return Err(TrainError::RaggedRows { row: i, expected: n_features, got: r.len() });
+        }
+        let n_classes = labels.iter().copied().max().unwrap_or(0) + 1;
 
         let mut tree = DecisionTree { nodes: Vec::new(), n_features, n_classes };
         let mut index: Vec<u32> = (0..rows.len() as u32).collect();
         tree.build(rows, labels, &mut index, 0, &params);
-        tree
+        Ok(tree)
     }
 
     /// Recursive node construction over `index` (the sample subset);
@@ -138,19 +186,110 @@ impl DecisionTree {
 
     /// Predict the class of one feature row.
     ///
-    /// # Panics
-    /// Panics when `row` has the wrong arity.
+    /// A row shorter than the tree's arity cannot answer every split:
+    /// the walk stops at the first split whose feature is missing and
+    /// returns that subtree's majority class. Extra columns are
+    /// ignored. The walk is bounded, so even a structurally corrupt
+    /// tree (one that skipped [`validate`](Self::validate)) returns a
+    /// class rather than hanging or panicking.
     pub fn predict(&self, row: &[f64]) -> usize {
-        assert_eq!(row.len(), self.n_features, "feature arity mismatch");
         let mut at = 0usize;
-        loop {
-            match &self.nodes[at] {
-                Node::Leaf { class, .. } => return *class,
-                Node::Split { feature, threshold, left, right } => {
-                    at = if row[*feature] < *threshold { *left } else { *right };
+        for _ in 0..=self.nodes.len() {
+            match self.nodes.get(at) {
+                None => return 0,
+                Some(Node::Leaf { class, .. }) => return *class,
+                Some(Node::Split { feature, threshold, left, right }) => match row.get(*feature) {
+                    Some(x) => at = if *x < *threshold { *left } else { *right },
+                    None => return self.subtree_majority(at),
+                },
+            }
+        }
+        0
+    }
+
+    /// Majority class of the training samples under node `at`, by leaf
+    /// weight. Bounded like `predict` so corrupt trees cannot hang it.
+    fn subtree_majority(&self, at: usize) -> usize {
+        let mut counts = vec![0usize; self.n_classes.max(1)];
+        let mut stack = vec![at];
+        for _ in 0..self.nodes.len() {
+            let Some(i) = stack.pop() else { break };
+            match self.nodes.get(i) {
+                None => {}
+                Some(Node::Leaf { class, weight }) => {
+                    if let Some(c) = counts.get_mut(*class) {
+                        *c += (*weight).max(1);
+                    }
+                }
+                Some(Node::Split { left, right, .. }) => {
+                    stack.push(*left);
+                    stack.push(*right);
                 }
             }
         }
+        argmax(&counts)
+    }
+
+    /// Structural validation for trees that arrived from outside
+    /// `train` (a model file): child indices in range, every node
+    /// reachable exactly once from the root (acyclic, no sharing),
+    /// finite thresholds, split features within arity, leaf classes
+    /// below `n_classes`, and depth at most 64.
+    pub fn validate(&self) -> Result<(), String> {
+        const MAX_DEPTH: usize = 64;
+        if self.nodes.is_empty() {
+            return Err("tree has no nodes".into());
+        }
+        if self.n_classes == 0 {
+            return Err("tree declares zero classes".into());
+        }
+        let mut visited = vec![false; self.nodes.len()];
+        let mut stack = vec![(0usize, 0usize)];
+        let mut seen = 0usize;
+        while let Some((at, depth)) = stack.pop() {
+            if at >= self.nodes.len() {
+                return Err(format!("child index {at} out of range ({} nodes)", self.nodes.len()));
+            }
+            if visited[at] {
+                return Err(format!("node {at} is reachable twice (cycle or shared subtree)"));
+            }
+            visited[at] = true;
+            seen += 1;
+            if depth > MAX_DEPTH {
+                return Err(format!("tree depth exceeds bound {MAX_DEPTH}"));
+            }
+            match &self.nodes[at] {
+                Node::Leaf { class, .. } => {
+                    if *class >= self.n_classes {
+                        return Err(format!(
+                            "leaf class {class} out of range (n_classes = {})",
+                            self.n_classes
+                        ));
+                    }
+                }
+                Node::Split { feature, threshold, left, right } => {
+                    if *feature >= self.n_features {
+                        return Err(format!(
+                            "split feature {feature} out of range (n_features = {})",
+                            self.n_features
+                        ));
+                    }
+                    if !threshold.is_finite() {
+                        return Err(format!("non-finite split threshold {threshold}"));
+                    }
+                    stack.push((*left, depth + 1));
+                    stack.push((*right, depth + 1));
+                }
+            }
+        }
+        if seen != self.nodes.len() {
+            return Err(format!(
+                "{} of {} nodes unreachable from the root",
+                self.nodes.len() - seen,
+                self.nodes.len()
+            ));
+        }
+        Ok(())
     }
 
     /// Fraction of `rows` predicted as their label.
@@ -342,7 +481,7 @@ mod tests {
     #[test]
     fn learns_separable_data_perfectly() {
         let (rows, labels) = separable(200);
-        let t = DecisionTree::train(&rows, &labels, TrainParams::default());
+        let t = DecisionTree::train(&rows, &labels, TrainParams::default()).unwrap();
         assert_eq!(t.accuracy(&rows, &labels), 1.0);
         assert!(t.height() <= 2, "height {}", t.height());
     }
@@ -351,7 +490,7 @@ mod tests {
     fn pure_node_is_single_leaf() {
         let rows = vec![vec![1.0], vec![2.0], vec![3.0]];
         let labels = vec![1, 1, 1];
-        let t = DecisionTree::train(&rows, &labels, TrainParams::default());
+        let t = DecisionTree::train(&rows, &labels, TrainParams::default()).unwrap();
         assert_eq!(t.len(), 1);
         assert_eq!(t.predict(&[9.0]), 1);
     }
@@ -368,7 +507,8 @@ mod tests {
             }
         }
         let t =
-            DecisionTree::train(&rows, &labels, TrainParams { max_depth: 2, ..Default::default() });
+            DecisionTree::train(&rows, &labels, TrainParams { max_depth: 2, ..Default::default() })
+                .unwrap();
         assert!(t.height() <= 2);
     }
 
@@ -376,7 +516,7 @@ mod tests {
     fn three_class_problem() {
         let rows: Vec<Vec<f64>> = (0..300).map(|i| vec![i as f64]).collect();
         let labels: Vec<usize> = (0..300).map(|i| i / 100).collect();
-        let t = DecisionTree::train(&rows, &labels, TrainParams::default());
+        let t = DecisionTree::train(&rows, &labels, TrainParams::default()).unwrap();
         assert_eq!(t.n_classes(), 3);
         assert_eq!(t.predict(&[50.0]), 0);
         assert_eq!(t.predict(&[150.0]), 1);
@@ -391,7 +531,8 @@ mod tests {
             &rows,
             &labels,
             TrainParams { min_samples_leaf: 2, min_samples_split: 2, ..Default::default() },
-        );
+        )
+        .unwrap();
         // Splitting off the single 0-label sample is forbidden; the next
         // best legal split (1 vs rest at 1.5) may still happen, but no
         // leaf may hold fewer than 2 samples.
@@ -410,7 +551,7 @@ mod tests {
     #[test]
     fn rules_render() {
         let (rows, labels) = separable(50);
-        let t = DecisionTree::train(&rows, &labels, TrainParams::default());
+        let t = DecisionTree::train(&rows, &labels, TrainParams::default()).unwrap();
         let rules = t.to_rules(&["x", "noise"], &["push", "pull"]);
         assert!(rules.contains("if (x <"), "{rules}");
         assert!(rules.contains("choose pull"));
@@ -420,24 +561,89 @@ mod tests {
     #[test]
     fn json_roundtrip() {
         let (rows, labels) = separable(64);
-        let t = DecisionTree::train(&rows, &labels, TrainParams::default());
+        let t = DecisionTree::train(&rows, &labels, TrainParams::default()).unwrap();
         let t2 = DecisionTree::from_json(&t.to_json()).unwrap();
         assert_eq!(t, t2);
         assert_eq!(t2.predict(&[0.9, 0.0]), 1);
     }
 
     #[test]
-    #[should_panic(expected = "empty")]
-    fn rejects_empty_training_set() {
-        DecisionTree::train(&[], &[], TrainParams::default());
+    fn train_rejects_malformed_input_without_panicking() {
+        assert_eq!(
+            DecisionTree::train(&[], &[], TrainParams::default()),
+            Err(TrainError::EmptyDataset)
+        );
+        let rows = vec![vec![1.0], vec![2.0]];
+        assert_eq!(
+            DecisionTree::train(&rows, &[0], TrainParams::default()),
+            Err(TrainError::LengthMismatch { rows: 2, labels: 1 })
+        );
+        let ragged = vec![vec![1.0], vec![2.0, 3.0]];
+        assert_eq!(
+            DecisionTree::train(&ragged, &[0, 1], TrainParams::default()),
+            Err(TrainError::RaggedRows { row: 1, expected: 1, got: 2 })
+        );
+        // Errors render a useful message.
+        assert!(TrainError::EmptyDataset.to_string().contains("empty"));
     }
 
     #[test]
-    #[should_panic(expected = "arity")]
-    fn rejects_wrong_arity_predict() {
-        let (rows, labels) = separable(10);
-        let t = DecisionTree::train(&rows, &labels, TrainParams::default());
-        t.predict(&[1.0, 2.0, 3.0]);
+    fn short_row_predicts_majority_not_panic() {
+        let (rows, labels) = separable(100);
+        let t = DecisionTree::train(&rows, &labels, TrainParams::default()).unwrap();
+        assert!(t.height() >= 1, "need a split for this test to bite");
+        // An empty row cannot answer the root split: the fallback is the
+        // root's majority class, which must be one of the two classes.
+        let c = t.predict(&[]);
+        assert!(c < t.n_classes());
+        // Extra columns are ignored.
+        assert_eq!(t.predict(&[0.9, 0.0, 42.0, 42.0]), 1);
+    }
+
+    #[test]
+    fn validate_accepts_trained_trees() {
+        let (rows, labels) = separable(100);
+        let t = DecisionTree::train(&rows, &labels, TrainParams::default()).unwrap();
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_corrupt_trees() {
+        let (rows, labels) = separable(100);
+        let good = DecisionTree::train(&rows, &labels, TrainParams::default()).unwrap();
+
+        // Child index out of range.
+        let mut bad = good.clone();
+        if let Node::Split { right, .. } = &mut bad.nodes[0] {
+            *right = 999;
+        }
+        assert!(bad.validate().unwrap_err().contains("out of range"));
+
+        // Cycle: the root is its own child.
+        let mut bad = good.clone();
+        if let Node::Split { left, .. } = &mut bad.nodes[0] {
+            *left = 0;
+        }
+        assert!(bad.validate().is_err());
+        // And predict on it still terminates.
+        let _ = bad.predict(&[0.1, 0.0]);
+
+        // Non-finite threshold.
+        let mut bad = good.clone();
+        if let Node::Split { threshold, .. } = &mut bad.nodes[0] {
+            *threshold = f64::NAN;
+        }
+        assert!(bad.validate().unwrap_err().contains("threshold"));
+
+        // Leaf class out of range.
+        let mut bad = good.clone();
+        bad.n_classes = 1;
+        assert!(bad.validate().is_err());
+
+        // Empty arena.
+        let empty = DecisionTree { nodes: Vec::new(), n_features: 1, n_classes: 2 };
+        assert!(empty.validate().is_err());
+        assert_eq!(empty.predict(&[1.0]), 0);
     }
 
     #[test]

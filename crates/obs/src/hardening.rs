@@ -1,0 +1,113 @@
+//! Process-global hardening counters: how often the model layer and the
+//! divergence sentinel had to intervene.
+//!
+//! The ingestion→decision pipeline degrades gracefully — an unreadable
+//! model file falls back to the built-in heuristics, an out-of-range
+//! feature is clamped to the training envelope, a diverging kernel is
+//! pinned to the reference variant — but every one of those saves must
+//! be observable, or a misconfigured deployment would silently run on
+//! fallbacks forever. These counters follow the [`sync`](crate::sync)
+//! idiom: plain relaxed atomics, safe to bump from any thread, cheap
+//! enough to leave on in production.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Model files that failed to load entirely (missing, unreadable,
+/// unparseable, or rejected by envelope validation).
+static MODEL_LOAD_FAILED: AtomicU64 = AtomicU64::new(0);
+/// Individual pattern trees dropped to the built-in heuristic because
+/// they failed structural validation.
+static MODEL_FALLBACK: AtomicU64 = AtomicU64::new(0);
+/// Feature values clamped into the model's training range before a
+/// tree prediction.
+static OOD_FEATURE_CLAMPED: AtomicU64 = AtomicU64::new(0);
+/// Divergence-sentinel mismatches: super-steps where the chosen variant
+/// disagreed with the serial reference.
+static SENTINEL_MISMATCH: AtomicU64 = AtomicU64::new(0);
+
+/// Record one failed model-file load.
+pub fn note_model_load_failed() {
+    MODEL_LOAD_FAILED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Model files that failed to load, process lifetime.
+pub fn model_load_failed() -> u64 {
+    MODEL_LOAD_FAILED.load(Ordering::Relaxed)
+}
+
+/// Record one pattern tree degraded to the built-in heuristic.
+pub fn note_model_fallback() {
+    MODEL_FALLBACK.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Pattern trees degraded to the built-in heuristic, process lifetime.
+pub fn model_fallback() -> u64 {
+    MODEL_FALLBACK.load(Ordering::Relaxed)
+}
+
+/// Record `n` features clamped to the training envelope.
+pub fn note_ood_features_clamped(n: u64) {
+    if n > 0 {
+        OOD_FEATURE_CLAMPED.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Features clamped to the training envelope, process lifetime.
+pub fn ood_feature_clamped() -> u64 {
+    OOD_FEATURE_CLAMPED.load(Ordering::Relaxed)
+}
+
+/// Record one sentinel mismatch.
+pub fn note_sentinel_mismatch() {
+    SENTINEL_MISMATCH.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Sentinel mismatches, process lifetime.
+pub fn sentinel_mismatch() -> u64 {
+    SENTINEL_MISMATCH.load(Ordering::Relaxed)
+}
+
+/// Point-in-time copy of every hardening counter (what `gswitch-serve`
+/// reports under `stats`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HardeningSnapshot {
+    /// See [`model_load_failed`].
+    pub model_load_failed: u64,
+    /// See [`model_fallback`].
+    pub model_fallback: u64,
+    /// See [`ood_feature_clamped`].
+    pub ood_feature_clamped: u64,
+    /// See [`sentinel_mismatch`].
+    pub sentinel_mismatch: u64,
+}
+
+/// Read all four counters at once (each individually relaxed).
+pub fn snapshot() -> HardeningSnapshot {
+    HardeningSnapshot {
+        model_load_failed: model_load_failed(),
+        model_fallback: model_fallback(),
+        ood_feature_clamped: ood_feature_clamped(),
+        sentinel_mismatch: sentinel_mismatch(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        // Counters are process-global, so assert deltas, not absolutes.
+        let before = snapshot();
+        note_model_load_failed();
+        note_model_fallback();
+        note_ood_features_clamped(3);
+        note_ood_features_clamped(0); // no-op
+        note_sentinel_mismatch();
+        let after = snapshot();
+        assert_eq!(after.model_load_failed - before.model_load_failed, 1);
+        assert_eq!(after.model_fallback - before.model_fallback, 1);
+        assert_eq!(after.ood_feature_clamped - before.ood_feature_clamped, 3);
+        assert_eq!(after.sentinel_mismatch - before.sentinel_mismatch, 1);
+    }
+}

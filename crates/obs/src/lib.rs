@@ -20,9 +20,12 @@
 //!   it can sit below `gswitch-core` in the build graph).
 //! * [`sync`] — poison-recovering lock wrappers, so one panicking
 //!   thread cannot wedge every other holder of shared state.
+//! * [`hardening`] — process-global counters for model fallbacks,
+//!   out-of-distribution feature clamps and sentinel mismatches.
 
 #![warn(missing_docs)]
 
+pub mod hardening;
 pub mod json;
 pub mod metrics;
 pub mod summary;

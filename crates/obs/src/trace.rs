@@ -31,6 +31,9 @@ pub enum Provenance {
     WarmStart,
     /// A fused kernel chained without re-classifying.
     FusedChain,
+    /// The divergence sentinel detected a mismatch against the serial
+    /// reference and pinned the run to the reference variant.
+    Sentinel,
 }
 
 impl Provenance {
@@ -41,6 +44,7 @@ impl Provenance {
             Provenance::StabilityBypass => "bypass",
             Provenance::WarmStart => "warm",
             Provenance::FusedChain => "fused-chain",
+            Provenance::Sentinel => "sentinel",
         }
     }
 
@@ -51,6 +55,7 @@ impl Provenance {
             "bypass" => Some(Provenance::StabilityBypass),
             "warm" => Some(Provenance::WarmStart),
             "fused-chain" => Some(Provenance::FusedChain),
+            "sentinel" => Some(Provenance::Sentinel),
             _ => None,
         }
     }

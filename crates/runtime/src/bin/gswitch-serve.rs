@@ -20,7 +20,7 @@ use std::sync::Arc;
 fn usage() -> ! {
     eprintln!(
         "usage: gswitch-serve [--bench-load] [--queries N] [--workers N] [--seed N] \
-         [--trace FILE] [--cache FILE] [--retries N]\n\
+         [--trace FILE] [--cache FILE] [--retries N] [--strict-load] [--verify-every N]\n\
          \n\
          --trace FILE (with --bench-load): record a decision trace of the whole run\n\
          as JSONL to FILE; inspect it with `gswitch-trace FILE`.\n\
@@ -29,6 +29,12 @@ fn usage() -> ! {
          starts) and persist it back on quit.\n\
          --retries N (serve mode): resubmit a query up to N times when it fails for\n\
          an infrastructure reason (status `failed`, e.g. a worker panic); default 2.\n\
+         --strict-load (serve mode): refuse graph files that need repair (self loops,\n\
+         parallel edges) instead of silently fixing them; loads are always validated\n\
+         structurally and size-limited either way.\n\
+         --verify-every N (serve mode): run the engine's divergence sentinel every N\n\
+         super-steps — each check re-derives the frontier serially and, on mismatch,\n\
+         repairs in place and pins the run to the reference variant; default 0 (off).\n\
          \n\
          Without flags, serves line-delimited JSON requests on stdin:\n\
            {{\"cmd\":\"load\",\"name\":\"kron\",\"gen\":{{\"kind\":\"rmat\",\"scale\":10}}}}\n\
@@ -49,6 +55,8 @@ struct Args {
     trace: Option<String>,
     cache: Option<String>,
     retries: u32,
+    strict_load: bool,
+    verify_every: u32,
 }
 
 fn parse_args() -> Args {
@@ -60,6 +68,8 @@ fn parse_args() -> Args {
         trace: None,
         cache: None,
         retries: 2,
+        strict_load: false,
+        verify_every: 0,
     };
     fn num(it: &mut impl Iterator<Item = String>, name: &str) -> u64 {
         it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
@@ -81,6 +91,8 @@ fn parse_args() -> Args {
             "--workers" => args.workers = num(&mut it, "--workers") as usize,
             "--seed" => args.seed = num(&mut it, "--seed"),
             "--retries" => args.retries = num(&mut it, "--retries") as u32,
+            "--strict-load" => args.strict_load = true,
+            "--verify-every" => args.verify_every = num(&mut it, "--verify-every") as u32,
             "--trace" => args.trace = Some(file(&mut it, "--trace")),
             "--cache" => args.cache = Some(file(&mut it, "--cache")),
             "--help" | "-h" => usage(),
@@ -154,23 +166,37 @@ fn handle(
     scheduler: &Scheduler,
     obs: &Arc<RuntimeObs>,
     retries: u32,
+    strict_load: bool,
 ) -> Result<Option<String>, String> {
     match req.cmd.as_str() {
         "load" => {
             let name = req.name.ok_or("load needs `name`")?;
-            let graph = match (&req.path, &req.gen) {
-                (Some(path), None) => gswitch_graph::io::load_path(path)
-                    .map_err(|e| format!("loading `{path}`: {e}"))?,
-                (None, Some(spec)) => spec.build()?,
+            // Every load goes through the hardened path: size-limited,
+            // overflow-checked parsing, then structural validation at
+            // registration. --strict-load additionally turns any needed
+            // repair (self loops, parallel edges) into an error.
+            let (entry, repaired) = match (&req.path, &req.gen) {
+                (Some(path), None) => {
+                    let opts = if strict_load {
+                        gswitch_graph::io::LoadOptions::strict()
+                    } else {
+                        gswitch_graph::io::LoadOptions::default()
+                    };
+                    let (entry, report) = registry
+                        .load_path_validated(&name, path, &opts)
+                        .map_err(|e| format!("loading `{path}`: {e}"))?;
+                    (entry, report.self_loops_dropped + report.parallel_edges_deduped)
+                }
+                (None, Some(spec)) => (registry.insert_validated(&name, spec.build()?)?, 0),
                 _ => return Err("load needs exactly one of `path` or `gen`".into()),
             };
-            let entry = registry.insert(&name, graph);
             Ok(Some(jline(serde_json::json!({
                 "ok": "loaded",
                 "name": name,
                 "vertices": entry.graph().num_vertices(),
                 "edges": entry.graph().num_edges(),
                 "fingerprint": entry.fingerprint().to_hex(),
+                "repaired_edges": repaired,
             }))))
         }
         "query" => {
@@ -206,6 +232,19 @@ fn handle(
             let metrics: serde_json::Value =
                 serde_json::from_str(&obs.metrics.snapshot().to_json())
                     .map_err(|e| format!("metrics snapshot: {e}"))?;
+            let h = gswitch_obs::hardening::snapshot();
+            // Process-lifetime hardening counters: ingestion-side
+            // rejections/repairs plus model-fallback and sentinel
+            // interventions in the decision layer.
+            let hardening = serde_json::json!({
+                "load_rejected": gswitch_graph::validate::load_rejected(),
+                "edges_repaired": gswitch_graph::validate::edges_repaired(),
+                "graphs_rejected": gswitch_graph::validate::graphs_rejected(),
+                "model_load_failed": h.model_load_failed,
+                "model_fallback": h.model_fallback,
+                "ood_feature_clamped": h.ood_feature_clamped,
+                "sentinel_mismatch": h.sentinel_mismatch,
+            });
             Ok(Some(jline(serde_json::json!({
                 "ok": "stats",
                 "graphs": registry.summaries(),
@@ -215,6 +254,7 @@ fn handle(
                 "metrics": metrics,
                 "trace_enabled": obs.tracing(),
                 "trace_events": obs.trace.len(),
+                "hardening": hardening,
             }))))
         }
         "trace" => {
@@ -280,7 +320,7 @@ fn serve(args: &Args) -> i32 {
     let scheduler = Scheduler::with_obs(
         Arc::clone(&registry),
         Arc::clone(&cache),
-        SchedulerConfig::default(),
+        SchedulerConfig { verify_every: args.verify_every, ..SchedulerConfig::default() },
         Arc::clone(&obs),
     );
 
@@ -295,7 +335,15 @@ fn serve(args: &Args) -> i32 {
             continue;
         }
         let response = match serde_json::from_str::<Request>(&line) {
-            Ok(req) => match handle(req, &registry, &cache, &scheduler, &obs, args.retries) {
+            Ok(req) => match handle(
+                req,
+                &registry,
+                &cache,
+                &scheduler,
+                &obs,
+                args.retries,
+                args.strict_load,
+            ) {
                 Ok(Some(resp)) => resp,
                 Ok(None) => break, // quit
                 Err(msg) => err_line(msg),

@@ -58,7 +58,12 @@ fn iter_stats(report: &RunReport) -> Vec<IterStat> {
 /// covers both the forward and backward phases). `probe` is polled at
 /// every super-step so a deadline or cancellation stops the run
 /// cooperatively; the stop reason comes back in
-/// [`Execution::stopped`].
+/// [`Execution::stopped`]. `verify_every` forwards the divergence
+/// sentinel's cadence to the engine (0 = off): every N standalone
+/// super-steps the chosen variant's frontier is cross-checked against a
+/// serial reference derivation, and on mismatch the run repairs and
+/// pins to the reference variant.
+#[allow(clippy::too_many_arguments)]
 pub fn execute(
     entry: &GraphEntry,
     query: &Query,
@@ -67,6 +72,7 @@ pub fn execute(
     device: &DeviceSpec,
     recorder: RecorderHandle,
     probe: ProbeHandle,
+    verify_every: u32,
 ) -> Result<Execution, String> {
     crate::faults::fire(crate::faults::site::EXECUTOR_START);
     let g = entry.graph();
@@ -80,7 +86,8 @@ pub fn execute(
     let key = CacheKey::new(entry.fingerprint(), query.algo(), &feature_bucket(g.stats()));
     let seed = cache.lookup(&key);
     let cache_hit = seed.is_some();
-    let opts = EngineOptions { recorder, probe, ..EngineOptions::on(device.clone()) };
+    let opts = EngineOptions { recorder, probe, ..EngineOptions::on(device.clone()) }
+        .verify_every(verify_every);
 
     // Run the algorithm; each arm produces (reports, metrics, payload).
     let (reports, metrics, payload) = match *query {
@@ -213,6 +220,7 @@ mod tests {
             &dev,
             RecorderHandle::none(),
             ProbeHandle::none(),
+            0,
         )
         .unwrap();
         assert!(!r.cache_hit);
@@ -230,6 +238,7 @@ mod tests {
             &dev,
             RecorderHandle::none(),
             ProbeHandle::none(),
+            0,
         )
         .unwrap();
         assert!(r2.cache_hit);
@@ -249,6 +258,7 @@ mod tests {
             &dev,
             RecorderHandle::none(),
             ProbeHandle::none(),
+            0,
         );
         assert!(err.is_err());
         // The failed lookup still counted as a... nothing: we error out
@@ -272,6 +282,7 @@ mod tests {
             &dev,
             RecorderHandle::none(),
             ProbeHandle::none(),
+            0,
         )
         .unwrap();
         // Components: {0,1,2}, {3}, {4,5}.
@@ -292,10 +303,31 @@ mod tests {
             &dev,
             RecorderHandle::none(),
             ProbeHandle::none(),
+            0,
         )
         .unwrap();
         let Payload::Distances { values } = &r.payload else { panic!("wrong payload") };
         assert_eq!(values, &reference::sssp(&e.weighted(), 0));
+    }
+
+    #[test]
+    fn verify_every_passes_healthy_runs_through_unchanged() {
+        let (reg, cache, dev) = setup();
+        let e = reg.get("kron").unwrap();
+        let r = execute(
+            &e,
+            &Query::Bfs { src: 0 },
+            &cache,
+            &AutoPolicy,
+            &dev,
+            RecorderHandle::none(),
+            ProbeHandle::none(),
+            1,
+        )
+        .unwrap();
+        assert!(r.converged);
+        let Payload::Levels { values } = &r.payload else { panic!("wrong payload") };
+        assert_eq!(values, &reference::bfs(e.graph(), 0), "sentinel must not perturb results");
     }
 
     #[test]
@@ -315,6 +347,7 @@ mod tests {
             &dev,
             RecorderHandle::none(),
             ProbeHandle::new(token),
+            0,
         )
         .unwrap();
         assert_eq!(r.stopped, Some(StopReason::Cancelled));
@@ -334,7 +367,8 @@ mod tests {
             &AutoPolicy,
             &dev,
             RecorderHandle::none(),
-            ProbeHandle::none()
+            ProbeHandle::none(),
+            0
         )
         .is_err());
         assert!(execute(
@@ -344,7 +378,8 @@ mod tests {
             &AutoPolicy,
             &dev,
             RecorderHandle::none(),
-            ProbeHandle::none()
+            ProbeHandle::none(),
+            0
         )
         .is_err());
     }

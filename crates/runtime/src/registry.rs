@@ -6,7 +6,7 @@
 //! all queries against it share the same `Arc` — a thousand concurrent
 //! BFS jobs on the same social graph cost one graph's worth of memory.
 
-use gswitch_graph::{gen, io, Fingerprint, Graph};
+use gswitch_graph::{gen, io, validate, CsrValidator, Fingerprint, Graph};
 use gswitch_obs::sync::RwLock;
 use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock};
@@ -80,6 +80,25 @@ impl GraphRegistry {
         entry
     }
 
+    /// Register `graph` under `name` after structural validation —
+    /// the untrusted-input front door. A graph whose CSR invariants or
+    /// weight alignment fail is refused with the joined issue list, is
+    /// never inserted, and is counted in
+    /// [`gswitch_graph::validate::graphs_rejected`].
+    pub fn insert_validated(
+        &self,
+        name: impl Into<String>,
+        graph: Graph,
+    ) -> Result<Arc<GraphEntry>, String> {
+        let name = name.into();
+        let report = CsrValidator::new().validate_graph(&graph);
+        if !report.is_valid() {
+            validate::note_graph_rejected();
+            return Err(format!("graph `{name}` rejected: {report}"));
+        }
+        Ok(self.insert(name, graph))
+    }
+
     /// Load a graph file (MatrixMarket, edge list, or DIMACS — whatever
     /// [`gswitch_graph::io::load_path`] accepts) and register it.
     pub fn load_path(
@@ -89,6 +108,21 @@ impl GraphRegistry {
     ) -> Result<Arc<GraphEntry>, io::LoadError> {
         let graph = io::load_path(path)?;
         Ok(self.insert(name, graph))
+    }
+
+    /// [`GraphRegistry::load_path`] with explicit [`io::LoadOptions`]
+    /// (size limits, strict-vs-repair mode) and post-load structural
+    /// validation. Returns the entry plus the loader's repair report so
+    /// callers can surface what repair-mode loading had to fix.
+    pub fn load_path_validated(
+        &self,
+        name: impl Into<String>,
+        path: &str,
+        opts: &io::LoadOptions,
+    ) -> Result<(Arc<GraphEntry>, gswitch_graph::BuildReport), String> {
+        let loaded = io::load_path_opts(path, opts).map_err(|e| e.to_string())?;
+        let entry = self.insert_validated(name, loaded.graph)?;
+        Ok((entry, loaded.report))
     }
 
     /// Look up a registered graph.
@@ -184,6 +218,30 @@ mod tests {
         let g = gen::with_random_weights(&gen::grid2d(5, 5, 0.0, 2), 16, 9);
         let e = reg.insert("w", g);
         assert!(Arc::ptr_eq(&e.weighted(), e.graph()));
+    }
+
+    #[test]
+    fn insert_validated_accepts_sound_graphs() {
+        let reg = GraphRegistry::new();
+        let e = reg.insert_validated("ok", gen::grid2d(4, 4, 0.0, 1)).unwrap();
+        assert_eq!(e.name(), "ok");
+        assert!(reg.get("ok").is_some());
+    }
+
+    #[test]
+    fn insert_validated_rejects_and_counts_bad_graphs() {
+        use gswitch_graph::Csr;
+        // Sound topology, corrupt weights: zero weight + misaligned
+        // length — exactly what a hostile pre-built graph could smuggle
+        // past the builder.
+        let csr = Csr::new(vec![0, 1, 2], vec![1, 0]);
+        let bad = Graph::from_parts(csr, None, Some(vec![0]), None, "bad");
+        let reg = GraphRegistry::new();
+        let before = validate::graphs_rejected();
+        let err = reg.insert_validated("bad", bad).map(|_| ()).unwrap_err();
+        assert!(err.contains("rejected"), "{err}");
+        assert!(reg.is_empty(), "rejected graph must not be registered");
+        assert!(validate::graphs_rejected() > before);
     }
 
     #[test]

@@ -47,6 +47,11 @@ pub struct SchedulerConfig {
     pub default_timeout_ms: u64,
     /// The simulated device every job runs on.
     pub device: DeviceSpec,
+    /// Divergence-sentinel cadence forwarded to every engine run:
+    /// cross-check the tuned variant against the serial reference
+    /// derivation every N standalone super-steps (0 = off, the
+    /// default). See [`gswitch_core::EngineOptions::verify_every`].
+    pub verify_every: u32,
 }
 
 impl Default for SchedulerConfig {
@@ -56,6 +61,7 @@ impl Default for SchedulerConfig {
             queue_capacity: 256,
             default_timeout_ms: 60_000,
             device: DeviceSpec::default(),
+            verify_every: 0,
         }
     }
 }
@@ -135,6 +141,7 @@ struct Shared {
     obs: Arc<RuntimeObs>,
     m: SchedulerMetrics,
     device: DeviceSpec,
+    verify_every: u32,
     queue: Lock<VecDeque<Job>>,
     work_ready: Condvar,
     shutdown: AtomicBool,
@@ -246,6 +253,7 @@ impl Scheduler {
             m: SchedulerMetrics::bind(&obs.metrics),
             obs,
             device: config.device.clone(),
+            verify_every: config.verify_every,
             queue: Lock::new(VecDeque::new()),
             work_ready: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -474,6 +482,7 @@ fn worker_loop(shared: &Shared) {
                 &shared.device,
                 recorder,
                 ProbeHandle::new(Arc::new(JobProbe { token: Arc::clone(&token) })),
+                shared.verify_every,
             )
         }));
         shared.running.lock().remove(&job.id);
@@ -817,6 +826,31 @@ mod tests {
 
         // The scheduler still works afterwards.
         assert_eq!(s.submit(bfs_spec(1)).unwrap().wait().status, JobStatus::Ok);
+        s.shutdown();
+    }
+
+    /// A scheduler with the divergence sentinel on still produces
+    /// reference-exact answers on healthy runs (the sentinel only
+    /// intervenes on divergence, which a correct engine never shows).
+    #[test]
+    fn sentinel_enabled_scheduler_matches_references() {
+        use crate::query::Payload;
+        use gswitch_algos::reference;
+
+        let registry = Arc::new(GraphRegistry::new());
+        registry.insert("kron", gen::kronecker(8, 8, 3));
+        let cache = Arc::new(ConfigCache::new());
+        let config = SchedulerConfig { workers: 2, verify_every: 2, ..Default::default() };
+        let s = Scheduler::new(Arc::clone(&registry), cache, config);
+        let out = s.submit(bfs_spec(0)).unwrap().wait();
+        assert_eq!(out.status, JobStatus::Ok);
+        let entry = registry.get("kron").unwrap();
+        match out.payload.expect("payload") {
+            Payload::Levels { values } => {
+                assert_eq!(values, reference::bfs(entry.graph(), 0));
+            }
+            p => panic!("wrong payload: {p:?}"),
+        }
         s.shutdown();
     }
 
