@@ -19,6 +19,7 @@ use gswitch_kernels::atomics::AtomicArray;
 use std::sync::atomic::{AtomicU32, Ordering::Relaxed};
 
 /// Forward phase: levels and shortest-path counts.
+#[derive(Debug)]
 pub struct BcForward {
     level: AtomicArray<u32>,
     sigma: AtomicArray<f64>,
@@ -91,6 +92,7 @@ impl GraphApp for BcForward {
 }
 
 /// Backward phase: dependency accumulation over frozen levels/σ.
+#[derive(Debug)]
 pub struct BcBackward {
     /// Levels from the forward phase (read-only here).
     level: Vec<u32>,
@@ -179,6 +181,7 @@ impl GraphApp for BcBackward {
 }
 
 /// Betweenness-centrality entry points.
+#[derive(Debug)]
 pub struct Bc;
 
 impl Bc {
@@ -204,6 +207,7 @@ impl Bc {
 }
 
 /// Result of a BC run.
+#[derive(Debug)]
 pub struct BcResult {
     /// Per-vertex dependency scores from this source (the addend a full
     /// BC would accumulate per source).

@@ -7,6 +7,7 @@ use std::sync::atomic::{AtomicU32, Ordering::Relaxed};
 
 /// The BFS application: per-vertex levels, level-synchronous expansion.
 /// Mirrors the paper's Fig. 11 four functions exactly.
+#[derive(Debug)]
 pub struct Bfs {
     level: AtomicArray<u32>,
     current: AtomicU32,
@@ -70,6 +71,7 @@ impl GraphApp for Bfs {
 }
 
 /// Result of a BFS run.
+#[derive(Debug)]
 pub struct BfsResult {
     /// Per-vertex levels (`u32::MAX` = unreachable).
     pub levels: Vec<u32>,

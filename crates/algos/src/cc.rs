@@ -13,6 +13,7 @@ use gswitch_kernels::atomics::AtomicArray;
 use std::sync::atomic::{AtomicU32, Ordering::Relaxed};
 
 /// The CC application.
+#[derive(Debug)]
 pub struct Cc {
     label: AtomicArray<u32>,
     /// Epoch tag: a vertex is active in iteration `i` iff its label
@@ -98,6 +99,7 @@ impl GraphApp for Cc {
 }
 
 /// Result of a CC run.
+#[derive(Debug)]
 pub struct CcResult {
     /// Per-vertex component labels (minimum vertex id in the component).
     pub labels: Vec<u32>,

@@ -19,6 +19,7 @@ use gswitch_kernels::atomics::AtomicArray;
 const PEELED: u32 = u32::MAX;
 
 /// The k-core peeling application.
+#[derive(Debug)]
 pub struct KCore {
     /// Residual degree, or `PEELED`.
     degree: AtomicArray<u32>,
@@ -92,6 +93,7 @@ impl GraphApp for KCore {
 }
 
 /// Result of a k-core run.
+#[derive(Debug)]
 pub struct KCoreResult {
     /// Per-vertex membership in the k-core.
     pub in_core: Vec<bool>,

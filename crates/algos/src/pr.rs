@@ -14,6 +14,7 @@ use gswitch_graph::{Graph, VertexId, Weight};
 use gswitch_kernels::atomics::AtomicArray;
 
 /// The delta-PageRank application.
+#[derive(Debug)]
 pub struct PageRank {
     rank: AtomicArray<f64>,
     residual: AtomicArray<f64>,
@@ -104,6 +105,7 @@ impl GraphApp for PageRank {
 }
 
 /// Result of a PageRank run.
+#[derive(Debug)]
 pub struct PrResult {
     /// Per-vertex PageRank scores.
     pub ranks: Vec<f64>,

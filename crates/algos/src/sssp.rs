@@ -21,6 +21,7 @@ use gswitch_kernels::atomics::{AtomicArray, AtomicBitSet};
 use std::sync::atomic::{AtomicU32, Ordering::Relaxed};
 
 /// Shared SSSP state.
+#[derive(Debug)]
 struct SsspState {
     dist: AtomicArray<u32>,
     /// Vertices whose distance improved and have not been expanded since.
@@ -137,6 +138,7 @@ macro_rules! delegate_state {
 }
 
 /// The paper's SSSP: dynamic stepping (P4-driven window).
+#[derive(Debug)]
 pub struct Sssp {
     state: SsspState,
 }
@@ -182,6 +184,7 @@ impl GraphApp for Sssp {
 }
 
 /// Unordered Bellman-Ford: every pending vertex relaxes every iteration.
+#[derive(Debug)]
 pub struct BellmanFord {
     state: SsspState,
 }
@@ -204,6 +207,7 @@ impl GraphApp for BellmanFord {
 
 /// Classic Δ-stepping \[Meyer & Sanders 42\]: a fixed window advanced only
 /// when it drains.
+#[derive(Debug)]
 pub struct DeltaStepping {
     state: SsspState,
 }
@@ -235,6 +239,7 @@ impl GraphApp for DeltaStepping {
 }
 
 /// Result of an SSSP run.
+#[derive(Debug)]
 pub struct SsspResult {
     /// Tentative distances at convergence (`u32::MAX` = unreachable).
     pub distances: Vec<u32>,

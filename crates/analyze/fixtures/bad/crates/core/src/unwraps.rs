@@ -1,0 +1,17 @@
+//! Fixture: `hot-path-unwrap` positives. Expected findings: 2
+//! (the unwrap and the expect in `hot`); the test module must not add
+//! any.
+
+pub fn hot(x: Option<u32>, y: Result<u32, String>) -> u32 {
+    let a = x.unwrap();
+    let b = y.expect("hot expect");
+    a + b
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(super::hot(Some(1), Ok(2)), Some(3).unwrap());
+    }
+}

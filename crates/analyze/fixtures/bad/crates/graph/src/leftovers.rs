@@ -1,0 +1,11 @@
+//! Fixture: `todo-marker` (2 expected: the todo! and the dbg!).
+//! The "todo!()" in this comment and the string below must not count.
+
+pub fn unfinished(x: u64) -> u64 {
+    let s = "todo!() in a string is fine";
+    if x > s.len() as u64 {
+        dbg!(x);
+        todo!()
+    }
+    x
+}

@@ -1,0 +1,16 @@
+//! Fixture: `uninstrumented-atomic` (1 expected, in `mark`).
+//! `mark_counted` performs the same operation but charges the
+//! accumulator, so it must not be flagged.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+pub fn mark(word: &AtomicU64, bit: u64) -> bool {
+    let prev = word.fetch_or(1 << bit, Relaxed);
+    prev & (1 << bit) == 0
+}
+
+pub fn mark_counted(word: &AtomicU64, bit: u64, atomics: &mut u64) -> bool {
+    *atomics += 1;
+    let prev = word.fetch_or(1 << bit, Relaxed);
+    prev & (1 << bit) == 0
+}

@@ -1,0 +1,12 @@
+//! Fixture: `unbounded-channel` (1 expected) and
+//! `unbounded-collection` (1 expected; no identifier in this file
+//! mentions a bound).
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+
+pub fn plumbing() -> (mpsc::Sender<u64>, VecDeque<u64>) {
+    let (tx, _rx) = mpsc::channel();
+    let q = VecDeque::new();
+    (tx, q)
+}

@@ -1,0 +1,29 @@
+//! Fixture: `lock-order-cycle` (1 expected). `enqueue` takes
+//! queue → index; `reindex` takes index → queue.
+
+use gswitch_obs::sync::Lock;
+use std::collections::{BTreeMap, VecDeque};
+
+pub struct State {
+    queue: Lock<VecDeque<u64>>,
+    index: Lock<BTreeMap<u64, usize>>,
+    pub queue_capacity: usize,
+}
+
+impl State {
+    pub fn enqueue(&self, id: u64) {
+        let mut q = self.queue.lock();
+        let mut ix = self.index.lock();
+        ix.insert(id, q.len());
+        q.push_back(id);
+    }
+
+    pub fn reindex(&self) {
+        let mut ix = self.index.lock();
+        let q = self.queue.lock();
+        ix.clear();
+        for (pos, id) in q.iter().enumerate() {
+            ix.insert(*id, pos);
+        }
+    }
+}

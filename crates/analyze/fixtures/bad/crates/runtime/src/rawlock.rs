@@ -1,0 +1,10 @@
+//! Fixture: `raw-std-lock` positives. Expected findings: 2 (the
+//! use-tree Mutex and the fully qualified RwLock). The doc mention of
+//! std::sync::Mutex in this comment must not count.
+
+use std::sync::{Arc, Mutex};
+
+pub struct Holder {
+    pub shared: Arc<Mutex<u64>>,
+    pub table: std::sync::RwLock<Vec<u64>>,
+}

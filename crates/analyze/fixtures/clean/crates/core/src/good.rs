@@ -1,0 +1,13 @@
+//! Clean fixture: degrading error handling, no panics on the hot path.
+
+pub fn hot(x: Option<u32>, y: Result<u32, String>) -> u32 {
+    x.unwrap_or(0) + y.unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        assert_eq!(super::hot(Some(1), Ok(2)), Some(3).unwrap());
+    }
+}

@@ -1,0 +1,9 @@
+//! Clean fixture: every atomic charges the cost model.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+pub fn mark(word: &AtomicU64, bit: u64, atomics: &mut u64) -> bool {
+    *atomics += 1;
+    let prev = word.fetch_or(1 << bit, Relaxed);
+    prev & (1 << bit) == 0
+}

@@ -1,0 +1,35 @@
+//! Clean fixture: sanctioned locks, consistent acquisition order
+//! (queue before index everywhere), bounded queue.
+
+use gswitch_obs::sync::Lock;
+use std::collections::{BTreeMap, VecDeque};
+
+pub struct State {
+    queue: Lock<VecDeque<u64>>,
+    index: Lock<BTreeMap<u64, usize>>,
+}
+
+impl State {
+    pub fn with_capacity(queue_capacity: usize) -> Self {
+        State {
+            queue: Lock::new(VecDeque::with_capacity(queue_capacity)),
+            index: Lock::new(BTreeMap::new()),
+        }
+    }
+
+    pub fn enqueue(&self, id: u64) {
+        let mut q = self.queue.lock();
+        let mut ix = self.index.lock();
+        ix.insert(id, q.len());
+        q.push_back(id);
+    }
+
+    pub fn reindex(&self) {
+        let q = self.queue.lock();
+        let mut ix = self.index.lock();
+        ix.clear();
+        for (pos, id) in q.iter().enumerate() {
+            ix.insert(*id, pos);
+        }
+    }
+}

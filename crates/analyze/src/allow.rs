@@ -1,0 +1,265 @@
+//! The suppression file: `analyze.allow.toml`.
+//!
+//! Every suppression is a *justified* exception, checked in and
+//! reviewed like code. The parser reads a minimal TOML subset — this
+//! crate takes no external dependencies — of exactly the shape the
+//! file uses:
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "hot-path-unwrap"
+//! path = "crates/runtime/src/scheduler.rs"
+//! contains = "spawn worker"   # optional: substring of the snippet
+//! reason = "why this is sound"
+//! ```
+//!
+//! `path` matches by suffix against the finding's workspace-relative
+//! path, so entries stay valid if the workspace is checked out under a
+//! different root. `reason` is mandatory: an unexplained suppression
+//! is itself reported. Entries that matched nothing are reported as
+//! `unused-suppression` warnings so dead exceptions get cleaned up.
+
+use crate::findings::{Finding, Severity};
+
+/// One parsed `[[allow]]` entry.
+#[derive(Clone, Debug, Default)]
+pub struct AllowEntry {
+    /// Rule id the entry silences.
+    pub rule: String,
+    /// Path suffix the entry applies to.
+    pub path: String,
+    /// Optional substring the finding's snippet must contain.
+    pub contains: Option<String>,
+    /// Mandatory justification.
+    pub reason: String,
+    /// Line of the entry header in the allow file (for diagnostics).
+    pub line: u32,
+}
+
+impl AllowEntry {
+    /// Does this entry silence `f`?
+    pub fn matches(&self, f: &Finding) -> bool {
+        if self.rule != f.rule {
+            return false;
+        }
+        if !f.file.ends_with(&self.path) {
+            return false;
+        }
+        match &self.contains {
+            Some(s) => f.snippet.contains(s) || f.message.contains(s),
+            None => true,
+        }
+    }
+}
+
+/// Parse the allow file text. Returns the entries plus findings about
+/// the file itself (malformed entries, missing reasons).
+pub fn parse(text: &str, file_name: &str) -> (Vec<AllowEntry>, Vec<Finding>) {
+    let mut entries = Vec::new();
+    let mut problems = Vec::new();
+    let mut current: Option<AllowEntry> = None;
+
+    let mut flush = |cur: &mut Option<AllowEntry>, problems: &mut Vec<Finding>| {
+        if let Some(e) = cur.take() {
+            if e.rule.is_empty() || e.path.is_empty() {
+                problems.push(Finding::new(
+                    "malformed-suppression",
+                    Severity::Warn,
+                    file_name,
+                    e.line,
+                    "",
+                    "suppression entry needs both `rule` and `path`",
+                ));
+            } else if e.reason.trim().is_empty() {
+                problems.push(Finding::new(
+                    "unjustified-suppression",
+                    Severity::Deny,
+                    file_name,
+                    e.line,
+                    format!("rule = \"{}\", path = \"{}\"", e.rule, e.path),
+                    "every suppression must carry a non-empty `reason`",
+                ));
+            } else {
+                entries.push(e);
+            }
+        }
+    };
+
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = (i + 1) as u32;
+        // Strip comments outside quotes (values never contain `#`
+        // inside quotes in this subset — keep it simple but safe by
+        // only stripping when the `#` is not inside a quoted value).
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[allow]]" {
+            flush(&mut current, &mut problems);
+            current = Some(AllowEntry { line: line_no, ..Default::default() });
+            continue;
+        }
+        if let Some((key, value)) = parse_kv(&line) {
+            match current.as_mut() {
+                None => problems.push(Finding::new(
+                    "malformed-suppression",
+                    Severity::Warn,
+                    file_name,
+                    line_no,
+                    line.clone(),
+                    "key outside any [[allow]] entry",
+                )),
+                Some(e) => match key {
+                    "rule" => e.rule = value,
+                    "path" => e.path = value,
+                    "contains" => e.contains = Some(value),
+                    "reason" => e.reason = value,
+                    other => problems.push(Finding::new(
+                        "malformed-suppression",
+                        Severity::Warn,
+                        file_name,
+                        line_no,
+                        line.clone(),
+                        format!("unknown key `{other}` (expected rule/path/contains/reason)"),
+                    )),
+                },
+            }
+        } else {
+            problems.push(Finding::new(
+                "malformed-suppression",
+                Severity::Warn,
+                file_name,
+                line_no,
+                line.clone(),
+                "unparseable line (expected `key = \"value\"` or `[[allow]]`)",
+            ));
+        }
+    }
+    flush(&mut current, &mut problems);
+    (entries, problems)
+}
+
+/// Apply `entries` to `findings`: matching findings are marked
+/// suppressed; entries that matched nothing become
+/// `unused-suppression` warnings (appended to the returned list).
+pub fn apply(entries: &[AllowEntry], findings: &mut Vec<Finding>, allow_file: &str) {
+    let mut used = vec![false; entries.len()];
+    for f in findings.iter_mut() {
+        for (i, e) in entries.iter().enumerate() {
+            if e.matches(f) {
+                f.suppressed = true;
+                used[i] = true;
+            }
+        }
+    }
+    for (e, used) in entries.iter().zip(used) {
+        if !used {
+            findings.push(Finding::new(
+                "unused-suppression",
+                Severity::Warn,
+                allow_file,
+                e.line,
+                format!("rule = \"{}\", path = \"{}\"", e.rule, e.path),
+                "suppression matched no finding — delete it or fix its path",
+            ));
+        }
+    }
+}
+
+/// Remove a trailing `# comment`, respecting double quotes.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+/// Parse `key = "value"`.
+fn parse_kv(line: &str) -> Option<(&str, String)> {
+    let (key, rest) = line.split_once('=')?;
+    let rest = rest.trim();
+    if rest.len() < 2 || !rest.starts_with('"') || !rest.ends_with('"') {
+        return None;
+    }
+    let value = rest[1..rest.len() - 1].replace("\\\"", "\"");
+    Some((key.trim(), value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# repo suppressions
+[[allow]]
+rule = "hot-path-unwrap"
+path = "crates/runtime/src/scheduler.rs"
+contains = "spawn worker"  # trailing comment
+reason = "startup-time failure means the process cannot serve"
+
+[[allow]]
+rule = "uninstrumented-atomic"
+path = "crates/kernels/src/atomics.rs"
+reason = "primitive layer; counting happens in calling kernels"
+"#;
+
+    #[test]
+    fn parses_entries_and_matches() {
+        let (entries, problems) = parse(SAMPLE, "analyze.allow.toml");
+        assert!(problems.is_empty(), "{problems:?}");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].contains.as_deref(), Some("spawn worker"));
+
+        let f = Finding::new(
+            "hot-path-unwrap",
+            Severity::Deny,
+            "crates/runtime/src/scheduler.rs",
+            269,
+            ".expect(\"spawn worker\")",
+            "m",
+        );
+        assert!(entries[0].matches(&f));
+        assert!(!entries[1].matches(&f));
+    }
+
+    #[test]
+    fn missing_reason_is_deny() {
+        let text = "[[allow]]\nrule = \"x\"\npath = \"y\"\n";
+        let (entries, problems) = parse(text, "a.toml");
+        assert!(entries.is_empty());
+        assert_eq!(problems.len(), 1);
+        assert_eq!(problems[0].rule, "unjustified-suppression");
+        assert_eq!(problems[0].severity, Severity::Deny);
+    }
+
+    #[test]
+    fn unused_entries_surface() {
+        let (entries, _) = parse(SAMPLE, "analyze.allow.toml");
+        let mut findings = vec![Finding::new(
+            "hot-path-unwrap",
+            Severity::Deny,
+            "crates/runtime/src/scheduler.rs",
+            269,
+            ".expect(\"spawn worker\")",
+            "m",
+        )];
+        apply(&entries, &mut findings, "analyze.allow.toml");
+        assert!(findings[0].suppressed);
+        let unused: Vec<_> = findings.iter().filter(|f| f.rule == "unused-suppression").collect();
+        assert_eq!(unused.len(), 1, "the atomics entry matched nothing here");
+    }
+
+    #[test]
+    fn garbage_lines_are_reported_not_fatal() {
+        let (entries, problems) = parse("[[allow]]\nrule\n= bad\n", "a.toml");
+        assert!(entries.is_empty());
+        assert!(problems.iter().any(|p| p.rule == "malformed-suppression"));
+    }
+}

@@ -1,0 +1,150 @@
+//! Structured findings: what every pass produces and the CI gate
+//! consumes.
+
+use serde::Serialize;
+
+/// How bad a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum Severity {
+    /// Advisory: reported, fails the build only under `--deny-warnings`.
+    Warn,
+    /// Violation of a repo invariant: always fails the build.
+    Deny,
+}
+
+/// One finding. Serializes to the JSON shape the CI annotation step
+/// reads (`rule`, `severity`, `file`, `line`, `snippet`, `message`).
+#[derive(Clone, Debug, Serialize)]
+pub struct Finding {
+    /// Stable rule identifier (e.g. `hot-path-unwrap`).
+    pub rule: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// Path relative to the workspace root (or the model file path for
+    /// pass 3).
+    pub file: String,
+    /// 1-based line; 0 when the finding is file-scoped (model files).
+    pub line: u32,
+    /// The offending source fragment, trimmed.
+    pub snippet: String,
+    /// Human explanation, including what to do about it.
+    pub message: String,
+    /// True when an `analyze.allow.toml` entry suppressed this finding
+    /// (suppressed findings never affect the exit code).
+    pub suppressed: bool,
+}
+
+impl Finding {
+    /// Build an unsuppressed finding.
+    pub fn new(
+        rule: &'static str,
+        severity: Severity,
+        file: impl Into<String>,
+        line: u32,
+        snippet: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Finding {
+            rule,
+            severity,
+            file: file.into(),
+            line,
+            snippet: snippet.into(),
+            message: message.into(),
+            suppressed: false,
+        }
+    }
+
+    /// One text line per finding: `severity rule file:line — message`.
+    pub fn render(&self) -> String {
+        let sev = match self.severity {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+        };
+        let sup = if self.suppressed { " [suppressed]" } else { "" };
+        if self.snippet.is_empty() {
+            format!(
+                "{sev:4} {:24} {}:{} — {}{}",
+                self.rule, self.file, self.line, self.message, sup
+            )
+        } else {
+            format!(
+                "{sev:4} {:24} {}:{} — {}{}\n     | {}",
+                self.rule, self.file, self.line, self.message, sup, self.snippet
+            )
+        }
+    }
+}
+
+/// The report the binary renders: findings plus counts.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct Report {
+    /// All findings, suppressed ones included.
+    pub findings: Vec<Finding>,
+    /// Unsuppressed deny findings.
+    pub deny: usize,
+    /// Unsuppressed warn findings.
+    pub warn: usize,
+    /// Findings an allowlist entry silenced.
+    pub suppressed: usize,
+    /// Files scanned by the source passes.
+    pub files_scanned: usize,
+    /// Model files checked by pass 3.
+    pub models_checked: usize,
+}
+
+impl Report {
+    /// Fold `findings` in and update the counters.
+    pub fn absorb(&mut self, findings: Vec<Finding>) {
+        for f in findings {
+            if f.suppressed {
+                self.suppressed += 1;
+            } else {
+                match f.severity {
+                    Severity::Deny => self.deny += 1,
+                    Severity::Warn => self.warn += 1,
+                }
+            }
+            self.findings.push(f);
+        }
+    }
+
+    /// Exit code under the given strictness: nonzero on any
+    /// unsuppressed deny, or any unsuppressed warn when
+    /// `deny_warnings`.
+    pub fn exit_code(&self, deny_warnings: bool) -> i32 {
+        if self.deny > 0 || (deny_warnings && self.warn > 0) {
+            1
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_counts_and_exit_codes() {
+        let mut r = Report::default();
+        let mut suppressed = Finding::new("raw-std-lock", Severity::Deny, "a.rs", 1, "", "m");
+        suppressed.suppressed = true;
+        r.absorb(vec![Finding::new("todo-marker", Severity::Warn, "a.rs", 2, "", "m"), suppressed]);
+        assert_eq!((r.deny, r.warn, r.suppressed), (0, 1, 1));
+        assert_eq!(r.exit_code(false), 0);
+        assert_eq!(r.exit_code(true), 1);
+
+        r.absorb(vec![Finding::new("hot-path-unwrap", Severity::Deny, "b.rs", 3, "x", "m")]);
+        assert_eq!(r.exit_code(false), 1);
+    }
+
+    #[test]
+    fn render_shapes() {
+        let f = Finding::new("todo-marker", Severity::Deny, "a.rs", 7, "todo!()", "left in");
+        let s = f.render();
+        assert!(s.contains("deny"));
+        assert!(s.contains("a.rs:7"));
+        assert!(s.contains("todo!()"));
+    }
+}

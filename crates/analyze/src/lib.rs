@@ -1,0 +1,149 @@
+//! `gswitch-analyze` — the repo's own static analyzer, run as a CI
+//! gate (DESIGN §4.9).
+//!
+//! Generic lints (`clippy`) cannot see repo invariants: that every
+//! lock must be a poison-recovering `gswitch_obs::sync` wrapper, that
+//! kernel atomics must be accounted in the SIMT cost model, that
+//! checked-in decision trees must be sound against the 21-feature
+//! Inspector contract. This crate encodes those invariants as three
+//! passes:
+//!
+//! 1. [`rules`] — token-level source lints over a hand-rolled lexer
+//!    ([`lexer`]): no syntax-tree dependency, comments and string
+//!    literals can never trigger a rule.
+//! 2. [`lockorder`] — a lock-acquisition graph across the runtime;
+//!    cycles are reported as potential deadlocks with witness paths.
+//! 3. [`model`] — soundness checks over `models/*.json`: dead
+//!    branches, illegal leaf classes, feature arity, thresholds vs
+//!    stamped training ranges.
+//!
+//! Findings are structured ([`findings::Finding`]); exceptions live in
+//! a checked-in, justified [`allow`] list. The binary exits nonzero on
+//! any unsuppressed deny finding (or warn, under `--deny-warnings`).
+
+pub mod allow;
+pub mod findings;
+pub mod lexer;
+pub mod lockorder;
+pub mod model;
+pub mod rules;
+pub mod source;
+
+use findings::Report;
+use source::SourceFile;
+use std::path::{Path, PathBuf};
+
+/// What to analyze.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Workspace root; source passes walk `root/src` and `root/crates`.
+    pub root: PathBuf,
+    /// Directory of model JSON files (`root/models` by default).
+    pub models: PathBuf,
+    /// The suppression file (`root/analyze.allow.toml` by default).
+    pub allow: PathBuf,
+}
+
+impl Config {
+    /// Conventional layout under one workspace root.
+    pub fn for_root(root: impl Into<PathBuf>) -> Self {
+        let root = root.into();
+        Config { models: root.join("models"), allow: root.join("analyze.allow.toml"), root }
+    }
+}
+
+/// Directory names the source walk never descends into. `fixtures`
+/// holds the analyzer's own deliberately-bad test inputs.
+const SKIP_DIRS: [&str; 5] = ["target", "vendor", "fixtures", ".git", "node_modules"];
+
+/// Collect every `.rs` file under `root/src` and `root/crates`,
+/// workspace-relative, sorted for deterministic reports.
+pub fn collect_sources(root: &Path) -> Vec<(String, PathBuf)> {
+    let mut out = Vec::new();
+    for top in ["src", "crates"] {
+        walk(&root.join(top), root, &mut out);
+    }
+    out.sort();
+    out
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<(String, PathBuf)>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_str()) {
+                walk(&path, root, out);
+            }
+        } else if name.ends_with(".rs") {
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+            out.push((rel, path));
+        }
+    }
+}
+
+/// Run all three passes plus the allowlist and produce the report.
+pub fn run(cfg: &Config) -> Report {
+    let mut report = Report::default();
+    let mut findings = Vec::new();
+
+    // Pass 1 + parse for pass 2.
+    let mut parsed: Vec<SourceFile> = Vec::new();
+    for (rel, path) in collect_sources(&cfg.root) {
+        let Ok(text) = std::fs::read_to_string(&path) else { continue };
+        let sf = SourceFile::parse(rel, &text);
+        findings.extend(rules::lint_file(&sf));
+        parsed.push(sf);
+    }
+    report.files_scanned = parsed.len();
+
+    // Pass 2.
+    findings.extend(lockorder::analyze(&parsed));
+
+    // Pass 3.
+    let mut model_files: Vec<PathBuf> = std::fs::read_dir(&cfg.models)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().map(|e| e == "json").unwrap_or(false))
+        .collect();
+    model_files.sort();
+    for path in model_files {
+        let Ok(text) = std::fs::read_to_string(&path) else { continue };
+        let rel =
+            path.strip_prefix(&cfg.root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+        findings.extend(model::check_model_text(&rel, &text));
+        report.models_checked += 1;
+    }
+
+    // Allowlist: absent file means no suppressions (not an error).
+    if let Ok(text) = std::fs::read_to_string(&cfg.allow) {
+        let allow_name = cfg
+            .allow
+            .strip_prefix(&cfg.root)
+            .unwrap_or(&cfg.allow)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let (entries, problems) = allow::parse(&text, &allow_name);
+        allow::apply(&entries, &mut findings, &allow_name);
+        findings.extend(problems);
+    }
+
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report.absorb(findings);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_layout() {
+        let cfg = Config::for_root("/tmp/ws");
+        assert!(cfg.models.ends_with("models"));
+        assert!(cfg.allow.ends_with("analyze.allow.toml"));
+    }
+}

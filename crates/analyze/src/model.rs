@@ -1,0 +1,321 @@
+//! Pass 3 — model soundness.
+//!
+//! The checked-in `models/*.json` files feed the serving decision path
+//! directly, so a structurally-valid-but-semantically-broken tree is a
+//! production bug waiting for the right feature vector. On top of the
+//! runtime's own `DecisionTree::validate` (indices in range, acyclic,
+//! finite thresholds) this pass checks what only an offline analyzer
+//! can afford to:
+//!
+//! * **Unreachable branches** — a split whose threshold contradicts an
+//!   ancestor split on the same feature leaves one child dead: it can
+//!   never be reached by any input, so it is either training-code
+//!   fallout or hand-edit damage.
+//! * **Leaf classes** within the pattern's legal variant set (P1
+//!   direction: 2, P2 format: 3, P3 load-balance: 4, P4 stepping: 3,
+//!   P5 fusion: 2).
+//! * **Feature indices** within the 21-feature vector of Table 1.
+//! * **Split thresholds inside the stamped training ranges** (envelope
+//!   files only): a threshold outside `[min, max]` can never change a
+//!   prediction once inference clamps features into the range, so one
+//!   subtree is dead weight at best and hides a train/serve skew at
+//!   worst.
+
+use crate::findings::{Finding, Severity};
+use gswitch_core::policy::{ModelEnvelope, ModelPolicy};
+use gswitch_ml::dataset::FEATURE_COUNT;
+use gswitch_ml::tree::Node;
+use gswitch_ml::{DecisionTree, Pattern};
+
+/// Check one model file's text. `file` is used for finding locations.
+pub fn check_model_text(file: &str, text: &str) -> Vec<Finding> {
+    // Envelope first (its JSON is a superset of the bare model), then
+    // legacy bare model.
+    let (model, ranges): (ModelPolicy, Option<Vec<(f64, f64)>>) =
+        match ModelEnvelope::from_json(text) {
+            Ok(env) => {
+                let mut out = Vec::new();
+                if let Err(e) = env.validate() {
+                    out.push(Finding::new(
+                        "model-envelope",
+                        Severity::Deny,
+                        file,
+                        0,
+                        "",
+                        format!("envelope fails validation: {e}"),
+                    ));
+                    return out;
+                }
+                (env.model, Some(env.feature_ranges))
+            }
+            Err(_) => match ModelPolicy::from_json(text) {
+                Ok(m) => (m, None),
+                Err(e) => {
+                    return vec![Finding::new(
+                        "model-envelope",
+                        Severity::Deny,
+                        file,
+                        0,
+                        "",
+                        format!("neither a model envelope nor a legacy bare model: {e}"),
+                    )];
+                }
+            },
+        };
+
+    let mut out = Vec::new();
+    for pattern in Pattern::DECISION_ORDER {
+        if let Some(tree) = model.tree(pattern) {
+            check_tree(file, pattern, tree, ranges.as_deref(), &mut out);
+        }
+    }
+    out
+}
+
+/// Check one pattern's tree.
+fn check_tree(
+    file: &str,
+    pattern: Pattern,
+    tree: &DecisionTree,
+    ranges: Option<&[(f64, f64)]>,
+    out: &mut Vec<Finding>,
+) {
+    let pat = format!("{pattern:?}");
+
+    // The runtime's structural validation first: a tree that fails it
+    // is reported once and skipped (interval analysis assumes a sane
+    // arena).
+    if let Err(e) = tree.validate() {
+        out.push(Finding::new(
+            "model-tree-invalid",
+            Severity::Deny,
+            file,
+            0,
+            format!("pattern {pat}"),
+            format!("tree fails structural validation: {e}"),
+        ));
+        return;
+    }
+
+    if tree.n_features() > FEATURE_COUNT {
+        out.push(Finding::new(
+            "model-feature-arity",
+            Severity::Deny,
+            file,
+            0,
+            format!("pattern {pat}"),
+            format!(
+                "tree expects {} features but the Inspector computes {FEATURE_COUNT}",
+                tree.n_features()
+            ),
+        ));
+    }
+
+    let legal = pattern.n_classes();
+    if tree.n_classes() > legal {
+        out.push(Finding::new(
+            "model-class-range",
+            Severity::Deny,
+            file,
+            0,
+            format!("pattern {pat}"),
+            format!(
+                "tree declares {} classes; pattern {pat} has {legal} legal variants",
+                tree.n_classes()
+            ),
+        ));
+    }
+
+    let nodes = tree.nodes();
+
+    // Per-node checks plus reachable-interval analysis. Walk from the
+    // root carrying per-feature half-open intervals `[lo, hi)` of the
+    // values that can reach each node. A split `feature < t` makes its
+    // left child dead when `t <= lo` and its right child dead when
+    // `t >= hi`. (`validate()` above guarantees the walk terminates.)
+    let mut stack: Vec<(usize, Vec<(f64, f64)>)> =
+        vec![(0, vec![(f64::NEG_INFINITY, f64::INFINITY); FEATURE_COUNT.max(tree.n_features())])];
+    while let Some((at, bounds)) = stack.pop() {
+        match &nodes[at] {
+            Node::Leaf { class, .. } => {
+                if *class >= legal {
+                    out.push(Finding::new(
+                        "model-class-range",
+                        Severity::Deny,
+                        file,
+                        0,
+                        format!("pattern {pat}, node {at}"),
+                        format!(
+                            "leaf predicts class {class}; pattern {pat} has only {legal} legal \
+                             variants (0..{legal})"
+                        ),
+                    ));
+                }
+            }
+            Node::Split { feature, threshold, left, right } => {
+                if *feature >= FEATURE_COUNT {
+                    out.push(Finding::new(
+                        "model-feature-arity",
+                        Severity::Deny,
+                        file,
+                        0,
+                        format!("pattern {pat}, node {at}"),
+                        format!(
+                            "split on feature {feature}; the feature vector has \
+                             {FEATURE_COUNT} columns (0..{FEATURE_COUNT})"
+                        ),
+                    ));
+                    continue;
+                }
+                let (lo, hi) = bounds[*feature];
+                if *threshold <= lo {
+                    out.push(dead_branch(file, &pat, at, *feature, *threshold, lo, hi, "left"));
+                }
+                if *threshold >= hi {
+                    out.push(dead_branch(file, &pat, at, *feature, *threshold, lo, hi, "right"));
+                }
+                if let Some(ranges) = ranges {
+                    if let Some(&(rmin, rmax)) = ranges.get(*feature) {
+                        if *threshold < rmin || *threshold > rmax {
+                            out.push(Finding::new(
+                                "model-threshold-range",
+                                Severity::Warn,
+                                file,
+                                0,
+                                format!("pattern {pat}, node {at}"),
+                                format!(
+                                    "split threshold {threshold} on feature {feature} lies \
+                                     outside the stamped training range [{rmin}, {rmax}] — \
+                                     inference clamps features into that range, so one side \
+                                     of this split is unreachable in serving"
+                                ),
+                            ));
+                        }
+                    }
+                }
+                let mut lb = bounds.clone();
+                lb[*feature].1 = threshold.min(hi);
+                stack.push((*left, lb));
+                let mut rb = bounds;
+                rb[*feature].0 = threshold.max(lo);
+                stack.push((*right, rb));
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dead_branch(
+    file: &str,
+    pat: &str,
+    at: usize,
+    feature: usize,
+    threshold: f64,
+    lo: f64,
+    hi: f64,
+    side: &str,
+) -> Finding {
+    Finding::new(
+        "model-dead-branch",
+        Severity::Deny,
+        file,
+        0,
+        format!("pattern {pat}, node {at}"),
+        format!(
+            "split `feature[{feature}] < {threshold}` has an unreachable {side} child: \
+             ancestors already constrain the feature to [{lo}, {hi}) — no input reaches it"
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gswitch_ml::TrainParams;
+
+    /// A tree learned on clean data: must be clean.
+    fn trained() -> DecisionTree {
+        let rows: Vec<Vec<f64>> = (0..32).map(|i| vec![i as f64, (31 - i) as f64]).collect();
+        let labels: Vec<usize> = (0..32).map(|i| usize::from(i >= 16)).collect();
+        DecisionTree::train(&rows, &labels, TrainParams::default()).expect("train")
+    }
+
+    #[test]
+    fn trained_tree_is_clean() {
+        let model = ModelPolicy::empty().with_tree(Pattern::Direction, trained());
+        let f = check_model_text("m.json", &model.to_json());
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn dead_branch_detected_via_json_surgery() {
+        // Build `f0 < 10` whose left child re-splits `f0 < 20`: the
+        // re-split's right child (f0 >= 20 while f0 < 10) is dead.
+        let json = r#"{"direction":{"nodes":[
+            {"Split":{"feature":0,"threshold":10.0,"left":1,"right":4}},
+            {"Split":{"feature":0,"threshold":20.0,"left":2,"right":3}},
+            {"Leaf":{"class":0,"weight":1}},
+            {"Leaf":{"class":1,"weight":1}},
+            {"Leaf":{"class":1,"weight":1}}],
+            "n_features":2,"n_classes":2}}"#;
+        let f = check_model_text("m.json", json);
+        let rules: Vec<&str> = f.iter().map(|x| x.rule).collect();
+        assert_eq!(rules, vec!["model-dead-branch"], "{f:?}");
+        assert!(f[0].message.contains("right child"));
+    }
+
+    #[test]
+    fn out_of_range_class_detected() {
+        // Direction has 2 legal variants; class 5 is out of range. The
+        // tree itself declares n_classes=6 so structural validation
+        // passes — only the pattern-aware check catches it.
+        let json = r#"{"direction":{"nodes":[
+            {"Leaf":{"class":5,"weight":1}}],
+            "n_features":2,"n_classes":6}}"#;
+        let f = check_model_text("m.json", json);
+        let rules: Vec<&str> = f.iter().map(|x| x.rule).collect();
+        assert!(rules.contains(&"model-class-range"), "{f:?}");
+    }
+
+    #[test]
+    fn feature_index_beyond_vector_detected() {
+        let json = r#"{"stepping":{"nodes":[
+            {"Split":{"feature":21,"threshold":0.5,"left":1,"right":2}},
+            {"Leaf":{"class":0,"weight":1}},
+            {"Leaf":{"class":1,"weight":1}}],
+            "n_features":22,"n_classes":3}}"#;
+        let f = check_model_text("m.json", json);
+        let rules: Vec<&str> = f.iter().map(|x| x.rule).collect();
+        assert!(rules.contains(&"model-feature-arity"), "{f:?}");
+    }
+
+    #[test]
+    fn threshold_outside_training_range_warns() {
+        let model = ModelPolicy::empty().with_tree(Pattern::Direction, trained());
+        // The tree splits around 15.5 on feature 0; stamp a training
+        // range that excludes it.
+        let mut ranges = vec![(0.0, 100.0); FEATURE_COUNT];
+        ranges[0] = (40.0, 100.0);
+        let env = ModelEnvelope::wrap(model, ranges);
+        let f = check_model_text("m.json", &env.to_json());
+        assert!(f.iter().any(|x| x.rule == "model-threshold-range"), "{f:?}");
+        assert!(f.iter().all(|x| x.severity == Severity::Warn), "{f:?}");
+    }
+
+    #[test]
+    fn garbage_json_is_a_finding_not_a_panic() {
+        let f = check_model_text("m.json", "{not json");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "model-envelope");
+        assert_eq!(f[0].severity, Severity::Deny);
+    }
+
+    #[test]
+    fn envelope_with_bad_checksum_is_denied() {
+        let model = ModelPolicy::empty().with_tree(Pattern::Fusion, trained());
+        let mut env = ModelEnvelope::wrap(model, vec![(0.0, 1.0); FEATURE_COUNT]);
+        env.checksum = "deadbeefdeadbeef".into();
+        let f = check_model_text("m.json", &env.to_json());
+        assert!(f.iter().any(|x| x.rule == "model-envelope" && x.message.contains("checksum")));
+    }
+}

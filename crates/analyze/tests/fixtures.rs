@@ -1,0 +1,90 @@
+//! End-to-end runs of the analyzer over the checked-in fixture trees
+//! and over the real workspace (self-check).
+
+use gswitch_analyze::{run, Config};
+use std::path::PathBuf;
+
+fn fixture_root(which: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(which)
+}
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|p| p.to_path_buf())
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+#[test]
+fn bad_fixture_tree_trips_every_rule() {
+    let cfg = Config::for_root(fixture_root("bad"));
+    let report = run(&cfg);
+
+    let count = |rule: &str| report.findings.iter().filter(|f| f.rule == rule).count();
+    assert_eq!(count("hot-path-unwrap"), 2, "{report:#?}");
+    assert_eq!(count("raw-std-lock"), 2);
+    assert_eq!(count("unbounded-channel"), 1);
+    assert_eq!(count("unbounded-collection"), 1);
+    assert_eq!(count("uninstrumented-atomic"), 1);
+    assert_eq!(count("todo-marker"), 2);
+    assert_eq!(count("lock-order-cycle"), 1);
+    // Model pass: the dead branch and the out-of-range leaf class.
+    assert_eq!(count("model-dead-branch"), 1);
+    assert!(count("model-class-range") >= 1);
+
+    // The lock-cycle finding names both conflicting functions.
+    let cycle =
+        report.findings.iter().find(|f| f.rule == "lock-order-cycle").expect("cycle finding");
+    assert!(cycle.message.contains("enqueue"), "{}", cycle.message);
+    assert!(cycle.message.contains("reindex"), "{}", cycle.message);
+
+    // No allowlist in the fixture tree: everything counts, build fails.
+    assert!(report.deny > 0);
+    assert_ne!(report.exit_code(false), 0);
+    assert_ne!(report.exit_code(true), 0);
+}
+
+#[test]
+fn clean_fixture_tree_is_silent() {
+    let cfg = Config::for_root(fixture_root("clean"));
+    let report = run(&cfg);
+    assert!(report.findings.is_empty(), "{report:#?}");
+    assert_eq!(report.exit_code(true), 0);
+    assert!(report.files_scanned >= 3);
+    assert_eq!(report.models_checked, 1);
+}
+
+/// Self-check: the analyzer over the workspace it ships in, allowlist
+/// included, must be clean — this is exactly what the CI gate runs.
+#[test]
+fn workspace_is_clean_under_own_analysis() {
+    let root = workspace_root();
+    assert!(root.join("Cargo.toml").exists(), "workspace root not found at {root:?}");
+    let report = run(&Config::for_root(root));
+    let loud: Vec<_> = report.findings.iter().filter(|f| !f.suppressed).collect();
+    assert!(loud.is_empty(), "unsuppressed findings: {loud:#?}");
+    assert_eq!(report.exit_code(true), 0);
+    // The analyzer's own crate is part of the scan.
+    assert!(report.files_scanned > 50);
+    // Every allowlist entry still matches something (no unused-suppression
+    // warnings above), and suppressions exist — the list is live.
+    assert!(report.suppressed > 0);
+}
+
+/// The JSON report round-trips through serde and carries the counters
+/// CI annotates with.
+#[test]
+fn json_report_shape() {
+    let report = run(&Config::for_root(fixture_root("bad")));
+    let text = serde_json::to_string(&report).expect("report serializes");
+    let back: serde_json::Value = serde_json::from_str(&text).expect("report parses");
+    let deny = back.get("deny").and_then(|v| v.as_u64()).unwrap_or(0);
+    assert!(deny > 0);
+    let findings = back.get("findings").and_then(|v| v.as_array()).expect("findings array");
+    assert!(!findings.is_empty());
+    let f = &findings[0];
+    for key in ["rule", "severity", "file", "line", "snippet", "message", "suppressed"] {
+        assert!(f.get(key).is_some(), "finding missing key {key}: {f:?}");
+    }
+}

@@ -18,6 +18,7 @@ use gswitch_graph::{Graph, VertexId};
 /// Enterprise's frozen switching rule: go bottom-up while the frontier
 /// holds more than 2% of the vertices (a fixed constant, not a user
 /// parameter and not learned).
+#[derive(Debug)]
 pub struct EnterprisePolicy;
 
 impl Policy for EnterprisePolicy {

@@ -15,6 +15,7 @@ use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering::Relaxed};
 
 /// Result of a Frog-like SSSP run.
+#[derive(Debug)]
 pub struct FrogResult {
     /// Tentative distances at convergence.
     pub distances: Vec<u32>,

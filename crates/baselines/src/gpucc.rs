@@ -15,6 +15,7 @@ use rayon::prelude::*;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering::Relaxed};
 
 /// Result of a GPUCC run.
+#[derive(Debug)]
 pub struct GpuccResult {
     /// Per-vertex component labels (minimum vertex id in the component).
     pub labels: Vec<u32>,

@@ -38,6 +38,7 @@ pub fn gunrock_config() -> KernelConfig {
 /// The thresholds are user-supplied and graph-sensitive — the paper
 /// quotes best values of (0.12, 0.1) for soc-orkut but (1, 10) for
 /// roadNet-CA.
+#[derive(Debug)]
 pub struct GunrockBfsPolicy {
     /// Push→pull switch threshold (edge-ratio).
     pub do_a: f64,

@@ -32,6 +32,16 @@ pub struct ExpConfig {
     pub policy_desc: String,
 }
 
+impl std::fmt::Debug for ExpConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExpConfig")
+            .field("quick", &self.quick)
+            .field("policy", &self.policy.name())
+            .field("policy_desc", &self.policy_desc)
+            .finish()
+    }
+}
+
 impl ExpConfig {
     /// Quick configuration with the built-in rules (tests use this).
     pub fn quick_rules() -> Self {

@@ -48,6 +48,7 @@ impl Algo {
 pub const PR_TOL: f64 = 1e-3;
 
 /// Outcome of one benchmark run.
+#[derive(Debug)]
 pub struct RunOutcome {
     /// Total simulated runtime (ms).
     pub time_ms: SimMs,

@@ -4,6 +4,7 @@
 use std::fmt::Write as _;
 
 /// A fixed-column text table.
+#[derive(Debug)]
 pub struct Table {
     header: Vec<String>,
     rows: Vec<Vec<String>>,

@@ -400,7 +400,10 @@ pub fn run_with_seed_config<A: EdgeApp>(
                 // Fused chain: skip Filter entirely; reuse the last config.
                 stats = est_stats;
                 ctx.stats = stats;
-                config = last_config.expect("fused chain implies a previous config");
+                // A fused chain implies a previous config; should that
+                // invariant ever break, the reference shape is a safe
+                // (if slower) continuation — never a panic mid-query.
+                config = last_config.unwrap_or(reference_config);
                 config.stepping = stepping;
                 decided = false;
                 provenance = Provenance::FusedChain;
@@ -438,8 +441,11 @@ pub fn run_with_seed_config<A: EdgeApp>(
                     cfg = reference_config;
                     dec = false;
                     prov = Provenance::Sentinel;
-                } else if stable {
-                    cfg = last_config.expect("stable implies history");
+                } else if let (true, Some(prev)) = (stable, last_config) {
+                    // Stability implies history; requiring the Some
+                    // here (rather than unwrapping) means a broken
+                    // streak counter degrades to a fresh decision.
+                    cfg = prev;
                     dec = false;
                     prov = Provenance::StabilityBypass;
                 } else if let Some(s) = seed.filter(|_| iteration == 0) {

@@ -52,6 +52,7 @@ pub struct OracleOutcome {
 
 /// Per-direction read-only workload analysis (public for the harness's
 /// per-iteration strategy matrices, Fig. 14).
+#[derive(Debug)]
 pub struct DirAnalysis {
     /// Compact per-entry touched counts (queue view).
     pub compact: Vec<u32>,
@@ -222,9 +223,14 @@ pub fn oracle_run<A: EdgeApp>(
         };
 
         let best_of = |prices: &[(AsFormat, LoadBalance, SimMs)]| {
-            prices.iter().copied().min_by(|a, b| a.2.partial_cmp(&b.2).unwrap())
+            prices.iter().copied().min_by(|a, b| a.2.total_cmp(&b.2))
         };
-        let best_push = best_of(&push_prices).expect("push prices nonempty");
+        let Some(best_push) = best_of(&push_prices) else {
+            // No priceable push shape — cannot happen for a well-formed
+            // device spec, but nothing is labelable this iteration, so
+            // stop the trajectory rather than panic mid-labelling.
+            break;
+        };
         let best_pull = best_of(&pull_prices);
 
         let (direction, best) = match best_pull {
@@ -242,17 +248,17 @@ pub fn oracle_run<A: EdgeApp>(
             .min_by(|&a, &b| {
                 let ta = min_time(chosen_prices, |(_, lb, _)| *lb == a);
                 let tb = min_time(chosen_prices, |(_, lb, _)| *lb == b);
-                ta.partial_cmp(&tb).unwrap()
+                ta.total_cmp(&tb)
             })
-            .unwrap();
+            .unwrap_or(LoadBalance::Twc);
         let fmt_label = [AsFormat::Bitmap, AsFormat::UnsortedQueue, AsFormat::SortedQueue]
             .into_iter()
             .min_by(|&a, &b| {
                 let ta = min_time(chosen_prices, |(f, _, _)| *f == a);
                 let tb = min_time(chosen_prices, |(f, _, _)| *f == b);
-                ta.partial_cmp(&tb).unwrap()
+                ta.total_cmp(&tb)
             })
-            .unwrap();
+            .unwrap_or(AsFormat::Bitmap);
 
         // P5: fusion saves next iteration's classify+materialize+launch;
         // it costs the duplicate ratio on the expand side.

@@ -9,6 +9,7 @@ use crate::csr::Csr;
 use crate::{Graph, VertexId, Weight};
 
 /// Accumulates edges and produces a [`Graph`].
+#[derive(Debug)]
 pub struct GraphBuilder {
     n: usize,
     edges: Vec<(VertexId, VertexId)>,

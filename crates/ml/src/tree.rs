@@ -336,6 +336,13 @@ impl DecisionTree {
         self.n_classes
     }
 
+    /// The node arena, root at index 0. Read-only: external passes
+    /// (e.g. the static analyzer's model-soundness checks) walk the
+    /// tree without being able to break the arena invariants.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
     /// Render the tree as portable if-else rules, naming features with
     /// `feature_names` and classes with `class_names` — the paper's
     /// "convert the resulting rules to if-else sentences".

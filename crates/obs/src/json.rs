@@ -13,6 +13,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// An incremental writer for one JSON object or array.
+#[derive(Debug)]
 pub struct JsonWriter {
     buf: String,
     close: char,

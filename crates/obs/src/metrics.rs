@@ -268,7 +268,7 @@ impl HistogramSnapshot {
 }
 
 /// The registry: a process-wide namespace of metrics.
-#[derive(Default)]
+#[derive(Default, Debug)]
 pub struct MetricsRegistry {
     counters: RwLock<BTreeMap<String, Counter>>,
     gauges: RwLock<BTreeMap<String, Gauge>>,

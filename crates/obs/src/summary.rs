@@ -108,7 +108,7 @@ pub fn summarize(events: &[StampedEvent]) -> TraceSummary {
             let p = &prev.event.config;
             let c = &e.config;
             if p.direction != c.direction {
-                *s.switches.get_mut("direction").unwrap() += 1;
+                *s.switches.entry("direction").or_insert(0) += 1;
                 s.flips.push(DirectionFlip {
                     job: ev.job,
                     iteration: e.iteration,
@@ -117,16 +117,16 @@ pub fn summarize(events: &[StampedEvent]) -> TraceSummary {
                 });
             }
             if p.format != c.format {
-                *s.switches.get_mut("format").unwrap() += 1;
+                *s.switches.entry("format").or_insert(0) += 1;
             }
             if p.lb != c.lb {
-                *s.switches.get_mut("lb").unwrap() += 1;
+                *s.switches.entry("lb").or_insert(0) += 1;
             }
             if p.stepping != c.stepping {
-                *s.switches.get_mut("stepping").unwrap() += 1;
+                *s.switches.entry("stepping").or_insert(0) += 1;
             }
             if p.fusion != c.fusion {
-                *s.switches.get_mut("fusion").unwrap() += 1;
+                *s.switches.entry("fusion").or_insert(0) += 1;
             }
         }
         last_by_job.insert(ev.job, ev);

@@ -217,6 +217,7 @@ pub trait Recorder: Send + Sync {
 }
 
 /// A recorder that drops everything (useful as an explicit off value).
+#[derive(Debug)]
 pub struct NullRecorder;
 
 impl Recorder for NullRecorder {
@@ -395,12 +396,14 @@ impl StampedEvent {
     }
 }
 
+#[derive(Debug)]
 struct RingInner {
     events: VecDeque<StampedEvent>,
 }
 
 /// A bounded, thread-safe event ring. When full, the oldest event is
 /// evicted and counted in [`TraceRing::dropped`].
+#[derive(Debug)]
 pub struct TraceRing {
     inner: Lock<RingInner>,
     capacity: usize,

@@ -152,7 +152,10 @@ fn run_bench_load(args: &Args) -> i32 {
 }
 
 fn jline(v: serde_json::Value) -> String {
-    serde_json::to_string(&v).expect("value serialization cannot fail")
+    // A response the protocol layer cannot serialize must still answer
+    // the client with *something* parseable, not kill the connection.
+    serde_json::to_string(&v)
+        .unwrap_or_else(|e| format!("{{\"error\":\"response serialization: {e}\"}}"))
 }
 
 fn err_line(msg: impl std::fmt::Display) -> String {

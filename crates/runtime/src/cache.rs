@@ -114,7 +114,7 @@ struct CacheFile {
 /// The counters are `gswitch_obs` handles so a serving process can
 /// share them with its unified [`MetricsRegistry`] (see
 /// [`ConfigCache::bind_metrics`]); standalone use needs no registry.
-#[derive(Default)]
+#[derive(Default, Debug)]
 pub struct ConfigCache {
     entries: RwLock<HashMap<String, KernelConfig>>,
     hits: Counter,
@@ -190,8 +190,11 @@ impl ConfigCache {
         let mut entries: Vec<CacheRecord> =
             map.iter().map(|(k, v)| CacheRecord { key: k.clone(), config: *v }).collect();
         entries.sort_by(|a, b| a.key.cmp(&b.key));
+        // Serializing owned records cannot fail in practice; if it ever
+        // does, persisting an empty (loadable) document loses cached
+        // configs but never takes the server down with it.
         serde_json::to_string_pretty(&CacheFile { version: 1, entries })
-            .expect("cache serialization cannot fail")
+            .unwrap_or_else(|_| "{\"version\":1,\"entries\":[]}".to_string())
     }
 
     /// Rebuild a cache from [`ConfigCache::to_json`] output. Counters

@@ -13,6 +13,7 @@ use gswitch_obs::RecorderHandle;
 use gswitch_simt::DeviceSpec;
 
 /// What [`execute`] hands back to the scheduler.
+#[derive(Debug)]
 pub struct Execution {
     /// `Some` when the run probe stopped the engine early (deadline or
     /// cancellation); partial results are present but untrustworthy —

@@ -18,6 +18,7 @@ const WEIGHT_SEED: u64 = 0xC0FFEE;
 
 /// One registered graph: the shared topology, its content fingerprint,
 /// and a lazily built weighted twin for weight-demanding queries.
+#[derive(Debug)]
 pub struct GraphEntry {
     name: String,
     graph: Arc<Graph>,
@@ -60,7 +61,7 @@ impl GraphEntry {
 }
 
 /// Thread-safe name → [`GraphEntry`] map.
-#[derive(Default)]
+#[derive(Default, Debug)]
 pub struct GraphRegistry {
     entries: RwLock<BTreeMap<String, Arc<GraphEntry>>>,
 }

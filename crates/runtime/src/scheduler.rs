@@ -87,6 +87,7 @@ impl std::fmt::Display for SubmitError {
     }
 }
 
+#[derive(Debug)]
 struct Job {
     id: u64,
     spec: JobSpec,
@@ -97,6 +98,7 @@ struct Job {
 
 /// Pre-resolved metric handles, so the hot paths never touch the
 /// registry's name map.
+#[derive(Debug)]
 struct SchedulerMetrics {
     queue_depth: Gauge,
     submitted: Counter,
@@ -135,6 +137,7 @@ impl SchedulerMetrics {
     }
 }
 
+#[derive(Debug)]
 struct Shared {
     registry: Arc<GraphRegistry>,
     cache: Arc<ConfigCache>,
@@ -169,6 +172,7 @@ impl RunProbe for JobProbe {
 }
 
 /// Handle to one admitted job; wait on it for the outcome.
+#[derive(Debug)]
 pub struct JobHandle {
     /// Id assigned at admission (use for [`Scheduler::cancel`]).
     pub id: u64,
@@ -216,6 +220,7 @@ impl JobHandle {
 }
 
 /// The worker pool.
+#[derive(Debug)]
 pub struct Scheduler {
     shared: Arc<Shared>,
     next_id: AtomicU64,
