@@ -6,7 +6,7 @@
 //! | rule | severity | scope | invariant |
 //! |------|----------|-------|-----------|
 //! | `raw-std-lock` | deny | everywhere but `obs/src/sync.rs` | all locks go through the poison-recovering `gswitch_obs::sync` wrappers |
-//! | `hot-path-unwrap` | deny | `src/` of core, kernels, runtime, simt, obs | no `unwrap()`/`expect()` on serving paths — degrade, don't die |
+//! | `hot-path-unwrap` | deny | `src/` of core, kernels, runtime, simt, obs, shard | no `unwrap()`/`expect()` on serving paths — degrade, don't die |
 //! | `uninstrumented-atomic` | deny | `src/` of kernels, simt | every atomic op is accounted in the SIMT cost model |
 //! | `unbounded-channel` | deny | `src/` of runtime | no unbounded `mpsc::channel` — admission control is explicit |
 //! | `unbounded-collection` | warn | `src/` of runtime | a `VecDeque` queue in a file with no notion of capacity |
@@ -17,7 +17,7 @@ use crate::source::SourceFile;
 
 /// Crates whose `src/` is a serving hot path: panics there take down
 /// workers or wedge the process.
-const HOT_CRATES: [&str; 5] = ["core", "kernels", "runtime", "simt", "obs"];
+const HOT_CRATES: [&str; 6] = ["core", "kernels", "runtime", "simt", "obs", "shard"];
 
 /// Crates that implement the instrumented SIMT kernels: every atomic
 /// must be reflected in a `KernelProfile` counter.
@@ -180,12 +180,16 @@ fn uninstrumented_atomic(sf: &SourceFile, out: &mut Vec<Finding>) {
     }
 }
 
-/// `unbounded-channel`: `mpsc::channel()` in runtime `src/`. The
-/// serving runtime's backpressure story is explicit admission control
-/// (`SubmitError::QueueFull`); an unbounded channel reintroduces the
-/// hidden buffer that design removed.
+/// Crates that queue work for serving: the runtime's scheduler and the
+/// shard batcher both sit behind explicit admission control.
+const QUEUEING_CRATES: [&str; 2] = ["runtime", "shard"];
+
+/// `unbounded-channel`: `mpsc::channel()` in runtime or shard `src/`.
+/// The serving stack's backpressure story is explicit admission control
+/// (`SubmitError::QueueFull`, tenant quotas); an unbounded channel
+/// reintroduces the hidden buffer that design removed.
 fn unbounded_channel(sf: &SourceFile, out: &mut Vec<Finding>) {
-    if sf.crate_name() != Some("runtime") || !sf.in_crate_src() {
+    if !sf.crate_name().is_some_and(|c| QUEUEING_CRATES.contains(&c)) || !sf.in_crate_src() {
         return;
     }
     let t = &sf.toks;
@@ -213,10 +217,11 @@ fn unbounded_channel(sf: &SourceFile, out: &mut Vec<Finding>) {
 }
 
 /// `unbounded-collection` (warn, heuristic): a `VecDeque::new()` in a
-/// runtime file that never mentions a capacity anywhere. A queue with
-/// no notion of capacity is how slow consumers turn into OOM kills.
+/// runtime or shard file that never mentions a capacity anywhere. A
+/// queue with no notion of capacity is how slow consumers turn into
+/// OOM kills.
 fn unbounded_collection(sf: &SourceFile, out: &mut Vec<Finding>) {
-    if sf.crate_name() != Some("runtime") || !sf.in_crate_src() {
+    if !sf.crate_name().is_some_and(|c| QUEUEING_CRATES.contains(&c)) || !sf.in_crate_src() {
         return;
     }
     if sf.has_ident_containing("capacity") {
@@ -309,6 +314,9 @@ mod tests {
         assert_eq!(rules(&f), vec!["hot-path-unwrap"]);
         let f = lint("crates/core/src/x.rs", "fn f(x: Option<u32>) -> u32 { x.expect(\"msg\") }");
         assert_eq!(rules(&f), vec!["hot-path-unwrap"]);
+        // The shard batcher runs inside serving workers: hot too.
+        let f = lint("crates/shard/src/x.rs", "fn f(x: Option<u32>) -> u32 { x.unwrap() }");
+        assert_eq!(rules(&f), vec!["hot-path-unwrap"]);
     }
 
     #[test]
@@ -351,9 +359,11 @@ mod tests {
     }
 
     #[test]
-    fn unbounded_channel_flagged_in_runtime_only() {
+    fn unbounded_channel_flagged_in_queueing_crates_only() {
         let src = "fn f() { let (tx, rx) = mpsc::channel(); }";
         let f = lint("crates/runtime/src/x.rs", src);
+        assert_eq!(rules(&f), vec!["unbounded-channel"]);
+        let f = lint("crates/shard/src/x.rs", src);
         assert_eq!(rules(&f), vec!["unbounded-channel"]);
         assert!(lint("crates/core/src/x.rs", src).is_empty());
         // sync_channel is bounded: fine.
@@ -369,6 +379,11 @@ mod tests {
         assert_eq!(f[0].severity, Severity::Warn);
         let bounded = format!("{bare}\nfn cap(queue_capacity: usize) {{}}");
         assert!(lint("crates/runtime/src/x.rs", &bounded).is_empty());
+        // The shard plan store's FIFO is in scope; its real file names a
+        // capacity, mirrored here.
+        let f = lint("crates/shard/src/x.rs", bare);
+        assert_eq!(rules(&f), vec!["unbounded-collection"]);
+        assert!(lint("crates/shard/src/x.rs", &bounded).is_empty());
     }
 
     #[test]

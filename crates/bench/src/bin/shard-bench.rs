@@ -1,0 +1,155 @@
+//! Shard-scaling snapshot: runs BFS and PageRank over the small
+//! representative corpus at 1/2/4/8 shards plus one mixed concurrent
+//! batch, and writes the trajectory to `BENCH_shard.json` in the
+//! current directory (run from the repo root to refresh the committed
+//! snapshot).
+//!
+//! ```text
+//! cargo run --release -p gswitch-bench --bin shard-bench
+//! ```
+//!
+//! Everything recorded is *simulated* time and volume from the cost
+//! model. Exchange records and bytes are exact and deterministic run
+//! to run (the driver charges routing per attempt, not per winning
+//! atomic). Simulated times carry the cost model's atomic-contention
+//! term, which is scheduling-dependent — they wobble by ≲1%, so they
+//! are rounded to two decimals here. The JSON is a regression
+//! trip-wire for the exchange/compute balance, reviewed like any
+//! other diff; re-generation noise is confined to the last digit of
+//! the time fields.
+
+use gswitch_graph::corpus::representatives_small;
+use gswitch_shard::{execute_batch, BatchOptions, BatchQuery, ShardPlan};
+use serde_json::json;
+use std::sync::Arc;
+
+const SHARD_COUNTS: [u32; 4] = [1, 2, 4, 8];
+const OUT: &str = "BENCH_shard.json";
+
+/// Repeats per measurement point: exchange counts are deterministic
+/// (asserted below), but simulated times carry the cost model's
+/// atomic-contention term, so the median tames the last-digit wobble.
+const REPEATS: usize = 3;
+
+fn run_point(plan: &Arc<ShardPlan>, query: BatchQuery, opts: &BatchOptions) -> serde_json::Value {
+    let mut sims = Vec::with_capacity(REPEATS);
+    let mut imbalances = Vec::with_capacity(REPEATS);
+    let mut first: Option<(u64, u64, bool, u32)> = None;
+    for _ in 0..REPEATS {
+        let report = execute_batch(plan, &[query], opts);
+        let o = &report.outcomes[0];
+        assert!(o.error.is_none(), "{}: {:?}", o.algo, o.error);
+        let key = (o.exchange_records, o.exchange_bytes, o.converged, o.supersteps);
+        match &first {
+            None => first = Some(key),
+            Some(k0) => assert_eq!(*k0, key, "{}: exchange accounting not deterministic", o.algo),
+        }
+        sims.push(o.sim_ms);
+        imbalances.push(o.imbalance);
+    }
+    let (records, bytes, converged, supersteps) = first.expect("REPEATS >= 1");
+    json!({
+        "k": plan.k(),
+        "converged": converged,
+        "supersteps": supersteps,
+        "sim_ms": round2(median(&mut sims)),
+        "exchange_records": records,
+        "exchange_bytes": bytes,
+        "imbalance": round2(median(&mut imbalances)),
+        "cut_edges": plan.sharded().cut_edges_total(),
+        "halo_vertices": plan.sharded().halo_total(),
+    })
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}
+
+fn main() {
+    let opts = BatchOptions::default();
+    let mut graphs = Vec::new();
+    for rep in representatives_small() {
+        let graph = Arc::new(rep.recipe.build());
+        let mut bfs = Vec::new();
+        let mut pr = Vec::new();
+        for &k in &SHARD_COUNTS {
+            let plan = Arc::new(
+                ShardPlan::new(Arc::clone(&graph), k)
+                    .unwrap_or_else(|e| panic!("{}: partition k={k}: {e}", rep.paper_name)),
+            );
+            bfs.push(run_point(&plan, BatchQuery::Bfs { src: 0 }, &opts));
+            pr.push(run_point(&plan, BatchQuery::Pr { eps: 1e-3 }, &opts));
+        }
+        eprintln!("{:>24}: bfs+pr at k=1/2/4/8 done", rep.paper_name);
+        graphs.push(json!({
+            "graph": rep.paper_name,
+            "n": graph.num_vertices(),
+            "m": graph.num_edges(),
+            "bfs": bfs,
+            "pr": pr,
+        }));
+    }
+
+    // One concurrent mixed batch on the first representative: the
+    // serving-shaped number (occupancy of the batch worker pool).
+    let first = representatives_small().remove(0);
+    let batch_graph_name = first.paper_name;
+    let graph = Arc::new(first.recipe.build());
+    let plan = Arc::new(ShardPlan::new(Arc::clone(&graph), 4).expect("partition k=4"));
+    let queries = [
+        BatchQuery::Bfs { src: 0 },
+        BatchQuery::Bfs { src: 7 },
+        BatchQuery::Pr { eps: 1e-3 },
+        BatchQuery::Cc,
+        BatchQuery::Bfs { src: 42 },
+        BatchQuery::Cc,
+    ];
+    let batch_opts = BatchOptions { slots: 4, ..BatchOptions::default() };
+    let report = execute_batch(&plan, &queries, &batch_opts);
+    assert_eq!(report.ok_count(), queries.len(), "mixed batch had failures");
+
+    // Occupancy is the one wall-clock-derived number; bucket it so the
+    // snapshot stays stable across machines.
+    let mixed_batch = json!({
+        "graph": batch_graph_name,
+        "k": 4,
+        "slots": batch_opts.slots,
+        "queries": queries.len(),
+        "ok": report.ok_count(),
+        "occupancy_bucket": occupancy_bucket(report.occupancy()),
+        "sim_ms": round2(report.sim_ms()),
+        "exchange_records": report.exchange_records(),
+        "exchange_bytes": report.exchange_bytes(),
+        "max_imbalance": round2(report.max_imbalance()),
+    });
+    let doc = json!({
+        "snapshot": "shard scaling: BFS/PR sim-ms and exchange volume at K=1/2/4/8",
+        "tool": "shard-bench",
+        "cost_model_version": gswitch_simt::COST_MODEL_VERSION,
+        "device": gswitch_simt::DeviceSpec::default().name,
+        "shard_counts": SHARD_COUNTS.to_vec(),
+        "graphs": graphs,
+        "mixed_batch": mixed_batch,
+    });
+
+    let text = serde_json::to_string_pretty(&doc).expect("snapshot serializes");
+    std::fs::write(OUT, text + "\n").unwrap_or_else(|e| panic!("write {OUT}: {e}"));
+    eprintln!("wrote {OUT}");
+}
+
+/// Coarse occupancy bucket (`<0.5`, `0.5-0.8`, `>=0.8`): wall-clock
+/// derived, so the exact value varies run to run; the bucket should not.
+fn occupancy_bucket(x: f64) -> &'static str {
+    if x >= 0.8 {
+        ">=0.8"
+    } else if x >= 0.5 {
+        "0.5-0.8"
+    } else {
+        "<0.5"
+    }
+}

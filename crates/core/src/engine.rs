@@ -586,6 +586,7 @@ pub fn run_with_seed_config<A: EdgeApp>(
                 task_max_cycles: eo.profile.tasks.max_cycles,
                 task_count: eo.profile.tasks.count,
                 features,
+                shard: None,
             });
         }
 

@@ -9,10 +9,22 @@
 //! tests.
 
 use gswitch_kernels::Frontier;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 
 static ARMED: AtomicBool = AtomicBool::new(false);
 static FIRED: AtomicU64 = AtomicU64::new(0);
+
+/// Sentinel for "no shard armed" in the shard fault slots below.
+const DISARMED: u32 = u32::MAX;
+
+// Shard-worker faults for the partitioned driver: one-shot, armed with
+// a target shard id. `SHARD_PANIC` kills the worker at the start of its
+// exchange-phase work; `SHARD_DROP` loses the worker's result at the
+// collection barrier. Both must surface as structured `ShardError`s,
+// never hangs — `tests/shard_faults.rs` proves it.
+static SHARD_PANIC: AtomicU32 = AtomicU32::new(DISARMED);
+static SHARD_DROP: AtomicU32 = AtomicU32::new(DISARMED);
+static SHARD_FIRED: AtomicU64 = AtomicU64::new(0);
 
 /// Arm the frontier-corruption fault: every subsequent non-reference
 /// materialization silently loses one workload entry.
@@ -20,10 +32,51 @@ pub fn arm_frontier_corruption() {
     ARMED.store(true, Ordering::SeqCst);
 }
 
-/// Disarm and zero the fired counter.
+/// Arm a one-shot panic in shard `shard`'s exchange-phase worker.
+pub fn arm_shard_panic(shard: u32) {
+    SHARD_PANIC.store(shard, Ordering::SeqCst);
+}
+
+/// Arm a one-shot result loss for shard `shard` at the exchange barrier.
+pub fn arm_shard_drop(shard: u32) {
+    SHARD_DROP.store(shard, Ordering::SeqCst);
+}
+
+/// Fire the armed panic if `shard` is the target (one-shot: disarms
+/// before panicking so retries proceed cleanly).
+pub fn maybe_shard_panic(shard: u32) {
+    if SHARD_PANIC
+        .compare_exchange(shard, DISARMED, Ordering::SeqCst, Ordering::SeqCst)
+        .is_ok()
+    {
+        SHARD_FIRED.fetch_add(1, Ordering::SeqCst);
+        panic!("injected fault: shard {shard} worker died at the exchange step");
+    }
+}
+
+/// Consume the armed drop if `shard` is the target (one-shot).
+pub fn take_shard_drop(shard: u32) -> bool {
+    let hit = SHARD_DROP
+        .compare_exchange(shard, DISARMED, Ordering::SeqCst, Ordering::SeqCst)
+        .is_ok();
+    if hit {
+        SHARD_FIRED.fetch_add(1, Ordering::SeqCst);
+    }
+    hit
+}
+
+/// How many shard-worker faults actually fired.
+pub fn shard_fired() -> u64 {
+    SHARD_FIRED.load(Ordering::SeqCst)
+}
+
+/// Disarm every fault and zero the fired counters.
 pub fn reset() {
     ARMED.store(false, Ordering::SeqCst);
     FIRED.store(0, Ordering::SeqCst);
+    SHARD_PANIC.store(DISARMED, Ordering::SeqCst);
+    SHARD_DROP.store(DISARMED, Ordering::SeqCst);
+    SHARD_FIRED.store(0, Ordering::SeqCst);
 }
 
 /// How many times a frontier was actually corrupted.

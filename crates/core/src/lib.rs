@@ -27,6 +27,7 @@ pub mod faults;
 pub mod features;
 pub mod oracle;
 pub mod policy;
+pub mod sharded;
 
 pub use cancel::{CancelToken, ProbeHandle, RunProbe, StopReason};
 pub use engine::{
@@ -38,6 +39,7 @@ pub use policy::{
     AppCaps, AutoPolicy, ModelEnvelope, ModelLoadReport, ModelPolicy, Policy, StaticPolicy,
     MODEL_SCHEMA_VERSION,
 };
+pub use sharded::{run_sharded, ShardError, ShardedOptions, ShardedRunReport, SuperStep};
 
 // Observability handles callers need to request a decision trace
 // (`EngineOptions.recorder`); the full registry/summary API lives in

@@ -1,0 +1,834 @@
+//! Partitioned execution: the sharded super-step driver.
+//!
+//! [`run_sharded`] runs one application over a [`ShardedCsr`] — K
+//! locally-renumbered shards with halo tables (`gswitch_graph::shard`) —
+//! as a bulk-synchronous sequence of super-steps. Each super-step:
+//!
+//! 1. **Classify** every shard in parallel (one panic-isolated worker
+//!    per shard) through a [`ShardView`] adapter that translates local
+//!    vertex ids to global ones and pins halo copies to `Fixed`, so the
+//!    owning shard alone classifies, prepares and expands each vertex.
+//! 2. **Decide** per shard on the host: every shard carries its own
+//!    [`DecisionContext`] seeded from its local `GraphStats`, so the
+//!    Selector tunes the P2 active-set format and P3 load balance
+//!    independently per shard. P1 direction is pinned to push, P4/P5
+//!    are pinned off — cross-shard pull and fused chains would break
+//!    the exchange protocol (see DESIGN §4.11).
+//! 3. **Expand** every shard in parallel. App state lives in one global
+//!    set of atomic arrays shared by all shards, so a push update into
+//!    a halo vertex lands in the owner's data directly — the atomic *is*
+//!    the exchange payload. The view counts those halo hits (total and
+//!    distinct) and the driver prices the implied frontier-exchange
+//!    traffic with [`DeviceSpec::exchange_time_ms`], merging duplicates
+//!    first unless the app is `DUP_TOLERANT`.
+//!
+//! A shard worker that panics (or is lost) surfaces as a structured
+//! [`ShardError`], never a hang: the remaining workers of the phase run
+//! to completion, then the super-step aborts with the first failure.
+
+use crate::cancel::{ProbeHandle, StopReason};
+use crate::engine::PatternMask;
+use crate::features::DecisionContext;
+use crate::policy::{AppCaps, Policy};
+use gswitch_graph::shard::{LocalShard, ShardedCsr};
+use gswitch_graph::{VertexId, Weight};
+use gswitch_kernels::exchange::ExchangeProfile;
+use gswitch_kernels::pattern::KernelConfig;
+use gswitch_kernels::{
+    classify, expand, materialize, ClassifyOutput, EdgeApp, ExpandOutput, Status,
+};
+use gswitch_obs::{Provenance, RecorderHandle, TraceEvent};
+use gswitch_simt::{DeviceSpec, SimMs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Why a sharded run could not complete.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShardError {
+    /// The app/partition combination is outside the sharded driver's
+    /// contract (e.g. a priority-driven app, whose global threshold the
+    /// per-shard selectors cannot coordinate).
+    Unsupported(String),
+    /// A shard worker panicked; the panic was contained and converted.
+    WorkerPanicked {
+        /// Shard whose worker died.
+        shard: u32,
+        /// Phase the worker died in (`"classify"` or `"exchange"`).
+        phase: &'static str,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// A shard worker vanished without a payload (its result was
+    /// dropped before the exchange barrier).
+    WorkerLost {
+        /// Shard whose result never arrived.
+        shard: u32,
+        /// Phase the result was lost in.
+        phase: &'static str,
+    },
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Unsupported(why) => write!(f, "sharded execution unsupported: {why}"),
+            ShardError::WorkerPanicked { shard, phase, message } => {
+                write!(f, "shard {shard} worker panicked during {phase}: {message}")
+            }
+            ShardError::WorkerLost { shard, phase } => {
+                write!(f, "shard {shard} worker lost during {phase}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// Options for [`run_sharded`] — the sharded analogue of
+/// [`EngineOptions`](crate::EngineOptions).
+#[derive(Clone, Debug)]
+pub struct ShardedOptions {
+    /// The simulated GPU each shard occupies (one device per shard).
+    pub device: DeviceSpec,
+    /// Safety bound on super-steps.
+    pub max_supersteps: u32,
+    /// Pattern ablation mask. Intersected with the driver's own pinning:
+    /// direction, stepping and fusion are always off in sharded runs.
+    pub mask: PatternMask,
+    /// Per-shard Fig. 10 stability bypass.
+    pub stability_bypass: bool,
+    /// Decision-trace sink; events carry `shard: Some(id)`.
+    pub recorder: RecorderHandle,
+    /// Cooperative stop probe, polled at every super-step barrier.
+    pub probe: ProbeHandle,
+}
+
+impl Default for ShardedOptions {
+    fn default() -> Self {
+        ShardedOptions {
+            device: DeviceSpec::default(),
+            max_supersteps: 50_000,
+            mask: PatternMask::all(),
+            stability_bypass: true,
+            recorder: RecorderHandle::none(),
+            probe: ProbeHandle::none(),
+        }
+    }
+}
+
+impl ShardedOptions {
+    /// Options on a specific device.
+    pub fn on(device: DeviceSpec) -> Self {
+        ShardedOptions { device, ..Default::default() }
+    }
+
+    /// The mask the per-shard selectors actually see: the caller's mask
+    /// with the driver's pinned patterns forced off.
+    fn effective_mask(&self) -> PatternMask {
+        PatternMask {
+            direction: false, // push only: halo rows are empty in the local out-CSR
+            format: self.mask.format,
+            load_balance: self.mask.load_balance,
+            stepping: false, // no global priority window across shards
+            fusion: false,   // a fused chain would skip the exchange barrier
+        }
+    }
+}
+
+/// One bulk-synchronous super-step of a sharded run.
+#[derive(Clone, Copy, Debug)]
+pub struct SuperStep {
+    /// Super-step index (0-based).
+    pub iteration: u32,
+    /// Simulated Filter time: the *slowest* shard's classify +
+    /// materialize (shards run on parallel devices).
+    pub filter_ms: SimMs,
+    /// Simulated Expand time: the slowest shard's expand.
+    pub expand_ms: SimMs,
+    /// Simulated frontier-exchange time for the routed halo records.
+    pub exchange_ms: SimMs,
+    /// Host decision time across all shards.
+    pub overhead_ms: f64,
+    /// Exchange volume accounting for this step.
+    pub exchange: ExchangeProfile,
+    /// Active vertices across all shards.
+    pub active: u64,
+    /// Edges traversed across all shards.
+    pub edges_touched: u64,
+}
+
+/// The result of a sharded run.
+#[derive(Clone, Debug, Default)]
+pub struct ShardedRunReport {
+    /// Number of shards that ran.
+    pub k: u32,
+    /// Per-super-step traces in order.
+    pub supersteps: Vec<SuperStep>,
+    /// Whether the global active set emptied before `max_supersteps`.
+    pub converged: bool,
+    /// `Some` when the probe stopped the run early.
+    pub stopped: Option<StopReason>,
+    /// Per-shard total busy time (filter + expand), for imbalance.
+    pub shard_busy_ms: Vec<f64>,
+}
+
+impl ShardedRunReport {
+    /// Super-steps executed.
+    pub fn n_supersteps(&self) -> usize {
+        self.supersteps.len()
+    }
+
+    /// Total critical-path Filter time (ms).
+    pub fn filter_ms(&self) -> SimMs {
+        self.supersteps.iter().map(|s| s.filter_ms).sum()
+    }
+
+    /// Total critical-path Expand time (ms).
+    pub fn expand_ms(&self) -> SimMs {
+        self.supersteps.iter().map(|s| s.expand_ms).sum()
+    }
+
+    /// Total frontier-exchange time (ms).
+    pub fn exchange_ms(&self) -> SimMs {
+        self.supersteps.iter().map(|s| s.exchange_ms).sum()
+    }
+
+    /// Total host overhead (ms).
+    pub fn overhead_ms(&self) -> f64 {
+        self.supersteps.iter().map(|s| s.overhead_ms).sum()
+    }
+
+    /// End-to-end simulated time: per-step critical path + exchange +
+    /// host overhead.
+    pub fn total_ms(&self) -> SimMs {
+        self.filter_ms() + self.expand_ms() + self.exchange_ms() + self.overhead_ms()
+    }
+
+    /// Total edges traversed across shards.
+    pub fn edges_touched(&self) -> u64 {
+        self.supersteps.iter().map(|s| s.edges_touched).sum()
+    }
+
+    /// Aggregate exchange volume over the whole run.
+    pub fn exchange_total(&self) -> ExchangeProfile {
+        let mut total = ExchangeProfile::default();
+        for s in &self.supersteps {
+            total.absorb(&s.exchange);
+        }
+        total
+    }
+
+    /// Work imbalance across shards: the busiest shard's total busy time
+    /// over the average (1.0 = perfectly balanced; 0.0 on an idle run).
+    pub fn imbalance(&self) -> f64 {
+        let total: f64 = self.shard_busy_ms.iter().sum();
+        if self.shard_busy_ms.is_empty() || total == 0.0 {
+            return 0.0;
+        }
+        let max = self.shard_busy_ms.iter().cloned().fold(0.0, f64::max);
+        max / (total / self.shard_busy_ms.len() as f64)
+    }
+}
+
+/// The per-shard adapter: presents one [`LocalShard`] to the kernels as
+/// a self-contained graph application while every semantic call lands in
+/// the *global* app. Halo copies classify as `Fixed` (their owner alone
+/// drives them) and halo-directed updates are counted as exchange
+/// records.
+struct ShardView<'a, A: EdgeApp> {
+    app: &'a A,
+    shard: &'a LocalShard,
+    /// Comp attempts whose destination is a halo copy — the records the
+    /// exchange step must route to owners. Attempts, not successes: a
+    /// shard cannot know remotely whether its update will win against a
+    /// concurrent owner-side write, so every boundary-crossing message
+    /// is routed (this also keeps the count deterministic run to run,
+    /// which the `BENCH_shard.json` snapshot relies on).
+    halo_records: AtomicU64,
+    /// Distinct halo destinations this super-step.
+    halo_seen: gswitch_kernels::atomics::AtomicBitSet,
+}
+
+impl<'a, A: EdgeApp> ShardView<'a, A> {
+    fn new(app: &'a A, shard: &'a LocalShard) -> Self {
+        ShardView {
+            app,
+            shard,
+            halo_records: AtomicU64::new(0),
+            halo_seen: gswitch_kernels::atomics::AtomicBitSet::new(shard.n_halo()),
+        }
+    }
+
+    #[inline]
+    fn global(&self, local: VertexId) -> VertexId {
+        self.shard.to_global(local)
+    }
+
+    /// Drain this super-step's exchange counters: `(records, distinct)`.
+    fn take_exchange(&self) -> (u64, u64) {
+        let records = self.halo_records.swap(0, Ordering::Relaxed);
+        let distinct = self.halo_seen.count() as u64;
+        self.halo_seen.clear();
+        (records, distinct)
+    }
+}
+
+impl<A: EdgeApp> EdgeApp for ShardView<'_, A> {
+    type Msg = A::Msg;
+
+    const PULL_EARLY_EXIT: bool = A::PULL_EARLY_EXIT;
+    const DUP_TOLERANT: bool = A::DUP_TOLERANT;
+    const NEEDS_WEIGHTS: bool = A::NEEDS_WEIGHTS;
+    // The driver rejects priority-driven apps up front; the view never
+    // advertises the capability so per-shard selectors cannot step.
+    const PRIORITY_DRIVEN: bool = false;
+
+    fn filter(&self, v: VertexId) -> Status {
+        if self.shard.is_halo(v) {
+            // The owner classifies (and prepares) the real vertex; the
+            // halo copy is inert in this shard.
+            Status::Fixed
+        } else {
+            self.app.filter(self.global(v))
+        }
+    }
+
+    fn prepare(&self, v: VertexId) {
+        self.app.prepare(self.global(v));
+    }
+
+    fn emit(&self, u: VertexId, w: Weight) -> A::Msg {
+        self.app.emit(self.global(u), w)
+    }
+
+    fn comp_atomic(&self, dst: VertexId, msg: A::Msg) -> bool {
+        if self.shard.is_halo(dst) {
+            // The atomic below delivers the update to the owner's data
+            // directly; what remains is the routing cost — charged per
+            // attempt, because a real shard must send the message
+            // before knowing whether it wins at the owner.
+            self.halo_records.fetch_add(1, Ordering::Relaxed);
+            self.halo_seen.set(dst - self.shard.n_owned() as VertexId);
+        }
+        self.app.comp_atomic(self.global(dst), msg)
+    }
+
+    fn comp(&self, dst: VertexId, msg: A::Msg) -> bool {
+        self.app.comp(self.global(dst), msg)
+    }
+
+    // No-op: the driver advances the global app once per super-step;
+    // K per-shard calls would skip levels.
+    fn advance(&self, _iteration: u32) {}
+
+    fn pull_receives(status: Status) -> bool {
+        A::pull_receives(status)
+    }
+
+    fn would_tie(&self, dst: VertexId, msg: A::Msg) -> bool {
+        self.app.would_tie(self.global(dst), msg)
+    }
+
+    // rescue() deliberately not forwarded: convergence is a global
+    // property the driver owns; a per-shard rescue could resurrect one
+    // shard while the barrier believes the run has drained.
+}
+
+/// Extract a human-readable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Run every shard's closure on its own thread, containing panics.
+/// Returns per-shard results; `Err` carries the structured failure.
+fn fan_out<'env, T: Send>(
+    k: usize,
+    phase: &'static str,
+    job: impl Fn(usize) -> T + Sync + 'env,
+) -> Vec<Result<T, ShardError>> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..k)
+            .map(|s| {
+                let job = &job;
+                scope.spawn(move || catch_unwind(AssertUnwindSafe(|| job(s))))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(s, h)| match h.join() {
+                Ok(Ok(v)) => Ok(v),
+                Ok(Err(payload)) => Err(ShardError::WorkerPanicked {
+                    shard: s as u32,
+                    phase,
+                    message: panic_message(payload),
+                }),
+                Err(_) => Err(ShardError::WorkerLost { shard: s as u32, phase }),
+            })
+            .collect()
+    })
+}
+
+/// Run `app` over the partitioned graph until global convergence.
+///
+/// Semantics match the single-shard engine exactly for push-mode apps:
+/// one global app instance, BSP barriers between classify and expand,
+/// `advance` called once per super-step, `prepare` exactly once per
+/// active vertex (its owner's classify). Priority-driven apps are
+/// rejected — their stepping window is global state the per-shard
+/// selectors cannot coordinate.
+pub fn run_sharded<A: EdgeApp>(
+    sharded: &ShardedCsr,
+    app: &A,
+    policy: &dyn Policy,
+    opts: &ShardedOptions,
+) -> Result<ShardedRunReport, ShardError> {
+    if A::PRIORITY_DRIVEN {
+        return Err(ShardError::Unsupported(
+            "priority-driven apps need a global stepping window; run them single-shard".into(),
+        ));
+    }
+    let k = sharded.k() as usize;
+    let spec = &opts.device;
+    let mask = opts.effective_mask();
+    let caps = AppCaps::of::<ShardView<'_, A>>();
+    let payload_bytes = std::mem::size_of::<A::Msg>() as u32;
+
+    let views: Vec<ShardView<'_, A>> =
+        sharded.shards().iter().map(|sh| ShardView::new(app, sh)).collect();
+
+    let mut report = ShardedRunReport {
+        k: k as u32,
+        shard_busy_ms: vec![0.0; k],
+        ..Default::default()
+    };
+
+    // Per-shard decision state, mirroring the engine's history block.
+    let mut ctxs: Vec<DecisionContext> =
+        sharded.shards().iter().map(|sh| DecisionContext::initial(*sh.graph().stats())).collect();
+    let mut tf_sums = vec![0.0f64; k];
+    let mut te_sums = vec![0.0f64; k];
+    let mut last_configs: Vec<Option<KernelConfig>> = vec![None; k];
+    let mut streaks = vec![0u32; k];
+
+    for iteration in 0..opts.max_supersteps {
+        if let Some(reason) = opts.probe.check(iteration) {
+            report.stopped = Some(reason);
+            break;
+        }
+        // One global advance: the K views are windows onto one app.
+        app.advance(iteration);
+
+        // ---- Phase 1: classify all shards (parallel, panic-isolated).
+        let classified = fan_out(k, "classify", |s| classify(views[s].shard.graph(), &views[s], spec));
+        let mut outputs: Vec<ClassifyOutput> = Vec::with_capacity(k);
+        for r in classified {
+            outputs.push(r?);
+        }
+
+        let total_active: u64 = outputs.iter().map(|o| o.stats.v_active).sum();
+        if total_active == 0 {
+            report.converged = true;
+            break;
+        }
+
+        // ---- Phase 2: per-shard decisions on the host.
+        let mut overhead_host_ms = 0.0;
+        let mut decisions: Vec<(KernelConfig, Provenance, bool)> = Vec::with_capacity(k);
+        for s in 0..k {
+            let ctx = &mut ctxs[s];
+            ctx.iteration = iteration;
+            ctx.stats = outputs[s].stats;
+            let stable = opts.stability_bypass
+                && streaks[s] >= 2
+                && ctx.t_e_avg > 0.0
+                && (ctx.t_e - ctx.t_e_avg).abs() <= 0.5 * ctx.t_e_avg;
+            let (cfg, prov, decided) = match (stable, last_configs[s]) {
+                (true, Some(prev)) => (prev, Provenance::StabilityBypass, false),
+                _ => {
+                    let t0 = std::time::Instant::now();
+                    let c = policy.decide(ctx, &caps);
+                    overhead_host_ms += t0.elapsed().as_secs_f64() * 1e3;
+                    (c, Provenance::Decided, true)
+                }
+            };
+            decisions.push((caps.clamp(mask.apply(cfg)), prov, decided));
+        }
+
+        // ---- Phase 3: materialize + expand all shards (parallel,
+        // panic-isolated). Every halo-directed comp_atomic inside is an
+        // exchange record; the barrier below settles the accounting.
+        let expanded = fan_out(k, "exchange", |s| {
+            #[cfg(feature = "fault-injection")]
+            crate::faults::maybe_shard_panic(s as u32);
+            let view = &views[s];
+            let g = view.shard.graph();
+            let cfg = decisions[s].0;
+            let (frontier, mat_profile) =
+                materialize::<ShardView<'_, A>>(g, &outputs[s].status, cfg.direction, cfg.format, spec);
+            let eo = expand(g, view, &frontier, &outputs[s].status, cfg, spec);
+            (spec.kernel_time_ms(&mat_profile), eo)
+        });
+        let mut results: Vec<(SimMs, ExpandOutput)> = Vec::with_capacity(k);
+        for (s, r) in expanded.into_iter().enumerate() {
+            #[cfg(feature = "fault-injection")]
+            if crate::faults::take_shard_drop(s as u32) {
+                return Err(ShardError::WorkerLost { shard: s as u32, phase: "exchange" });
+            }
+            #[cfg(not(feature = "fault-injection"))]
+            let _ = s;
+            results.push(r?);
+        }
+
+        // ---- Phase 4: exchange accounting + feedback (the barrier).
+        let mut exchange = ExchangeProfile::default();
+        let mut step = SuperStep {
+            iteration,
+            filter_ms: 0.0,
+            expand_ms: 0.0,
+            exchange_ms: 0.0,
+            overhead_ms: overhead_host_ms + spec.feedback_time_ms(),
+            exchange: ExchangeProfile::default(),
+            active: total_active,
+            edges_touched: 0,
+        };
+        for s in 0..k {
+            let (mat_ms, eo) = &results[s];
+            let classify_ms = spec.kernel_time_ms(&outputs[s].profile);
+            let filter_ms = classify_ms + mat_ms;
+            let expand_ms = spec.kernel_time_ms(&eo.profile);
+            let (records, distinct) = views[s].take_exchange();
+            exchange.absorb(&ExchangeProfile::for_app(
+                records,
+                distinct,
+                A::DUP_TOLERANT,
+                payload_bytes,
+            ));
+
+            // Shards are parallel devices: the step's filter/expand is
+            // the slowest shard's; each shard's own busy time feeds the
+            // imbalance metric.
+            step.filter_ms = step.filter_ms.max(filter_ms);
+            step.expand_ms = step.expand_ms.max(expand_ms);
+            step.edges_touched += eo.edges_touched;
+            report.shard_busy_ms[s] += filter_ms + expand_ms;
+
+            let (config, provenance, _) = decisions[s];
+            if let Some(rec) = opts.recorder.active() {
+                rec.record(&TraceEvent {
+                    iteration,
+                    config,
+                    provenance,
+                    predicted_ms: ctxs[s].t_e_avg,
+                    measured_ms: expand_ms,
+                    filter_ms,
+                    overhead_ms: 0.0,
+                    v_active: outputs[s].stats.v_active,
+                    e_active: outputs[s].stats.e_active,
+                    edges_touched: eo.edges_touched,
+                    activations: eo.activations,
+                    duplicates: eo.profile.duplicates,
+                    task_total_cycles: eo.profile.tasks.total_cycles,
+                    task_max_cycles: eo.profile.tasks.max_cycles,
+                    task_count: eo.profile.tasks.count,
+                    features: ctxs[s].features(config.direction),
+                    shard: Some(s as u32),
+                });
+            }
+
+            // Per-shard history for the next super-step's Inspector.
+            let ctx = &mut ctxs[s];
+            tf_sums[s] += filter_ms;
+            te_sums[s] += expand_ms;
+            let done = iteration as f64 + 1.0;
+            ctx.prev_prev_workload_edges = ctx.prev_workload_edges;
+            ctx.prev_workload_edges = eo.edges_touched;
+            ctx.t_f = filter_ms;
+            ctx.t_e = expand_ms;
+            ctx.t_f_avg = tf_sums[s] / done;
+            ctx.t_e_avg = te_sums[s] / done;
+            if last_configs[s] == Some(config) {
+                streaks[s] += 1;
+            } else {
+                streaks[s] = 0;
+            }
+            last_configs[s] = Some(config);
+        }
+        // Exchange: routed records cross the interconnect to k-1 peers.
+        step.exchange = exchange;
+        step.exchange_ms = spec.exchange_time_ms(exchange.bytes(), (k as u32).saturating_sub(1));
+        report.supersteps.push(step);
+    }
+
+    if report.n_supersteps() >= opts.max_supersteps as usize {
+        report.converged = false;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run, EngineOptions};
+    use crate::policy::{AutoPolicy, StaticPolicy};
+    use gswitch_graph::{gen, Graph, GraphBuilder};
+    use gswitch_kernels::atomics::AtomicArray;
+    use gswitch_kernels::pattern::{Direction, Fusion, SteppingDelta};
+    use gswitch_obs::TraceRing;
+    use std::sync::Arc;
+
+    /// The engine-test BFS app, reused for equivalence checks.
+    struct Bfs {
+        level: AtomicArray<u32>,
+        current: std::sync::atomic::AtomicU32,
+    }
+
+    impl Bfs {
+        fn new(n: usize, src: VertexId) -> Self {
+            let b = Bfs {
+                level: AtomicArray::filled(n, u32::MAX),
+                current: std::sync::atomic::AtomicU32::new(0),
+            };
+            b.level.store(src, 0);
+            b
+        }
+    }
+
+    impl EdgeApp for Bfs {
+        type Msg = u32;
+        const PULL_EARLY_EXIT: bool = true;
+        fn filter(&self, v: VertexId) -> Status {
+            let l = self.level.load(v);
+            let cur = self.current.load(std::sync::atomic::Ordering::Relaxed);
+            if l == cur {
+                Status::Active
+            } else if l == u32::MAX {
+                Status::Inactive
+            } else {
+                Status::Fixed
+            }
+        }
+        fn emit(&self, u: VertexId, _w: u32) -> u32 {
+            self.level.load(u) + 1
+        }
+        fn comp_atomic(&self, dst: VertexId, msg: u32) -> bool {
+            self.level.fetch_min(dst, msg) > msg
+        }
+        fn comp(&self, dst: VertexId, msg: u32) -> bool {
+            if msg < self.level.load(dst) {
+                self.level.store(dst, msg);
+                true
+            } else {
+                false
+            }
+        }
+        fn advance(&self, it: u32) {
+            self.current.store(it, std::sync::atomic::Ordering::Relaxed);
+        }
+        fn would_tie(&self, dst: VertexId, msg: u32) -> bool {
+            self.level.load(dst) == msg
+        }
+    }
+
+    /// A panicking app, to prove worker isolation.
+    struct Bomb;
+    impl EdgeApp for Bomb {
+        type Msg = u32;
+        fn filter(&self, v: VertexId) -> Status {
+            if v == 3 {
+                panic!("boom at vertex 3");
+            }
+            Status::Active
+        }
+        fn emit(&self, _u: VertexId, _w: u32) -> u32 {
+            0
+        }
+        fn comp_atomic(&self, _d: VertexId, _m: u32) -> bool {
+            false
+        }
+        fn comp(&self, _d: VertexId, _m: u32) -> bool {
+            false
+        }
+    }
+
+    /// A priority-driven stub, to prove the contract check.
+    struct Stepped;
+    impl EdgeApp for Stepped {
+        type Msg = u32;
+        const PRIORITY_DRIVEN: bool = true;
+        fn filter(&self, _v: VertexId) -> Status {
+            Status::Fixed
+        }
+        fn emit(&self, _u: VertexId, _w: u32) -> u32 {
+            0
+        }
+        fn comp_atomic(&self, _d: VertexId, _m: u32) -> bool {
+            false
+        }
+        fn comp(&self, _d: VertexId, _m: u32) -> bool {
+            false
+        }
+    }
+
+    fn sharded_levels(g: &Graph, k: u32, src: VertexId) -> (Vec<u32>, ShardedRunReport) {
+        let sharded = ShardedCsr::partition(g, k).expect("partition");
+        let app = Bfs::new(g.num_vertices(), src);
+        let rep = run_sharded(&sharded, &app, &AutoPolicy, &ShardedOptions::default())
+            .expect("sharded run");
+        (app.level.to_vec(), rep)
+    }
+
+    fn single_levels(g: &Graph, src: VertexId) -> Vec<u32> {
+        let app = Bfs::new(g.num_vertices(), src);
+        let rep = run(g, &app, &AutoPolicy, &EngineOptions::default());
+        assert!(rep.converged);
+        app.level.to_vec()
+    }
+
+    #[test]
+    fn one_shard_matches_single_engine() {
+        let g = gen::erdos_renyi(400, 1_600, 11);
+        let expected = single_levels(&g, 0);
+        let (levels, rep) = sharded_levels(&g, 1, 0);
+        assert!(rep.converged);
+        assert_eq!(levels, expected);
+        // One shard has no peers: zero exchange.
+        assert_eq!(rep.exchange_total().records, 0);
+        assert_eq!(rep.exchange_ms(), 0.0);
+    }
+
+    #[test]
+    fn multi_shard_bfs_bit_matches_single_shard() {
+        for (graph, src) in [
+            (gen::erdos_renyi(500, 2_000, 3), 0u32),
+            (gen::kronecker(9, 8, 7), 0u32),
+            (gen::grid2d(25, 25, 0.0, 5), 17u32),
+        ] {
+            let expected = single_levels(&graph, src);
+            for k in [2u32, 4, 8] {
+                let (levels, rep) = sharded_levels(&graph, k, src);
+                assert!(rep.converged, "k={k} did not converge");
+                assert_eq!(levels, expected, "k={k} diverged on {}", graph.name());
+            }
+        }
+    }
+
+    #[test]
+    fn exchange_is_counted_and_priced() {
+        // A path crossing shard boundaries guarantees halo traffic.
+        let g = GraphBuilder::new(64).edges((0..63u32).map(|i| (i, i + 1))).build();
+        let (_, rep) = sharded_levels(&g, 4, 0);
+        let total = rep.exchange_total();
+        assert!(total.records > 0, "boundary-crossing BFS produced no exchange records");
+        assert!(total.bytes() > 0);
+        assert!(rep.exchange_ms() > 0.0);
+        // BFS is DUP_TOLERANT: everything routes.
+        assert_eq!(total.routed, total.records);
+    }
+
+    #[test]
+    fn sharded_trace_events_carry_shard_ids() {
+        let g = gen::erdos_renyi(300, 1_200, 5);
+        let sharded = ShardedCsr::partition(&g, 3).expect("partition");
+        let app = Bfs::new(g.num_vertices(), 0);
+        let ring = Arc::new(TraceRing::new(4096));
+        let opts = ShardedOptions {
+            recorder: RecorderHandle::new(ring.recorder(1, "er", "bfs")),
+            ..Default::default()
+        };
+        let rep = run_sharded(&sharded, &app, &AutoPolicy, &opts).expect("run");
+        assert!(rep.converged);
+        let events = ring.snapshot();
+        assert!(!events.is_empty());
+        let mut shards_seen: Vec<u32> = events.iter().filter_map(|e| e.event.shard).collect();
+        shards_seen.sort_unstable();
+        shards_seen.dedup();
+        assert_eq!(shards_seen, vec![0, 1, 2]);
+        // Pinned patterns hold in every event.
+        for e in &events {
+            assert_eq!(e.event.config.direction, Direction::Push);
+            assert_eq!(e.event.config.fusion, Fusion::Standalone);
+            assert_eq!(e.event.config.stepping, SteppingDelta::Remain);
+        }
+    }
+
+    #[test]
+    fn worker_panic_becomes_structured_error() {
+        let g = GraphBuilder::new(8).edges([(0, 1), (2, 3), (4, 5), (6, 7)]).build();
+        let sharded = ShardedCsr::partition(&g, 2).expect("partition");
+        let err = run_sharded(&sharded, &Bomb, &AutoPolicy, &ShardedOptions::default())
+            .expect_err("bomb must fail");
+        match err {
+            ShardError::WorkerPanicked { phase, message, .. } => {
+                assert_eq!(phase, "classify");
+                assert!(message.contains("boom"), "payload lost: {message}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn priority_driven_apps_are_rejected() {
+        let g = GraphBuilder::new(4).edges([(0, 1), (1, 2)]).build();
+        let sharded = ShardedCsr::partition(&g, 2).expect("partition");
+        let err = run_sharded(&sharded, &Stepped, &AutoPolicy, &ShardedOptions::default())
+            .expect_err("priority-driven must be rejected");
+        assert!(matches!(err, ShardError::Unsupported(_)));
+        assert!(err.to_string().contains("priority-driven"));
+    }
+
+    #[test]
+    fn probe_stops_sharded_run() {
+        use crate::cancel::{RunProbe, StopReason};
+        struct StopAt(u32);
+        impl RunProbe for StopAt {
+            fn check(&self, iteration: u32) -> Option<StopReason> {
+                (iteration >= self.0).then_some(StopReason::DeadlineExceeded)
+            }
+        }
+        let g = gen::grid2d(30, 30, 0.0, 2);
+        let sharded = ShardedCsr::partition(&g, 2).expect("partition");
+        let app = Bfs::new(g.num_vertices(), 0);
+        let opts = ShardedOptions {
+            probe: ProbeHandle::new(Arc::new(StopAt(2))),
+            ..Default::default()
+        };
+        let rep = run_sharded(&sharded, &app, &AutoPolicy, &opts).expect("run");
+        assert_eq!(rep.stopped, Some(StopReason::DeadlineExceeded));
+        assert!(!rep.converged);
+        assert_eq!(rep.n_supersteps(), 2);
+    }
+
+    #[test]
+    fn report_aggregates_are_consistent() {
+        let g = gen::kronecker(8, 8, 13);
+        let (_, rep) = sharded_levels(&g, 4, 0);
+        let sum: f64 = rep
+            .supersteps
+            .iter()
+            .map(|s| s.filter_ms + s.expand_ms + s.exchange_ms + s.overhead_ms)
+            .sum();
+        assert!((rep.total_ms() - sum).abs() < 1e-9);
+        assert_eq!(rep.shard_busy_ms.len(), 4);
+        let imb = rep.imbalance();
+        assert!(imb >= 1.0, "busiest/avg must be >= 1, got {imb}");
+    }
+
+    #[test]
+    fn static_policy_is_honored_per_shard() {
+        let g = gen::erdos_renyi(300, 1_500, 2);
+        let sharded = ShardedCsr::partition(&g, 2).expect("partition");
+        let app = Bfs::new(g.num_vertices(), 0);
+        let pinned = KernelConfig::push_baseline();
+        let rep = run_sharded(&sharded, &app, &StaticPolicy::new(pinned), &ShardedOptions::default())
+            .expect("run");
+        assert!(rep.converged);
+        assert_eq!(app.level.to_vec(), single_levels(&g, 0));
+    }
+}

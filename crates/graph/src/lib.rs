@@ -23,6 +23,9 @@
 //!   coefficient and relative edge-distribution entropy.
 //! - [`corpus`] — the deterministic 644+644 graph training/evaluation corpus
 //!   and scaled topological twins of the ten representative graphs.
+//! - [`shard`] — edge-cut partitioning into K locally-renumbered shards
+//!   with halo tables and per-shard stats, for the partitioned execution
+//!   subsystem (`gswitch-shard`).
 
 #![warn(missing_docs)]
 
@@ -32,6 +35,7 @@ pub mod csr;
 pub mod fingerprint;
 pub mod gen;
 pub mod io;
+pub mod shard;
 pub mod stats;
 pub mod transform;
 pub mod validate;
@@ -39,6 +43,7 @@ pub mod validate;
 pub use builder::{BuildReport, GraphBuilder};
 pub use csr::{Csr, EdgeRange};
 pub use fingerprint::Fingerprint;
+pub use shard::{LocalShard, ShardedCsr};
 pub use stats::GraphStats;
 pub use validate::{CsrValidator, ValidationReport};
 

@@ -1,0 +1,101 @@
+//! Inter-shard frontier-exchange accounting.
+//!
+//! When the graph is partitioned (`gswitch_graph::shard`), an Expand
+//! that activates a *halo* vertex produces an activation record that
+//! must be routed to the owning shard before the next super-step. This
+//! module is the cost-accounting side of that exchange: it counts the
+//! records a super-step produced, applies the duplicate-merge policy
+//! (`EdgeApp::DUP_TOLERANT` decides whether duplicates may ride along
+//! or must be merged before routing), and converts the result into the
+//! bytes the interconnect actually moves — which
+//! `gswitch_simt::DeviceSpec::exchange_time_ms` then prices.
+
+/// Exchange-volume profile of one sharded super-step (or an aggregate
+/// over a run — the fields add).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExchangeProfile {
+    /// Halo-activation records Expand produced (every successful or
+    /// attempted remote update counts — this is the raw fan-out).
+    pub records: u64,
+    /// Distinct halo vertices touched (the post-merge lower bound).
+    pub distinct: u64,
+    /// Records actually routed after the duplicate policy: all of them
+    /// for a duplicate-tolerant app (merging costs more than it saves,
+    /// the owner's `comp_atomic` is idempotent/monotonic), the distinct
+    /// set otherwise (the owner must see each vertex exactly once).
+    pub routed: u64,
+    /// Payload bytes per record (the app's message size).
+    pub payload_bytes: u32,
+}
+
+impl ExchangeProfile {
+    /// Bytes of the vertex id in every routed record.
+    pub const ID_BYTES: u32 = 4;
+
+    /// Build a profile from raw counts under an app's duplicate policy.
+    pub fn for_app(records: u64, distinct: u64, dup_tolerant: bool, payload_bytes: u32) -> Self {
+        ExchangeProfile {
+            records,
+            distinct,
+            routed: if dup_tolerant { records } else { distinct },
+            payload_bytes,
+        }
+    }
+
+    /// Bytes this exchange moves over the interconnect: each routed
+    /// record carries a global vertex id plus the app's message payload.
+    pub fn bytes(&self) -> u64 {
+        self.routed * (Self::ID_BYTES + self.payload_bytes) as u64
+    }
+
+    /// Duplicate records the merge policy removed before routing.
+    pub fn merged(&self) -> u64 {
+        self.records - self.routed
+    }
+
+    /// Fold another profile into this one (same payload size expected;
+    /// the larger wins so aggregates stay conservative).
+    pub fn absorb(&mut self, other: &ExchangeProfile) {
+        self.records += other.records;
+        self.distinct += other.distinct;
+        self.routed += other.routed;
+        self.payload_bytes = self.payload_bytes.max(other.payload_bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dup_tolerant_routes_everything() {
+        let p = ExchangeProfile::for_app(100, 40, true, 4);
+        assert_eq!(p.routed, 100);
+        assert_eq!(p.merged(), 0);
+        assert_eq!(p.bytes(), 100 * 8);
+    }
+
+    #[test]
+    fn dup_sensitive_merges_to_distinct() {
+        let p = ExchangeProfile::for_app(100, 40, false, 8);
+        assert_eq!(p.routed, 40);
+        assert_eq!(p.merged(), 60);
+        assert_eq!(p.bytes(), 40 * 12);
+    }
+
+    #[test]
+    fn absorb_adds_counts() {
+        let mut a = ExchangeProfile::for_app(10, 5, false, 4);
+        a.absorb(&ExchangeProfile::for_app(20, 7, false, 4));
+        assert_eq!(a.records, 30);
+        assert_eq!(a.distinct, 12);
+        assert_eq!(a.routed, 12);
+    }
+
+    #[test]
+    fn empty_exchange_is_free() {
+        let p = ExchangeProfile::default();
+        assert_eq!(p.bytes(), 0);
+        assert_eq!(p.merged(), 0);
+    }
+}

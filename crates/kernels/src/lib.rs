@@ -23,11 +23,14 @@
 //! * [`lb`] — the P3 load-balancing strategies (TWC/WM/CM/STRICT of Fig. 6)
 //!   as warp-task pricing over the measured per-vertex workload, including
 //!   the `price_all` oracle entry point used for brute-force labelling.
+//! * [`exchange`] — inter-shard frontier-exchange volume accounting for
+//!   partitioned execution (duplicate-merge policy + routed-byte counts).
 
 #![warn(missing_docs)]
 
 pub mod app;
 pub mod atomics;
+pub mod exchange;
 pub mod expand;
 pub mod filter;
 pub mod frontier;
@@ -35,6 +38,7 @@ pub mod lb;
 pub mod pattern;
 
 pub use app::{EdgeApp, Status};
+pub use exchange::ExchangeProfile;
 pub use expand::{expand, ExpandOutput};
 pub use filter::{classify, materialize, ClassifyOutput, IterStats, WorkloadStats};
 pub use frontier::Frontier;

@@ -55,6 +55,21 @@ pub struct LbStats {
     pub max_imbalance: f64,
 }
 
+/// Per-shard aggregate over a partitioned run's events.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ShardStats {
+    /// Iterations tagged with this shard.
+    pub events: u64,
+    /// Total simulated expand time on this shard.
+    pub measured_ms: f64,
+    /// Total simulated filter time on this shard.
+    pub filter_ms: f64,
+    /// Edges the shard's expands traversed.
+    pub edges_touched: u64,
+    /// Successful comp events on this shard.
+    pub activations: u64,
+}
+
 /// Everything `gswitch-trace` reports about one trace.
 #[derive(Clone, Debug, Default)]
 pub struct TraceSummary {
@@ -83,6 +98,9 @@ pub struct TraceSummary {
     pub measured_ms: f64,
     /// Imbalance per load-balance strategy.
     pub lb: BTreeMap<&'static str, LbStats>,
+    /// Per-shard aggregates for events tagged by the partitioned driver
+    /// (empty for whole-graph traces).
+    pub shards: BTreeMap<u32, ShardStats>,
 }
 
 /// Analyze events (grouping by job id; iterations are assumed ordered
@@ -96,15 +114,20 @@ pub fn summarize(events: &[StampedEvent]) -> TraceSummary {
         s.provenance.insert(key, 0);
     }
 
-    let mut last_by_job: BTreeMap<u64, &StampedEvent> = BTreeMap::new();
+    // Configuration streams are per (job, shard): in a partitioned run
+    // each shard tunes independently, so comparing consecutive events
+    // across shards would invent switches that never happened.
+    let mut last_by_job: BTreeMap<(u64, Option<u32>), &StampedEvent> = BTreeMap::new();
+    let mut jobs_seen: BTreeMap<u64, ()> = BTreeMap::new();
     let mut lb_sums: BTreeMap<&'static str, (u64, f64, f64)> = BTreeMap::new();
     let mut err_sum = 0.0;
 
     for ev in events {
         let e = &ev.event;
         *s.provenance.entry(e.provenance.as_str()).or_insert(0) += 1;
+        jobs_seen.insert(ev.job, ());
 
-        if let Some(prev) = last_by_job.get(&ev.job) {
+        if let Some(prev) = last_by_job.get(&(ev.job, e.shard)) {
             let p = &prev.event.config;
             let c = &e.config;
             if p.direction != c.direction {
@@ -129,7 +152,16 @@ pub fn summarize(events: &[StampedEvent]) -> TraceSummary {
                 *s.switches.entry("fusion").or_insert(0) += 1;
             }
         }
-        last_by_job.insert(ev.job, ev);
+        last_by_job.insert((ev.job, e.shard), ev);
+
+        if let Some(shard) = e.shard {
+            let sh = s.shards.entry(shard).or_default();
+            sh.events += 1;
+            sh.measured_ms += e.measured_ms;
+            sh.filter_ms += e.filter_ms;
+            sh.edges_touched += e.edges_touched;
+            sh.activations += e.activations;
+        }
 
         s.measured_ms += e.measured_ms;
         if e.predicted_ms > 0.0 && e.measured_ms > 0.0 {
@@ -149,7 +181,7 @@ pub fn summarize(events: &[StampedEvent]) -> TraceSummary {
         entry.2 = entry.2.max(imb);
     }
 
-    s.jobs = last_by_job.len();
+    s.jobs = jobs_seen.len();
     if s.predicted_events > 0 {
         s.mean_abs_rel_error = err_sum / s.predicted_events as f64;
     }
@@ -217,6 +249,25 @@ impl TraceSummary {
             }
         }
 
+        if !self.shards.is_empty() {
+            let _ = writeln!(out, "shards ({} tagged):", self.shards.len());
+            let busiest =
+                self.shards.values().map(|v| v.measured_ms + v.filter_ms).fold(0.0, f64::max);
+            for (id, v) in &self.shards {
+                let busy = v.measured_ms + v.filter_ms;
+                let _ = writeln!(
+                    out,
+                    "  shard {id:<3} {:>6} iters  expand {:>9.3} ms  filter {:>9.3} ms  \
+                     edges {:>10}  load {:>5.1}%",
+                    v.events,
+                    v.measured_ms,
+                    v.filter_ms,
+                    v.edges_touched,
+                    if busiest > 0.0 { busy / busiest * 100.0 } else { 0.0 },
+                );
+            }
+        }
+
         if self.flips.is_empty() {
             let _ = writeln!(out, "direction flips: none");
         } else {
@@ -266,6 +317,7 @@ mod tests {
             task_max_cycles: 100.0,
             task_count: 8,
             features: [0.0; FEATURE_COUNT],
+            shard: None,
         }
     }
 
@@ -330,6 +382,36 @@ mod tests {
         assert_eq!(s.switches["lb"], 9);
         assert_eq!(s.lb["twc"].events, 5);
         assert_eq!(s.lb["strict"].events, 5);
+    }
+
+    #[test]
+    fn sharded_events_group_per_shard_without_phantom_switches() {
+        let push = KernelConfig::push_baseline();
+        let strict = KernelConfig { lb: LoadBalance::Strict, ..push };
+        let ring = Arc::new(TraceRing::new(64));
+        // One job, two shards, interleaved as the sharded driver emits
+        // them. Each shard keeps its own config the whole run.
+        for i in 0..3 {
+            let mut a = event(i, push, 0.0, 1.0);
+            a.shard = Some(0);
+            ring.push(1, "g", "bfs", &a);
+            let mut b = event(i, strict, 0.0, 2.0);
+            b.shard = Some(1);
+            ring.push(1, "g", "bfs", &b);
+        }
+        let s = summarize(&ring.snapshot());
+        assert_eq!(s.jobs, 1);
+        // Interleaving push/strict across shards must not count as
+        // lb switches — each shard's stream is constant.
+        assert_eq!(s.switches["lb"], 0);
+        assert_eq!(s.shards.len(), 2);
+        assert_eq!(s.shards[&0].events, 3);
+        assert!((s.shards[&1].measured_ms - 6.0).abs() < 1e-12);
+        let text = s.render();
+        assert!(text.contains("shards (2 tagged):"));
+        assert!(text.contains("shard 0"));
+        // Shard 1 carries twice the expand time → 100% load, shard 0 less.
+        assert!(text.contains("load 100.0%"));
     }
 
     #[test]

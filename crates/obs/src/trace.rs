@@ -189,6 +189,9 @@ pub struct TraceEvent {
     pub task_count: u64,
     /// The 21-entry feature vector the Selector saw.
     pub features: [f64; FEATURE_COUNT],
+    /// Shard that ran this step (`None` for whole-graph runs; set by the
+    /// partitioned driver so traces can be grouped per shard).
+    pub shard: Option<u32>,
 }
 
 impl TraceEvent {
@@ -333,6 +336,11 @@ impl StampedEvent {
             }
             w.raw(&a.finish());
         }
+        // Written only for sharded runs so pre-shard traces stay byte-stable.
+        if let Some(shard) = e.shard {
+            w.key("shard");
+            w.uint(shard as u64);
+        }
         w.finish()
     }
 
@@ -391,6 +399,8 @@ impl StampedEvent {
                 task_max_cycles: f("task_max_cycles")?,
                 task_count: u("task_count")?,
                 features,
+                // Absent in traces written before partitioned execution.
+                shard: v.get("shard").and_then(JsonValue::as_u64).map(|s| s as u32),
             },
         })
     }
@@ -528,6 +538,7 @@ mod tests {
             task_max_cycles: 250.0,
             task_count: 8,
             features,
+            shard: None,
         }
     }
 
@@ -542,8 +553,30 @@ mod tests {
         };
         let line = stamped.to_json_line();
         assert!(!line.contains('\n'));
+        // Whole-graph events never mention the shard key on the wire.
+        assert!(!line.contains("\"shard\""));
         let back = StampedEvent::from_json_line(&line).unwrap();
         assert_eq!(back, stamped);
+    }
+
+    #[test]
+    fn shard_tag_round_trips_and_is_optional() {
+        let mut stamped = StampedEvent {
+            seq: 1,
+            job: 2,
+            graph: "g".into(),
+            algo: "pr".into(),
+            event: sample_event(0),
+        };
+        stamped.event.shard = Some(3);
+        let line = stamped.to_json_line();
+        assert!(line.contains("\"shard\":3"));
+        let back = StampedEvent::from_json_line(&line).unwrap();
+        assert_eq!(back.event.shard, Some(3));
+        // A pre-shard trace line (no `shard` key) still parses.
+        let legacy = StampedEvent { event: sample_event(0), ..stamped.clone() };
+        let parsed = StampedEvent::from_json_line(&legacy.to_json_line()).unwrap();
+        assert_eq!(parsed.event.shard, None);
     }
 
     #[test]

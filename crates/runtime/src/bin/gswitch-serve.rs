@@ -12,7 +12,8 @@
 use gswitch_runtime::bench_load::bench_load_with_obs;
 use gswitch_runtime::protocol::Request;
 use gswitch_runtime::{
-    ConfigCache, GraphRegistry, JobSpec, RuntimeObs, Scheduler, SchedulerConfig, SubmitError,
+    ConfigCache, GraphRegistry, JobSpec, RuntimeObs, Scheduler, SchedulerConfig, ShardService,
+    SubmitError,
 };
 use std::io::{BufRead, Write};
 use std::sync::Arc;
@@ -20,8 +21,12 @@ use std::sync::Arc;
 fn usage() -> ! {
     eprintln!(
         "usage: gswitch-serve [--bench-load] [--queries N] [--workers N] [--seed N] \
-         [--trace FILE] [--cache FILE] [--retries N] [--strict-load] [--verify-every N]\n\
+         [--trace FILE] [--cache FILE] [--retries N] [--strict-load] [--verify-every N] \
+         [--shards K]\n\
          \n\
+         --shards K (serve mode): default shard count for `batch` requests — each\n\
+         batched graph is partitioned into K resident shards on first use (a request's\n\
+         own \"shards\" field overrides); default 4.\n\
          --trace FILE (with --bench-load): record a decision trace of the whole run\n\
          as JSONL to FILE; inspect it with `gswitch-trace FILE`.\n\
          --cache FILE (serve mode): warm the tuned-config cache from FILE at startup\n\
@@ -39,6 +44,7 @@ fn usage() -> ! {
          Without flags, serves line-delimited JSON requests on stdin:\n\
            {{\"cmd\":\"load\",\"name\":\"kron\",\"gen\":{{\"kind\":\"rmat\",\"scale\":10}}}}\n\
            {{\"cmd\":\"query\",\"graph\":\"kron\",\"query\":{{\"Bfs\":{{\"src\":0}}}}}}\n\
+           {{\"cmd\":\"batch\",\"graph\":\"kron\",\"queries\":[{{\"Bfs\":{{\"src\":0}}}},\"Cc\"],\"shards\":4}}\n\
            {{\"cmd\":\"stats\"}} | {{\"cmd\":\"trace\",\"enable\":true}} | \
          {{\"cmd\":\"trace\",\"path\":\"f.jsonl\",\"clear\":true}}\n\
            {{\"cmd\":\"save_cache\",\"path\":\"f\"}} | \
@@ -57,6 +63,7 @@ struct Args {
     retries: u32,
     strict_load: bool,
     verify_every: u32,
+    shards: u32,
 }
 
 fn parse_args() -> Args {
@@ -70,6 +77,7 @@ fn parse_args() -> Args {
         retries: 2,
         strict_load: false,
         verify_every: 0,
+        shards: 4,
     };
     fn num(it: &mut impl Iterator<Item = String>, name: &str) -> u64 {
         it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
@@ -93,6 +101,7 @@ fn parse_args() -> Args {
             "--retries" => args.retries = num(&mut it, "--retries") as u32,
             "--strict-load" => args.strict_load = true,
             "--verify-every" => args.verify_every = num(&mut it, "--verify-every") as u32,
+            "--shards" => args.shards = (num(&mut it, "--shards") as u32).max(1),
             "--trace" => args.trace = Some(file(&mut it, "--trace")),
             "--cache" => args.cache = Some(file(&mut it, "--cache")),
             "--help" | "-h" => usage(),
@@ -168,6 +177,8 @@ fn handle(
     cache: &Arc<ConfigCache>,
     scheduler: &Scheduler,
     obs: &Arc<RuntimeObs>,
+    shards: &ShardService,
+    batch_seq: &std::sync::atomic::AtomicU64,
     retries: u32,
     strict_load: bool,
 ) -> Result<Option<String>, String> {
@@ -226,6 +237,55 @@ fn handle(
                 if req.payload.unwrap_or(false) { outcome } else { outcome.without_payload() };
             serde_json::to_string(&outcome).map(Some).map_err(|e| e.to_string())
         }
+        "batch" => {
+            let graph_name = req.graph.ok_or("batch needs `graph`")?;
+            let queries = req.queries.ok_or("batch needs `queries`")?;
+            let entry = registry
+                .get(&graph_name)
+                .ok_or_else(|| format!("unknown graph `{graph_name}`"))?;
+            let job = batch_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let report = shards.batch(
+                entry.graph(),
+                req.shards,
+                req.tenant.as_deref(),
+                &queries,
+                job,
+                &graph_name,
+            )?;
+            let outcomes: Vec<serde_json::Value> = report
+                .outcomes
+                .iter()
+                .map(|o| {
+                    serde_json::json!({
+                        "index": o.index,
+                        "algo": o.algo,
+                        "status": o.status,
+                        "error": o.error,
+                        "converged": o.converged,
+                        "supersteps": o.supersteps,
+                        "sim_ms": o.sim_ms,
+                        "wall_ms": o.wall_ms,
+                        "exchange_records": o.exchange_records,
+                        "exchange_bytes": o.exchange_bytes,
+                        "imbalance": o.imbalance,
+                    })
+                })
+                .collect();
+            Ok(Some(jline(serde_json::json!({
+                "ok": "batch",
+                "graph": graph_name,
+                "shards": req.shards.unwrap_or_else(|| shards.default_k()),
+                "queries": report.outcomes.len(),
+                "ok_count": report.ok_count(),
+                "occupancy": report.occupancy(),
+                "wall_ms": report.wall_ms,
+                "sim_ms": report.sim_ms(),
+                "exchange_records": report.exchange_records(),
+                "exchange_bytes": report.exchange_bytes(),
+                "max_imbalance": report.max_imbalance(),
+                "outcomes": outcomes,
+            }))))
+        }
         "stats" => {
             let counters = cache.counters();
             // The unified registry snapshot (queue depth gauge, stage
@@ -248,6 +308,25 @@ fn handle(
                 "ood_feature_clamped": h.ood_feature_clamped,
                 "sentinel_mismatch": h.sentinel_mismatch,
             });
+            // Partitioned-serving surface: resident plan cache, quota
+            // gate, and the batch telemetry counters (exchange volume,
+            // occupancy and imbalance histograms live in `metrics`).
+            use gswitch_runtime::obs::metric;
+            let shard_stats = serde_json::json!({
+                "default_k": shards.default_k(),
+                "resident_plans": shards.store().len(),
+                "plan_keys": shards.store().keys(),
+                "plan_hits": shards.store().hits(),
+                "plan_misses": shards.store().misses(),
+                "plan_evictions": shards.store().evictions(),
+                "quota_limit": shards.quotas().limit(),
+                "quota_admissions": shards.quotas().admissions(),
+                "quota_rejections": shards.quotas().rejections(),
+                "batches": obs.metrics.counter(metric::BATCHES).get(),
+                "batch_queries": obs.metrics.counter(metric::BATCH_QUERIES).get(),
+                "exchange_records": obs.metrics.counter(metric::SHARD_EXCHANGE_RECORDS).get(),
+                "exchange_bytes": obs.metrics.counter(metric::SHARD_EXCHANGE_BYTES).get(),
+            });
             Ok(Some(jline(serde_json::json!({
                 "ok": "stats",
                 "graphs": registry.summaries(),
@@ -255,6 +334,7 @@ fn handle(
                 "hit_rate": counters.hit_rate(),
                 "queued": scheduler.queued(),
                 "metrics": metrics,
+                "shards": shard_stats,
                 "trace_enabled": obs.tracing(),
                 "trace_events": obs.trace.len(),
                 "hardening": hardening,
@@ -326,6 +406,9 @@ fn serve(args: &Args) -> i32 {
         SchedulerConfig { verify_every: args.verify_every, ..SchedulerConfig::default() },
         Arc::clone(&obs),
     );
+    let workers = if args.workers > 0 { args.workers } else { SchedulerConfig::default().workers };
+    let shards = ShardService::new(Arc::clone(&obs), args.shards, workers);
+    let batch_seq = std::sync::atomic::AtomicU64::new(1);
 
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
@@ -344,6 +427,8 @@ fn serve(args: &Args) -> i32 {
                 &cache,
                 &scheduler,
                 &obs,
+                &shards,
+                &batch_seq,
                 args.retries,
                 args.strict_load,
             ) {

@@ -22,6 +22,10 @@
 //!   unless the `fault-injection` cargo feature is on; the lever the
 //!   fault-tolerance integration suite uses to prove the pool survives
 //!   panicking jobs, poisoned locks and corrupt cache files.
+//! - [`shards`] — partitioned serving: resident K-shard plans
+//!   ([`gswitch_shard::ShardStore`]), concurrent query batches over
+//!   them, and per-tenant admission quotas, behind the `batch` verb
+//!   and the `--shards` flag.
 //! - [`bench_load`] — the synthetic mixed workload behind
 //!   `gswitch-serve --bench-load`, reporting QPS and latency
 //!   percentiles cold (empty cache) versus warm.
@@ -40,6 +44,7 @@ pub mod protocol;
 pub mod query;
 pub mod registry;
 pub mod scheduler;
+pub mod shards;
 
 pub use cache::{CacheCounters, CacheKey, ConfigCache};
 pub use executor::execute;
@@ -47,3 +52,4 @@ pub use obs::RuntimeObs;
 pub use query::{IterStat, JobOutcome, JobSpec, JobStatus, Metric, Payload, Query};
 pub use registry::{GraphEntry, GraphRegistry};
 pub use scheduler::{JobHandle, Scheduler, SchedulerConfig, SubmitError};
+pub use shards::ShardService;

@@ -8,6 +8,7 @@
 //! {"cmd":"load","name":"wiki","path":"graphs/wiki.mtx"}
 //! {"cmd":"query","graph":"kron","query":{"Bfs":{"src":0}}}
 //! {"cmd":"query","graph":"kron","query":"Cc","timeout_ms":5000,"payload":true}
+//! {"cmd":"batch","graph":"kron","queries":[{"Bfs":{"src":0}},"Cc"],"shards":4,"tenant":"t1"}
 //! {"cmd":"stats"}
 //! {"cmd":"save_cache","path":"tuned.json"}
 //! {"cmd":"load_cache","path":"tuned.json"}
@@ -15,6 +16,14 @@
 //! {"cmd":"trace","path":"decisions.jsonl","clear":true}
 //! {"cmd":"quit"}
 //! ```
+//!
+//! `batch` runs its queries *concurrently* against a resident K-shard
+//! partitioning of the graph (built on first use, cached after), under
+//! the tenant's admission quota; the response reports per-query
+//! outcomes plus batch occupancy, exchange volume, and shard imbalance.
+//! Only BFS/PR/CC are batchable — SSSP and BC stay on the single-shard
+//! `query` path (priority-driven stepping and two-phase Brandes don't
+//! shard).
 //!
 //! `query` responses are the full [`JobOutcome`](crate::JobOutcome)
 //! (per-vertex payload stripped unless `"payload":true`); other
@@ -60,6 +69,14 @@ pub struct Request {
     pub enable: Option<bool>,
     /// Empty the trace buffer, after any `path` dump (`trace`).
     pub clear: Option<bool>,
+    /// Queries to run concurrently against the sharded form (`batch`).
+    pub queries: Option<Vec<Query>>,
+    /// Shard count override for this batch (`batch`); defaults to the
+    /// server's `--shards` setting.
+    pub shards: Option<u32>,
+    /// Tenant the batch is accounted to for quota admission (`batch`);
+    /// defaults to `"default"`.
+    pub tenant: Option<String>,
 }
 
 /// A synthetic graph recipe, mirroring `gswitch_graph::gen`.

@@ -1,0 +1,191 @@
+//! Per-tenant admission quotas for batch serving.
+//!
+//! A resident shard plan invites abuse: batches are cheap to submit and
+//! expensive to run, and one tenant's burst can occupy every worker
+//! slot. [`TenantQuotas`] caps each tenant's *in-flight* queries; the
+//! cap is enforced at admission and released by RAII ([`QuotaPermit`]),
+//! so a panicking batch path can never leak a tenant's budget.
+
+use gswitch_obs::sync::Lock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Admission was refused.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QuotaError {
+    /// The tenant is at its in-flight cap.
+    Exhausted {
+        /// The refused tenant.
+        tenant: String,
+        /// The cap that was hit.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for QuotaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuotaError::Exhausted { tenant, limit } => {
+                write!(f, "tenant {tenant:?} is at its in-flight quota ({limit})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuotaError {}
+
+/// Per-tenant in-flight caps with RAII release.
+#[derive(Debug)]
+pub struct TenantQuotas {
+    /// Max in-flight queries per tenant.
+    limit: usize,
+    /// Current in-flight count per tenant; entries are removed when a
+    /// tenant drains to zero so the map stays bounded by live tenants.
+    inflight: Lock<BTreeMap<String, usize>>,
+    rejections: AtomicU64,
+    admissions: AtomicU64,
+}
+
+impl TenantQuotas {
+    /// Quotas allowing each tenant `limit` in-flight queries
+    /// (minimum 1).
+    pub fn new(limit: usize) -> Arc<Self> {
+        Arc::new(TenantQuotas {
+            limit: limit.max(1),
+            inflight: Lock::new(BTreeMap::new()),
+            rejections: AtomicU64::new(0),
+            admissions: AtomicU64::new(0),
+        })
+    }
+
+    /// Admit `count` queries for `tenant`, or refuse without partial
+    /// admission. The returned permit releases the whole count on drop.
+    pub fn acquire(
+        self: &Arc<Self>,
+        tenant: &str,
+        count: usize,
+    ) -> Result<QuotaPermit, QuotaError> {
+        let mut inflight = self.inflight.lock();
+        let current = inflight.get(tenant).copied().unwrap_or(0);
+        if current + count > self.limit {
+            drop(inflight);
+            self.rejections.fetch_add(1, Ordering::Relaxed);
+            return Err(QuotaError::Exhausted { tenant: tenant.to_string(), limit: self.limit });
+        }
+        inflight.insert(tenant.to_string(), current + count);
+        drop(inflight);
+        self.admissions.fetch_add(count as u64, Ordering::Relaxed);
+        Ok(QuotaPermit { quotas: Arc::clone(self), tenant: tenant.to_string(), count })
+    }
+
+    /// The per-tenant cap.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Queries currently in flight for `tenant`.
+    pub fn inflight(&self, tenant: &str) -> usize {
+        self.inflight.lock().get(tenant).copied().unwrap_or(0)
+    }
+
+    /// Admissions refused so far.
+    pub fn rejections(&self) -> u64 {
+        self.rejections.load(Ordering::Relaxed)
+    }
+
+    /// Queries admitted so far.
+    pub fn admissions(&self) -> u64 {
+        self.admissions.load(Ordering::Relaxed)
+    }
+
+    fn release(&self, tenant: &str, count: usize) {
+        let mut inflight = self.inflight.lock();
+        if let Some(current) = inflight.get_mut(tenant) {
+            *current = current.saturating_sub(count);
+            if *current == 0 {
+                inflight.remove(tenant);
+            }
+        }
+    }
+}
+
+/// An admitted budget of in-flight queries; dropping it releases the
+/// budget even if the batch path panicked.
+#[derive(Debug)]
+pub struct QuotaPermit {
+    quotas: Arc<TenantQuotas>,
+    tenant: String,
+    count: usize,
+}
+
+impl QuotaPermit {
+    /// Queries this permit admitted.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The tenant the permit belongs to.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+}
+
+impl Drop for QuotaPermit {
+    fn drop(&mut self) {
+        self.quotas.release(&self.tenant, self.count);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admit_until_the_cap_then_refuse() {
+        let q = TenantQuotas::new(3);
+        let a = q.acquire("alice", 2).expect("first");
+        assert_eq!(q.inflight("alice"), 2);
+        let err = q.acquire("alice", 2).expect_err("over cap");
+        assert_eq!(err, QuotaError::Exhausted { tenant: "alice".into(), limit: 3 });
+        assert_eq!(q.rejections(), 1);
+        // A different tenant has its own budget.
+        let _b = q.acquire("bob", 3).expect("bob is fresh");
+        drop(a);
+        assert_eq!(q.inflight("alice"), 0);
+        let _c = q.acquire("alice", 3).expect("released budget is reusable");
+    }
+
+    #[test]
+    fn refusal_admits_nothing() {
+        let q = TenantQuotas::new(2);
+        assert!(q.acquire("t", 5).is_err());
+        assert_eq!(q.inflight("t"), 0);
+        assert_eq!(q.admissions(), 0);
+    }
+
+    #[test]
+    fn permit_releases_on_panic_unwind() {
+        let q = TenantQuotas::new(1);
+        let res = std::panic::catch_unwind({
+            let q = Arc::clone(&q);
+            move || {
+                let _p = q.acquire("t", 1).expect("admit");
+                panic!("batch path died");
+            }
+        });
+        assert!(res.is_err());
+        assert_eq!(q.inflight("t"), 0, "permit leaked through the panic");
+        assert!(q.acquire("t", 1).is_ok());
+    }
+
+    #[test]
+    fn drained_tenants_leave_the_map() {
+        let q = TenantQuotas::new(2);
+        {
+            let _p = q.acquire("ghost", 1).expect("admit");
+            assert_eq!(q.inflight.lock().len(), 1);
+        }
+        assert_eq!(q.inflight.lock().len(), 0, "zero-count entry retained");
+    }
+}

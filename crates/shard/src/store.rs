@@ -1,0 +1,199 @@
+//! Resident partitioned graphs, shared across queries.
+
+use gswitch_graph::shard::ShardedCsr;
+use gswitch_graph::Graph;
+use gswitch_obs::sync::Lock;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One resident partitioning: the whole graph plus its K-shard form.
+///
+/// The whole graph stays alongside the shards because apps carry global
+/// state sized to it (a PageRank instance needs every out-degree, not
+/// one shard's), and because K=1 queries should not pay partition
+/// overhead twice.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    graph: Arc<Graph>,
+    sharded: Arc<ShardedCsr>,
+}
+
+impl ShardPlan {
+    /// Partition `graph` into `k` shards.
+    pub fn new(graph: Arc<Graph>, k: u32) -> Result<Self, String> {
+        let sharded = Arc::new(ShardedCsr::partition(&graph, k)?);
+        Ok(ShardPlan { graph, sharded })
+    }
+
+    /// The whole graph the shards were cut from.
+    pub fn graph(&self) -> &Arc<Graph> {
+        &self.graph
+    }
+
+    /// The resident sharded form.
+    pub fn sharded(&self) -> &Arc<ShardedCsr> {
+        &self.sharded
+    }
+
+    /// Number of shards.
+    pub fn k(&self) -> u32 {
+        self.sharded.k()
+    }
+}
+
+#[derive(Debug, Default)]
+struct StoreInner {
+    plans: BTreeMap<(String, u32), Arc<ShardPlan>>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<(String, u32)>,
+}
+
+/// A bounded cache of [`ShardPlan`]s keyed by `(graph name, K)`.
+///
+/// Partitioning is the expensive step this subsystem exists to amortize,
+/// so plans are built once and shared by `Arc` with every query that
+/// needs them. The cache is bounded (FIFO eviction) because each plan
+/// duplicates the graph's CSR across shards; an evicted plan stays alive
+/// as long as any in-flight batch still holds its `Arc`.
+#[derive(Debug)]
+pub struct ShardStore {
+    inner: Lock<StoreInner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ShardStore {
+    /// A store retaining at most `capacity` plans (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        ShardStore {
+            inner: Lock::new(StoreInner {
+                plans: BTreeMap::new(),
+                order: VecDeque::with_capacity(capacity.max(1)),
+            }),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Fetch the resident plan for `(graph.name(), k)`, partitioning and
+    /// inserting it on miss. Errors propagate from the partitioner
+    /// (`k == 0`) without poisoning the cache.
+    pub fn get_or_partition(&self, graph: &Arc<Graph>, k: u32) -> Result<Arc<ShardPlan>, String> {
+        let key = (graph.name().to_string(), k);
+        if let Some(plan) = self.inner.lock().plans.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(plan));
+        }
+        // Partition outside the lock: cutting a large graph is the slow
+        // path, and concurrent misses for the same key just race to
+        // insert identical plans (the loser's work is dropped).
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(ShardPlan::new(Arc::clone(graph), k)?);
+        let mut inner = self.inner.lock();
+        if !inner.plans.contains_key(&key) {
+            while inner.plans.len() >= self.capacity {
+                match inner.order.pop_front() {
+                    Some(oldest) => {
+                        inner.plans.remove(&oldest);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => break,
+                }
+            }
+            inner.order.push_back(key.clone());
+            inner.plans.insert(key.clone(), Arc::clone(&plan));
+        }
+        match inner.plans.get(&key) {
+            Some(winner) => Ok(Arc::clone(winner)),
+            None => Ok(plan),
+        }
+    }
+
+    /// Plans currently resident.
+    pub fn len(&self) -> usize {
+        self.inner.lock().plans.len()
+    }
+
+    /// Whether no plan is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (each one paid a partitioning) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Plans evicted to stay within capacity.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// The `(name, k)` keys currently resident, in eviction order.
+    pub fn keys(&self) -> Vec<(String, u32)> {
+        self.inner.lock().order.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gswitch_graph::gen;
+
+    fn arc_graph(seed: u64) -> Arc<Graph> {
+        Arc::new(gen::erdos_renyi(120, 480, seed).with_name(&format!("er{seed}")))
+    }
+
+    #[test]
+    fn hit_returns_the_same_plan() {
+        let store = ShardStore::new(4);
+        let g = arc_graph(1);
+        let a = store.get_or_partition(&g, 2).expect("partition");
+        let b = store.get_or_partition(&g, 2).expect("cached");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(store.hits(), 1);
+        assert_eq!(store.misses(), 1);
+    }
+
+    #[test]
+    fn different_k_is_a_different_plan() {
+        let store = ShardStore::new(4);
+        let g = arc_graph(2);
+        let a = store.get_or_partition(&g, 2).expect("k=2");
+        let b = store.get_or_partition(&g, 4).expect("k=4");
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(a.k(), 2);
+        assert_eq!(b.k(), 4);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn capacity_evicts_fifo() {
+        let store = ShardStore::new(2);
+        for seed in 0..3 {
+            store.get_or_partition(&arc_graph(seed), 2).expect("partition");
+        }
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.evictions(), 1);
+        let keys = store.keys();
+        assert_eq!(keys, vec![("er1".to_string(), 2), ("er2".to_string(), 2)]);
+    }
+
+    #[test]
+    fn partitioner_error_propagates_without_insert() {
+        let store = ShardStore::new(2);
+        let g = arc_graph(5);
+        assert!(store.get_or_partition(&g, 0).is_err());
+        assert!(store.is_empty());
+    }
+}

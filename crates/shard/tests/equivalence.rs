@@ -1,0 +1,115 @@
+//! K-shard vs single-shard equivalence over the representative corpus —
+//! the acceptance gate of the partitioned path: batched sharded queries
+//! must produce the *same answers* as the whole-graph engine.
+//!
+//! BFS and CC compute via `u32` atomic-min, which is order-independent,
+//! so the comparison is exact equality. Delta-PageRank accumulates
+//! `f64` residuals whose addition order differs between one device and
+//! K concurrent shard workers, so its comparison is a tolerance well
+//! below the convergence threshold (see DESIGN §4.11).
+
+use gswitch_algos::{bfs, cc, pr};
+use gswitch_core::{AutoPolicy, EngineOptions};
+use gswitch_graph::corpus::representatives_small;
+use gswitch_graph::Graph;
+use gswitch_shard::{execute_batch, BatchOptions, BatchQuery, BatchResult, QueryStatus, ShardPlan};
+use std::sync::Arc;
+
+const PR_EPS: f64 = 1e-3;
+/// f64 summation-order slack: far below `PR_EPS / n` for every corpus
+/// graph, so a real divergence cannot hide inside it.
+const PR_TOL: f64 = 1e-9;
+
+fn corpus() -> Vec<Arc<Graph>> {
+    representatives_small().into_iter().map(|r| Arc::new(r.recipe.build())).collect()
+}
+
+fn batch_result(plan: &ShardPlan, q: BatchQuery) -> BatchResult {
+    let rep = execute_batch(plan, &[q], &BatchOptions::default());
+    let out = &rep.outcomes[0];
+    assert_eq!(out.status, QueryStatus::Ok, "{:?} on {}: {:?}", q, plan.graph().name(), out.error);
+    assert!(out.converged, "{:?} on {} did not converge", q, plan.graph().name());
+    out.result.clone().expect("ok outcome carries a result")
+}
+
+#[test]
+fn bfs_identical_across_shard_counts_on_whole_corpus() {
+    for g in corpus() {
+        let expected = bfs::bfs(&g, 0, &AutoPolicy, &EngineOptions::default()).levels;
+        for k in [2u32, 4] {
+            let plan = ShardPlan::new(Arc::clone(&g), k).expect("partition");
+            match batch_result(&plan, BatchQuery::Bfs { src: 0 }) {
+                BatchResult::Levels(levels) => {
+                    assert_eq!(levels, expected, "bfs k={k} diverged on {}", g.name());
+                }
+                other => panic!("bfs returned {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn cc_identical_across_shard_counts_on_whole_corpus() {
+    for g in corpus() {
+        let expected = cc::cc(&g, &AutoPolicy, &EngineOptions::default()).labels;
+        for k in [2u32, 4] {
+            let plan = ShardPlan::new(Arc::clone(&g), k).expect("partition");
+            match batch_result(&plan, BatchQuery::Cc) {
+                BatchResult::Labels(labels) => {
+                    assert_eq!(labels, expected, "cc k={k} diverged on {}", g.name());
+                }
+                other => panic!("cc returned {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn pagerank_matches_within_summation_tolerance_on_whole_corpus() {
+    for g in corpus() {
+        let expected = pr::pagerank(&g, PR_EPS, &AutoPolicy, &EngineOptions::default()).ranks;
+        let plan = ShardPlan::new(Arc::clone(&g), 4).expect("partition");
+        match batch_result(&plan, BatchQuery::Pr { eps: PR_EPS }) {
+            BatchResult::Ranks(ranks) => {
+                assert_eq!(ranks.len(), expected.len());
+                for (v, (a, b)) in ranks.iter().zip(&expected).enumerate() {
+                    assert!(
+                        (a - b).abs() < PR_TOL,
+                        "pr diverged on {} at vertex {v}: {a} vs {b}",
+                        g.name()
+                    );
+                }
+            }
+            other => panic!("pr returned {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn mixed_batch_on_a_representative_matches_sequential_answers() {
+    let g = Arc::new(representatives_small()[0].recipe.build());
+    let plan = ShardPlan::new(Arc::clone(&g), 4).expect("partition");
+    let queries = [
+        BatchQuery::Bfs { src: 0 },
+        BatchQuery::Cc,
+        BatchQuery::Bfs { src: 1 },
+        BatchQuery::Cc,
+        BatchQuery::Bfs { src: 2 },
+    ];
+    let rep = execute_batch(&plan, &queries, &BatchOptions::default());
+    assert_eq!(rep.ok_count(), 5);
+    for out in &rep.outcomes {
+        let expected = match queries[out.index] {
+            BatchQuery::Bfs { src } => {
+                BatchResult::Levels(bfs::bfs(&g, src, &AutoPolicy, &EngineOptions::default()).levels)
+            }
+            BatchQuery::Cc => {
+                BatchResult::Labels(cc::cc(&g, &AutoPolicy, &EngineOptions::default()).labels)
+            }
+            BatchQuery::Pr { .. } => unreachable!("no PR in this batch"),
+        };
+        assert_eq!(out.result.as_ref(), Some(&expected), "query {} diverged", out.index);
+    }
+    // Concurrent queries overlapped: occupancy is meaningful and > 0.
+    assert!(rep.occupancy() > 0.0);
+}

@@ -2,13 +2,17 @@
 
 use crate::profile::KernelProfile;
 use crate::SimMs;
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 /// A simulated GPU. Two presets reproduce the paper's evaluation platforms;
 /// all constants are in "model units" chosen so that relative costs track
 /// the published microarchitectural ratios (bandwidth, SM count, clock,
 /// atomic throughput) between Kepler K40m and Pascal P100.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// `Deserialize` is hand-written (not derived) so the exchange fields
+/// added with cost model v6 default instead of failing on specs
+/// serialized under earlier versions.
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct DeviceSpec {
     /// Marketing name, used in reports.
     pub name: String,
@@ -49,6 +53,57 @@ pub struct DeviceSpec {
     /// Host-side microseconds to copy the runtime-characteristics feedback
     /// block device→host at the end of an iteration (tiny, latency-bound).
     pub feedback_copy_us: f64,
+    /// Peer-to-peer interconnect bandwidth for inter-shard frontier
+    /// exchange, GB/s (PCIe-class on Kepler, NVLink-class on Pascal).
+    /// Defaulted on deserialization so device specs serialized before
+    /// sharded execution existed still load.
+    pub exchange_bw_gbs: f64,
+    /// Fixed per-peer latency of one exchange round, microseconds
+    /// (transfer setup + synchronization with the owning shard).
+    /// Defaulted on deserialization like `exchange_bw_gbs`.
+    pub exchange_latency_us: f64,
+}
+
+fn default_exchange_bw_gbs() -> f64 {
+    12.0
+}
+
+fn default_exchange_latency_us() -> f64 {
+    10.0
+}
+
+impl serde::Deserialize for DeviceSpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        // The exchange fields arrived with cost model v6: absent in
+        // older documents, so they fall back to conservative defaults
+        // instead of failing the whole spec.
+        let f64_or = |name: &str, default: f64| -> Result<f64, serde::DeError> {
+            match v.get(name) {
+                None => Ok(default),
+                Some(_) => serde::__field(v, name),
+            }
+        };
+        Ok(DeviceSpec {
+            name: serde::__field(v, "name")?,
+            sm_count: serde::__field(v, "sm_count")?,
+            warps_per_sm: serde::__field(v, "warps_per_sm")?,
+            warp_size: serde::__field(v, "warp_size")?,
+            cta_size: serde::__field(v, "cta_size")?,
+            clock_ghz: serde::__field(v, "clock_ghz")?,
+            mem_bw_gbs: serde::__field(v, "mem_bw_gbs")?,
+            launch_overhead_us: serde::__field(v, "launch_overhead_us")?,
+            coalesced_cycles: serde::__field(v, "coalesced_cycles")?,
+            random_penalty: serde::__field(v, "random_penalty")?,
+            atomic_cycles: serde::__field(v, "atomic_cycles")?,
+            atomic_contention_cycles: serde::__field(v, "atomic_contention_cycles")?,
+            shared_cycles: serde::__field(v, "shared_cycles")?,
+            sync_cycles: serde::__field(v, "sync_cycles")?,
+            scan_cycles_per_elem: serde::__field(v, "scan_cycles_per_elem")?,
+            feedback_copy_us: serde::__field(v, "feedback_copy_us")?,
+            exchange_bw_gbs: f64_or("exchange_bw_gbs", default_exchange_bw_gbs())?,
+            exchange_latency_us: f64_or("exchange_latency_us", default_exchange_latency_us())?,
+        })
+    }
 }
 
 impl DeviceSpec {
@@ -72,6 +127,9 @@ impl DeviceSpec {
             sync_cycles: 64.0,
             scan_cycles_per_elem: 0.02,
             feedback_copy_us: 8.0,
+            // PCIe 3.0 x16 class peer transfers.
+            exchange_bw_gbs: 12.0,
+            exchange_latency_us: 12.0,
         }
     }
 
@@ -95,6 +153,9 @@ impl DeviceSpec {
             sync_cycles: 48.0,
             scan_cycles_per_elem: 0.012,
             feedback_copy_us: 6.0,
+            // NVLink 1.0 class peer transfers.
+            exchange_bw_gbs: 40.0,
+            exchange_latency_us: 8.0,
         }
     }
 
@@ -141,6 +202,19 @@ impl DeviceSpec {
     /// Device→host feedback copy cost per iteration (ms).
     pub fn feedback_time_ms(&self) -> SimMs {
         self.feedback_copy_us / 1e3
+    }
+
+    /// Price one inter-shard frontier-exchange round: `bytes` of routed
+    /// activation records over the peer interconnect, plus a fixed
+    /// latency per peer pair synchronized. Zero when there is nothing to
+    /// route and nobody to synchronize with (`peers == 0`).
+    pub fn exchange_time_ms(&self, bytes: u64, peers: u32) -> SimMs {
+        if peers == 0 {
+            return 0.0;
+        }
+        let transfer = bytes as f64 / (self.exchange_bw_gbs * 1e6);
+        let latency = peers as f64 * self.exchange_latency_us / 1e3;
+        transfer + latency
     }
 }
 
@@ -226,6 +300,38 @@ mod tests {
     fn p100_outruns_k40m_on_same_work() {
         let p = profile_with(1e9, 1e4, 100_000);
         assert!(DeviceSpec::p100().kernel_time_ms(&p) < DeviceSpec::k40m().kernel_time_ms(&p));
+    }
+
+    #[test]
+    fn exchange_cost_scales_with_bytes_and_peers() {
+        let d = DeviceSpec::p100();
+        assert_eq!(d.exchange_time_ms(1 << 20, 0), 0.0, "no peers, no exchange");
+        let one = d.exchange_time_ms(1 << 20, 1);
+        let three = d.exchange_time_ms(1 << 20, 3);
+        assert!(one > 0.0);
+        assert!(three > one, "more peers cost more latency");
+        assert!(d.exchange_time_ms(1 << 24, 1) > one, "more bytes cost more transfer");
+        // NVLink-class P100 beats PCIe-class K40m at moving the same volume.
+        assert!(d.exchange_time_ms(1 << 24, 1) < DeviceSpec::k40m().exchange_time_ms(1 << 24, 1));
+    }
+
+    #[test]
+    fn pre_exchange_spec_json_still_deserializes() {
+        // A spec serialized before the exchange fields existed (cost
+        // model v5) must load with the defaults, not fail.
+        let mut spec = DeviceSpec::k40m();
+        spec.exchange_bw_gbs = default_exchange_bw_gbs();
+        spec.exchange_latency_us = default_exchange_latency_us();
+        let json = serde_json::to_string(&DeviceSpec::k40m()).unwrap();
+        let stripped = json
+            .replace(&format!(",\"exchange_bw_gbs\":{:?}", DeviceSpec::k40m().exchange_bw_gbs), "")
+            .replace(
+                &format!(",\"exchange_latency_us\":{:?}", DeviceSpec::k40m().exchange_latency_us),
+                "",
+            );
+        assert!(!stripped.contains("exchange"), "strip failed: {stripped}");
+        let back: DeviceSpec = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back, spec);
     }
 
     #[test]

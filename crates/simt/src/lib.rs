@@ -37,4 +37,4 @@ pub type SimMs = f64;
 /// Version tag of the pricing model and feature encoding. Bump whenever
 /// cost constants, pricing formulas, or the feature transform change, so
 /// cached oracle labels and features are invalidated, never silently reused.
-pub const COST_MODEL_VERSION: u32 = 5;
+pub const COST_MODEL_VERSION: u32 = 6;
