@@ -10,6 +10,7 @@
 //! | `uninstrumented-atomic` | deny | `src/` of kernels, simt | every atomic op is accounted in the SIMT cost model |
 //! | `unbounded-channel` | deny | `src/` of runtime | no unbounded `mpsc::channel` — admission control is explicit |
 //! | `unbounded-collection` | warn | `src/` of runtime | a `VecDeque` queue in a file with no notion of capacity |
+//! | `untimed-hot-section` | deny | `src/` of core, kernels, runtime, shard | wall-clock reads go through the obs `Clock`, so spans/profiles see them |
 //! | `todo-marker` | deny | everywhere | no `todo!`/`unimplemented!`/`dbg!` ships |
 
 use crate::findings::{Finding, Severity};
@@ -48,6 +49,7 @@ pub fn lint_file(sf: &SourceFile) -> Vec<Finding> {
     uninstrumented_atomic(sf, &mut out);
     unbounded_channel(sf, &mut out);
     unbounded_collection(sf, &mut out);
+    untimed_hot_section(sf, &mut out);
     todo_marker(sf, &mut out);
     out
 }
@@ -251,6 +253,48 @@ fn unbounded_collection(sf: &SourceFile, out: &mut Vec<Finding>) {
     }
 }
 
+/// Crates whose `src/` must time work through the obs `Clock`: the
+/// engine, kernels, runtime and shard driver all emit spans, and a raw
+/// `Instant::now()` there is a timing the profile cannot see (and that
+/// a manual clock in tests cannot steer).
+const TIMED_CRATES: [&str; 4] = ["core", "kernels", "runtime", "shard"];
+
+/// `untimed-hot-section`: `Instant::now()` in non-test `src/` code of a
+/// span-instrumented crate. Wall-clock reads on those paths belong to
+/// `gswitch_obs::Clock` (`SpanCtx::clock()`, `RuntimeObs::clock()`), so
+/// every measured interval can be attributed to a span and the whole
+/// stack can run against a manual clock in tests. A raw `Instant` is a
+/// hot section the profile silently omits.
+fn untimed_hot_section(sf: &SourceFile, out: &mut Vec<Finding>) {
+    if !sf.crate_name().is_some_and(|c| TIMED_CRATES.contains(&c)) || !sf.in_crate_src() {
+        return;
+    }
+    let t = &sf.toks;
+    for i in 0..t.len().saturating_sub(4) {
+        if sf.test_mask[i] {
+            continue;
+        }
+        if t[i].is_ident("Instant")
+            && t[i + 1].is_punct(':')
+            && t[i + 2].is_punct(':')
+            && t[i + 3].is_ident("now")
+            && t[i + 4].is_punct('(')
+        {
+            out.push(Finding::new(
+                "untimed-hot-section",
+                Severity::Deny,
+                &sf.rel,
+                t[i].line,
+                sf.snippet(t[i].line),
+                "raw Instant::now() in a span-instrumented crate — read the obs Clock \
+                 (SpanCtx::clock() / RuntimeObs::clock()) so the interval shows up in span \
+                 profiles and timelines"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
 /// `todo-marker`: `todo!` / `unimplemented!` / `dbg!` anywhere.
 fn todo_marker(sf: &SourceFile, out: &mut Vec<Finding>) {
     let t = &sf.toks;
@@ -384,6 +428,30 @@ mod tests {
         let f = lint("crates/shard/src/x.rs", bare);
         assert_eq!(rules(&f), vec!["unbounded-collection"]);
         assert!(lint("crates/shard/src/x.rs", &bounded).is_empty());
+    }
+
+    #[test]
+    fn instant_now_flagged_in_timed_crates_only() {
+        let src = "fn f() { let t0 = Instant::now(); work(); t0.elapsed(); }";
+        for rel in [
+            "crates/core/src/x.rs",
+            "crates/kernels/src/x.rs",
+            "crates/runtime/src/x.rs",
+            "crates/shard/src/x.rs",
+        ] {
+            assert_eq!(rules(&lint(rel, src)), vec!["untimed-hot-section"], "{rel}");
+        }
+        // The obs crate implements the Clock; bench/analyze are offline.
+        assert!(lint("crates/obs/src/x.rs", src).is_empty());
+        assert!(lint("crates/bench/src/x.rs", src).is_empty());
+        // Tests may use raw Instants (they also may not care about spans).
+        let in_test = format!("#[cfg(test)]\nmod t {{ {src} }}");
+        assert!(lint("crates/core/src/x.rs", &in_test).is_empty());
+        assert!(lint("crates/runtime/tests/t.rs", src).is_empty());
+        // Other Instant methods (duration_since, elapsed on a stored
+        // Instant handed over by the Clock) are fine.
+        let f = lint("crates/core/src/x.rs", "fn f(at: Instant) { at.elapsed(); }");
+        assert!(f.is_empty(), "{f:?}");
     }
 
     #[test]

@@ -7,6 +7,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use gswitch_core::{AutoPolicy, ProbeHandle, RecorderHandle};
 use gswitch_graph::gen;
+use gswitch_obs::SpanCtx;
 use gswitch_runtime::{execute, ConfigCache, GraphRegistry, Query};
 use gswitch_simt::DeviceSpec;
 
@@ -32,6 +33,7 @@ fn bench_query_latency(c: &mut Criterion) {
                 RecorderHandle::none(),
                 ProbeHandle::none(),
                 0,
+                SpanCtx::default(),
             )
             .unwrap()
         });
@@ -47,6 +49,7 @@ fn bench_query_latency(c: &mut Criterion) {
         RecorderHandle::none(),
         ProbeHandle::none(),
         0,
+        SpanCtx::default(),
     )
     .unwrap();
     group.bench_function("bfs_warm", |b| {
@@ -60,6 +63,7 @@ fn bench_query_latency(c: &mut Criterion) {
                 RecorderHandle::none(),
                 ProbeHandle::none(),
                 0,
+                SpanCtx::default(),
             )
             .unwrap()
         });
@@ -77,6 +81,7 @@ fn bench_query_latency(c: &mut Criterion) {
                 RecorderHandle::none(),
                 ProbeHandle::none(),
                 0,
+                SpanCtx::default(),
             )
             .unwrap()
         });
@@ -92,6 +97,7 @@ fn bench_query_latency(c: &mut Criterion) {
         RecorderHandle::none(),
         ProbeHandle::none(),
         0,
+        SpanCtx::default(),
     )
     .unwrap();
     group.bench_function("pr_warm", |b| {
@@ -105,6 +111,7 @@ fn bench_query_latency(c: &mut Criterion) {
                 RecorderHandle::none(),
                 ProbeHandle::none(),
                 0,
+                SpanCtx::default(),
             )
             .unwrap()
         });

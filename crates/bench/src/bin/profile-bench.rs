@@ -1,0 +1,228 @@
+//! Per-phase self-time baseline: runs a fixed sharded batch with span
+//! collection on, aggregates the self-time profile per span kind, and
+//! writes it to `BENCH_profile.json` in the current directory (run
+//! from the repo root to refresh the committed snapshot).
+//!
+//! ```text
+//! cargo run --release -p gswitch-bench --bin profile-bench              # regenerate
+//! cargo run --release -p gswitch-bench --bin profile-bench -- --check-regression
+//! ```
+//!
+//! `--check-regression` re-measures and compares against the committed
+//! snapshot instead of overwriting it, exiting nonzero when a phase
+//! regressed. Span *counts* are structural (supersteps and decisions
+//! are simulation-driven and deterministic) and must match exactly;
+//! self-*times* are wall clock and machine-dependent, so a phase only
+//! fails the gate when its measured self-time exceeds
+//! `baseline × TOL_FACTOR + TOL_ABS_MS` — a generous envelope that
+//! rides out CI-runner noise but catches order-of-magnitude
+//! regressions (an accidentally quadratic inspector, a lock on the
+//! expand path) in the layer every later perf PR is judged by.
+
+use gswitch_core::{SpanCtx, SpanRing};
+use gswitch_graph::corpus::representatives_small;
+use gswitch_obs::profile;
+use gswitch_shard::{execute_batch, BatchOptions, BatchQuery, ShardPlan};
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const OUT: &str = "BENCH_profile.json";
+
+/// Shards in the fixed workload's plan.
+const K: u32 = 4;
+/// Batch worker slots.
+const SLOTS: usize = 2;
+/// Repeats per run; per-phase self-times take the median.
+const REPEATS: usize = 5;
+/// Multiplicative tolerance on per-phase self-time.
+const TOL_FACTOR: f64 = 5.0;
+/// Additive tolerance on per-phase self-time, ms.
+const TOL_ABS_MS: f64 = 10.0;
+
+fn workload() -> Vec<BatchQuery> {
+    vec![
+        BatchQuery::Bfs { src: 0 },
+        BatchQuery::Bfs { src: 7 },
+        BatchQuery::Pr { eps: 1e-3 },
+        BatchQuery::Cc,
+    ]
+}
+
+/// One phase row of the snapshot: structural count + median self-time.
+#[derive(Clone, Copy, Debug)]
+struct Phase {
+    count: u64,
+    excl_ms: f64,
+}
+
+fn measure() -> (String, BTreeMap<String, Phase>, usize) {
+    let rep = representatives_small().remove(0);
+    let graph_name = rep.paper_name.to_string();
+    let graph = Arc::new(rep.recipe.build());
+    let plan = ShardPlan::new(graph, K).unwrap_or_else(|e| panic!("partition k={K}: {e}"));
+    let queries = workload();
+
+    let mut counts: Option<BTreeMap<String, u64>> = None;
+    let mut times: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    let mut span_total = 0usize;
+    for _ in 0..REPEATS {
+        let ring = Arc::new(SpanRing::new(1 << 20));
+        let opts = BatchOptions {
+            slots: SLOTS,
+            spans: SpanCtx::new(ring.collector(), 0, 0, 1),
+            ..BatchOptions::default()
+        };
+        let report = execute_batch(&plan, &queries, &opts);
+        assert_eq!(report.ok_count(), queries.len(), "workload query failed");
+        assert_eq!(ring.dropped(), 0, "span ring overflowed; raise its capacity");
+        let spans = ring.snapshot();
+        span_total = spans.len();
+        let prof = profile(&spans);
+        let run_counts: BTreeMap<String, u64> =
+            prof.kinds.iter().map(|k| (k.kind.as_str().to_string(), k.count)).collect();
+        match &counts {
+            None => counts = Some(run_counts),
+            Some(c0) => assert_eq!(
+                *c0, run_counts,
+                "span counts varied between repeats; the workload is not deterministic"
+            ),
+        }
+        for k in &prof.kinds {
+            times.entry(k.kind.as_str().to_string()).or_default().push(k.excl_ms);
+        }
+    }
+
+    let counts = counts.expect("REPEATS >= 1");
+    let phases = counts
+        .into_iter()
+        .map(|(kind, count)| {
+            let mut ms = times.remove(&kind).expect("kind measured every repeat");
+            ms.sort_by(|a, b| a.total_cmp(b));
+            let excl_ms = ms[ms.len() / 2];
+            (kind, Phase { count, excl_ms })
+        })
+        .collect();
+    (graph_name, phases, span_total)
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+fn write_snapshot() {
+    let (graph, phases, span_total) = measure();
+    let phase_json = Value::Object(
+        phases
+            .iter()
+            .map(|(k, p)| (k.clone(), json!({ "count": p.count, "excl_ms": round3(p.excl_ms) })))
+            .collect(),
+    );
+    let wl = json!({
+        "graph": graph,
+        "k": K,
+        "slots": SLOTS,
+        "queries": workload().len(),
+    });
+    let tol = json!({ "factor": TOL_FACTOR, "abs_ms": TOL_ABS_MS });
+    let doc = json!({
+        "snapshot": "per-phase self-time profile of a fixed sharded batch",
+        "tool": "profile-bench",
+        "cost_model_version": gswitch_simt::COST_MODEL_VERSION,
+        "device": gswitch_simt::DeviceSpec::default().name,
+        "workload": wl,
+        "spans": span_total,
+        "tolerance": tol,
+        "phases": phase_json,
+    });
+    let text = serde_json::to_string_pretty(&doc).expect("snapshot serializes");
+    std::fs::write(OUT, text + "\n").unwrap_or_else(|e| panic!("write {OUT}: {e}"));
+    eprintln!("wrote {OUT}");
+}
+
+fn check_regression() -> i32 {
+    let text = match std::fs::read_to_string(OUT) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("profile-bench: {OUT}: {e} (run profile-bench once to create it)");
+            return 1;
+        }
+    };
+    let base: Value = match serde_json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("profile-bench: {OUT} is not valid JSON: {e}");
+            return 1;
+        }
+    };
+    let Some(Value::Object(base_phases)) = base.get("phases") else {
+        eprintln!("profile-bench: {OUT} has no `phases` object");
+        return 1;
+    };
+
+    let (_, phases, _) = measure();
+    let mut failures = 0;
+    for (kind, bp) in base_phases.iter() {
+        let base_count = bp.get("count").and_then(|v| v.as_u64()).unwrap_or(0);
+        let base_ms = bp.get("excl_ms").and_then(|v| v.as_f64()).unwrap_or(0.0);
+        let Some(cur) = phases.get(kind) else {
+            eprintln!("FAIL {kind}: phase present in baseline but not measured");
+            failures += 1;
+            continue;
+        };
+        if cur.count != base_count {
+            eprintln!(
+                "FAIL {kind}: span count changed {base_count} -> {} \
+                 (structural change; regenerate the baseline if intended)",
+                cur.count
+            );
+            failures += 1;
+            continue;
+        }
+        let limit = base_ms * TOL_FACTOR + TOL_ABS_MS;
+        if cur.excl_ms > limit {
+            eprintln!(
+                "FAIL {kind}: self-time {:.3} ms exceeds {limit:.3} ms \
+                 (baseline {base_ms:.3} ms × {TOL_FACTOR} + {TOL_ABS_MS} ms)",
+                cur.excl_ms
+            );
+            failures += 1;
+        } else {
+            eprintln!("ok   {kind}: {:.3} ms (limit {limit:.3} ms)", cur.excl_ms);
+        }
+    }
+    for kind in phases.keys() {
+        if !base_phases.iter().any(|(k, _)| k == kind) {
+            eprintln!(
+                "FAIL {kind}: new phase not in baseline (regenerate the baseline if intended)"
+            );
+            failures += 1;
+        }
+    }
+    if failures == 0 {
+        eprintln!("profile-bench: no per-phase regressions against {OUT}");
+        0
+    } else {
+        eprintln!("profile-bench: {failures} phase(s) regressed against {OUT}");
+        1
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--check-regression") => std::process::exit(check_regression()),
+        Some("--help") | Some("-h") => {
+            eprintln!(
+                "usage: profile-bench [--check-regression]\n\
+                 default: measure and (re)write {OUT}\n\
+                 --check-regression: measure and compare against the committed {OUT}"
+            );
+        }
+        Some(other) => {
+            eprintln!("profile-bench: unknown flag `{other}`");
+            std::process::exit(2);
+        }
+        None => write_snapshot(),
+    }
+}

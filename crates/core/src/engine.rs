@@ -10,7 +10,7 @@ use gswitch_kernels::pattern::{
     AsFormat, Direction, Fusion, KernelConfig, LoadBalance, SteppingDelta,
 };
 use gswitch_kernels::{classify, expand, materialize, EdgeApp, Frontier, IterStats, Status};
-use gswitch_obs::{Provenance, RecorderHandle, TraceEvent};
+use gswitch_obs::{Provenance, RecorderHandle, SpanCtx, SpanKind, TraceEvent};
 use gswitch_simt::{DeviceSpec, SimMs};
 
 /// Which patterns the Selector may actually switch — the ablation knob
@@ -126,6 +126,13 @@ pub struct EngineOptions {
     /// variant. `0` (the default) disables the sentinel; the checks run
     /// on the host and are priced at zero simulated cost.
     pub verify_every: u32,
+    /// Span context: where host wall time goes. Off by default (one
+    /// `Option` check per span site); the serving runtime installs a
+    /// collector so super-steps and their inspect/select/filter/expand
+    /// phases appear in `gswitch-trace --timeline`. Its clock is also
+    /// the engine's only wall-time source — host overhead is measured
+    /// through it whether or not spans are collected.
+    pub spans: SpanCtx,
 }
 
 impl Default for EngineOptions {
@@ -139,6 +146,7 @@ impl Default for EngineOptions {
             recorder: RecorderHandle::none(),
             probe: ProbeHandle::none(),
             verify_every: 0,
+            spans: SpanCtx::default(),
         }
     }
 }
@@ -360,6 +368,11 @@ pub fn run_with_seed_config<A: EdgeApp>(
     // Most recent standalone Filter cost — what breaking a chain buys back.
     let mut last_filter_ms = 0.0f64;
 
+    // Span plumbing: one per-thread staging buffer for the whole run;
+    // each iteration opens a SuperStep span the phase spans nest under.
+    let span_local = opts.spans.local();
+    let clock = span_local.clock().clone();
+
     for iteration in 0..opts.max_iterations {
         // Cooperative stop: deadline/cancellation takes effect at
         // super-step granularity, before this iteration does any work.
@@ -367,6 +380,8 @@ pub fn run_with_seed_config<A: EdgeApp>(
             report.stopped = Some(reason);
             break;
         }
+        let step = span_local.start_tagged(SpanKind::SuperStep, opts.spans.parent, None, iteration);
+        let step_id = step.id();
         app.advance(iteration);
         ctx.iteration = iteration;
 
@@ -376,9 +391,11 @@ pub fn run_with_seed_config<A: EdgeApp>(
         // the simulator, not the host clock).
         let mut overhead_host_ms = 0.0;
         let mut timed = |f: &mut dyn FnMut()| {
-            let t0 = std::time::Instant::now();
+            let t0 = clock.now_ns();
             f();
-            overhead_host_ms += t0.elapsed().as_secs_f64() * 1e3;
+            let t1 = clock.now_ns();
+            overhead_host_ms += (t1.saturating_sub(t0)) as f64 / 1e6;
+            span_local.record_interval(SpanKind::Select, step_id, t0, t1, None, iteration);
         };
 
         // P4 must precede classification: the threshold feeds `filter`.
@@ -417,6 +434,7 @@ pub fn run_with_seed_config<A: EdgeApp>(
                 // deferred work (advance its threshold window) when the
                 // active set drains; each retry pays a classification.
                 let mut classify_ms = 0.0;
+                let i0 = clock.now_ns();
                 let co = loop {
                     let co = classify(g, app, spec);
                     classify_ms += spec.kernel_time_ms(&co.profile);
@@ -424,6 +442,14 @@ pub fn run_with_seed_config<A: EdgeApp>(
                         break co;
                     }
                 };
+                span_local.record_interval(
+                    SpanKind::Inspect,
+                    step_id,
+                    i0,
+                    clock.now_ns(),
+                    None,
+                    iteration,
+                );
                 if co.stats.v_active == 0 {
                     report.converged = true;
                     break;
@@ -465,8 +491,17 @@ pub fn run_with_seed_config<A: EdgeApp>(
                 }
                 cfg.stepping = stepping;
                 cfg = caps.clamp(opts.mask.apply(cfg));
+                let f0 = clock.now_ns();
                 let (mut f, mat_profile) =
                     materialize::<A>(g, &co.status, cfg.direction, cfg.format, spec);
+                span_local.record_interval(
+                    SpanKind::Filter,
+                    step_id,
+                    f0,
+                    clock.now_ns(),
+                    None,
+                    iteration,
+                );
                 let mut mat_ms = spec.kernel_time_ms(&mat_profile);
                 #[cfg(feature = "fault-injection")]
                 crate::faults::corrupt_frontier(&mut f, cfg == reference_config);
@@ -477,6 +512,7 @@ pub fn run_with_seed_config<A: EdgeApp>(
                 since_check += 1;
                 let verify = opts.verify_every > 0 && !pinned && since_check >= opts.verify_every;
                 if verify {
+                    let v0 = clock.now_ns();
                     since_check = 0;
                     report.sentinel.checks += 1;
                     let expected = sentinel_expected_frontier::<A>(
@@ -501,6 +537,14 @@ pub fn run_with_seed_config<A: EdgeApp>(
                         f = f2;
                         mat_ms += spec.kernel_time_ms(&mat2);
                     }
+                    span_local.record_interval(
+                        SpanKind::Sentinel,
+                        step_id,
+                        v0,
+                        clock.now_ns(),
+                        None,
+                        iteration,
+                    );
                 }
                 verify_values = verify && !pinned;
 
@@ -516,7 +560,9 @@ pub fn run_with_seed_config<A: EdgeApp>(
             }
         }
         // ---- Executor: Expand phase.
+        let e0 = clock.now_ns();
         let mut eo = expand(g, app, &frontier, &status, config, spec);
+        span_local.record_interval(SpanKind::Expand, step_id, e0, clock.now_ns(), None, iteration);
         if estimated {
             // Fused continuation: the expand runs inside the kernel the
             // chain's first iteration launched — no fresh launch, and no
@@ -533,6 +579,7 @@ pub fn run_with_seed_config<A: EdgeApp>(
         // Only duplicate-tolerant (idempotent/monotonic) apps can absorb
         // the re-application safely.
         if verify_values && A::DUP_TOLERANT {
+            let v0 = clock.now_ns();
             report.sentinel.checks += 1;
             let repairs = sentinel_value_sweep(g, app, &status);
             if repairs > 0 {
@@ -542,6 +589,14 @@ pub fn run_with_seed_config<A: EdgeApp>(
                 pinned = true;
                 provenance = Provenance::Sentinel;
             }
+            span_local.record_interval(
+                SpanKind::Sentinel,
+                step_id,
+                v0,
+                clock.now_ns(),
+                None,
+                iteration,
+            );
         }
 
         // ---- Feedback (device→host copy) + trace.
@@ -818,6 +873,39 @@ mod tests {
         // 4 productive expansions + the final one that proves exhaustion.
         assert_eq!(rep.n_iterations(), 5);
         assert!(rep.total_ms() > 0.0);
+    }
+
+    #[test]
+    fn engine_emits_nested_phase_spans() {
+        use gswitch_obs::{SpanKind, SpanRing};
+        let g = GraphBuilder::new(5).edges([(0, 1), (1, 2), (2, 3), (3, 4)]).build();
+        let app = Bfs::new(5, 0);
+        let ring = std::sync::Arc::new(SpanRing::new(4096));
+        // Parent ids always come from the same ring, like the serving
+        // runtime's Execute span does.
+        let parent = ring.alloc_id();
+        let opts = EngineOptions {
+            spans: gswitch_obs::SpanCtx::new(ring.collector(), parent, 2, 11),
+            ..Default::default()
+        };
+        let rep = run(&g, &app, &AutoPolicy, &opts);
+        assert!(rep.converged);
+        let spans = ring.snapshot();
+        let steps: Vec<_> = spans.iter().filter(|s| s.kind == SpanKind::SuperStep).collect();
+        // One SuperStep per engine iteration (including the convergence
+        // probe), parented on the caller-supplied id.
+        assert_eq!(steps.len(), rep.n_iterations() + 1);
+        assert!(steps.iter().all(|s| s.parent == parent && s.worker == 2 && s.job == 11));
+        // Every phase span nests under some SuperStep of the same run.
+        let step_ids: std::collections::BTreeSet<u64> = steps.iter().map(|s| s.id).collect();
+        let phases: Vec<_> = spans.iter().filter(|s| s.kind != SpanKind::SuperStep).collect();
+        assert!(!phases.is_empty());
+        assert!(phases.iter().all(|s| step_ids.contains(&s.parent)));
+        assert!(phases.iter().any(|s| s.kind == SpanKind::Inspect));
+        assert!(phases.iter().any(|s| s.kind == SpanKind::Expand));
+        // Self-times decompose wall time: Σ excl ≤ Σ root inclusive.
+        let p = gswitch_obs::profile(&spans);
+        assert!(p.excl_total_ms() <= p.total_ms + 1e-9);
     }
 
     #[test]

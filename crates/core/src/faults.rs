@@ -45,10 +45,7 @@ pub fn arm_shard_drop(shard: u32) {
 /// Fire the armed panic if `shard` is the target (one-shot: disarms
 /// before panicking so retries proceed cleanly).
 pub fn maybe_shard_panic(shard: u32) {
-    if SHARD_PANIC
-        .compare_exchange(shard, DISARMED, Ordering::SeqCst, Ordering::SeqCst)
-        .is_ok()
-    {
+    if SHARD_PANIC.compare_exchange(shard, DISARMED, Ordering::SeqCst, Ordering::SeqCst).is_ok() {
         SHARD_FIRED.fetch_add(1, Ordering::SeqCst);
         panic!("injected fault: shard {shard} worker died at the exchange step");
     }
@@ -56,9 +53,8 @@ pub fn maybe_shard_panic(shard: u32) {
 
 /// Consume the armed drop if `shard` is the target (one-shot).
 pub fn take_shard_drop(shard: u32) -> bool {
-    let hit = SHARD_DROP
-        .compare_exchange(shard, DISARMED, Ordering::SeqCst, Ordering::SeqCst)
-        .is_ok();
+    let hit =
+        SHARD_DROP.compare_exchange(shard, DISARMED, Ordering::SeqCst, Ordering::SeqCst).is_ok();
     if hit {
         SHARD_FIRED.fetch_add(1, Ordering::SeqCst);
     }

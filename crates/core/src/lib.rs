@@ -44,7 +44,10 @@ pub use sharded::{run_sharded, ShardError, ShardedOptions, ShardedRunReport, Sup
 // Observability handles callers need to request a decision trace
 // (`EngineOptions.recorder`); the full registry/summary API lives in
 // `gswitch-obs`.
-pub use gswitch_obs::{Provenance, Recorder, RecorderHandle, TraceEvent, TraceRing};
+pub use gswitch_obs::{
+    Provenance, Recorder, RecorderHandle, SpanCollector, SpanCtx, SpanKind, SpanRecord, SpanRing,
+    TraceEvent, TraceRing,
+};
 
 // The user programming API re-exported at the crate root: implementing
 // `GraphApp` (the paper's filter/emit/comp/compAtomic quartet) is all a

@@ -37,7 +37,7 @@ use gswitch_kernels::pattern::KernelConfig;
 use gswitch_kernels::{
     classify, expand, materialize, ClassifyOutput, EdgeApp, ExpandOutput, Status,
 };
-use gswitch_obs::{Provenance, RecorderHandle, TraceEvent};
+use gswitch_obs::{Provenance, RecorderHandle, SpanCtx, SpanKind, TraceEvent};
 use gswitch_simt::{DeviceSpec, SimMs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -101,6 +101,11 @@ pub struct ShardedOptions {
     pub recorder: RecorderHandle,
     /// Cooperative stop probe, polled at every super-step barrier.
     pub probe: ProbeHandle,
+    /// Span context. Per-shard inspect/expand phases run on worker
+    /// threads and record spans tagged `shard: Some(id)` under each
+    /// BSP super-step; host decision time is measured through its
+    /// clock whether or not spans are collected.
+    pub spans: SpanCtx,
 }
 
 impl Default for ShardedOptions {
@@ -112,6 +117,7 @@ impl Default for ShardedOptions {
             stability_bypass: true,
             recorder: RecorderHandle::none(),
             probe: ProbeHandle::none(),
+            spans: SpanCtx::default(),
         }
     }
 }
@@ -403,11 +409,8 @@ pub fn run_sharded<A: EdgeApp>(
     let views: Vec<ShardView<'_, A>> =
         sharded.shards().iter().map(|sh| ShardView::new(app, sh)).collect();
 
-    let mut report = ShardedRunReport {
-        k: k as u32,
-        shard_busy_ms: vec![0.0; k],
-        ..Default::default()
-    };
+    let mut report =
+        ShardedRunReport { k: k as u32, shard_busy_ms: vec![0.0; k], ..Default::default() };
 
     // Per-shard decision state, mirroring the engine's history block.
     let mut ctxs: Vec<DecisionContext> =
@@ -417,16 +420,30 @@ pub fn run_sharded<A: EdgeApp>(
     let mut last_configs: Vec<Option<KernelConfig>> = vec![None; k];
     let mut streaks = vec![0u32; k];
 
+    // Span plumbing: the driver thread stages into one local buffer;
+    // fan_out workers make their own per-call (shard phases are coarse
+    // enough that the per-thread buffer setup is noise).
+    let span_local = opts.spans.local();
+    let clock = span_local.clock().clone();
+    let sctx = opts.spans.clone();
+
     for iteration in 0..opts.max_supersteps {
         if let Some(reason) = opts.probe.check(iteration) {
             report.stopped = Some(reason);
             break;
         }
+        let step_guard =
+            span_local.start_tagged(SpanKind::SuperStep, opts.spans.parent, None, iteration);
+        let step_id = step_guard.id();
         // One global advance: the K views are windows onto one app.
         app.advance(iteration);
 
         // ---- Phase 1: classify all shards (parallel, panic-isolated).
-        let classified = fan_out(k, "classify", |s| classify(views[s].shard.graph(), &views[s], spec));
+        let classified = fan_out(k, "classify", |s| {
+            let sl = sctx.collector().local(s as u32, sctx.job);
+            let _span = sl.start_tagged(SpanKind::Inspect, step_id, Some(s as u32), iteration);
+            classify(views[s].shard.graph(), &views[s], spec)
+        });
         let mut outputs: Vec<ClassifyOutput> = Vec::with_capacity(k);
         for r in classified {
             outputs.push(r?);
@@ -452,9 +469,18 @@ pub fn run_sharded<A: EdgeApp>(
             let (cfg, prov, decided) = match (stable, last_configs[s]) {
                 (true, Some(prev)) => (prev, Provenance::StabilityBypass, false),
                 _ => {
-                    let t0 = std::time::Instant::now();
+                    let t0 = clock.now_ns();
                     let c = policy.decide(ctx, &caps);
-                    overhead_host_ms += t0.elapsed().as_secs_f64() * 1e3;
+                    let t1 = clock.now_ns();
+                    overhead_host_ms += t1.saturating_sub(t0) as f64 / 1e6;
+                    span_local.record_interval(
+                        SpanKind::Select,
+                        step_id,
+                        t0,
+                        t1,
+                        Some(s as u32),
+                        iteration,
+                    );
                     (c, Provenance::Decided, true)
                 }
             };
@@ -467,11 +493,18 @@ pub fn run_sharded<A: EdgeApp>(
         let expanded = fan_out(k, "exchange", |s| {
             #[cfg(feature = "fault-injection")]
             crate::faults::maybe_shard_panic(s as u32);
+            let sl = sctx.collector().local(s as u32, sctx.job);
+            let _span = sl.start_tagged(SpanKind::Expand, step_id, Some(s as u32), iteration);
             let view = &views[s];
             let g = view.shard.graph();
             let cfg = decisions[s].0;
-            let (frontier, mat_profile) =
-                materialize::<ShardView<'_, A>>(g, &outputs[s].status, cfg.direction, cfg.format, spec);
+            let (frontier, mat_profile) = materialize::<ShardView<'_, A>>(
+                g,
+                &outputs[s].status,
+                cfg.direction,
+                cfg.format,
+                spec,
+            );
             let eo = expand(g, view, &frontier, &outputs[s].status, cfg, spec);
             (spec.kernel_time_ms(&mat_profile), eo)
         });
@@ -487,6 +520,7 @@ pub fn run_sharded<A: EdgeApp>(
         }
 
         // ---- Phase 4: exchange accounting + feedback (the barrier).
+        let x0 = clock.now_ns();
         let mut exchange = ExchangeProfile::default();
         let mut step = SuperStep {
             iteration,
@@ -563,6 +597,14 @@ pub fn run_sharded<A: EdgeApp>(
         // Exchange: routed records cross the interconnect to k-1 peers.
         step.exchange = exchange;
         step.exchange_ms = spec.exchange_time_ms(exchange.bytes(), (k as u32).saturating_sub(1));
+        span_local.record_interval(
+            SpanKind::Exchange,
+            step_id,
+            x0,
+            clock.now_ns(),
+            None,
+            iteration,
+        );
         report.supersteps.push(step);
     }
 
@@ -759,6 +801,63 @@ mod tests {
     }
 
     #[test]
+    fn sharded_run_emits_per_shard_spans() {
+        use gswitch_obs::{profile, SpanCtx, SpanRing};
+        let g = gen::erdos_renyi(300, 1_200, 5);
+        let sharded = ShardedCsr::partition(&g, 3).expect("partition");
+        let app = Bfs::new(g.num_vertices(), 0);
+        let ring = Arc::new(SpanRing::new(8192));
+        let parent = ring.alloc_id();
+        let opts = ShardedOptions {
+            spans: SpanCtx::new(ring.collector(), parent, 9, 42),
+            ..Default::default()
+        };
+        let rep = run_sharded(&sharded, &app, &AutoPolicy, &opts).expect("run");
+        assert!(rep.converged);
+        let spans = ring.snapshot();
+        assert_eq!(ring.dropped(), 0);
+
+        // One SuperStep per executed superstep (+1: the final iteration
+        // opens a span, detects convergence, and pushes no report step),
+        // all under the caller's parent.
+        let steps: Vec<_> =
+            spans.iter().filter(|s| s.kind == gswitch_obs::SpanKind::SuperStep).collect();
+        assert_eq!(steps.len(), rep.n_supersteps() + 1);
+        let step_ids: std::collections::BTreeSet<u64> = steps
+            .iter()
+            .map(|s| {
+                assert_eq!(s.parent, parent);
+                assert_eq!(s.job, 42);
+                s.id
+            })
+            .collect();
+
+        // Inspect/Expand are per-shard children; every shard shows up.
+        let mut inspect_shards = std::collections::BTreeSet::new();
+        let mut expand_shards = std::collections::BTreeSet::new();
+        for s in &spans {
+            match s.kind {
+                gswitch_obs::SpanKind::Inspect => {
+                    assert!(step_ids.contains(&s.parent));
+                    inspect_shards.insert(s.shard.expect("inspect span missing shard"));
+                }
+                gswitch_obs::SpanKind::Expand => {
+                    assert!(step_ids.contains(&s.parent));
+                    expand_shards.insert(s.shard.expect("expand span missing shard"));
+                }
+                gswitch_obs::SpanKind::Exchange => assert!(step_ids.contains(&s.parent)),
+                _ => {}
+            }
+        }
+        assert_eq!(inspect_shards, (0..3).collect());
+        assert_eq!(expand_shards, (0..3).collect());
+
+        // Self-time accounting never exceeds root wall time.
+        let p = profile(&spans);
+        assert!(p.excl_total_ms() <= p.total_ms + 1e-9);
+    }
+
+    #[test]
     fn worker_panic_becomes_structured_error() {
         let g = GraphBuilder::new(8).edges([(0, 1), (2, 3), (4, 5), (6, 7)]).build();
         let sharded = ShardedCsr::partition(&g, 2).expect("partition");
@@ -795,10 +894,8 @@ mod tests {
         let g = gen::grid2d(30, 30, 0.0, 2);
         let sharded = ShardedCsr::partition(&g, 2).expect("partition");
         let app = Bfs::new(g.num_vertices(), 0);
-        let opts = ShardedOptions {
-            probe: ProbeHandle::new(Arc::new(StopAt(2))),
-            ..Default::default()
-        };
+        let opts =
+            ShardedOptions { probe: ProbeHandle::new(Arc::new(StopAt(2))), ..Default::default() };
         let rep = run_sharded(&sharded, &app, &AutoPolicy, &opts).expect("run");
         assert_eq!(rep.stopped, Some(StopReason::DeadlineExceeded));
         assert!(!rep.converged);
@@ -826,8 +923,9 @@ mod tests {
         let sharded = ShardedCsr::partition(&g, 2).expect("partition");
         let app = Bfs::new(g.num_vertices(), 0);
         let pinned = KernelConfig::push_baseline();
-        let rep = run_sharded(&sharded, &app, &StaticPolicy::new(pinned), &ShardedOptions::default())
-            .expect("run");
+        let rep =
+            run_sharded(&sharded, &app, &StaticPolicy::new(pinned), &ShardedOptions::default())
+                .expect("run");
         assert!(rep.converged);
         assert_eq!(app.level.to_vec(), single_levels(&g, 0));
     }

@@ -124,10 +124,7 @@ impl LocalShard {
         if self.owner_range().contains(&global) {
             return Some(global - self.owner_start);
         }
-        self.halo_global
-            .binary_search(&global)
-            .ok()
-            .map(|i| (self.n_owned + i) as VertexId)
+        self.halo_global.binary_search(&global).ok().map(|i| (self.n_owned + i) as VertexId)
     }
 
     /// Per-shard dataset attributes over the local CSR (halo rows count
@@ -435,11 +432,7 @@ mod tests {
         let sharded = ShardedCsr::partition(&g, 4).unwrap();
         // A greedy contiguous cut cannot be perfect, but it must not
         // degenerate into one shard holding everything.
-        assert!(
-            sharded.edge_imbalance() < 2.5,
-            "imbalance {} too high",
-            sharded.edge_imbalance()
-        );
+        assert!(sharded.edge_imbalance() < 2.5, "imbalance {} too high", sharded.edge_imbalance());
         for s in sharded.shards() {
             assert!(s.n_owned() > 0, "shard {} owns nothing", s.id());
         }

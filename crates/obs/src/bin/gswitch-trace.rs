@@ -1,36 +1,109 @@
-//! Summarize a gswitch decision trace (JSONL, as written by the
-//! `trace` verb of `gswitch-serve` or `TraceRing::to_jsonl`).
+//! Summarize a gswitch decision trace, or render span timelines and
+//! self-time profiles.
 //!
-//! Usage: `gswitch-trace [FILE|-]` — reads stdin when the argument is
-//! `-` or absent. Exits nonzero if any line fails to parse, so CI can
-//! pipe a fresh trace through it as a schema check.
+//! Usage: `gswitch-trace [--timeline OUT] [--profile] [FILE|-]` —
+//! reads stdin when the file argument is `-` or absent.
+//!
+//! * Default mode: the input is a decision trace (JSONL, as written by
+//!   the `trace` verb of `gswitch-serve` or `TraceRing::to_jsonl`);
+//!   prints switch counts, prediction quality, regret and load-balance
+//!   summaries. Exits nonzero if any line fails to parse, so CI can
+//!   pipe a fresh trace through it as a schema check.
+//! * `--timeline OUT`: the input is a *span* log (JSONL, as written by
+//!   `gswitch-serve --spans` or `SpanRing::to_jsonl`); writes Chrome
+//!   trace-event JSON to OUT, loadable in Perfetto or chrome://tracing
+//!   with one track per worker/shard.
+//! * `--profile`: the input is a span log; prints the flame-style
+//!   self-time table (inclusive/exclusive ms, counts, p50/p95/p99 per
+//!   span kind). Combines with `--timeline`.
 
 use std::io::Read;
 use std::process::ExitCode;
 
-fn main() -> ExitCode {
-    let arg = std::env::args().nth(1);
-    let (source, text) = match arg.as_deref() {
-        Some("--help") | Some("-h") => {
-            eprintln!("usage: gswitch-trace [FILE|-]   (default: stdin)");
-            return ExitCode::SUCCESS;
-        }
+fn usage() -> ! {
+    eprintln!(
+        "usage: gswitch-trace [--timeline OUT] [--profile] [FILE|-]   (default: stdin)\n\
+         \n\
+         default        summarize a decision trace (switches, prediction quality, regret)\n\
+         --timeline OUT convert a span log to Chrome trace-event JSON (Perfetto-loadable)\n\
+         --profile      print the span self-time profile table"
+    );
+    std::process::exit(2)
+}
+
+fn read_input(arg: Option<&str>) -> Result<(String, String), String> {
+    match arg {
         Some("-") | None => {
             let mut buf = String::new();
-            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
-                eprintln!("gswitch-trace: reading stdin: {e}");
-                return ExitCode::FAILURE;
-            }
-            ("<stdin>".to_string(), buf)
+            std::io::stdin().read_to_string(&mut buf).map_err(|e| format!("reading stdin: {e}"))?;
+            Ok(("<stdin>".to_string(), buf))
         }
         Some(path) => match std::fs::read_to_string(path) {
-            Ok(buf) => (path.to_string(), buf),
-            Err(e) => {
-                eprintln!("gswitch-trace: {path}: {e}");
+            Ok(buf) => Ok((path.to_string(), buf)),
+            Err(e) => Err(format!("{path}: {e}")),
+        },
+    }
+}
+
+fn report_bad_lines(source: &str, errors: &[(usize, String)], total: usize) {
+    for (line, err) in errors.iter().take(5) {
+        eprintln!("gswitch-trace: {source}:{line}: {err}");
+    }
+    if errors.len() > 5 {
+        eprintln!("gswitch-trace: ... {} more bad lines", errors.len() - 5);
+    }
+    eprintln!("gswitch-trace: {} of {} lines failed to parse", errors.len(), total);
+}
+
+fn main() -> ExitCode {
+    let mut timeline: Option<String> = None;
+    let mut profile = false;
+    let mut file: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--help" | "-h" => usage(),
+            "--profile" => profile = true,
+            "--timeline" => match it.next() {
+                Some(out) => timeline = Some(out),
+                None => usage(),
+            },
+            other => {
+                if file.is_some() {
+                    usage()
+                }
+                file = Some(other.to_string());
+            }
+        }
+    }
+
+    let (source, text) = match read_input(file.as_deref()) {
+        Ok(st) => st,
+        Err(e) => {
+            eprintln!("gswitch-trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Span modes: the input is a span log, not a decision trace.
+    if timeline.is_some() || profile {
+        let (spans, errors) = gswitch_obs::parse_spans_jsonl(&text);
+        if let Some(out) = &timeline {
+            if let Err(e) = std::fs::write(out, gswitch_obs::timeline_json(&spans)) {
+                eprintln!("gswitch-trace: writing {out}: {e}");
                 return ExitCode::FAILURE;
             }
-        },
-    };
+            println!("timeline: {} spans written to {out} (open in Perfetto)", spans.len());
+        }
+        if profile {
+            print!("{}", gswitch_obs::profile(&spans).render());
+        }
+        if errors.is_empty() {
+            return ExitCode::SUCCESS;
+        }
+        report_bad_lines(&source, &errors, errors.len() + spans.len());
+        return ExitCode::FAILURE;
+    }
 
     let parsed = gswitch_obs::parse_jsonl(&text);
     print!("{}", gswitch_obs::summarize(&parsed.events).render());
@@ -38,17 +111,7 @@ fn main() -> ExitCode {
     if parsed.errors.is_empty() {
         ExitCode::SUCCESS
     } else {
-        for (line, err) in parsed.errors.iter().take(5) {
-            eprintln!("gswitch-trace: {source}:{line}: {err}");
-        }
-        if parsed.errors.len() > 5 {
-            eprintln!("gswitch-trace: ... {} more bad lines", parsed.errors.len() - 5);
-        }
-        eprintln!(
-            "gswitch-trace: {} of {} lines failed to parse",
-            parsed.errors.len(),
-            parsed.errors.len() + parsed.events.len()
-        );
+        report_bad_lines(&source, &parsed.errors, parsed.errors.len() + parsed.events.len());
         ExitCode::FAILURE
     }
 }

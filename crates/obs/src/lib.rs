@@ -15,6 +15,11 @@
 //!   [`TraceRing`] it lands in, and JSONL export/import.
 //! * [`summary`] — switch counts, direction-flip timeline, regret and
 //!   load-balance imbalance; what the `gswitch-trace` binary prints.
+//! * [`span`] — causal wall-clock spans: RAII guards with explicit
+//!   parent ids over a monotonic [`Clock`], bounded per-thread buffers
+//!   merged into a [`SpanRing`], Chrome trace-event timeline export and
+//!   the self-time [`profile`] behind `gswitch-trace --timeline` /
+//!   `--profile`.
 //! * [`json`] — the dependency-free JSON writer/parser behind the wire
 //!   format (this crate deliberately takes no external dependencies so
 //!   it can sit below `gswitch-core` in the build graph).
@@ -28,6 +33,7 @@
 pub mod hardening;
 pub mod json;
 pub mod metrics;
+pub mod span;
 pub mod summary;
 pub mod sync;
 pub mod trace;
@@ -35,6 +41,10 @@ pub mod trace;
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
     LATENCY_MS_BUCKETS, SIZE_BUCKETS,
+};
+pub use span::{
+    parse_spans_jsonl, profile, timeline_json, Clock, KindProfile, LocalSpans, SpanCollector,
+    SpanCtx, SpanGuard, SpanKind, SpanProfile, SpanRecord, SpanRing,
 };
 pub use summary::{parse_jsonl, summarize, DirectionFlip, LbStats, ParsedTrace, TraceSummary};
 pub use trace::{

@@ -88,6 +88,23 @@ pub struct TraceSummary {
     pub predicted_events: u64,
     /// Mean |measured − predicted| / measured over predicted events.
     pub mean_abs_rel_error: f64,
+    /// Mean |measured − predicted| in milliseconds over predicted
+    /// events — the absolute counterpart of [`Self::mean_abs_rel_error`],
+    /// immune to tiny-denominator blowups on sub-µs iterations.
+    pub mean_abs_miss_ms: f64,
+    /// 95th-percentile per-event regret (positive miss, clamped at 0)
+    /// over predicted events: the tail cost of mispredictions, which a
+    /// mean hides when most iterations predict well.
+    pub regret_p95_ms: f64,
+    /// Freshly decided events (`Provenance::Decided`) that *changed*
+    /// the configuration relative to the previous iteration of the
+    /// same (job, shard) stream — actual switches the Selector chose.
+    pub switch_decisions: u64,
+    /// Switch decisions that paid off: the switched iteration measured
+    /// no slower than the iteration before it. A crude but
+    /// label-free accuracy proxy — frontier growth can mask a good
+    /// switch, so read it as a trend line, not ground truth.
+    pub switch_wins: u64,
     /// Predicted events missing by more than 50% either way.
     pub mispredicts: u64,
     /// Total positive miss (measured − predicted clamped at 0) — regret
@@ -121,6 +138,8 @@ pub fn summarize(events: &[StampedEvent]) -> TraceSummary {
     let mut jobs_seen: BTreeMap<u64, ()> = BTreeMap::new();
     let mut lb_sums: BTreeMap<&'static str, (u64, f64, f64)> = BTreeMap::new();
     let mut err_sum = 0.0;
+    let mut miss_sum_ms = 0.0;
+    let mut regrets_ms: Vec<f64> = Vec::new();
 
     for ev in events {
         let e = &ev.event;
@@ -151,6 +170,12 @@ pub fn summarize(events: &[StampedEvent]) -> TraceSummary {
             if p.fusion != c.fusion {
                 *s.switches.entry("fusion").or_insert(0) += 1;
             }
+            if e.provenance == crate::trace::Provenance::Decided && *p != *c {
+                s.switch_decisions += 1;
+                if e.measured_ms <= prev.event.measured_ms {
+                    s.switch_wins += 1;
+                }
+            }
         }
         last_by_job.insert((ev.job, e.shard), ev);
 
@@ -168,10 +193,13 @@ pub fn summarize(events: &[StampedEvent]) -> TraceSummary {
             s.predicted_events += 1;
             let rel = (e.measured_ms - e.predicted_ms).abs() / e.measured_ms;
             err_sum += rel;
+            miss_sum_ms += (e.measured_ms - e.predicted_ms).abs();
             if rel > 0.5 {
                 s.mispredicts += 1;
             }
-            s.regret_ms += (e.measured_ms - e.predicted_ms).max(0.0);
+            let regret = (e.measured_ms - e.predicted_ms).max(0.0);
+            s.regret_ms += regret;
+            regrets_ms.push(regret);
         }
 
         let entry = lb_sums.entry(names::lb(e.config.lb)).or_insert((0, 0.0, 0.0));
@@ -184,6 +212,12 @@ pub fn summarize(events: &[StampedEvent]) -> TraceSummary {
     s.jobs = jobs_seen.len();
     if s.predicted_events > 0 {
         s.mean_abs_rel_error = err_sum / s.predicted_events as f64;
+        s.mean_abs_miss_ms = miss_sum_ms / s.predicted_events as f64;
+        regrets_ms.sort_by(f64::total_cmp);
+        // Nearest-rank p95 over the regret distribution (zeros included:
+        // an event that predicted well is part of the distribution).
+        let rank = ((regrets_ms.len() as f64) * 0.95).ceil().max(1.0) as usize;
+        s.regret_p95_ms = regrets_ms[rank.min(regrets_ms.len()) - 1];
     }
     for (k, (n, sum, max)) in lb_sums {
         s.lb.insert(
@@ -231,6 +265,20 @@ impl TraceSummary {
                     0.0
                 },
                 self.measured_ms,
+            );
+            let _ = writeln!(
+                out,
+                "prediction quality: mean |miss| {:.3} ms  regret p95 {:.3} ms  \
+                 switch decisions {} (wins {}, {:.0}%)",
+                self.mean_abs_miss_ms,
+                self.regret_p95_ms,
+                self.switch_decisions,
+                self.switch_wins,
+                if self.switch_decisions > 0 {
+                    self.switch_wins as f64 / self.switch_decisions as f64 * 100.0
+                } else {
+                    0.0
+                },
             );
         } else {
             let _ = writeln!(out, "prediction: no events carried a prediction");
@@ -346,11 +394,50 @@ mod tests {
         assert!((s.regret_ms - 2.2).abs() < 1e-9);
         // mispredicts: |3-1|/3 = 0.67 > 0.5; |1-2|/1 = 1.0 > 0.5 → 2
         assert_eq!(s.mispredicts, 2);
+        // mean |miss|: (|3-1| + |1-2| + |1.2-1|)/3
+        assert!((s.mean_abs_miss_ms - 3.2 / 3.0).abs() < 1e-9);
+        // regret distribution [0, 0.2, 2.0], nearest-rank p95 → 2.0
+        assert!((s.regret_p95_ms - 2.0).abs() < 1e-9);
+        // non-first iterations are StabilityBypass → no switch decisions
+        assert_eq!(s.switch_decisions, 0);
         assert_eq!(s.lb["twc"].events, 5);
         assert_eq!(s.lb["twc"].mean_imbalance, 2.0);
         let text = s.render();
         assert!(text.contains("direction 1"));
         assert!(text.contains("job 1    iter 1"));
+    }
+
+    #[test]
+    fn switch_decisions_count_only_decided_config_changes() {
+        let push = KernelConfig::push_baseline();
+        let pull = KernelConfig { direction: Direction::Pull, ..push };
+        let ring = Arc::new(TraceRing::new(64));
+        let mut e0 = event(0, push, 1.0, 4.0);
+        e0.provenance = Provenance::Decided;
+        ring.push(1, "g", "bfs", &e0);
+        // Decided + config change + faster → a winning switch.
+        let mut e1 = event(1, pull, 1.0, 2.0);
+        e1.provenance = Provenance::Decided;
+        ring.push(1, "g", "bfs", &e1);
+        // Decided + config change + slower → a losing switch.
+        let mut e2 = event(2, push, 1.0, 3.0);
+        e2.provenance = Provenance::Decided;
+        ring.push(1, "g", "bfs", &e2);
+        // Decided but same config → the Selector re-affirmed, not a switch.
+        let mut e3 = event(3, push, 1.0, 3.0);
+        e3.provenance = Provenance::Decided;
+        ring.push(1, "g", "bfs", &e3);
+        // Config change under bypass provenance → not a *decision*.
+        let mut e4 = event(4, pull, 1.0, 1.0);
+        e4.provenance = Provenance::StabilityBypass;
+        ring.push(1, "g", "bfs", &e4);
+
+        let s = summarize(&ring.snapshot());
+        assert_eq!(s.switch_decisions, 2);
+        assert_eq!(s.switch_wins, 1);
+        let text = s.render();
+        assert!(text.contains("switch decisions 2 (wins 1, 50%)"));
+        assert!(text.contains("prediction quality:"));
     }
 
     #[test]

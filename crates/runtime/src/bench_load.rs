@@ -11,7 +11,7 @@ use crate::registry::GraphRegistry;
 use crate::scheduler::{Scheduler, SchedulerConfig, SubmitError};
 use crate::JobSpec;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Deterministic stream mixer (SplitMix64).
 fn mix(state: &mut u64) -> u64 {
@@ -134,7 +134,8 @@ pub fn run_phase(
     phase: &'static str,
 ) -> PhaseReport {
     cache.reset_counters();
-    let t0 = Instant::now();
+    let clock = scheduler.obs().clock();
+    let t0 = clock.now_ns();
     let mut handles = Vec::with_capacity(specs.len());
     for spec in specs {
         loop {
@@ -149,7 +150,7 @@ pub fn run_phase(
         }
     }
     let outcomes: Vec<_> = handles.into_iter().map(|h| h.wait()).collect();
-    let wall_s = t0.elapsed().as_secs_f64();
+    let wall_s = clock.elapsed_ms(t0) / 1e3;
 
     let failed = outcomes.iter().filter(|o| o.status != JobStatus::Ok).count();
     let mut lat: Vec<f64> = outcomes.iter().map(|o| o.wall_ms).collect();

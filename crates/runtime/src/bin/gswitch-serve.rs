@@ -21,14 +21,17 @@ use std::sync::Arc;
 fn usage() -> ! {
     eprintln!(
         "usage: gswitch-serve [--bench-load] [--queries N] [--workers N] [--seed N] \
-         [--trace FILE] [--cache FILE] [--retries N] [--strict-load] [--verify-every N] \
-         [--shards K]\n\
+         [--trace FILE] [--spans FILE] [--cache FILE] [--retries N] [--strict-load] \
+         [--verify-every N] [--shards K]\n\
          \n\
          --shards K (serve mode): default shard count for `batch` requests — each\n\
          batched graph is partitioned into K resident shards on first use (a request's\n\
          own \"shards\" field overrides); default 4.\n\
          --trace FILE (with --bench-load): record a decision trace of the whole run\n\
          as JSONL to FILE; inspect it with `gswitch-trace FILE`.\n\
+         --spans FILE (with --bench-load): write the wall-clock span log (request →\n\
+         queue-wait → execute → super-step phases) as JSONL to FILE; render it with\n\
+         `gswitch-trace --timeline out.json FILE` or `gswitch-trace --profile FILE`.\n\
          --cache FILE (serve mode): warm the tuned-config cache from FILE at startup\n\
          (a missing or corrupt file degrades to an empty cache — the server always\n\
          starts) and persist it back on quit.\n\
@@ -59,6 +62,7 @@ struct Args {
     workers: usize,
     seed: u64,
     trace: Option<String>,
+    spans: Option<String>,
     cache: Option<String>,
     retries: u32,
     strict_load: bool,
@@ -73,6 +77,7 @@ fn parse_args() -> Args {
         workers: 0,
         seed: 0x5EED,
         trace: None,
+        spans: None,
         cache: None,
         retries: 2,
         strict_load: false,
@@ -103,6 +108,7 @@ fn parse_args() -> Args {
             "--verify-every" => args.verify_every = num(&mut it, "--verify-every") as u32,
             "--shards" => args.shards = (num(&mut it, "--shards") as u32).max(1),
             "--trace" => args.trace = Some(file(&mut it, "--trace")),
+            "--spans" => args.spans = Some(file(&mut it, "--spans")),
             "--cache" => args.cache = Some(file(&mut it, "--cache")),
             "--help" | "-h" => usage(),
             other => {
@@ -150,6 +156,19 @@ fn run_bench_load(args: &Args) -> i32 {
             }
         }
     }
+    if let Some(path) = &args.spans {
+        match std::fs::write(path, obs.spans.to_jsonl()) {
+            Ok(()) => println!(
+                "spans: {} spans written to {path} ({} evicted from the ring)",
+                obs.spans.len(),
+                obs.spans.dropped()
+            ),
+            Err(e) => {
+                eprintln!("spans: writing {path}: {e}");
+                trace_ok = false;
+            }
+        }
+    }
 
     let ok = cold.failed == 0
         && warm.failed == 0
@@ -171,6 +190,9 @@ fn err_line(msg: impl std::fmt::Display) -> String {
     jline(serde_json::json!({ "error": msg.to_string() }))
 }
 
+// The REPL dispatcher threads every service through one call; grouping
+// them into a context struct would add a layer for no reader benefit.
+#[allow(clippy::too_many_arguments)]
 fn handle(
     req: Request,
     registry: &Arc<GraphRegistry>,
@@ -240,9 +262,8 @@ fn handle(
         "batch" => {
             let graph_name = req.graph.ok_or("batch needs `graph`")?;
             let queries = req.queries.ok_or("batch needs `queries`")?;
-            let entry = registry
-                .get(&graph_name)
-                .ok_or_else(|| format!("unknown graph `{graph_name}`"))?;
+            let entry =
+                registry.get(&graph_name).ok_or_else(|| format!("unknown graph `{graph_name}`"))?;
             let job = batch_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             let report = shards.batch(
                 entry.graph(),
@@ -327,8 +348,26 @@ fn handle(
                 "exchange_records": obs.metrics.counter(metric::SHARD_EXCHANGE_RECORDS).get(),
                 "exchange_bytes": obs.metrics.counter(metric::SHARD_EXCHANGE_BYTES).get(),
             });
+            // Build/provenance block, so profiles and traces pulled off
+            // a live server are attributable to an exact build. The
+            // serve path decides with the heuristic AutoPolicy — no
+            // model envelope is resident, hence the null checksum.
+            let build = serde_json::json!({
+                "version": env!("CARGO_PKG_VERSION"),
+                "cost_model_version": gswitch_simt::COST_MODEL_VERSION,
+                "device": SchedulerConfig::default().device.name,
+                "model_schema_version": gswitch_core::MODEL_SCHEMA_VERSION,
+                "model_checksum": serde_json::Value::Null,
+                "uptime_s": obs.clock().now_ns() as f64 / 1e9,
+            });
+            // Self-time profile over the span ring: where request wall
+            // time went, per span kind.
+            let profile: serde_json::Value =
+                serde_json::from_str(&gswitch_obs::profile(&obs.spans.snapshot()).to_json())
+                    .map_err(|e| format!("span profile: {e}"))?;
             Ok(Some(jline(serde_json::json!({
                 "ok": "stats",
+                "build": build,
                 "graphs": registry.summaries(),
                 "cache": counters,
                 "hit_rate": counters.hit_rate(),
@@ -337,6 +376,8 @@ fn handle(
                 "shards": shard_stats,
                 "trace_enabled": obs.tracing(),
                 "trace_events": obs.trace.len(),
+                "spans": obs.spans.len(),
+                "profile": profile,
                 "hardening": hardening,
             }))))
         }

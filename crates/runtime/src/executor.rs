@@ -9,7 +9,7 @@ use gswitch_algos::{Bfs, Cc, PageRank, Sssp};
 use gswitch_core::{
     run, run_with_seed_config, EngineOptions, Policy, ProbeHandle, RunReport, StopReason,
 };
-use gswitch_obs::RecorderHandle;
+use gswitch_obs::{RecorderHandle, SpanCtx};
 use gswitch_simt::DeviceSpec;
 
 /// What [`execute`] hands back to the scheduler.
@@ -63,7 +63,9 @@ fn iter_stats(report: &RunReport) -> Vec<IterStat> {
 /// sentinel's cadence to the engine (0 = off): every N standalone
 /// super-steps the chosen variant's frontier is cross-checked against a
 /// serial reference derivation, and on mismatch the run repairs and
-/// pins to the reference variant.
+/// pins to the reference variant. `spans` is the wall-clock span
+/// context the engine's super-step/phase spans nest under (typically
+/// the scheduler's `Execute` span).
 #[allow(clippy::too_many_arguments)]
 pub fn execute(
     entry: &GraphEntry,
@@ -74,6 +76,7 @@ pub fn execute(
     recorder: RecorderHandle,
     probe: ProbeHandle,
     verify_every: u32,
+    spans: SpanCtx,
 ) -> Result<Execution, String> {
     crate::faults::fire(crate::faults::site::EXECUTOR_START);
     let g = entry.graph();
@@ -87,7 +90,7 @@ pub fn execute(
     let key = CacheKey::new(entry.fingerprint(), query.algo(), &feature_bucket(g.stats()));
     let seed = cache.lookup(&key);
     let cache_hit = seed.is_some();
-    let opts = EngineOptions { recorder, probe, ..EngineOptions::on(device.clone()) }
+    let opts = EngineOptions { recorder, probe, spans, ..EngineOptions::on(device.clone()) }
         .verify_every(verify_every);
 
     // Run the algorithm; each arm produces (reports, metrics, payload).
@@ -222,6 +225,7 @@ mod tests {
             RecorderHandle::none(),
             ProbeHandle::none(),
             0,
+            SpanCtx::default(),
         )
         .unwrap();
         assert!(!r.cache_hit);
@@ -240,6 +244,7 @@ mod tests {
             RecorderHandle::none(),
             ProbeHandle::none(),
             0,
+            SpanCtx::default(),
         )
         .unwrap();
         assert!(r2.cache_hit);
@@ -260,6 +265,7 @@ mod tests {
             RecorderHandle::none(),
             ProbeHandle::none(),
             0,
+            SpanCtx::default(),
         );
         assert!(err.is_err());
         // The failed lookup still counted as a... nothing: we error out
@@ -284,6 +290,7 @@ mod tests {
             RecorderHandle::none(),
             ProbeHandle::none(),
             0,
+            SpanCtx::default(),
         )
         .unwrap();
         // Components: {0,1,2}, {3}, {4,5}.
@@ -305,6 +312,7 @@ mod tests {
             RecorderHandle::none(),
             ProbeHandle::none(),
             0,
+            SpanCtx::default(),
         )
         .unwrap();
         let Payload::Distances { values } = &r.payload else { panic!("wrong payload") };
@@ -324,6 +332,7 @@ mod tests {
             RecorderHandle::none(),
             ProbeHandle::none(),
             1,
+            SpanCtx::default(),
         )
         .unwrap();
         assert!(r.converged);
@@ -349,6 +358,7 @@ mod tests {
             RecorderHandle::none(),
             ProbeHandle::new(token),
             0,
+            SpanCtx::default(),
         )
         .unwrap();
         assert_eq!(r.stopped, Some(StopReason::Cancelled));
@@ -369,7 +379,8 @@ mod tests {
             &dev,
             RecorderHandle::none(),
             ProbeHandle::none(),
-            0
+            0,
+            SpanCtx::default()
         )
         .is_err());
         assert!(execute(
@@ -380,7 +391,8 @@ mod tests {
             &dev,
             RecorderHandle::none(),
             ProbeHandle::none(),
-            0
+            0,
+            SpanCtx::default()
         )
         .is_err());
     }

@@ -6,7 +6,7 @@
 //! Metric names are centralized here (the `metric` module) so the
 //! scheduler, the cache and the CLI agree on spelling.
 
-use gswitch_obs::{MetricsRegistry, RecorderHandle, TraceRing};
+use gswitch_obs::{Clock, MetricsRegistry, RecorderHandle, SpanCollector, SpanRing, TraceRing};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -74,6 +74,10 @@ pub mod metric {
 /// ~200-byte event makes this a ≈13 MB worst-case ring.
 pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
 
+/// Default span-ring capacity. A [`gswitch_obs::SpanRecord`] is 64
+/// bytes, so the worst case is a ≈4 MB ring.
+pub const DEFAULT_SPAN_CAPACITY: usize = 65_536;
+
 /// Shared observability state for one serving process.
 pub struct RuntimeObs {
     /// The unified metrics registry every component reports into.
@@ -81,6 +85,11 @@ pub struct RuntimeObs {
     /// The decision-trace ring engine iterations land in while tracing
     /// is enabled.
     pub trace: Arc<TraceRing>,
+    /// The wall-clock span ring: request/queue-wait/execute spans from
+    /// the scheduler plus nested super-step phases from the engine.
+    /// Always collected (the ring is bounded; recording is one atomic
+    /// push), and its clock is the runtime's only wall-time source.
+    pub spans: Arc<SpanRing>,
     tracing: AtomicBool,
 }
 
@@ -95,8 +104,20 @@ impl RuntimeObs {
         RuntimeObs {
             metrics: Arc::new(MetricsRegistry::new()),
             trace: Arc::new(TraceRing::new(capacity)),
+            spans: Arc::new(SpanRing::new(DEFAULT_SPAN_CAPACITY)),
             tracing: AtomicBool::new(false),
         }
+    }
+
+    /// An always-enabled collector over the shared span ring.
+    pub fn span_collector(&self) -> SpanCollector {
+        self.spans.collector()
+    }
+
+    /// The monotonic clock every runtime component times against (the
+    /// span ring's clock, so spans and metrics agree on "now").
+    pub fn clock(&self) -> Clock {
+        self.spans.clock().clone()
     }
 
     /// Turn decision tracing on or off. Takes effect for jobs whose

@@ -28,12 +28,14 @@ use crate::query::{JobOutcome, JobSpec, JobStatus};
 use crate::registry::GraphRegistry;
 use gswitch_core::{AutoPolicy, CancelToken, ProbeHandle, RunProbe, StopReason};
 use gswitch_obs::sync::{recover, Lock};
-use gswitch_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use gswitch_obs::{
+    Clock, Counter, Gauge, Histogram, MetricsRegistry, SpanCtx, SpanKind, SpanRecord,
+};
 use gswitch_simt::DeviceSpec;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Scheduler tuning knobs.
 #[derive(Clone, Debug)]
@@ -91,9 +93,19 @@ impl std::fmt::Display for SubmitError {
 struct Job {
     id: u64,
     spec: JobSpec,
-    admitted: Instant,
+    /// Admission timestamp on the obs clock.
+    admitted_ns: u64,
+    /// Pre-allocated id of this job's `Request` span, so queue-wait and
+    /// execute spans can parent under it from any worker.
+    span_id: u64,
     deadline: Duration,
     tx: mpsc::Sender<JobOutcome>,
+}
+
+impl Job {
+    fn deadline_ns(&self) -> u64 {
+        u64::try_from(self.deadline.as_nanos()).unwrap_or(u64::MAX)
+    }
 }
 
 /// Pre-resolved metric handles, so the hot paths never touch the
@@ -179,7 +191,8 @@ pub struct JobHandle {
     rx: mpsc::Receiver<JobOutcome>,
     graph: String,
     algo: String,
-    admitted: Instant,
+    clock: Clock,
+    admitted_ns: u64,
 }
 
 impl JobHandle {
@@ -203,7 +216,7 @@ impl JobHandle {
                 ),
                 cache: None,
                 config: None,
-                wall_ms: self.admitted.elapsed().as_secs_f64() * 1e3,
+                wall_ms: self.clock.elapsed_ms(self.admitted_ns),
                 sim_ms: 0.0,
                 converged: false,
                 metrics: Vec::new(),
@@ -270,7 +283,7 @@ impl Scheduler {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("gswitch-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i as u32))
                     .expect("spawn worker")
             })
             .collect();
@@ -298,19 +311,21 @@ impl Scheduler {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let graph = spec.graph.clone();
         let algo = spec.query.algo().to_string();
-        let admitted = Instant::now();
+        let clock = self.shared.obs.clock();
+        let admitted_ns = clock.now_ns();
+        let span_id = self.shared.obs.span_collector().alloc_id();
         {
             let mut q = self.shared.queue.lock();
             if q.len() >= self.capacity {
                 self.shared.m.rejected.inc();
                 return Err(SubmitError::QueueFull);
             }
-            q.push_back(Job { id, spec, admitted, deadline, tx });
+            q.push_back(Job { id, spec, admitted_ns, span_id, deadline, tx });
             self.shared.m.queue_depth.set(q.len() as i64);
         }
         self.shared.m.submitted.inc();
         self.shared.work_ready.notify_one();
-        Ok(JobHandle { id, rx, graph, algo, admitted })
+        Ok(JobHandle { id, rx, graph, algo, clock, admitted_ns })
     }
 
     /// Submit `spec`, wait for the outcome, and transparently resubmit
@@ -393,7 +408,7 @@ impl Drop for Scheduler {
     }
 }
 
-fn outcome_skeleton(job: &Job, status: JobStatus) -> JobOutcome {
+fn outcome_skeleton(job: &Job, status: JobStatus, clock: &Clock) -> JobOutcome {
     JobOutcome {
         id: job.id,
         graph: job.spec.graph.clone(),
@@ -402,7 +417,7 @@ fn outcome_skeleton(job: &Job, status: JobStatus) -> JobOutcome {
         error: None,
         cache: None,
         config: None,
-        wall_ms: job.admitted.elapsed().as_secs_f64() * 1e3,
+        wall_ms: clock.elapsed_ms(job.admitted_ns),
         sim_ms: 0.0,
         converged: false,
         metrics: Vec::new(),
@@ -422,7 +437,9 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, worker: u32) {
+    let collector = shared.obs.span_collector();
+    let clock = shared.obs.clock();
     loop {
         let job = {
             let mut q = shared.queue.lock();
@@ -437,22 +454,52 @@ fn worker_loop(shared: &Shared) {
                 q = recover(shared.work_ready.wait(q));
             }
         };
-        shared.m.queue_wait_ms.observe(job.admitted.elapsed().as_secs_f64() * 1e3);
+        let spans = collector.local(worker, job.id);
+        // The Request span is closed on every path out of this job,
+        // covering admission → terminal state (queue wait included).
+        let finish_request = |job: &Job| {
+            let now = clock.now_ns();
+            spans.record(SpanRecord {
+                id: job.span_id,
+                parent: 0,
+                kind: SpanKind::Request,
+                job: job.id,
+                worker,
+                shard: None,
+                iter: 0,
+                start_ns: job.admitted_ns,
+                dur_ns: now.saturating_sub(job.admitted_ns),
+            });
+        };
+        let picked_ns = clock.now_ns();
+        spans.record_interval(
+            SpanKind::QueueWait,
+            job.span_id,
+            job.admitted_ns,
+            picked_ns,
+            None,
+            0,
+        );
+        shared.m.queue_wait_ms.observe(picked_ns.saturating_sub(job.admitted_ns) as f64 / 1e6);
 
         // Cancelled while queued? Previously this outcome vanished from
         // every aggregate — the counter is the only server-side record.
         // The `remove` also prunes the id, keeping the set bounded.
         if shared.cancelled.lock().remove(&job.id) {
             shared.m.cancelled.inc();
-            shared.m.total_ms.observe(job.admitted.elapsed().as_secs_f64() * 1e3);
-            let _ = job.tx.send(outcome_skeleton(&job, JobStatus::Cancelled));
+            let out = outcome_skeleton(&job, JobStatus::Cancelled, &clock);
+            shared.m.total_ms.observe(out.wall_ms);
+            finish_request(&job);
+            let _ = job.tx.send(out);
             continue;
         }
         // Deadline passed while queued? Same silent-loss fix as above.
-        if job.admitted.elapsed() > job.deadline {
+        if picked_ns.saturating_sub(job.admitted_ns) > job.deadline_ns() {
             shared.m.timeout_queued.inc();
-            shared.m.total_ms.observe(job.admitted.elapsed().as_secs_f64() * 1e3);
-            let _ = job.tx.send(outcome_skeleton(&job, JobStatus::DeadlineExceeded));
+            let out = outcome_skeleton(&job, JobStatus::DeadlineExceeded, &clock);
+            shared.m.total_ms.observe(out.wall_ms);
+            finish_request(&job);
+            let _ = job.tx.send(out);
             continue;
         }
 
@@ -461,8 +508,9 @@ fn worker_loop(shared: &Shared) {
             None => {
                 // Registered at admission but replaced/removed since.
                 shared.m.error.inc();
-                let mut out = outcome_skeleton(&job, JobStatus::Error);
+                let mut out = outcome_skeleton(&job, JobStatus::Error, &clock);
                 out.error = Some(format!("graph `{}` disappeared", job.spec.graph));
+                finish_request(&job);
                 let _ = job.tx.send(out);
                 continue;
             }
@@ -472,9 +520,18 @@ fn worker_loop(shared: &Shared) {
         // The job's cancel token doubles as its deadline probe: the
         // engine polls it each super-step, and `Scheduler::cancel` can
         // reach it through the `running` map while the job executes.
-        let token = Arc::new(CancelToken::with_deadline(job.admitted + job.deadline));
+        // A manual (test) clock has no `Instant` anchor; such jobs run
+        // without a mid-run deadline and are still caught at completion.
+        let token = Arc::new(
+            match clock.instant_at_ns(job.admitted_ns.saturating_add(job.deadline_ns())) {
+                Some(at) => CancelToken::with_deadline(at),
+                None => CancelToken::new(),
+            },
+        );
         shared.running.lock().insert(job.id, Arc::clone(&token));
-        let exec_start = Instant::now();
+        let exec_guard = spans.start(SpanKind::Execute, job.span_id);
+        let exec_spans = SpanCtx::new(collector.clone(), exec_guard.id(), worker, job.id);
+        let exec_start = clock.now_ns();
         // Panic isolation: a panicking job must not take the worker —
         // or any lock-holding bystander — down with it. The shared
         // state is poison-recovering, so unwinding through it is safe.
@@ -488,21 +545,23 @@ fn worker_loop(shared: &Shared) {
                 recorder,
                 ProbeHandle::new(Arc::new(JobProbe { token: Arc::clone(&token) })),
                 shared.verify_every,
+                exec_spans,
             )
         }));
+        drop(exec_guard);
         shared.running.lock().remove(&job.id);
-        shared.m.execute_ms.observe(exec_start.elapsed().as_secs_f64() * 1e3);
+        shared.m.execute_ms.observe(clock.elapsed_ms(exec_start));
 
         let mut midrun_deadline = false;
         let mut out = match result {
             Ok(Ok(exec)) => match exec.stopped {
-                Some(StopReason::Cancelled) => outcome_skeleton(&job, JobStatus::Cancelled),
+                Some(StopReason::Cancelled) => outcome_skeleton(&job, JobStatus::Cancelled, &clock),
                 Some(StopReason::DeadlineExceeded) => {
                     midrun_deadline = true;
-                    outcome_skeleton(&job, JobStatus::DeadlineExceeded)
+                    outcome_skeleton(&job, JobStatus::DeadlineExceeded, &clock)
                 }
                 None => {
-                    let mut out = outcome_skeleton(&job, JobStatus::Ok);
+                    let mut out = outcome_skeleton(&job, JobStatus::Ok, &clock);
                     out.cache = Some(if exec.cache_hit { "hit" } else { "miss" }.to_string());
                     out.config = exec.config;
                     out.sim_ms = exec.sim_ms;
@@ -514,19 +573,21 @@ fn worker_loop(shared: &Shared) {
                 }
             },
             Ok(Err(msg)) => {
-                let mut out = outcome_skeleton(&job, JobStatus::Error);
+                let mut out = outcome_skeleton(&job, JobStatus::Error, &clock);
                 out.error = Some(msg);
                 out
             }
             Err(payload) => {
-                let mut out = outcome_skeleton(&job, JobStatus::Failed);
+                let mut out = outcome_skeleton(&job, JobStatus::Failed, &clock);
                 out.error = Some(format!("worker panic: {}", panic_message(payload)));
                 out
             }
         };
         // Deadline also enforced at completion: late results are
         // withheld even when the run finished.
-        if out.status == JobStatus::Ok && job.admitted.elapsed() > job.deadline {
+        if out.status == JobStatus::Ok
+            && clock.now_ns().saturating_sub(job.admitted_ns) > job.deadline_ns()
+        {
             out.status = JobStatus::DeadlineExceeded;
             out.metrics.clear();
             out.iterations.clear();
@@ -545,8 +606,9 @@ fn worker_loop(shared: &Shared) {
                 }
             }
         }
-        out.wall_ms = job.admitted.elapsed().as_secs_f64() * 1e3;
+        out.wall_ms = clock.elapsed_ms(job.admitted_ns);
         shared.m.total_ms.observe(out.wall_ms);
+        finish_request(&job);
         let _ = job.tx.send(out);
     }
 }
@@ -734,6 +796,46 @@ mod tests {
         s.shutdown();
     }
 
+    /// Every scheduled job leaves a causal span tree: a root `Request`
+    /// span with `QueueWait` and `Execute` children, and the engine's
+    /// super-steps nested under `Execute`.
+    #[test]
+    fn jobs_emit_request_queue_execute_spans() {
+        use gswitch_obs::SpanKind;
+        let registry = Arc::new(GraphRegistry::new());
+        registry.insert("kron", gen::kronecker(8, 8, 3));
+        let cache = Arc::new(ConfigCache::new());
+        let obs = Arc::new(RuntimeObs::new());
+        let s = Scheduler::with_obs(
+            registry,
+            cache,
+            SchedulerConfig { workers: 2, ..Default::default() },
+            Arc::clone(&obs),
+        );
+        let out = s.submit(bfs_spec(0)).unwrap().wait();
+        assert_eq!(out.status, JobStatus::Ok);
+        // Worker-local span buffers flush when the workers wind down.
+        s.shutdown();
+
+        let spans = obs.spans.snapshot();
+        let requests: Vec<_> = spans.iter().filter(|r| r.kind == SpanKind::Request).collect();
+        assert_eq!(requests.len(), 1, "one job, one request span");
+        let req = requests[0];
+        assert_eq!(req.parent, 0, "request spans are roots");
+        let qw = spans.iter().find(|r| r.kind == SpanKind::QueueWait).expect("queue-wait span");
+        assert_eq!(qw.parent, req.id);
+        let ex = spans.iter().find(|r| r.kind == SpanKind::Execute).expect("execute span");
+        assert_eq!(ex.parent, req.id);
+        assert!(ex.dur_ns <= req.dur_ns, "execute cannot outlast its request");
+        // The engine's super-steps nest under this job's execute span.
+        let steps: Vec<_> = spans.iter().filter(|r| r.kind == SpanKind::SuperStep).collect();
+        assert!(!steps.is_empty(), "engine emitted no super-step spans");
+        assert!(steps.iter().all(|st| st.parent == ex.id && st.job == req.job));
+        // Self-time accounting holds over the whole tree.
+        let p = gswitch_obs::profile(&spans);
+        assert!(p.excl_total_ms() <= p.total_ms + 1e-9);
+    }
+
     /// The satellite concurrency test: a mixed batch through a real
     /// worker pool, every answer checked against the sequential
     /// reference implementations.
@@ -792,13 +894,10 @@ mod tests {
     #[test]
     fn wait_on_dropped_worker_reports_failed_not_panic() {
         let (tx, rx) = mpsc::channel::<JobOutcome>();
-        let handle = JobHandle {
-            id: 42,
-            rx,
-            graph: "kron".into(),
-            algo: "bfs".into(),
-            admitted: Instant::now(),
-        };
+        let clock = Clock::monotonic();
+        let admitted_ns = clock.now_ns();
+        let handle =
+            JobHandle { id: 42, rx, graph: "kron".into(), algo: "bfs".into(), clock, admitted_ns };
         drop(tx); // the "worker died" case
         let out = handle.wait();
         assert_eq!(out.status, JobStatus::Failed);

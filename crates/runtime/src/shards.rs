@@ -10,7 +10,9 @@
 
 use crate::obs::{metric, RuntimeObs};
 use crate::query::Query;
-use gswitch_shard::{execute_batch, BatchOptions, BatchQuery, BatchReport, ShardStore, TenantQuotas};
+use gswitch_shard::{
+    execute_batch, BatchOptions, BatchQuery, BatchReport, ShardStore, TenantQuotas,
+};
 use std::sync::Arc;
 
 /// Default resident shard-plan capacity: a plan duplicates the graph's
@@ -108,6 +110,7 @@ impl ShardService {
         let opts = BatchOptions {
             slots: self.slots,
             recorder: self.obs.recorder_for(job, graph_name, "batch"),
+            spans: gswitch_obs::SpanCtx::new(self.obs.span_collector(), 0, 0, job),
             ..BatchOptions::default()
         };
         let report = execute_batch(&plan, &mapped, &opts);
@@ -184,9 +187,8 @@ mod tests {
         assert!(err.contains("quota"));
         assert_eq!(svc.quotas().rejections(), 1);
         // The refusal admitted nothing: a normal batch still fits.
-        let rep = svc
-            .batch(&g, None, Some("greedy"), &[Query::Cc], 2, "er-svc")
-            .expect("quota released");
+        let rep =
+            svc.batch(&g, None, Some("greedy"), &[Query::Cc], 2, "er-svc").expect("quota released");
         assert_eq!(rep.ok_count(), 1);
         assert_eq!(svc.quotas().inflight("greedy"), 0);
     }

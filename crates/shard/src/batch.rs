@@ -11,6 +11,7 @@ use crate::store::ShardPlan;
 use gswitch_algos::{Cc, PageRank};
 use gswitch_core::sharded::{run_sharded, ShardError, ShardedOptions, ShardedRunReport};
 use gswitch_core::{AutoPolicy, RecorderHandle};
+use gswitch_obs::{SpanCtx, SpanKind};
 use gswitch_simt::DeviceSpec;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -110,6 +111,11 @@ pub struct BatchOptions {
     pub stability_bypass: bool,
     /// Decision-trace sink shared by every query in the batch.
     pub recorder: RecorderHandle,
+    /// Span context for the batch: one `Batch` span covers the whole
+    /// call, one `BatchQuery` span per query (tagged with its batch
+    /// index as `iter`, worker = slot), and each query's sharded
+    /// super-steps nest beneath it.
+    pub spans: SpanCtx,
 }
 
 impl Default for BatchOptions {
@@ -119,6 +125,7 @@ impl Default for BatchOptions {
             slots: 4,
             stability_bypass: true,
             recorder: RecorderHandle::none(),
+            spans: SpanCtx::default(),
         }
     }
 }
@@ -201,7 +208,12 @@ fn fill_from_report(out: &mut BatchOutcome, rep: &ShardedRunReport) {
     out.imbalance = rep.imbalance();
 }
 
-fn run_one(plan: &ShardPlan, query: BatchQuery, index: usize, opts: &ShardedOptions) -> BatchOutcome {
+fn run_one(
+    plan: &ShardPlan,
+    query: BatchQuery,
+    index: usize,
+    opts: &ShardedOptions,
+) -> BatchOutcome {
     let mut out = outcome_shell(index, query.algo());
     let n = plan.graph().num_vertices();
     let result: Result<(ShardedRunReport, BatchResult), ShardError> = match query {
@@ -252,11 +264,7 @@ fn run_one(plan: &ShardPlan, query: BatchQuery, index: usize, opts: &ShardedOpti
 /// shards themselves are shared read-only. A query whose worker panics
 /// is reported as `Failed` with the panic payload — the rest of the
 /// batch is unaffected. Outcomes come back in submission order.
-pub fn execute_batch(
-    plan: &ShardPlan,
-    queries: &[BatchQuery],
-    opts: &BatchOptions,
-) -> BatchReport {
+pub fn execute_batch(plan: &ShardPlan, queries: &[BatchQuery], opts: &BatchOptions) -> BatchReport {
     let slots = opts.slots.max(1).min(queries.len().max(1));
     let sharded_opts = ShardedOptions {
         device: opts.device.clone(),
@@ -265,13 +273,22 @@ pub fn execute_batch(
         ..ShardedOptions::default()
     };
     let next = AtomicUsize::new(0);
-    let batch_start = std::time::Instant::now();
+    let clock = opts.spans.clock().clone();
+    // The Batch span covers the whole call; its guard lives on the
+    // caller's thread and closes (recording the span) when we return.
+    let driver = opts.spans.local();
+    let batch_guard = driver.start(SpanKind::Batch, opts.spans.parent);
+    let batch_id = batch_guard.id();
+    let batch_start = clock.now_ns();
     let mut per_worker: Vec<Vec<BatchOutcome>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..slots)
-            .map(|_| {
+            .map(|slot| {
                 let next = &next;
                 let sharded_opts = &sharded_opts;
+                let clock = &clock;
+                let sctx = &opts.spans;
                 scope.spawn(move || {
+                    let local = sctx.collector().local(slot as u32, sctx.job);
                     let mut mine = Vec::with_capacity(queries.len() / slots + 1);
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -279,10 +296,15 @@ pub fn execute_batch(
                             break;
                         }
                         let q = queries[i];
-                        let t0 = std::time::Instant::now();
+                        let t0 = clock.now_ns();
+                        let qguard =
+                            local.start_tagged(SpanKind::BatchQuery, batch_id, None, i as u32);
+                        let qopts = ShardedOptions {
+                            spans: sctx.child(qguard.id()).for_worker(slot as u32),
+                            ..sharded_opts.clone()
+                        };
                         let mut out =
-                            match catch_unwind(AssertUnwindSafe(|| run_one(plan, q, i, sharded_opts)))
-                            {
+                            match catch_unwind(AssertUnwindSafe(|| run_one(plan, q, i, &qopts))) {
                                 Ok(out) => out,
                                 Err(payload) => {
                                     let mut out = outcome_shell(i, q.algo());
@@ -297,7 +319,8 @@ pub fn execute_batch(
                                     out
                                 }
                             };
-                        out.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+                        drop(qguard);
+                        out.wall_ms = clock.elapsed_ms(t0);
                         mine.push(out);
                     }
                     mine
@@ -306,15 +329,12 @@ pub fn execute_batch(
             .collect();
         handles
             .into_iter()
-            .map(|h| match h.join() {
-                Ok(v) => v,
-                // A worker that dies outside catch_unwind loses only the
-                // queries it had claimed; they are reported lost below.
-                Err(_) => Vec::new(),
-            })
+            // A worker that dies outside catch_unwind loses only the
+            // queries it had claimed; they are reported lost below.
+            .map(|h| h.join().unwrap_or_default())
             .collect()
     });
-    let wall_ms = batch_start.elapsed().as_secs_f64() * 1e3;
+    let wall_ms = clock.elapsed_ms(batch_start);
 
     let mut outcomes: Vec<Option<BatchOutcome>> = (0..queries.len()).map(|_| None).collect();
     for worker in per_worker.drain(..) {
@@ -394,6 +414,44 @@ mod tests {
         assert!(rep.exchange_records() > 0, "4-shard BFS must route halo records");
         assert!(rep.exchange_bytes() > 0);
         assert!(rep.max_imbalance() >= 1.0);
+    }
+
+    #[test]
+    fn batch_emits_nested_query_spans() {
+        use gswitch_obs::SpanRing;
+        let plan = plan(3);
+        let ring = Arc::new(SpanRing::new(16_384));
+        let opts = BatchOptions {
+            slots: 2,
+            spans: SpanCtx::new(ring.collector(), 0, 0, 7),
+            ..BatchOptions::default()
+        };
+        let queries = [BatchQuery::Bfs { src: 0 }, BatchQuery::Cc, BatchQuery::Pr { eps: 1e-3 }];
+        let rep = execute_batch(&plan, &queries, &opts);
+        assert_eq!(rep.ok_count(), 3);
+
+        let spans = ring.snapshot();
+        let batches: Vec<_> = spans.iter().filter(|s| s.kind == SpanKind::Batch).collect();
+        assert_eq!(batches.len(), 1, "one call, one batch span");
+        let qspans: Vec<_> = spans.iter().filter(|s| s.kind == SpanKind::BatchQuery).collect();
+        assert_eq!(qspans.len(), 3, "one span per query");
+        let mut indices: Vec<u32> = qspans
+            .iter()
+            .map(|s| {
+                assert_eq!(s.parent, batches[0].id);
+                assert_eq!(s.job, 7);
+                s.iter
+            })
+            .collect();
+        indices.sort_unstable();
+        assert_eq!(indices, vec![0, 1, 2], "iter carries the batch index");
+        // Each query's sharded super-steps nest under its BatchQuery
+        // span, and the per-shard phases carry shard tags.
+        let qids: std::collections::BTreeSet<u64> = qspans.iter().map(|s| s.id).collect();
+        let steps: Vec<_> = spans.iter().filter(|s| s.kind == SpanKind::SuperStep).collect();
+        assert!(!steps.is_empty());
+        assert!(steps.iter().all(|s| qids.contains(&s.parent)));
+        assert!(spans.iter().any(|s| s.kind == SpanKind::Inspect && s.shard.is_some()));
     }
 
     #[test]

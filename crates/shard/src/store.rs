@@ -151,7 +151,7 @@ mod tests {
     use gswitch_graph::gen;
 
     fn arc_graph(seed: u64) -> Arc<Graph> {
-        Arc::new(gen::erdos_renyi(120, 480, seed).with_name(&format!("er{seed}")))
+        Arc::new(gen::erdos_renyi(120, 480, seed).with_name(format!("er{seed}")))
     }
 
     #[test]

@@ -100,9 +100,9 @@ fn mixed_batch_on_a_representative_matches_sequential_answers() {
     assert_eq!(rep.ok_count(), 5);
     for out in &rep.outcomes {
         let expected = match queries[out.index] {
-            BatchQuery::Bfs { src } => {
-                BatchResult::Levels(bfs::bfs(&g, src, &AutoPolicy, &EngineOptions::default()).levels)
-            }
+            BatchQuery::Bfs { src } => BatchResult::Levels(
+                bfs::bfs(&g, src, &AutoPolicy, &EngineOptions::default()).levels,
+            ),
             BatchQuery::Cc => {
                 BatchResult::Labels(cc::cc(&g, &AutoPolicy, &EngineOptions::default()).labels)
             }
