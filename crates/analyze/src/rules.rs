@@ -436,6 +436,10 @@ mod tests {
         for rel in [
             "crates/core/src/x.rs",
             "crates/kernels/src/x.rs",
+            // The degree-bucketed work-partition path is the hottest
+            // pre-expand section; its timings must flow through the
+            // Partition span, never a raw Instant.
+            "crates/kernels/src/bucket.rs",
             "crates/runtime/src/x.rs",
             "crates/shard/src/x.rs",
         ] {

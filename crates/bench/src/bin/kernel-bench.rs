@@ -1,0 +1,289 @@
+//! Per-kernel perf trajectory: runs every hot kernel (classify,
+//! materialize × format × direction, expand × format × direction) on a
+//! fixed mid-BFS workload and writes per-kernel medians to
+//! `BENCH_kernels.json` in the current directory (run from the repo root
+//! to refresh the committed snapshot).
+//!
+//! ```text
+//! cargo run --release -p gswitch-bench --bin kernel-bench              # regenerate
+//! cargo run --release -p gswitch-bench --bin kernel-bench -- --check-regression
+//! ```
+//!
+//! `--check-regression` re-measures and compares against the committed
+//! snapshot instead of overwriting it, exiting nonzero on regression.
+//! Each row carries two kinds of fields:
+//!
+//! * **structural** (`workload`, `edges`, `sim_ms`) — deterministic
+//!   outputs of the simulation; they must match *exactly*. A mismatch
+//!   means kernel semantics or pricing changed and the baseline must be
+//!   regenerated deliberately (the diff review is the point).
+//! * **wall** (`wall_us`) — median host wall time; machine-dependent, so
+//!   a kernel only fails when it exceeds
+//!   `baseline × TOL_FACTOR + TOL_ABS_US` — generous against CI-runner
+//!   noise, fatal for order-of-magnitude regressions (a lost
+//!   parallelism threshold, an accidentally quadratic sweep) in the
+//!   exact layer this PR's cache-conscious rewrite targets.
+
+use gswitch_algos::Bfs;
+use gswitch_kernels::{
+    classify, expand, materialize, AsFormat, Direction, EdgeApp as _, Fusion, KernelConfig,
+    LoadBalance, SteppingDelta,
+};
+use gswitch_simt::DeviceSpec;
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+const OUT: &str = "BENCH_kernels.json";
+
+/// Kronecker scale of the fixed workload graph.
+const SCALE: u32 = 13;
+/// BFS level at which the kernels are measured (frontier in the hump).
+const LEVEL: u32 = 2;
+/// Repeats per kernel; wall times take the median.
+const REPEATS: usize = 7;
+/// Multiplicative tolerance on median wall time.
+const TOL_FACTOR: f64 = 5.0;
+/// Additive tolerance on median wall time, µs.
+const TOL_ABS_US: f64 = 5000.0;
+
+const FORMATS: [(AsFormat, &str); 3] = [
+    (AsFormat::Bitmap, "bitmap"),
+    (AsFormat::SortedQueue, "sorted_queue"),
+    (AsFormat::UnsortedQueue, "unsorted_queue"),
+];
+const DIRECTIONS: [(Direction, &str); 2] = [(Direction::Push, "push"), (Direction::Pull, "pull")];
+
+/// One kernel row: median wall µs + the structural fields gated exactly.
+#[derive(Clone, Debug, Default)]
+struct Row {
+    wall_us: f64,
+    structural: BTreeMap<&'static str, Value>,
+}
+
+/// A mid-frontier BFS state on a scale-free graph: the workload shape the
+/// selector sees most often (same recipe as the criterion benches).
+fn mid_bfs() -> (gswitch_graph::Graph, Bfs, Vec<u8>) {
+    let g = gswitch_graph::gen::kronecker(SCALE, 8, 42);
+    let app = Bfs::new(g.num_vertices(), 0);
+    let spec = DeviceSpec::k40m();
+    for it in 0..LEVEL {
+        app.advance(it);
+        let co = classify(&g, &app, &spec);
+        let (f, _) =
+            materialize::<Bfs>(&g, &co.status, Direction::Push, AsFormat::UnsortedQueue, &spec);
+        expand(&g, &app, &f, &co.status, KernelConfig::push_baseline(), &spec);
+    }
+    app.advance(LEVEL);
+    let co = classify(&g, &app, &spec);
+    (g, app, co.status)
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+fn median(mut us: Vec<f64>) -> f64 {
+    us.sort_by(|a, b| a.total_cmp(b));
+    us[us.len() / 2]
+}
+
+fn measure() -> BTreeMap<String, Row> {
+    let spec = DeviceSpec::k40m();
+    let mut rows: BTreeMap<String, Row> = BTreeMap::new();
+
+    // classify: re-runs on the same state are idempotent, time in place.
+    {
+        let (g, app, _) = mid_bfs();
+        let mut wall = Vec::with_capacity(REPEATS);
+        let mut v_active = 0u64;
+        for _ in 0..REPEATS {
+            let t0 = Instant::now();
+            let co = classify(&g, &app, &spec);
+            wall.push(t0.elapsed().as_secs_f64() * 1e6);
+            v_active = co.stats.v_active;
+        }
+        let mut structural = BTreeMap::new();
+        structural.insert("workload", json!(v_active));
+        rows.insert("classify".into(), Row { wall_us: median(wall), structural });
+    }
+
+    // materialize and expand, per format × direction. Expand mutates app
+    // state, so every repeat rebuilds a pristine mid-BFS state and times
+    // only the kernel under test.
+    for (dir, dname) in DIRECTIONS {
+        for (fmt, fname) in FORMATS {
+            let mut mat_wall = Vec::with_capacity(REPEATS);
+            let mut exp_wall = Vec::with_capacity(REPEATS);
+            let mut workload = 0u64;
+            let mut edges = 0u64;
+            let mut sim_ms = 0.0f64;
+            for _ in 0..REPEATS {
+                let (g, app, status) = mid_bfs();
+                let t0 = Instant::now();
+                let (frontier, _) = materialize::<Bfs>(&g, &status, dir, fmt, &spec);
+                mat_wall.push(t0.elapsed().as_secs_f64() * 1e6);
+                workload = frontier.len() as u64;
+                let cfg = KernelConfig {
+                    direction: dir,
+                    format: fmt,
+                    lb: LoadBalance::Twc,
+                    stepping: SteppingDelta::Remain,
+                    fusion: Fusion::Standalone,
+                };
+                let t1 = Instant::now();
+                let eo = expand(&g, &app, &frontier, &status, cfg, &spec);
+                exp_wall.push(t1.elapsed().as_secs_f64() * 1e6);
+                edges = eo.edges_touched;
+                sim_ms = spec.kernel_time_ms(&eo.profile);
+            }
+            let mut ms = BTreeMap::new();
+            ms.insert("workload", json!(workload));
+            rows.insert(
+                format!("materialize/{fname}/{dname}"),
+                Row { wall_us: median(mat_wall), structural: ms },
+            );
+            let mut es = BTreeMap::new();
+            es.insert("edges", json!(edges));
+            es.insert("sim_ms", json!(round3(sim_ms)));
+            rows.insert(
+                format!("expand/{fname}/{dname}"),
+                Row { wall_us: median(exp_wall), structural: es },
+            );
+        }
+    }
+    rows
+}
+
+fn write_snapshot() {
+    let rows = measure();
+    let kernels = Value::Object(
+        rows.iter()
+            .map(|(name, row)| {
+                let mut pairs = vec![("wall_us".to_string(), json!(round3(row.wall_us)))];
+                pairs.extend(row.structural.iter().map(|(k, v)| (k.to_string(), v.clone())));
+                (name.clone(), Value::Object(pairs))
+            })
+            .collect(),
+    );
+    let graph = format!("kronecker({SCALE},8,42)");
+    let wl = json!({ "graph": graph, "level": LEVEL });
+    let tol = json!({ "factor": TOL_FACTOR, "abs_us": TOL_ABS_US });
+    let doc = json!({
+        "snapshot": "per-kernel medians on a fixed mid-BFS workload",
+        "tool": "kernel-bench",
+        "cost_model_version": gswitch_simt::COST_MODEL_VERSION,
+        "device": DeviceSpec::k40m().name,
+        "workload": wl,
+        "tolerance": tol,
+        "kernels": kernels,
+    });
+    let text = serde_json::to_string_pretty(&doc).expect("snapshot serializes");
+    std::fs::write(OUT, text + "\n").unwrap_or_else(|e| panic!("write {OUT}: {e}"));
+    eprintln!("wrote {OUT}");
+}
+
+fn check_regression() -> i32 {
+    let text = match std::fs::read_to_string(OUT) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("kernel-bench: {OUT}: {e} (run kernel-bench once to create it)");
+            return 1;
+        }
+    };
+    let base: Value = match serde_json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("kernel-bench: {OUT} is not valid JSON: {e}");
+            return 1;
+        }
+    };
+    let base_version = base.get("cost_model_version").and_then(Value::as_u64).unwrap_or(0);
+    if base_version != u64::from(gswitch_simt::COST_MODEL_VERSION) {
+        eprintln!(
+            "FAIL cost_model_version: baseline {base_version} vs current {} \
+             (regenerate the baseline after a pricing change)",
+            gswitch_simt::COST_MODEL_VERSION
+        );
+        return 1;
+    }
+    let Some(Value::Object(base_rows)) = base.get("kernels") else {
+        eprintln!("kernel-bench: {OUT} has no `kernels` object");
+        return 1;
+    };
+
+    let rows = measure();
+    let mut failures = 0;
+    for (name, brow) in base_rows.iter() {
+        let Some(cur) = rows.get(name) else {
+            eprintln!("FAIL {name}: kernel present in baseline but not measured");
+            failures += 1;
+            continue;
+        };
+        let mut structural_ok = true;
+        for (field, cur_v) in &cur.structural {
+            let base_v = brow.get(field).cloned().unwrap_or(Value::Null);
+            // sim_ms is stored rounded; round the fresh value the same way.
+            let cur_v = if *field == "sim_ms" {
+                json!(round3(cur_v.as_f64().unwrap_or(f64::NAN)))
+            } else {
+                cur_v.clone()
+            };
+            if base_v != cur_v {
+                eprintln!(
+                    "FAIL {name}: {field} changed {base_v:?} -> {cur_v:?} \
+                     (structural change; regenerate the baseline if intended)"
+                );
+                structural_ok = false;
+            }
+        }
+        if !structural_ok {
+            failures += 1;
+            continue;
+        }
+        let base_us = brow.get("wall_us").and_then(Value::as_f64).unwrap_or(0.0);
+        let limit = base_us * TOL_FACTOR + TOL_ABS_US;
+        if cur.wall_us > limit {
+            eprintln!(
+                "FAIL {name}: wall {:.1} µs exceeds {limit:.1} µs \
+                 (baseline {base_us:.1} µs × {TOL_FACTOR} + {TOL_ABS_US} µs)",
+                cur.wall_us
+            );
+            failures += 1;
+        } else {
+            eprintln!("ok   {name}: {:.1} µs (limit {limit:.1} µs)", cur.wall_us);
+        }
+    }
+    for name in rows.keys() {
+        if !base_rows.iter().any(|(k, _)| k == name) {
+            eprintln!("FAIL {name}: new kernel not in baseline (regenerate the baseline)");
+            failures += 1;
+        }
+    }
+    if failures == 0 {
+        eprintln!("kernel-bench: no per-kernel regressions against {OUT}");
+        0
+    } else {
+        eprintln!("kernel-bench: {failures} kernel(s) regressed against {OUT}");
+        1
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--check-regression") => std::process::exit(check_regression()),
+        Some("--help") | Some("-h") => {
+            eprintln!(
+                "usage: kernel-bench [--check-regression]\n\
+                 default: measure and (re)write {OUT}\n\
+                 --check-regression: measure and compare against the committed {OUT}"
+            );
+        }
+        Some(other) => {
+            eprintln!("kernel-bench: unknown flag `{other}`");
+            std::process::exit(2);
+        }
+        None => write_snapshot(),
+    }
+}

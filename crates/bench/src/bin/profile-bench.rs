@@ -10,9 +10,15 @@
 //!
 //! `--check-regression` re-measures and compares against the committed
 //! snapshot instead of overwriting it, exiting nonzero when a phase
-//! regressed. Span *counts* are structural (supersteps and decisions
-//! are simulation-driven and deterministic) and must match exactly;
-//! self-*times* are wall clock and machine-dependent, so a phase only
+//! regressed. Span *counts* are near-structural: supersteps and
+//! decisions are simulation-driven, but the bucketed kernels run push
+//! mode genuinely in parallel, and delta-PR's convergence at the eps
+//! boundary is sensitive to the floating-point accumulation order of
+//! racing `fetch_add`s — a run can gain or lose a superstep. Counts
+//! therefore take the per-repeat median and get a ±`COUNT_TOL`
+//! envelope (the phase *set* must still match exactly, and a
+//! double-emission bug at +100% stays far outside the envelope).
+//! Self-*times* are wall clock and machine-dependent, so a phase only
 //! fails the gate when its measured self-time exceeds
 //! `baseline × TOL_FACTOR + TOL_ABS_MS` — a generous envelope that
 //! rides out CI-runner noise but catches order-of-magnitude
@@ -39,6 +45,10 @@ const REPEATS: usize = 5;
 const TOL_FACTOR: f64 = 5.0;
 /// Additive tolerance on per-phase self-time, ms.
 const TOL_ABS_MS: f64 = 10.0;
+/// Relative tolerance on per-phase span counts: wide enough for the
+/// ±1-superstep flap of FP-order-sensitive PR convergence (~1.5% on
+/// this workload), far below a double-emission bug (+100%).
+const COUNT_TOL: f64 = 0.10;
 
 fn workload() -> Vec<BatchQuery> {
     vec![
@@ -63,7 +73,12 @@ fn measure() -> (String, BTreeMap<String, Phase>, usize) {
     let plan = ShardPlan::new(graph, K).unwrap_or_else(|e| panic!("partition k={K}: {e}"));
     let queries = workload();
 
-    let mut counts: Option<BTreeMap<String, u64>> = None;
+    // Per-repeat counts are collected like times and reduced to medians:
+    // PR's convergence can flap by one superstep between repeats (FP
+    // accumulation order under the parallel push kernels), so exact
+    // cross-repeat equality is not an invariant. The phase *set* still
+    // must not vary.
+    let mut counts: BTreeMap<String, Vec<u64>> = BTreeMap::new();
     let mut times: BTreeMap<String, Vec<f64>> = BTreeMap::new();
     let mut span_total = 0usize;
     for _ in 0..REPEATS {
@@ -79,24 +94,18 @@ fn measure() -> (String, BTreeMap<String, Phase>, usize) {
         let spans = ring.snapshot();
         span_total = spans.len();
         let prof = profile(&spans);
-        let run_counts: BTreeMap<String, u64> =
-            prof.kinds.iter().map(|k| (k.kind.as_str().to_string(), k.count)).collect();
-        match &counts {
-            None => counts = Some(run_counts),
-            Some(c0) => assert_eq!(
-                *c0, run_counts,
-                "span counts varied between repeats; the workload is not deterministic"
-            ),
-        }
         for k in &prof.kinds {
+            counts.entry(k.kind.as_str().to_string()).or_default().push(k.count);
             times.entry(k.kind.as_str().to_string()).or_default().push(k.excl_ms);
         }
     }
 
-    let counts = counts.expect("REPEATS >= 1");
     let phases = counts
         .into_iter()
-        .map(|(kind, count)| {
+        .map(|(kind, mut cs)| {
+            assert_eq!(cs.len(), REPEATS, "phase `{kind}` missing from some repeats");
+            cs.sort_unstable();
+            let count = cs[cs.len() / 2];
             let mut ms = times.remove(&kind).expect("kind measured every repeat");
             ms.sort_by(|a, b| a.total_cmp(b));
             let excl_ms = ms[ms.len() / 2];
@@ -124,7 +133,7 @@ fn write_snapshot() {
         "slots": SLOTS,
         "queries": workload().len(),
     });
-    let tol = json!({ "factor": TOL_FACTOR, "abs_ms": TOL_ABS_MS });
+    let tol = json!({ "factor": TOL_FACTOR, "abs_ms": TOL_ABS_MS, "count_rel": COUNT_TOL });
     let doc = json!({
         "snapshot": "per-phase self-time profile of a fixed sharded batch",
         "tool": "profile-bench",
@@ -170,10 +179,11 @@ fn check_regression() -> i32 {
             failures += 1;
             continue;
         };
-        if cur.count != base_count {
+        let count_slack = (base_count as f64 * COUNT_TOL).ceil() as u64;
+        if cur.count.abs_diff(base_count) > count_slack {
             eprintln!(
-                "FAIL {kind}: span count changed {base_count} -> {} \
-                 (structural change; regenerate the baseline if intended)",
+                "FAIL {kind}: span count changed {base_count} -> {} (beyond ±{count_slack}; \
+                 structural change; regenerate the baseline if intended)",
                 cur.count
             );
             failures += 1;

@@ -5,11 +5,14 @@ use crate::features::DecisionContext;
 use crate::policy::{AppCaps, Policy};
 use gswitch_graph::Graph;
 use gswitch_graph::VertexId;
+use gswitch_kernels::bucket::{self, DegreeSource, WorkPlan};
 use gswitch_kernels::filter::status_of;
 use gswitch_kernels::pattern::{
     AsFormat, Direction, Fusion, KernelConfig, LoadBalance, SteppingDelta,
 };
-use gswitch_kernels::{classify, expand, materialize, EdgeApp, Frontier, IterStats, Status};
+use gswitch_kernels::{
+    classify, expand_planned, materialize, EdgeApp, Frontier, IterStats, Status,
+};
 use gswitch_obs::{Provenance, RecorderHandle, SpanCtx, SpanKind, TraceEvent};
 use gswitch_simt::{DeviceSpec, SimMs};
 
@@ -360,6 +363,14 @@ pub fn run_with_seed_config<A: EdgeApp>(
     // sentinel past its budget).
     let mut since_check = 0u32;
 
+    // Direction-switch fast path: the degree-bucketed work plan of the
+    // previous Expand. When the next workload's fingerprint matches, its
+    // prefix sums are reused instead of rescanned — including across a
+    // direction switch on symmetric graphs, where in-degrees equal
+    // out-degrees (so a push-built plan prices a pull workload exactly).
+    let mut last_plan: Option<WorkPlan> = None;
+    let degrees_symmetric = g.is_symmetric();
+
     // Fused-chain state: the raw queue the previous Expand emitted, plus
     // the estimated stats travelling with it.
     let mut pending: Option<(Vec<u32>, IterStats)> = None;
@@ -559,10 +570,28 @@ pub fn run_with_seed_config<A: EdgeApp>(
                 provenance = prov;
             }
         }
+        // ---- Executor: work partition (build or reuse the degree plan).
+        let p0 = clock.now_ns();
+        let need = DegreeSource::of(config.direction);
+        let fp = bucket::fingerprint_of(&frontier);
+        let plan = match last_plan.take() {
+            Some(p) if p.matches(fp, need, degrees_symmetric) => p,
+            _ => WorkPlan::for_frontier(g, &frontier, config.direction),
+        };
+        span_local.record_interval(
+            SpanKind::Partition,
+            step_id,
+            p0,
+            clock.now_ns(),
+            None,
+            iteration,
+        );
+
         // ---- Executor: Expand phase.
         let e0 = clock.now_ns();
-        let mut eo = expand(g, app, &frontier, &status, config, spec);
+        let mut eo = expand_planned(g, app, &frontier, &status, config, spec, Some(&plan));
         span_local.record_interval(SpanKind::Expand, step_id, e0, clock.now_ns(), None, iteration);
+        last_plan = Some(plan);
         if estimated {
             // Fused continuation: the expand runs inside the kernel the
             // chain's first iteration launched — no fresh launch, and no
@@ -688,7 +717,7 @@ pub fn run_with_seed_config<A: EdgeApp>(
                 // failure mode of Fig. 9b), or when the last iteration ran
                 // far beyond the chain average (the paper's switch-back
                 // rule).
-                let waste_ms = expand_ms * eo.profile.duplicates as f64 / queue.len() as f64;
+                let waste_ms = fused_waste_ms(expand_ms, eo.profile.duplicates, queue.len());
                 let refilter_ms =
                     last_filter_ms + spec.launch_overhead_us / 1e3 + spec.feedback_time_ms();
                 let dup_heavy = waste_ms > refilter_ms;
@@ -721,6 +750,19 @@ pub fn run_with_seed_config<A: EdgeApp>(
         report.converged = false;
     }
     report
+}
+
+/// Predicted expand time wasted re-processing the duplicated fraction of
+/// a fused kernel's raw queue — the signal the chain-break rule weighs
+/// against a standalone re-filter's cost. A zero-length queue wastes
+/// nothing (the guard matters: `0.0 * x / 0` would be NaN, and a NaN
+/// here poisons every comparison in the fusion decision downstream).
+fn fused_waste_ms(expand_ms: f64, duplicates: u64, queue_len: usize) -> f64 {
+    if queue_len == 0 {
+        0.0
+    } else {
+        expand_ms * duplicates as f64 / queue_len as f64
+    }
 }
 
 /// Serially re-derive the workload the status snapshot implies for a
@@ -906,6 +948,42 @@ mod tests {
         // Self-times decompose wall time: Σ excl ≤ Σ root inclusive.
         let p = gswitch_obs::profile(&spans);
         assert!(p.excl_total_ms() <= p.total_ms + 1e-9);
+    }
+
+    #[test]
+    fn fused_waste_is_zero_not_nan_on_empty_queue() {
+        // Regression: `expand_ms * dups / queue.len()` on a drained raw
+        // queue divides by zero; the guard must return a clean 0.0 that
+        // every downstream comparison handles.
+        let w = fused_waste_ms(3.5, 7, 0);
+        assert_eq!(w, 0.0);
+        assert!(w.is_finite());
+        // And the comparison the engine actually makes stays false.
+        assert!(w <= 0.1);
+        // Non-degenerate case: half the queue is duplicates.
+        assert!((fused_waste_ms(4.0, 5, 10) - 2.0).abs() < 1e-12);
+        // No duplicates wastes nothing.
+        assert_eq!(fused_waste_ms(4.0, 0, 10), 0.0);
+    }
+
+    #[test]
+    fn partition_span_emitted_for_every_expand() {
+        use gswitch_obs::{SpanKind, SpanRing};
+        let g = gen::kronecker(8, 8, 5);
+        let app = Bfs::new(g.num_vertices(), 0);
+        let ring = std::sync::Arc::new(SpanRing::new(4096));
+        let parent = ring.alloc_id();
+        let opts = EngineOptions {
+            spans: gswitch_obs::SpanCtx::new(ring.collector(), parent, 0, 1),
+            ..Default::default()
+        };
+        let rep = run(&g, &app, &AutoPolicy, &opts);
+        assert!(rep.converged);
+        let spans = ring.snapshot();
+        let n = |k: SpanKind| spans.iter().filter(|s| s.kind == k).count();
+        // Every Expand was planned under a Partition span (build or reuse).
+        assert_eq!(n(SpanKind::Partition), n(SpanKind::Expand));
+        assert!(n(SpanKind::Partition) > 0);
     }
 
     #[test]

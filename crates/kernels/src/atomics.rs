@@ -257,6 +257,48 @@ impl AtomicBitSet {
         self.words.iter().map(|w| w.load(Relaxed).count_ones() as usize).sum()
     }
 
+    /// Whether any bit is set — stops at the first nonzero word, unlike
+    /// [`count`](Self::count) which always sweeps every word. This is the
+    /// BSP termination probe: on a live frontier the answer is almost
+    /// always in the first few words.
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|w| w.load(Relaxed) != 0)
+    }
+
+    /// Number of backing 64-bit words.
+    #[inline]
+    pub fn num_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Load backing word `w` (bits `64*w..64*w+64`).
+    #[inline]
+    pub fn word(&self, w: usize) -> u64 {
+        self.words[w].load(Relaxed)
+    }
+
+    /// Software-prefetch hint for the word holding bit `v` (no-op off
+    /// x86_64). Purely a cache hint: never reads the bit.
+    #[inline(always)]
+    pub fn prefetch(&self, v: VertexId) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            let w = v as usize / 64;
+            if w < self.words.len() {
+                // SAFETY: w is in bounds, so the pointer is valid;
+                // PREFETCHT0 never faults and performs no memory access.
+                unsafe {
+                    std::arch::x86_64::_mm_prefetch(
+                        self.words.as_ptr().add(w) as *const i8,
+                        std::arch::x86_64::_MM_HINT_T0,
+                    );
+                }
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = v;
+    }
+
     /// Collect the set bits in ascending order.
     pub fn to_sorted_vec(&self) -> Vec<VertexId> {
         let mut out = Vec::with_capacity(self.count());
@@ -351,6 +393,23 @@ mod tests {
             }
         });
         assert_eq!(a.load(0), 8000.0);
+    }
+
+    #[test]
+    fn any_early_exit_agrees_with_count() {
+        let b = AtomicBitSet::new(1000);
+        assert!(!b.any());
+        assert_eq!(b.count(), 0);
+        b.set(999); // last word: the worst case for the early exit
+        assert!(b.any());
+        b.unset(999);
+        assert!(!b.any());
+        b.set(0);
+        assert!(b.any());
+        assert_eq!(b.word(0), 1);
+        assert_eq!(b.num_words(), 1000usize.div_ceil(64));
+        b.prefetch(0);
+        b.prefetch(999_999); // out of range: no-op
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use crate::app::{EdgeApp, Status};
 use crate::atomics::AtomicBitSet;
+use crate::bucket::{prefetch_slice, WorkPlan};
 use crate::filter::status_of;
 use crate::frontier::Frontier;
 use crate::lb::{self, EdgeCosts};
@@ -67,8 +68,10 @@ impl ExpandOutput {
     }
 }
 
-/// Parallel chunk size over workload slots.
-const CHUNK: usize = 1 << 12;
+/// Lookahead distance (in edges) of the software-prefetch hint loops.
+/// Far enough that the line lands before the demand load, near enough
+/// that it is not evicted again on typical frontier rows.
+const PREFETCH_DIST: usize = 8;
 
 /// Analytic (no-execution) profile of a push Expand over a workload whose
 /// slot `i` touches `touched[i]` edges: the byte/atomic accounting the
@@ -114,13 +117,30 @@ pub fn expand<A: EdgeApp>(
     cfg: KernelConfig,
     spec: &DeviceSpec,
 ) -> ExpandOutput {
+    expand_planned(g, app, frontier, status, cfg, spec, None)
+}
+
+/// [`expand`] with an optional pre-built [`WorkPlan`] over this exact
+/// workload (same entries, matching degree source). The engine's
+/// direction-switch fast path passes the previous iteration's plan here
+/// when the workload fingerprint matches, skipping the degree rescan;
+/// `None` builds a fresh plan (identical semantics, identical pricing).
+pub fn expand_planned<A: EdgeApp>(
+    g: &Graph,
+    app: &A,
+    frontier: &Frontier,
+    status: &[u8],
+    cfg: KernelConfig,
+    spec: &DeviceSpec,
+    plan: Option<&WorkPlan>,
+) -> ExpandOutput {
     match cfg.direction {
-        Direction::Push => expand_push(g, app, frontier, cfg, spec),
-        Direction::Pull => expand_pull(g, app, frontier, status, cfg, spec),
+        Direction::Push => expand_push(g, app, frontier, cfg, spec, plan),
+        Direction::Pull => expand_pull(g, app, frontier, status, cfg, spec, plan),
     }
 }
 
-/// Per-chunk accumulator for the semantic pass.
+/// Per-task accumulator for the semantic pass.
 #[derive(Default)]
 struct Acc {
     touched: Vec<u32>,
@@ -136,12 +156,93 @@ struct Acc {
     edges: u64,
 }
 
+/// Output of the bucketed sweep, before pricing.
+struct Swept {
+    /// Per-slot touched-edge counts, back in workload order (queue: slot
+    /// order; bitmap: one slot per vertex, zeros on unset bits).
+    touched: Vec<u32>,
+    /// Per-task accumulators in task order (small → warp → cta).
+    accs: Vec<Acc>,
+    /// Workload-read bytes charged once for the whole sweep: bitmap mode
+    /// reads each backing `u64` word exactly once, so the charge is
+    /// word-granular over the span — not per-chunk, which double-counted
+    /// partially shared words at chunk boundaries.
+    base_bytes_read: u64,
+}
+
+/// Run `process` over every workload slot, partitioned by degree buckets:
+/// small/warp rows ride in edge-balanced blocks, cta rows (hubs) get
+/// tasks of their own, so one hub never serializes its neighbours' work.
+/// Bitmap workloads are first swept word-by-word (zero words skipped,
+/// `trailing_zeros` iteration) into the plan's cached entry list.
+fn run_bucketed<F>(
+    g: &Graph,
+    frontier: &Frontier,
+    direction: Direction,
+    plan: Option<&WorkPlan>,
+    process: F,
+) -> Swept
+where
+    F: Fn(VertexId, &mut Acc) -> u32 + Sync,
+{
+    // A usable plan must carry the bitmap entry sweep when the workload
+    // is a bitmap; anything else falls back to a fresh build.
+    let owned: Option<WorkPlan> = match plan {
+        Some(p) if frontier.as_queue().is_some() || p.entries().is_some() => None,
+        _ => Some(WorkPlan::for_frontier(g, frontier, direction)),
+    };
+    let plan = owned.as_ref().or(plan);
+    let Some(plan) = plan else {
+        // Unreachable by construction (owned is Some whenever plan was
+        // None), but a degenerate empty sweep beats a panic in a kernel.
+        return Swept { touched: Vec::new(), accs: Vec::new(), base_bytes_read: 0 };
+    };
+    let (entries, bitmap_mode): (&[VertexId], bool) = match frontier.as_queue() {
+        Some(q) => (q, false),
+        None => (plan.entries().unwrap_or(&[]), true),
+    };
+
+    let tasks = plan.tasks().to_vec();
+    let accs: Vec<Acc> = tasks
+        .into_par_iter()
+        .map(|t| {
+            let slots = plan.task_slots(t);
+            let mut acc = Acc::default();
+            acc.touched.reserve(slots.len());
+            if !bitmap_mode {
+                acc.bytes_read += 4 * slots.len() as u64; // queue entry reads
+            }
+            for &s in slots {
+                let v = entries[s as usize];
+                let deg = process(v, &mut acc);
+                acc.touched.push(deg);
+            }
+            acc
+        })
+        .collect();
+
+    // Scatter per-task results back to workload order: each task's
+    // `touched` is aligned with its slot sublist.
+    let slots_len = if bitmap_mode { g.num_vertices() } else { plan.slots() };
+    let mut touched = vec![0u32; slots_len];
+    for (t, acc) in plan.tasks().iter().zip(accs.iter()) {
+        for (&s, &d) in plan.task_slots(*t).iter().zip(acc.touched.iter()) {
+            let idx = if bitmap_mode { entries[s as usize] as usize } else { s as usize };
+            touched[idx] = d;
+        }
+    }
+
+    let base_bytes_read = if bitmap_mode { (g.num_vertices() as u64).div_ceil(64) * 8 } else { 0 };
+    Swept { touched, accs, base_bytes_read }
+}
+
 fn expand_push<A: EdgeApp>(
     g: &Graph,
     app: &A,
     frontier: &Frontier,
     cfg: KernelConfig,
     spec: &DeviceSpec,
+    plan: Option<&WorkPlan>,
 ) -> ExpandOutput {
     let out = g.out_csr();
     let weights = g.out_weights();
@@ -168,6 +269,11 @@ fn expand_push<A: EdgeApp>(
         let deg = r.len() as u32;
         let targets = &out.targets()[r.clone()];
         for (i, &u) in targets.iter().enumerate() {
+            // The random access of a push row is the destination's state
+            // (activation word + app cell); hint the word a few edges out.
+            if let Some(&ahead) = targets.get(i + PREFETCH_DIST) {
+                activated.prefetch(ahead);
+            }
             let w: Weight = match (A::NEEDS_WEIGHTS, weights) {
                 (true, Some(ws)) => ws[r.start + i],
                 _ => 1,
@@ -204,48 +310,8 @@ fn expand_push<A: EdgeApp>(
         deg
     };
 
-    let accs: Vec<Acc> = match frontier.as_queue() {
-        Some(q) => q
-            .par_chunks(CHUNK)
-            .map(|chunk| {
-                let mut acc = Acc::default();
-                acc.touched.reserve(chunk.len());
-                acc.bytes_read += 4 * chunk.len() as u64; // queue entry reads
-                for &v in chunk {
-                    let deg = process(v, &mut acc);
-                    acc.touched.push(deg);
-                }
-                acc
-            })
-            .collect(),
-        None => {
-            let bits = match frontier {
-                Frontier::Bitmap(b) => b,
-                _ => unreachable!("queueless frontier is a bitmap"),
-            };
-            (0..g.num_vertices())
-                .into_par_iter()
-                .chunks(CHUNK)
-                .map(|chunk| {
-                    let mut acc = Acc::default();
-                    acc.touched.reserve(chunk.len());
-                    acc.bytes_read += (chunk.len() as u64).div_ceil(8); // bit reads
-                    for v in chunk {
-                        let v = v as VertexId;
-                        if bits.get(v) {
-                            let deg = process(v, &mut acc);
-                            acc.touched.push(deg);
-                        } else {
-                            acc.touched.push(0);
-                        }
-                    }
-                    acc
-                })
-                .collect()
-        }
-    };
-
-    finish(g, accs, frontier, cfg, spec, fused)
+    let swept = run_bucketed(g, frontier, Direction::Push, plan, process);
+    finish(swept, frontier, cfg, spec, fused)
 }
 
 fn expand_pull<A: EdgeApp>(
@@ -255,17 +321,24 @@ fn expand_pull<A: EdgeApp>(
     status: &[u8],
     cfg: KernelConfig,
     spec: &DeviceSpec,
+    plan: Option<&WorkPlan>,
 ) -> ExpandOutput {
     let incoming = g.in_csr();
     let weights = g.in_weights();
 
-    // One receiver vertex: gather from in-edges until satisfied.
+    // One receiver vertex (SpMV row): gather from in-edges until
+    // satisfied. The row's source ids stream contiguously out of the
+    // blocked CSR range; the random access is the per-source status
+    // probe, so a software-prefetch hint runs a few edges ahead of it.
     let process = |v: VertexId, acc: &mut Acc| -> u32 {
         let r = incoming.edge_range(v);
         let sources = &incoming.targets()[r.clone()];
         let mut touched = 0u32;
         let mut changed_any = false;
         for (i, &u) in sources.iter().enumerate() {
+            if let Some(&ahead) = sources.get(i + PREFETCH_DIST) {
+                prefetch_slice(status, ahead as usize);
+            }
             touched += 1;
             acc.bytes_read += 5; // source id + frontier-bit probe
             if status_of(status[u as usize]) == Status::Active {
@@ -293,71 +366,29 @@ fn expand_pull<A: EdgeApp>(
         touched
     };
 
-    let accs: Vec<Acc> = match frontier.as_queue() {
-        Some(q) => q
-            .par_chunks(CHUNK)
-            .map(|chunk| {
-                let mut acc = Acc::default();
-                acc.touched.reserve(chunk.len());
-                acc.bytes_read += 4 * chunk.len() as u64;
-                for &v in chunk {
-                    let t = process(v, &mut acc);
-                    acc.touched.push(t);
-                }
-                acc
-            })
-            .collect(),
-        None => {
-            let bits = match frontier {
-                Frontier::Bitmap(b) => b,
-                _ => unreachable!("queueless frontier is a bitmap"),
-            };
-            (0..g.num_vertices())
-                .into_par_iter()
-                .chunks(CHUNK)
-                .map(|chunk| {
-                    let mut acc = Acc::default();
-                    acc.touched.reserve(chunk.len());
-                    acc.bytes_read += (chunk.len() as u64).div_ceil(8);
-                    for v in chunk {
-                        let v = v as VertexId;
-                        if bits.get(v) {
-                            let t = process(v, &mut acc);
-                            acc.touched.push(t);
-                        } else {
-                            acc.touched.push(0);
-                        }
-                    }
-                    acc
-                })
-                .collect()
-        }
-    };
-
-    finish(g, accs, frontier, cfg, spec, false)
+    let swept = run_bucketed(g, frontier, Direction::Pull, plan, process);
+    finish(swept, frontier, cfg, spec, false)
 }
 
-/// Merge chunk accumulators, price the load balance, assemble the profile.
+/// Merge task accumulators, price the load balance, assemble the profile.
 fn finish(
-    g: &Graph,
-    accs: Vec<Acc>,
+    swept: Swept,
     frontier: &Frontier,
     cfg: KernelConfig,
     spec: &DeviceSpec,
     fused: bool,
 ) -> ExpandOutput {
-    let _ = g;
-    let mut touched = Vec::with_capacity(accs.iter().map(|a| a.touched.len()).sum());
+    let Swept { touched, accs, base_bytes_read } = swept;
     let mut next_queue =
         fused.then(|| Vec::with_capacity(accs.iter().map(|a| a.out_queue.len()).sum()));
     let mut profile = KernelProfile::launch();
+    profile.bytes_read += base_bytes_read;
     let mut activations = 0u64;
     let mut distinct = 0u64;
     let mut ties = 0u64;
     let mut activated_out_edges = 0u64;
     let mut edges = 0u64;
     for a in accs {
-        touched.extend_from_slice(&a.touched);
         if let Some(q) = next_queue.as_mut() {
             q.extend_from_slice(&a.out_queue);
         }

@@ -267,20 +267,25 @@ pub fn materialize<A: EdgeApp>(
             (Frontier::Bitmap(bits), count)
         }
         fmt => {
-            // Ordered compaction: chunk-order concatenation gives
-            // ascending vertex ids (the sorted queue's promise; the
-            // unsorted queue holds the same entries without the promise).
-            let segs: Vec<Vec<VertexId>> = (0..n)
+            // Two-pass block compaction (the device's count → scan →
+            // scatter): a parallel count per block, then one fill of a
+            // single exactly-sized allocation, skipping empty blocks.
+            // Block-order filling gives ascending vertex ids (the sorted
+            // queue's promise; the unsorted queue holds the same entries
+            // without the promise) with no per-block vector allocations.
+            let counts: Vec<usize> = (0..n)
                 .into_par_iter()
                 .chunks(CHUNK)
-                .map(|chunk| {
-                    chunk.into_iter().map(|v| v as VertexId).filter(|&v| in_workload(v)).collect()
-                })
+                .map(|chunk| chunk.into_iter().filter(|&v| in_workload(v as VertexId)).count())
                 .collect();
-            let w: u64 = segs.iter().map(|s| s.len() as u64).sum();
+            let w: u64 = counts.iter().map(|&c| c as u64).sum();
             let mut q = Vec::with_capacity(w as usize);
-            for s in segs {
-                q.extend_from_slice(&s);
+            for (ci, &c) in counts.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                let block = ci * CHUNK..((ci + 1) * CHUNK).min(n);
+                q.extend(block.map(|v| v as VertexId).filter(|&v| in_workload(v)));
             }
             let f = match fmt {
                 AsFormat::SortedQueue => Frontier::SortedQueue(q),

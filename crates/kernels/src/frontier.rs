@@ -53,10 +53,12 @@ impl Frontier {
         }
     }
 
-    /// True when no work remains — the BSP termination test.
+    /// True when no work remains — the BSP termination test. For a
+    /// bitmap this stops at the first nonzero word
+    /// ([`AtomicBitSet::any`]) instead of popcounting all of them.
     pub fn is_empty(&self) -> bool {
         match self {
-            Frontier::Bitmap(b) => b.count() == 0,
+            Frontier::Bitmap(b) => !b.any(),
             Frontier::UnsortedQueue(q) | Frontier::SortedQueue(q) | Frontier::RawQueue(q) => {
                 q.is_empty()
             }

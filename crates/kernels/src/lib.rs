@@ -13,6 +13,9 @@
 //!   plus the `prepare` "Apply/Update" hook folded into Filter, §2.1).
 //! * [`atomics`] — lock-free vertex-value arrays (`u32`/`u64`/`f32`/`f64`)
 //!   and an atomic bitset, the building blocks every app stores its data in.
+//! * [`bucket`] — degree-bucketed work partitioning: frontier degree
+//!   prefix sums formed into small/warp/cta task blocks (the SpMSpV/SpMV
+//!   load balancer), cacheable across super-steps for prefix-sum reuse.
 //! * [`frontier`] — the P2 active-set formats (bitmap / unsorted queue /
 //!   sorted queue) with their generation cost accounting (Fig. 4).
 //! * [`filter`] — the Filter primitive: classify all vertices, update
@@ -30,6 +33,7 @@
 
 pub mod app;
 pub mod atomics;
+pub mod bucket;
 pub mod exchange;
 pub mod expand;
 pub mod filter;
@@ -38,8 +42,9 @@ pub mod lb;
 pub mod pattern;
 
 pub use app::{EdgeApp, Status};
+pub use bucket::{DegreeSource, WorkPlan};
 pub use exchange::ExchangeProfile;
-pub use expand::{expand, ExpandOutput};
+pub use expand::{expand, expand_planned, ExpandOutput};
 pub use filter::{classify, materialize, ClassifyOutput, IterStats, WorkloadStats};
 pub use frontier::Frontier;
 pub use pattern::{AsFormat, Direction, Fusion, KernelConfig, LoadBalance, SteppingDelta};

@@ -135,6 +135,9 @@ pub enum SpanKind {
     Select,
     /// Filter phase: frontier materialization.
     Filter,
+    /// Work-partition phase: building (or fingerprint-matching and
+    /// reusing) the degree-bucketed plan the Expand runs under.
+    Partition,
     /// Expand phase: the priced kernel execution.
     Expand,
     /// Sharded frontier exchange accounting.
@@ -144,7 +147,7 @@ pub enum SpanKind {
 }
 
 /// Every kind, in stack order (requests before phases).
-pub const SPAN_KINDS: [SpanKind; 12] = [
+pub const SPAN_KINDS: [SpanKind; 13] = [
     SpanKind::Request,
     SpanKind::QueueWait,
     SpanKind::Execute,
@@ -154,6 +157,7 @@ pub const SPAN_KINDS: [SpanKind; 12] = [
     SpanKind::Inspect,
     SpanKind::Select,
     SpanKind::Filter,
+    SpanKind::Partition,
     SpanKind::Expand,
     SpanKind::Exchange,
     SpanKind::Sentinel,
@@ -172,6 +176,7 @@ impl SpanKind {
             SpanKind::Inspect => "inspect",
             SpanKind::Select => "select",
             SpanKind::Filter => "filter",
+            SpanKind::Partition => "partition",
             SpanKind::Expand => "expand",
             SpanKind::Exchange => "exchange",
             SpanKind::Sentinel => "sentinel",

@@ -36,5 +36,8 @@ pub type SimMs = f64;
 
 /// Version tag of the pricing model and feature encoding. Bump whenever
 /// cost constants, pricing formulas, or the feature transform change, so
-/// cached oracle labels and features are invalidated, never silently reused.
-pub const COST_MODEL_VERSION: u32 = 6;
+/// cached oracle labels and features are invalidated, never silently
+/// reused. v7: bitmap-mode Expand charges workload reads word-granularly
+/// (8 bytes per backing `u64`, each word once) instead of per-chunk
+/// `len/8` rounding.
+pub const COST_MODEL_VERSION: u32 = 7;
