@@ -72,6 +72,37 @@ fn workspace_is_clean_under_own_analysis() {
     assert!(report.suppressed > 0);
 }
 
+/// The overload-resilience modules (breaker, brownout, health, plus
+/// the scheduler that hosts the shed policy) are inside the scan
+/// surface and lint-clean: the source walk picks each of them up, and
+/// the full workspace analysis attributes no loud finding to any of
+/// them. Guards against the walk silently skipping new runtime files
+/// and against hot-path lint regressions in the overload machinery.
+#[test]
+fn overload_modules_are_scanned_and_lint_clean() {
+    let root = workspace_root();
+    let sources = gswitch_analyze::collect_sources(&root);
+    let modules = [
+        "crates/runtime/src/scheduler.rs",
+        "crates/runtime/src/breaker.rs",
+        "crates/runtime/src/brownout.rs",
+        "crates/runtime/src/health.rs",
+        "crates/runtime/src/shards.rs",
+    ];
+    for module in modules {
+        assert!(
+            sources.iter().any(|(rel, _)| rel == module),
+            "{module} missing from the analyzer's source walk"
+        );
+    }
+    let report = run(&Config::for_root(root));
+    for module in modules {
+        let loud: Vec<_> =
+            report.findings.iter().filter(|f| !f.suppressed && f.file == module).collect();
+        assert!(loud.is_empty(), "{module} has unsuppressed findings: {loud:#?}");
+    }
+}
+
 /// The JSON report round-trips through serde and carries the counters
 /// CI annotates with.
 #[test]

@@ -1,8 +1,8 @@
 //! Summarize a gswitch decision trace, or render span timelines and
 //! self-time profiles.
 //!
-//! Usage: `gswitch-trace [--timeline OUT] [--profile] [FILE|-]` —
-//! reads stdin when the file argument is `-` or absent.
+//! Usage: `gswitch-trace [--timeline OUT] [--profile] [--metrics]
+//! [FILE|-]` — reads stdin when the file argument is `-` or absent.
 //!
 //! * Default mode: the input is a decision trace (JSONL, as written by
 //!   the `trace` verb of `gswitch-serve` or `TraceRing::to_jsonl`);
@@ -16,17 +16,22 @@
 //! * `--profile`: the input is a span log; prints the flame-style
 //!   self-time table (inclusive/exclusive ms, counts, p50/p95/p99 per
 //!   span kind). Combines with `--timeline`.
+//! * `--metrics`: the input is a single JSON document — a
+//!   `gswitch-serve` `stats` response or a bare metrics-registry
+//!   snapshot — and the output is the overload-resilience summary
+//!   (shed/fast-fail counters, breaker transitions, brownout state).
 
 use std::io::Read;
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: gswitch-trace [--timeline OUT] [--profile] [FILE|-]   (default: stdin)\n\
+        "usage: gswitch-trace [--timeline OUT] [--profile] [--metrics] [FILE|-]   (default: stdin)\n\
          \n\
          default        summarize a decision trace (switches, prediction quality, regret)\n\
          --timeline OUT convert a span log to Chrome trace-event JSON (Perfetto-loadable)\n\
-         --profile      print the span self-time profile table"
+         --profile      print the span self-time profile table\n\
+         --metrics      print the overload-resilience summary of a stats/metrics JSON"
     );
     std::process::exit(2)
 }
@@ -58,12 +63,14 @@ fn report_bad_lines(source: &str, errors: &[(usize, String)], total: usize) {
 fn main() -> ExitCode {
     let mut timeline: Option<String> = None;
     let mut profile = false;
+    let mut metrics = false;
     let mut file: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--help" | "-h" => usage(),
             "--profile" => profile = true,
+            "--metrics" => metrics = true,
             "--timeline" => match it.next() {
                 Some(out) => timeline = Some(out),
                 None => usage(),
@@ -84,6 +91,20 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    // Metrics mode: the input is one JSON document, not a trace.
+    if metrics {
+        return match gswitch_obs::json::parse(text.trim()) {
+            Ok(doc) => {
+                print!("{}", gswitch_obs::resilience_summary(&doc));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("gswitch-trace: {source}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
 
     // Span modes: the input is a span log, not a decision trace.
     if timeline.is_some() || profile {

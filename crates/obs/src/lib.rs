@@ -46,7 +46,9 @@ pub use span::{
     parse_spans_jsonl, profile, timeline_json, Clock, KindProfile, LocalSpans, SpanCollector,
     SpanCtx, SpanGuard, SpanKind, SpanProfile, SpanRecord, SpanRing,
 };
-pub use summary::{parse_jsonl, summarize, DirectionFlip, LbStats, ParsedTrace, TraceSummary};
+pub use summary::{
+    parse_jsonl, resilience_summary, summarize, DirectionFlip, LbStats, ParsedTrace, TraceSummary,
+};
 pub use trace::{
     names, NullRecorder, Provenance, Recorder, RecorderHandle, StampedEvent, TraceEvent, TraceRing,
 };

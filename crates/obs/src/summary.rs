@@ -120,6 +120,58 @@ pub struct TraceSummary {
     pub shards: BTreeMap<u32, ShardStats>,
 }
 
+/// Render the overload-resilience counters out of a metrics document:
+/// either a `gswitch-serve` `stats` response (which carries a
+/// `resilience` object and a `metrics` snapshot) or a bare registry
+/// snapshot (`{"counters":{...},"gauges":{...}}`). Counters the
+/// document does not carry print as 0, so the summary works on
+/// pre-overload traces too.
+pub fn resilience_summary(doc: &crate::json::JsonValue) -> String {
+    let lookup = |name: &str| -> Option<&crate::json::JsonValue> {
+        for scope in [doc.get("resilience"), doc.get("metrics"), Some(doc)] {
+            let Some(scope) = scope else { continue };
+            for inner in [scope.get("counters"), scope.get("gauges"), Some(scope)] {
+                if let Some(v) = inner.and_then(|s| s.get(name)) {
+                    return Some(v);
+                }
+            }
+        }
+        None
+    };
+    let counter = |name: &str| lookup(name).and_then(|v| v.as_u64()).unwrap_or(0);
+    // `brownout_active` is a bool in the stats response but a 0/1 gauge
+    // in a raw snapshot; `breakers_open_now` only exists in stats.
+    let flag = |name: &str| {
+        lookup(name)
+            .map(|v| match v {
+                crate::json::JsonValue::Bool(b) => *b,
+                other => other.as_i64().unwrap_or(0) != 0,
+            })
+            .unwrap_or(false)
+    };
+    let mut out = String::from("overload resilience:\n");
+    out.push_str(&format!(
+        "  shed {} | deadline-unmeetable {} | breaker fast-fails {}\n",
+        counter("jobs_shed"),
+        counter("jobs_deadline_unmeetable"),
+        counter("jobs_breaker_open"),
+    ));
+    out.push_str(&format!(
+        "  breaker transitions: opened {} / half-open {} / closed {} (open now: {})\n",
+        counter("breaker_opened"),
+        counter("breaker_half_open"),
+        counter("breaker_closed"),
+        counter("breakers_open_now"),
+    ));
+    out.push_str(&format!(
+        "  brownout: {} (entered {} / exited {})\n",
+        if flag("brownout_active") { "ACTIVE" } else { "inactive" },
+        counter("brownout_entered"),
+        counter("brownout_exited"),
+    ));
+    out
+}
+
 /// Analyze events (grouping by job id; iterations are assumed ordered
 /// within a job, which is how the engine emits them).
 pub fn summarize(events: &[StampedEvent]) -> TraceSummary {
@@ -510,5 +562,36 @@ mod tests {
         let text = s.render();
         assert!(text.contains("0 events"));
         assert!(text.contains("no events carried a prediction"));
+    }
+
+    #[test]
+    fn resilience_summary_reads_stats_and_raw_snapshots() {
+        // A gswitch-serve `stats` response: counters live under
+        // `resilience`, the brownout flag is a bool.
+        let stats = crate::json::parse(
+            r#"{"ok":"stats","resilience":{"jobs_shed":12,"jobs_breaker_open":7,
+                "breaker_opened":2,"breaker_closed":1,"breakers_open_now":1,
+                "brownout_active":true,"brownout_entered":3,"brownout_exited":2},
+                "metrics":{"counters":{"jobs_deadline_unmeetable":4}}}"#,
+        )
+        .unwrap();
+        let text = resilience_summary(&stats);
+        assert!(text.contains("shed 12"), "{text}");
+        assert!(text.contains("deadline-unmeetable 4"), "{text}");
+        assert!(text.contains("breaker fast-fails 7"), "{text}");
+        assert!(text.contains("opened 2 / half-open 0 / closed 1 (open now: 1)"), "{text}");
+        assert!(text.contains("brownout: ACTIVE (entered 3 / exited 2)"), "{text}");
+
+        // A bare registry snapshot: same counters flat under
+        // `counters`, brownout as a 0/1 gauge.
+        let snap = crate::json::parse(
+            r#"{"counters":{"jobs_shed":5,"breaker_opened":1},
+                "gauges":{"brownout_active":0}}"#,
+        )
+        .unwrap();
+        let text = resilience_summary(&snap);
+        assert!(text.contains("shed 5"), "{text}");
+        assert!(text.contains("opened 1"), "{text}");
+        assert!(text.contains("brownout: inactive (entered 0 / exited 0)"), "{text}");
     }
 }

@@ -55,7 +55,7 @@ pub fn synthetic_workload(
                 3 => Query::Sssp { src },
                 _ => Query::Bc { src },
             };
-            JobSpec { graph, query, timeout_ms: None }
+            JobSpec { graph, query, timeout_ms: None, priority: None }
         })
         .collect()
 }

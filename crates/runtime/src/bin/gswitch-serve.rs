@@ -48,7 +48,8 @@ fn usage() -> ! {
            {{\"cmd\":\"load\",\"name\":\"kron\",\"gen\":{{\"kind\":\"rmat\",\"scale\":10}}}}\n\
            {{\"cmd\":\"query\",\"graph\":\"kron\",\"query\":{{\"Bfs\":{{\"src\":0}}}}}}\n\
            {{\"cmd\":\"batch\",\"graph\":\"kron\",\"queries\":[{{\"Bfs\":{{\"src\":0}}}},\"Cc\"],\"shards\":4}}\n\
-           {{\"cmd\":\"stats\"}} | {{\"cmd\":\"trace\",\"enable\":true}} | \
+           {{\"cmd\":\"query\",\"graph\":\"kron\",\"query\":\"Cc\",\"priority\":\"Interactive\"}}\n\
+           {{\"cmd\":\"stats\"}} | {{\"cmd\":\"health\"}} | {{\"cmd\":\"trace\",\"enable\":true}} | \
          {{\"cmd\":\"trace\",\"path\":\"f.jsonl\",\"clear\":true}}\n\
            {{\"cmd\":\"save_cache\",\"path\":\"f\"}} | \
          {{\"cmd\":\"load_cache\",\"path\":\"f\"}} | {{\"cmd\":\"quit\"}}"
@@ -238,7 +239,7 @@ fn handle(
         "query" => {
             let graph = req.graph.ok_or("query needs `graph`")?;
             let query = req.query.ok_or("query needs `query`")?;
-            let spec = JobSpec { graph, query, timeout_ms: req.timeout_ms };
+            let spec = JobSpec { graph, query, timeout_ms: req.timeout_ms, priority: req.priority };
             // Transient worker failures (status `failed`) are retried
             // transparently up to --retries times; only the final
             // outcome reaches the client.
@@ -267,6 +268,7 @@ fn handle(
             let job = batch_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             let report = shards.batch(
                 entry.graph(),
+                entry.fingerprint().0,
                 req.shards,
                 req.tenant.as_deref(),
                 &queries,
@@ -365,6 +367,26 @@ fn handle(
             let profile: serde_json::Value =
                 serde_json::from_str(&gswitch_obs::profile(&obs.spans.snapshot()).to_json())
                     .map_err(|e| format!("span profile: {e}"))?;
+            // Overload-resilience surface: shed/fast-fail counters,
+            // breaker transitions, and brownout state. The raw counters
+            // also appear inside `metrics`; this block is the curated
+            // view clients and the soak harness key on.
+            let breakers = scheduler.breakers();
+            let brownout = scheduler.brownout();
+            let resilience = serde_json::json!({
+                "jobs_shed": obs.metrics.counter(metric::JOBS_SHED).get(),
+                "jobs_deadline_unmeetable": obs.metrics.counter(metric::JOBS_UNMEETABLE).get(),
+                "jobs_breaker_open": obs.metrics.counter(metric::JOBS_BREAKER_OPEN).get(),
+                "breaker_opened": obs.metrics.counter(metric::BREAKER_OPENED).get(),
+                "breaker_half_open": obs.metrics.counter(metric::BREAKER_HALF_OPEN).get(),
+                "breaker_closed": obs.metrics.counter(metric::BREAKER_CLOSED).get(),
+                "breakers_open_now": breakers.open_count(),
+                "brownout_active": brownout.active(),
+                "brownout_entered": brownout.entered(),
+                "brownout_exited": brownout.exited(),
+                "queue_capacity": scheduler.capacity(),
+                "queue_wait_p95_ms": scheduler.queue_wait_p95_ms(),
+            });
             Ok(Some(jline(serde_json::json!({
                 "ok": "stats",
                 "build": build,
@@ -374,12 +396,20 @@ fn handle(
                 "queued": scheduler.queued(),
                 "metrics": metrics,
                 "shards": shard_stats,
+                "resilience": resilience,
                 "trace_enabled": obs.tracing(),
                 "trace_events": obs.trace.len(),
                 "spans": obs.spans.len(),
                 "profile": profile,
                 "hardening": hardening,
             }))))
+        }
+        "health" => {
+            // Per-component liveness/degradation. Deliberately cheap:
+            // reads atomics and short snapshots only, so it answers even
+            // when every worker is busy and the queue is full.
+            let report = gswitch_runtime::HealthReport::gather(scheduler, cache, Some(shards));
+            serde_json::to_string(&report).map(Some).map_err(|e| e.to_string())
         }
         "trace" => {
             if let Some(on) = req.enable {
@@ -448,7 +478,12 @@ fn serve(args: &Args) -> i32 {
         Arc::clone(&obs),
     );
     let workers = if args.workers > 0 { args.workers } else { SchedulerConfig::default().workers };
-    let shards = ShardService::new(Arc::clone(&obs), args.shards, workers);
+    // The batch path shares the scheduler's breakers and brownout
+    // detector: query and batch traffic see one (graph, algorithm)
+    // health picture, and brownout tightens batch quotas.
+    let shards = ShardService::new(Arc::clone(&obs), args.shards, workers)
+        .with_breakers(Arc::clone(scheduler.breakers()))
+        .with_brownout(Arc::clone(scheduler.brownout()));
     let batch_seq = std::sync::atomic::AtomicU64::new(1);
 
     let stdin = std::io::stdin();

@@ -1,0 +1,380 @@
+//! Circuit breakers keyed by (graph fingerprint, algorithm).
+//!
+//! A graph that keeps crashing workers should not be retried forever:
+//! each failed run costs a worker slot, a queue slot, and (for the
+//! client) a full timeout. [`BreakerSet`] tracks consecutive
+//! infrastructure failures ([`JobStatus::Failed`](crate::JobStatus) /
+//! worker panics) per (fingerprint, algorithm) key and applies the
+//! classic three-state machine:
+//!
+//! ```text
+//!          K consecutive failures
+//! Closed ───────────────────────────▶ Open
+//!    ▲                                  │ cooldown elapsed
+//!    │ probe succeeds                   ▼
+//!    └────────────────────────────── HalfOpen ──▶ Open (probe fails)
+//! ```
+//!
+//! While a breaker is open, submissions against its key fail fast with
+//! the typed [`JobStatus::BreakerOpen`](crate::JobStatus) status —
+//! no queue slot, no worker time. After
+//! [`BreakerConfig::cooldown_ms`] a single *probe* job is admitted
+//! (half-open); its outcome decides whether the breaker closes or
+//! re-opens. Only infrastructure outcomes move the state machine:
+//! `Ok` and `Error` (the request was bad, the runtime was fine) count
+//! as successes, `Failed` counts as a failure, and neutral outcomes
+//! (cancelled / shed / deadline) release a held probe slot without
+//! voting either way.
+//!
+//! All timing runs on the runtime's observability [`Clock`], so tests
+//! with a manual clock can step breakers through cooldown
+//! deterministically.
+
+use crate::obs::metric;
+use gswitch_obs::sync::Lock;
+use gswitch_obs::{Clock, Counter, MetricsRegistry};
+use std::collections::HashMap;
+
+/// Breaker tuning knobs.
+#[derive(Clone, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive infrastructure failures that open the breaker
+    /// (minimum 1).
+    pub failure_threshold: u32,
+    /// How long an open breaker fails fast before admitting a half-open
+    /// probe, in milliseconds.
+    pub cooldown_ms: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig { failure_threshold: 5, cooldown_ms: 1_000 }
+    }
+}
+
+/// Breaker identity: which graph (by content fingerprint), which
+/// algorithm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BreakerKey {
+    /// Content fingerprint of the graph (`Fingerprint.0`).
+    pub fingerprint: u64,
+    /// Algorithm tag (`"bfs"`, `"pr"`, …).
+    pub algo: &'static str,
+}
+
+/// The three breaker states.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: all traffic admitted.
+    Closed,
+    /// Failing fast: all traffic refused until cooldown.
+    Open,
+    /// Cooldown elapsed: exactly one probe in flight decides.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Display tag (`"closed"` / `"open"` / `"half-open"`).
+    pub fn tag(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// Admission decision for one submission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerDecision {
+    /// Breaker closed (or unknown key): admit normally.
+    Allow,
+    /// Breaker half-open and this submission won the probe slot: admit,
+    /// and report the outcome back as a probe.
+    AllowProbe,
+    /// Breaker open: fail fast. Carries the remaining cooldown so the
+    /// client knows when a retry becomes worthwhile.
+    FailFast {
+        /// Milliseconds until the breaker will admit a probe.
+        retry_after_ms: u64,
+    },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Cell {
+    state: BreakerState,
+    consecutive_failures: u32,
+    /// Clock timestamp of the transition into `Open`.
+    opened_at_ns: u64,
+    /// Whether the half-open probe slot is taken.
+    probe_inflight: bool,
+}
+
+impl Cell {
+    fn new() -> Self {
+        Cell {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at_ns: 0,
+            probe_inflight: false,
+        }
+    }
+}
+
+/// One breaker's public snapshot (for `health`).
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct BreakerView {
+    /// Graph fingerprint, hex.
+    pub fingerprint: String,
+    /// Algorithm tag.
+    pub algo: String,
+    /// State tag (`"closed"` / `"open"` / `"half-open"`).
+    pub state: String,
+    /// Consecutive failures recorded so far.
+    pub consecutive_failures: u32,
+}
+
+/// All breakers of one scheduler/service, behind a single lock.
+///
+/// The map is keyed by (fingerprint, algo) and grows only with the
+/// number of distinct graphs × 5 algorithms actually served; closed
+/// breakers with zero failures are pruned on success, so steady-state
+/// healthy serving keeps the map empty.
+#[derive(Debug)]
+pub struct BreakerSet {
+    config: BreakerConfig,
+    clock: Clock,
+    cells: Lock<HashMap<BreakerKey, Cell>>,
+    opened: Counter,
+    half_open: Counter,
+    closed: Counter,
+}
+
+impl BreakerSet {
+    /// A breaker set reporting transitions into `registry` under the
+    /// canonical metric names, timing cooldowns on `clock`.
+    pub fn new(config: BreakerConfig, clock: Clock, registry: &MetricsRegistry) -> Self {
+        BreakerSet {
+            config: BreakerConfig {
+                failure_threshold: config.failure_threshold.max(1),
+                cooldown_ms: config.cooldown_ms,
+            },
+            clock,
+            cells: Lock::new(HashMap::new()),
+            opened: registry.counter(metric::BREAKER_OPENED),
+            half_open: registry.counter(metric::BREAKER_HALF_OPEN),
+            closed: registry.counter(metric::BREAKER_CLOSED),
+        }
+    }
+
+    /// The configured failure threshold.
+    pub fn failure_threshold(&self) -> u32 {
+        self.config.failure_threshold
+    }
+
+    /// The configured cooldown, milliseconds.
+    pub fn cooldown_ms(&self) -> u64 {
+        self.config.cooldown_ms
+    }
+
+    /// Decide admission for one submission against `key`.
+    pub fn admit(&self, key: BreakerKey) -> BreakerDecision {
+        let mut cells = self.cells.lock();
+        let cell = match cells.get_mut(&key) {
+            Some(c) => c,
+            None => return BreakerDecision::Allow,
+        };
+        match cell.state {
+            BreakerState::Closed => BreakerDecision::Allow,
+            BreakerState::Open => {
+                let elapsed_ms = self.clock.now_ns().saturating_sub(cell.opened_at_ns) / 1_000_000;
+                if elapsed_ms >= self.config.cooldown_ms {
+                    cell.state = BreakerState::HalfOpen;
+                    cell.probe_inflight = true;
+                    self.half_open.inc();
+                    BreakerDecision::AllowProbe
+                } else {
+                    BreakerDecision::FailFast {
+                        retry_after_ms: self.config.cooldown_ms - elapsed_ms,
+                    }
+                }
+            }
+            BreakerState::HalfOpen => {
+                if cell.probe_inflight {
+                    // The probe decides; everyone else keeps waiting.
+                    BreakerDecision::FailFast { retry_after_ms: self.config.cooldown_ms }
+                } else {
+                    cell.probe_inflight = true;
+                    BreakerDecision::AllowProbe
+                }
+            }
+        }
+    }
+
+    /// Record an infrastructure-healthy outcome (`Ok`, or `Error` — the
+    /// request was bad but the runtime worked).
+    pub fn record_success(&self, key: BreakerKey, probe: bool) {
+        let mut cells = self.cells.lock();
+        if let Some(cell) = cells.get_mut(&key) {
+            if probe || cell.state == BreakerState::HalfOpen {
+                self.closed.inc();
+            }
+            // Healthy again: drop the cell entirely so the map stays
+            // bounded by currently-unhealthy keys.
+            cells.remove(&key);
+        }
+    }
+
+    /// Record an infrastructure failure (`Failed` / worker panic).
+    pub fn record_failure(&self, key: BreakerKey, probe: bool) {
+        let mut cells = self.cells.lock();
+        let cell = cells.entry(key).or_insert_with(Cell::new);
+        cell.consecutive_failures = cell.consecutive_failures.saturating_add(1);
+        if probe {
+            cell.probe_inflight = false;
+        }
+        let should_open = match cell.state {
+            // A failed probe re-opens immediately.
+            BreakerState::HalfOpen => true,
+            BreakerState::Closed => cell.consecutive_failures >= self.config.failure_threshold,
+            BreakerState::Open => false,
+        };
+        if should_open {
+            cell.state = BreakerState::Open;
+            cell.opened_at_ns = self.clock.now_ns();
+            self.opened.inc();
+        }
+    }
+
+    /// Record a neutral outcome (cancelled / shed / deadline): releases
+    /// a held probe slot without voting on health.
+    pub fn record_neutral(&self, key: BreakerKey, probe: bool) {
+        if !probe {
+            return;
+        }
+        let mut cells = self.cells.lock();
+        if let Some(cell) = cells.get_mut(&key) {
+            if cell.state == BreakerState::HalfOpen {
+                cell.probe_inflight = false;
+            }
+        }
+    }
+
+    /// Current state for `key` (`Closed` for unknown keys).
+    pub fn state(&self, key: BreakerKey) -> BreakerState {
+        self.cells.lock().get(&key).map(|c| c.state).unwrap_or(BreakerState::Closed)
+    }
+
+    /// Number of breakers currently open.
+    pub fn open_count(&self) -> usize {
+        self.cells.lock().values().filter(|c| c.state == BreakerState::Open).count()
+    }
+
+    /// Snapshot of every tracked (unhealthy or probing) breaker, for
+    /// the `health` verb. Sorted for deterministic output.
+    pub fn snapshot(&self) -> Vec<BreakerView> {
+        let cells = self.cells.lock();
+        let mut views: Vec<BreakerView> = cells
+            .iter()
+            .map(|(k, c)| BreakerView {
+                fingerprint: format!("{:016x}", k.fingerprint),
+                algo: k.algo.to_string(),
+                state: c.state.tag().to_string(),
+                consecutive_failures: c.consecutive_failures,
+            })
+            .collect();
+        views.sort_by(|a, b| (&a.fingerprint, &a.algo).cmp(&(&b.fingerprint, &b.algo)));
+        views
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(threshold: u32, cooldown_ms: u64) -> BreakerSet {
+        BreakerSet::new(
+            BreakerConfig { failure_threshold: threshold, cooldown_ms },
+            Clock::manual(),
+            &MetricsRegistry::new(),
+        )
+    }
+
+    const KEY: BreakerKey = BreakerKey { fingerprint: 0xAB, algo: "bfs" };
+
+    #[test]
+    fn opens_after_k_consecutive_failures_and_fails_fast() {
+        let b = set(3, 100);
+        for _ in 0..2 {
+            assert_eq!(b.admit(KEY), BreakerDecision::Allow);
+            b.record_failure(KEY, false);
+        }
+        assert_eq!(b.state(KEY), BreakerState::Closed);
+        b.record_failure(KEY, false);
+        assert_eq!(b.state(KEY), BreakerState::Open);
+        match b.admit(KEY) {
+            BreakerDecision::FailFast { retry_after_ms } => assert!(retry_after_ms <= 100),
+            d => panic!("open breaker admitted traffic: {d:?}"),
+        }
+        assert_eq!(b.open_count(), 1);
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let b = set(3, 100);
+        b.record_failure(KEY, false);
+        b.record_failure(KEY, false);
+        b.record_success(KEY, false);
+        b.record_failure(KEY, false);
+        b.record_failure(KEY, false);
+        assert_eq!(b.state(KEY), BreakerState::Closed, "streak must reset on success");
+        assert!(b.snapshot().iter().all(|v| v.consecutive_failures < 3));
+    }
+
+    #[test]
+    fn cooldown_probe_closes_or_reopens() {
+        let b = set(1, 100);
+        let clock = b.clock.clone();
+        b.record_failure(KEY, false);
+        assert_eq!(b.state(KEY), BreakerState::Open);
+        // Before cooldown: fail fast. After: exactly one probe.
+        assert!(matches!(b.admit(KEY), BreakerDecision::FailFast { .. }));
+        clock.advance_ns(150 * 1_000_000);
+        assert_eq!(b.admit(KEY), BreakerDecision::AllowProbe);
+        // Concurrent traffic during the probe still fails fast.
+        assert!(matches!(b.admit(KEY), BreakerDecision::FailFast { .. }));
+        // Failed probe → straight back to open.
+        b.record_failure(KEY, true);
+        assert_eq!(b.state(KEY), BreakerState::Open);
+        // Next cooldown, successful probe → closed and pruned.
+        clock.advance_ns(150 * 1_000_000);
+        assert_eq!(b.admit(KEY), BreakerDecision::AllowProbe);
+        b.record_success(KEY, true);
+        assert_eq!(b.state(KEY), BreakerState::Closed);
+        assert!(b.snapshot().is_empty(), "closed breakers must be pruned");
+    }
+
+    #[test]
+    fn neutral_outcome_releases_the_probe_slot() {
+        let b = set(1, 10);
+        let clock = b.clock.clone();
+        b.record_failure(KEY, false);
+        clock.advance_ns(20 * 1_000_000);
+        assert_eq!(b.admit(KEY), BreakerDecision::AllowProbe);
+        // The probe was cancelled before it could vote: the slot frees
+        // up so the next submission can probe instead of deadlocking
+        // the half-open state.
+        b.record_neutral(KEY, true);
+        assert_eq!(b.admit(KEY), BreakerDecision::AllowProbe);
+    }
+
+    #[test]
+    fn distinct_keys_are_independent() {
+        let b = set(1, 100);
+        let other = BreakerKey { fingerprint: 0xCD, algo: "pr" };
+        b.record_failure(KEY, false);
+        assert_eq!(b.state(KEY), BreakerState::Open);
+        assert_eq!(b.admit(other), BreakerDecision::Allow);
+        assert_eq!(b.state(other), BreakerState::Closed);
+    }
+}

@@ -223,9 +223,33 @@ impl ConfigCache {
         }
     }
 
-    /// Persist to `path` as JSON.
+    /// Persist to `path` as JSON, crash-safely: the document is written
+    /// to a temp file in the same directory, fsynced, and renamed over
+    /// the target. A crash at any point leaves either the old file or
+    /// the new one — never a truncated hybrid that would cost every
+    /// tuned config on the next [`ConfigCache::load_or_empty`].
     pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
-        std::fs::write(path, self.to_json())
+        use std::io::Write as _;
+        let path = path.as_ref();
+        // Sibling temp path (same directory, so the rename cannot cross
+        // filesystems).
+        let mut tmp_name = path.as_os_str().to_os_string();
+        tmp_name.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp_name);
+        let result = (|| {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(self.to_json().as_bytes())?;
+            file.sync_all()?;
+            drop(file);
+            // The crash window the fault suite exercises: temp written
+            // and durable, target still untouched.
+            crate::faults::fire(crate::faults::site::CACHE_SAVE);
+            std::fs::rename(&tmp, path)
+        })();
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result
     }
 
     /// Load a cache persisted by [`ConfigCache::save`].
@@ -337,6 +361,25 @@ mod tests {
         cache.save(&path).unwrap();
         let back = ConfigCache::load(&path).unwrap();
         assert_eq!(back.peek(&key(7)), Some(KernelConfig::gunrock_like()));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn save_is_atomic_and_leaves_no_temp_residue() {
+        let cache = ConfigCache::new();
+        cache.store(&key(3), KernelConfig::push_baseline());
+        let path = std::env::temp_dir().join("gswitch-cache-atomic-test.json");
+        // Pre-existing content survives until the rename lands.
+        std::fs::write(&path, "old-not-json").unwrap();
+        cache.save(&path).unwrap();
+        let back = ConfigCache::load(&path).unwrap();
+        assert_eq!(back.peek(&key(3)), Some(KernelConfig::push_baseline()));
+        let tmp = {
+            let mut t = path.as_os_str().to_os_string();
+            t.push(".tmp");
+            std::path::PathBuf::from(t)
+        };
+        assert!(!tmp.exists(), "successful save must not leave its temp file behind");
         let _ = std::fs::remove_file(&path);
     }
 

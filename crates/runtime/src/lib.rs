@@ -29,6 +29,12 @@
 //! - [`bench_load`] — the synthetic mixed workload behind
 //!   `gswitch-serve --bench-load`, reporting QPS and latency
 //!   percentiles cold (empty cache) versus warm.
+//! - [`breaker`] / [`brownout`] / [`health`] — overload resilience:
+//!   per-(graph, algorithm) circuit breakers that fail fast after
+//!   repeated worker failures, degraded-mode serving under sustained
+//!   queue pressure, and the `health` verb's per-component report.
+//!   Priority-aware load shedding lives in [`scheduler`]; see
+//!   DESIGN.md §4.14.
 //!
 //! The `gswitch-serve` binary speaks line-delimited JSON over
 //! stdin/stdout; see `protocol` and the README's "Serving" section.
@@ -36,9 +42,12 @@
 #![warn(missing_docs)]
 
 pub mod bench_load;
+pub mod breaker;
+pub mod brownout;
 pub mod cache;
 pub mod executor;
 pub mod faults;
+pub mod health;
 pub mod obs;
 pub mod protocol;
 pub mod query;
@@ -46,10 +55,13 @@ pub mod registry;
 pub mod scheduler;
 pub mod shards;
 
+pub use breaker::{BreakerConfig, BreakerSet, BreakerState};
+pub use brownout::{Brownout, BrownoutConfig};
 pub use cache::{CacheCounters, CacheKey, ConfigCache};
 pub use executor::execute;
+pub use health::HealthReport;
 pub use obs::RuntimeObs;
-pub use query::{IterStat, JobOutcome, JobSpec, JobStatus, Metric, Payload, Query};
+pub use query::{IterStat, JobOutcome, JobSpec, JobStatus, Metric, Payload, Priority, Query};
 pub use registry::{GraphEntry, GraphRegistry};
 pub use scheduler::{JobHandle, Scheduler, SchedulerConfig, SubmitError};
 pub use shards::ShardService;

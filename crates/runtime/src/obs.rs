@@ -68,6 +68,29 @@ pub mod metric {
     pub const SHARD_IMBALANCE: &str = "shard_imbalance";
     /// Counter: batch submissions refused by per-tenant quotas.
     pub const QUOTA_REJECTED: &str = "shard_quota_rejected";
+    /// Counter: queued jobs dropped by the overload shed policy to
+    /// admit higher-priority work (terminal status `Shed`).
+    pub const JOBS_SHED: &str = "jobs_shed";
+    /// Counter: submissions refused at admission because the deadline
+    /// could not be met given the observed p95 queue wait.
+    pub const JOBS_UNMEETABLE: &str = "jobs_deadline_unmeetable";
+    /// Counter: jobs failed fast because their (graph, algorithm)
+    /// circuit breaker was open (terminal status `BreakerOpen`).
+    pub const JOBS_BREAKER_OPEN: &str = "jobs_breaker_open";
+    /// Counter: breaker transitions Closed/HalfOpen → Open.
+    pub const BREAKER_OPENED: &str = "breaker_opened";
+    /// Counter: breaker transitions Open → HalfOpen (cooldown elapsed,
+    /// one probe admitted).
+    pub const BREAKER_HALF_OPEN: &str = "breaker_half_open";
+    /// Counter: breaker transitions HalfOpen → Closed (probe succeeded).
+    pub const BREAKER_CLOSED: &str = "breaker_closed";
+    /// Counter: brownout (degraded-mode) activations.
+    pub const BROWNOUT_ENTERED: &str = "brownout_entered";
+    /// Counter: brownout deactivations (pressure eased).
+    pub const BROWNOUT_EXITED: &str = "brownout_exited";
+    /// Gauge: 1 while the runtime is serving in degraded (brownout)
+    /// mode, 0 otherwise.
+    pub const BROWNOUT_ACTIVE: &str = "brownout_active";
 }
 
 /// Default decision-trace ring capacity (events, not bytes). A

@@ -8,8 +8,10 @@
 //! {"cmd":"load","name":"wiki","path":"graphs/wiki.mtx"}
 //! {"cmd":"query","graph":"kron","query":{"Bfs":{"src":0}}}
 //! {"cmd":"query","graph":"kron","query":"Cc","timeout_ms":5000,"payload":true}
+//! {"cmd":"query","graph":"kron","query":"Cc","priority":"Interactive"}
 //! {"cmd":"batch","graph":"kron","queries":[{"Bfs":{"src":0}},"Cc"],"shards":4,"tenant":"t1"}
 //! {"cmd":"stats"}
+//! {"cmd":"health"}
 //! {"cmd":"save_cache","path":"tuned.json"}
 //! {"cmd":"load_cache","path":"tuned.json"}
 //! {"cmd":"trace","enable":true}
@@ -31,9 +33,23 @@
 //! `status` is one of `"Ok"`, `"Error"` (the request itself was bad —
 //! not retryable), `"Failed"` (infrastructure fault such as a worker
 //! panic — the server retries these transparently, see `--retries`),
-//! `"Cancelled"`, or `"DeadlineExceeded"` (the job ran past its
+//! `"Cancelled"`, `"DeadlineExceeded"` (the job ran past its
 //! `timeout_ms`, whether queued, mid-run, or at completion; results
-//! are withheld). See DESIGN.md's "Failure model" for the taxonomy.
+//! are withheld), `"Shed"` (dropped from a full queue to admit
+//! higher-priority work — retryable), or `"BreakerOpen"` (the circuit
+//! breaker for this graph/algorithm is open — retry after the cooldown
+//! the `error` text names). See DESIGN.md's "Failure model" and §4.14
+//! for the taxonomy.
+//!
+//! `priority` on `query` picks the admission class — `"Interactive"`,
+//! `"Batch"` (the default), or `"BestEffort"`. Workers drain the queue
+//! highest class first, and under overload a full queue sheds strictly
+//! lower-priority queued work to admit the newcomer.
+//!
+//! `health` answers with a per-component report (scheduler occupancy,
+//! open breakers, brownout state, cache, shards) and an overall
+//! `"ok"`/`"degraded"` status; see [`crate::health::HealthReport`]. It
+//! never blocks on workers, so it answers even under full overload.
 //!
 //! `stats` returns the legacy cache/queue fields plus a `metrics`
 //! object — the unified registry snapshot (queue depth, stage latency
@@ -42,14 +58,14 @@
 //! writes the buffered trace as JSONL (readable by `gswitch-trace`),
 //! `clear` empties the buffer; any combination works in one request.
 
-use crate::query::Query;
+use crate::query::{Priority, Query};
 use gswitch_graph::{gen, Graph};
 
 /// A parsed request line.
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct Request {
-    /// Command discriminator: `load`, `query`, `stats`, `save_cache`,
-    /// `load_cache`, `trace`, or `quit`.
+    /// Command discriminator: `load`, `query`, `batch`, `stats`,
+    /// `health`, `save_cache`, `load_cache`, `trace`, or `quit`.
     pub cmd: String,
     /// Graph name (`load`).
     pub name: Option<String>,
@@ -63,6 +79,9 @@ pub struct Request {
     pub query: Option<Query>,
     /// Per-job deadline override (`query`).
     pub timeout_ms: Option<u64>,
+    /// Admission class (`query`): `"Interactive"`, `"Batch"` (the
+    /// default when absent), or `"BestEffort"`.
+    pub priority: Option<Priority>,
     /// Include per-vertex result vectors in the response (`query`).
     pub payload: Option<bool>,
     /// Turn decision tracing on or off (`trace`).
@@ -153,6 +172,37 @@ mod tests {
         assert_eq!(req.query, Some(Query::Bfs { src: 4 }));
         assert_eq!(req.timeout_ms, None);
         assert_eq!(req.payload, None);
+    }
+
+    #[test]
+    fn parse_query_with_priority() {
+        let line = r#"{"cmd":"query","graph":"g","query":"Cc","priority":"Interactive"}"#;
+        let req: Request = serde_json::from_str(line).unwrap();
+        assert_eq!(req.priority, Some(Priority::Interactive));
+        // Absent priority stays None (the scheduler defaults it to Batch).
+        let bare: Request =
+            serde_json::from_str(r#"{"cmd":"query","graph":"g","query":"Cc"}"#).unwrap();
+        assert_eq!(bare.priority, None);
+        // And the field round-trips through serialization.
+        let back: Request = serde_json::from_str(&serde_json::to_string(&req).unwrap()).unwrap();
+        assert_eq!(back.priority, Some(Priority::Interactive));
+    }
+
+    #[test]
+    fn overload_statuses_round_trip_on_the_wire() {
+        use crate::query::JobStatus;
+        for (status, wire) in
+            [(JobStatus::Shed, "\"Shed\""), (JobStatus::BreakerOpen, "\"BreakerOpen\"")]
+        {
+            assert_eq!(serde_json::to_string(&status).unwrap(), wire);
+            let back: JobStatus = serde_json::from_str(wire).unwrap();
+            assert_eq!(back, status);
+        }
+        // Retry semantics are part of the wire contract: shed work is
+        // immediately retryable, breaker-open only after a cooldown.
+        assert!(JobStatus::Shed.is_retryable());
+        assert!(!JobStatus::BreakerOpen.is_retryable());
+        assert!(JobStatus::BreakerOpen.retry_after_cooldown());
     }
 
     #[test]

@@ -50,6 +50,54 @@ impl Query {
     }
 }
 
+/// Priority class of a submission, used by the scheduler's shed policy
+/// when the queue crosses its occupancy watermark: under pressure,
+/// lower classes are dropped to admit higher ones. Within a class the
+/// queue stays FIFO.
+#[derive(
+    Clone,
+    Copy,
+    Debug,
+    Default,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub enum Priority {
+    /// Background work: first to be shed.
+    BestEffort,
+    /// Bulk/offline work: the default class.
+    #[default]
+    Batch,
+    /// Latency-sensitive user traffic: shed last, served first.
+    Interactive,
+}
+
+impl Priority {
+    /// Shedding rank: higher values survive overload longer and are
+    /// picked up first. (`Ord` derives from variant order, which is
+    /// arranged lowest-to-highest; this makes the intent explicit.)
+    pub fn rank(self) -> u8 {
+        match self {
+            Priority::BestEffort => 0,
+            Priority::Batch => 1,
+            Priority::Interactive => 2,
+        }
+    }
+
+    /// Wire/display tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Priority::BestEffort => "best-effort",
+            Priority::Batch => "batch",
+            Priority::Interactive => "interactive",
+        }
+    }
+}
+
 /// A job submission: which graph, what query, how long it may take.
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct JobSpec {
@@ -60,13 +108,26 @@ pub struct JobSpec {
     /// Per-job deadline in milliseconds, measured from admission
     /// (queue wait included). `None` uses the scheduler default.
     pub timeout_ms: Option<u64>,
+    /// Priority class for overload shedding. `None` (an absent field on
+    /// the wire — older clients keep working) means [`Priority::Batch`].
+    pub priority: Option<Priority>,
+}
+
+impl JobSpec {
+    /// The effective priority class ([`Priority::Batch`] when unset).
+    pub fn priority(&self) -> Priority {
+        self.priority.unwrap_or_default()
+    }
 }
 
 /// Terminal state of a job.
 ///
-/// The full taxonomy (see DESIGN.md §"Failure model"):
-/// `Ok` / `Error` / `Failed` / `Cancelled` / `DeadlineExceeded`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+/// The full taxonomy (see DESIGN.md §"Failure model" and §4.14):
+/// `Ok` / `Error` / `Failed` / `Cancelled` / `DeadlineExceeded` /
+/// `Shed` / `BreakerOpen`.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum JobStatus {
     /// Completed within its deadline.
     Ok,
@@ -83,13 +144,30 @@ pub enum JobStatus {
     /// The runtime failed the job (worker panic, worker death). The
     /// request may be fine — retrying can succeed.
     Failed,
+    /// Dropped from the queue by the overload shed policy to make room
+    /// for higher-priority work. The request was fine — retrying (with
+    /// backoff) can succeed once pressure eases.
+    Shed,
+    /// Failed fast because the circuit breaker for this
+    /// (graph, algorithm) is open after repeated infrastructure
+    /// failures. Retry only after the breaker's cooldown; hammering an
+    /// open breaker is pointless by construction.
+    BreakerOpen,
 }
 
 impl JobStatus {
-    /// Whether a retry of the identical request could plausibly
-    /// succeed: true only for infrastructure failures.
+    /// Whether an immediate retry of the identical request could
+    /// plausibly succeed: true for infrastructure failures and shed
+    /// jobs. `BreakerOpen` is deliberately *not* here — see
+    /// [`JobStatus::retry_after_cooldown`].
     pub fn is_retryable(self) -> bool {
-        matches!(self, JobStatus::Failed)
+        matches!(self, JobStatus::Failed | JobStatus::Shed)
+    }
+
+    /// Whether a retry could succeed *after the breaker cooldown* —
+    /// the statuses a client should back off on rather than hammer.
+    pub fn retry_after_cooldown(self) -> bool {
+        matches!(self, JobStatus::BreakerOpen)
     }
 }
 
@@ -246,16 +324,29 @@ mod tests {
             (JobStatus::Cancelled, "\"Cancelled\""),
             (JobStatus::Error, "\"Error\""),
             (JobStatus::Failed, "\"Failed\""),
+            (JobStatus::Shed, "\"Shed\""),
+            (JobStatus::BreakerOpen, "\"BreakerOpen\""),
         ] {
             assert_eq!(serde_json::to_string(&status).unwrap(), wire);
             let back: JobStatus = serde_json::from_str(wire).unwrap();
             assert_eq!(back, status);
         }
+        // Immediately retryable: infrastructure failures and shed work.
         assert!(JobStatus::Failed.is_retryable());
-        for s in
-            [JobStatus::Ok, JobStatus::Error, JobStatus::Cancelled, JobStatus::DeadlineExceeded]
-        {
-            assert!(!s.is_retryable(), "{s:?} must not be retryable");
+        assert!(JobStatus::Shed.is_retryable());
+        for s in [
+            JobStatus::Ok,
+            JobStatus::Error,
+            JobStatus::Cancelled,
+            JobStatus::DeadlineExceeded,
+            JobStatus::BreakerOpen,
+        ] {
+            assert!(!s.is_retryable(), "{s:?} must not be immediately retryable");
+        }
+        // Retry-after-cooldown: only an open breaker.
+        assert!(JobStatus::BreakerOpen.retry_after_cooldown());
+        for s in [JobStatus::Ok, JobStatus::Failed, JobStatus::Shed, JobStatus::Error] {
+            assert!(!s.retry_after_cooldown(), "{s:?} must not ask for a cooldown retry");
         }
     }
 
@@ -266,5 +357,26 @@ mod tests {
         assert_eq!(spec.graph, "g1");
         assert_eq!(spec.query, Query::Sssp { src: 5 });
         assert_eq!(spec.timeout_ms, None);
+        // `priority` absent on the wire (pre-shedding clients): Batch.
+        assert_eq!(spec.priority, None);
+        assert_eq!(spec.priority(), Priority::Batch);
+    }
+
+    #[test]
+    fn priority_wire_shapes_and_ordering() {
+        for (p, wire) in [
+            (Priority::BestEffort, "\"BestEffort\""),
+            (Priority::Batch, "\"Batch\""),
+            (Priority::Interactive, "\"Interactive\""),
+        ] {
+            assert_eq!(serde_json::to_string(&p).unwrap(), wire);
+            let back: Priority = serde_json::from_str(wire).unwrap();
+            assert_eq!(back, p);
+        }
+        assert!(Priority::BestEffort < Priority::Batch);
+        assert!(Priority::Batch < Priority::Interactive);
+        assert_eq!(Priority::default(), Priority::Batch);
+        assert_eq!(Priority::Interactive.rank(), 2);
+        assert_eq!(Priority::Interactive.tag(), "interactive");
     }
 }

@@ -20,22 +20,49 @@
 //! worker thread — and every other queued or running job — carries on.
 //! Shared state uses poison-recovering locks (`gswitch_obs::sync`), so
 //! even a panic at an unlucky point cannot wedge the scheduler.
+//!
+//! Overload management (DESIGN.md §4.14) layers three mechanisms over
+//! that base. **Shedding**: every job carries a [`Priority`] class;
+//! when the queue is full, already-expired queued jobs are purged and,
+//! failing that, the lowest-priority / most-expired queued job strictly
+//! below the incoming class is dropped with the typed
+//! [`JobStatus::Shed`] status to admit the newcomer — equal-priority
+//! traffic still sees [`SubmitError::QueueFull`]. Above the occupancy
+//! watermark, admissions whose deadline cannot be met given the
+//! observed p95 queue wait are refused up front
+//! ([`SubmitError::DeadlineUnmeetable`]). **Circuit breakers**
+//! ([`BreakerSet`]): per (graph fingerprint, algorithm), repeated
+//! worker failures open the breaker and subsequent submissions fail
+//! fast with [`JobStatus::BreakerOpen`] until a cooldown probe
+//! succeeds. **Brownout** ([`Brownout`]): sustained high occupancy
+//! switches the pool to degraded mode — sentinel verification and
+//! decision tracing off — until pressure eases.
 
+use crate::breaker::{BreakerDecision, BreakerKey, BreakerSet};
+use crate::brownout::Brownout;
 use crate::cache::ConfigCache;
 use crate::executor::execute;
 use crate::obs::{metric, RuntimeObs};
-use crate::query::{JobOutcome, JobSpec, JobStatus};
+use crate::query::{JobOutcome, JobSpec, JobStatus, Priority};
 use crate::registry::GraphRegistry;
 use gswitch_core::{AutoPolicy, CancelToken, ProbeHandle, RunProbe, StopReason};
 use gswitch_obs::sync::{recover, Lock};
 use gswitch_obs::{
-    Clock, Counter, Gauge, Histogram, MetricsRegistry, SpanCtx, SpanKind, SpanRecord,
+    Clock, Counter, Gauge, Histogram, MetricsRegistry, RecorderHandle, SpanCtx, SpanKind,
+    SpanRecord,
 };
 use gswitch_simt::DeviceSpec;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar};
 use std::time::Duration;
+
+pub use crate::breaker::BreakerConfig;
+pub use crate::brownout::BrownoutConfig;
+
+/// Queue-wait observations required before the p95 estimate is trusted
+/// for deadline-unmeetable rejection (a cold histogram says nothing).
+pub const MIN_WAIT_SAMPLES: u64 = 16;
 
 /// Scheduler tuning knobs.
 #[derive(Clone, Debug)]
@@ -53,7 +80,16 @@ pub struct SchedulerConfig {
     /// cross-check the tuned variant against the serial reference
     /// derivation every N standalone super-steps (0 = off, the
     /// default). See [`gswitch_core::EngineOptions::verify_every`].
+    /// Suspended while brownout is active.
     pub verify_every: u32,
+    /// Queue occupancy (0.0–1.0) at or above which the overload
+    /// machinery engages: unmeetable-deadline rejection applies, and
+    /// brownout sampling counts the queue as pressured.
+    pub shed_watermark: f64,
+    /// Circuit-breaker thresholds (per graph fingerprint × algorithm).
+    pub breaker: BreakerConfig,
+    /// Brownout (degraded-mode) detection thresholds.
+    pub brownout: BrownoutConfig,
 }
 
 impl Default for SchedulerConfig {
@@ -64,6 +100,9 @@ impl Default for SchedulerConfig {
             default_timeout_ms: 60_000,
             device: DeviceSpec::default(),
             verify_every: 0,
+            shed_watermark: 0.75,
+            breaker: BreakerConfig::default(),
+            brownout: BrownoutConfig::default(),
         }
     }
 }
@@ -71,12 +110,23 @@ impl Default for SchedulerConfig {
 /// Why a submission was refused at admission.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SubmitError {
-    /// The bounded queue is at capacity; retry later.
+    /// The bounded queue is at capacity and no lower-priority victim
+    /// could be shed; retry later.
     QueueFull,
     /// The named graph is not registered.
     UnknownGraph(String),
     /// The scheduler is shutting down.
     ShuttingDown,
+    /// The queue is above its watermark and the observed p95 queue wait
+    /// already exceeds this job's deadline: admitting it would only
+    /// manufacture a `DeadlineExceeded`. Retry with a looser deadline
+    /// or once pressure eases.
+    DeadlineUnmeetable {
+        /// Observed p95 admission-to-pickup wait, milliseconds.
+        p95_wait_ms: u64,
+        /// The deadline the job asked for, milliseconds.
+        deadline_ms: u64,
+    },
 }
 
 impl std::fmt::Display for SubmitError {
@@ -85,6 +135,10 @@ impl std::fmt::Display for SubmitError {
             SubmitError::QueueFull => write!(f, "job queue is full"),
             SubmitError::UnknownGraph(g) => write!(f, "unknown graph `{g}`"),
             SubmitError::ShuttingDown => write!(f, "scheduler is shutting down"),
+            SubmitError::DeadlineUnmeetable { p95_wait_ms, deadline_ms } => write!(
+                f,
+                "deadline {deadline_ms} ms cannot be met: p95 queue wait is {p95_wait_ms} ms"
+            ),
         }
     }
 }
@@ -99,6 +153,13 @@ struct Job {
     /// execute spans can parent under it from any worker.
     span_id: u64,
     deadline: Duration,
+    /// Resolved priority class (shed policy and pickup order).
+    priority: Priority,
+    /// Circuit-breaker identity, resolved at admission so the worker
+    /// can vote the outcome even if the graph is replaced mid-flight.
+    key: BreakerKey,
+    /// Whether this job holds its breaker's half-open probe slot.
+    probe: bool,
     tx: mpsc::Sender<JobOutcome>,
 }
 
@@ -123,6 +184,9 @@ struct SchedulerMetrics {
     timeout_midrun: Counter,
     timeout_late: Counter,
     retried: Counter,
+    shed: Counter,
+    unmeetable: Counter,
+    breaker_fastfail: Counter,
     queue_wait_ms: Histogram,
     execute_ms: Histogram,
     total_ms: Histogram,
@@ -142,6 +206,9 @@ impl SchedulerMetrics {
             timeout_midrun: r.counter(metric::JOBS_TIMEOUT_MIDRUN),
             timeout_late: r.counter(metric::JOBS_TIMEOUT_LATE),
             retried: r.counter(metric::JOBS_RETRIED),
+            shed: r.counter(metric::JOBS_SHED),
+            unmeetable: r.counter(metric::JOBS_UNMEETABLE),
+            breaker_fastfail: r.counter(metric::JOBS_BREAKER_OPEN),
             queue_wait_ms: r.latency(metric::QUEUE_WAIT_MS),
             execute_ms: r.latency(metric::EXECUTE_MS),
             total_ms: r.latency(metric::JOB_TOTAL_MS),
@@ -167,6 +234,11 @@ struct Shared {
     /// Cancel tokens of currently executing jobs, so [`Scheduler::cancel`]
     /// can reach a job mid-run.
     running: Lock<HashMap<u64, Arc<CancelToken>>>,
+    /// Circuit breakers per (graph fingerprint, algorithm); shared with
+    /// the batch path (see [`crate::shards::ShardService`]).
+    breakers: Arc<BreakerSet>,
+    /// Degraded-mode detector, sampled at every admission.
+    brownout: Arc<Brownout>,
 }
 
 /// The engine-facing stop probe for one job: the job's cancel token
@@ -239,6 +311,8 @@ pub struct Scheduler {
     next_id: AtomicU64,
     capacity: usize,
     default_timeout_ms: u64,
+    /// Occupancy fraction at which overload handling engages.
+    shed_watermark: f64,
     workers: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -265,6 +339,8 @@ impl Scheduler {
         obs: Arc<RuntimeObs>,
     ) -> Self {
         cache.bind_metrics(&obs.metrics);
+        let breakers = Arc::new(BreakerSet::new(config.breaker.clone(), obs.clock(), &obs.metrics));
+        let brownout = Arc::new(Brownout::new(config.brownout.clone(), &obs.metrics));
         let shared = Arc::new(Shared {
             registry,
             cache,
@@ -277,6 +353,8 @@ impl Scheduler {
             shutdown: AtomicBool::new(false),
             cancelled: Lock::new(HashSet::new()),
             running: Lock::new(HashMap::new()),
+            breakers,
+            brownout,
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -292,48 +370,192 @@ impl Scheduler {
             next_id: AtomicU64::new(1),
             capacity: config.queue_capacity.max(1),
             default_timeout_ms: config.default_timeout_ms,
+            shed_watermark: config.shed_watermark.clamp(0.0, 1.0),
             workers,
         }
     }
 
     /// Submit a job; fails fast on admission problems.
+    ///
+    /// Under overload this is where the shed policy runs: a full queue
+    /// first purges already-expired jobs, then evicts the
+    /// lowest-priority / most-expired queued job strictly below the
+    /// incoming class (its handle resolves to [`JobStatus::Shed`]).
+    /// Only when neither frees a slot does the submission see
+    /// [`SubmitError::QueueFull`]. An open circuit breaker for the
+    /// (graph, algorithm) short-circuits everything: the returned
+    /// handle resolves immediately to [`JobStatus::BreakerOpen`].
     pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
         if self.shared.shutdown.load(Ordering::SeqCst) {
             self.shared.m.rejected.inc();
             return Err(SubmitError::ShuttingDown);
         }
-        if self.shared.registry.get(&spec.graph).is_none() {
-            self.shared.m.rejected.inc();
-            return Err(SubmitError::UnknownGraph(spec.graph.clone()));
-        }
+        let entry = match self.shared.registry.get(&spec.graph) {
+            Some(e) => e,
+            None => {
+                self.shared.m.rejected.inc();
+                return Err(SubmitError::UnknownGraph(spec.graph.clone()));
+            }
+        };
+        let key = BreakerKey { fingerprint: entry.fingerprint().0, algo: spec.query.algo() };
+        drop(entry);
         let deadline = Duration::from_millis(spec.timeout_ms.unwrap_or(self.default_timeout_ms));
         let (tx, rx) = mpsc::channel();
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let graph = spec.graph.clone();
         let algo = spec.query.algo().to_string();
+        let priority = spec.priority();
         let clock = self.shared.obs.clock();
+
+        // Circuit breaker: an open breaker answers before the queue is
+        // touched. The job still counts as submitted and resolves
+        // through its handle like any other terminal outcome, so the
+        // conservation invariant (submitted == sum of terminal states)
+        // holds with breakers in play.
+        let probe = match self.shared.breakers.admit(key) {
+            BreakerDecision::Allow => false,
+            BreakerDecision::AllowProbe => true,
+            BreakerDecision::FailFast { retry_after_ms } => {
+                self.shared.m.submitted.inc();
+                self.shared.m.breaker_fastfail.inc();
+                let admitted_ns = clock.now_ns();
+                let out = JobOutcome {
+                    id,
+                    graph: graph.clone(),
+                    algo: algo.clone(),
+                    status: JobStatus::BreakerOpen,
+                    error: Some(format!(
+                        "circuit breaker open for {graph}/{algo}: retry in ~{retry_after_ms} ms"
+                    )),
+                    cache: None,
+                    config: None,
+                    wall_ms: 0.0,
+                    sim_ms: 0.0,
+                    converged: false,
+                    metrics: Vec::new(),
+                    iterations: Vec::new(),
+                    payload: None,
+                };
+                let _ = tx.send(out);
+                return Ok(JobHandle { id, rx, graph, algo, clock, admitted_ns });
+            }
+        };
+
         let admitted_ns = clock.now_ns();
         let span_id = self.shared.obs.span_collector().alloc_id();
+        let occupancy;
         {
             let mut q = self.shared.queue.lock();
             if q.len() >= self.capacity {
-                self.shared.m.rejected.inc();
-                return Err(SubmitError::QueueFull);
+                // Shed stage 1: purge queued jobs whose deadline has
+                // already passed — they could only ever report
+                // DeadlineExceeded, so resolve them now and free slots.
+                let now = clock.now_ns();
+                let mut i = 0;
+                while i < q.len() {
+                    let expired = q
+                        .get(i)
+                        .map(|j| now.saturating_sub(j.admitted_ns) > j.deadline_ns())
+                        .unwrap_or(false);
+                    if !expired {
+                        i += 1;
+                        continue;
+                    }
+                    if let Some(victim) = q.remove(i) {
+                        self.shared.m.timeout_queued.inc();
+                        self.resolve_dropped(&victim, JobStatus::DeadlineExceeded, &clock);
+                    }
+                }
+                // Shed stage 2: evict the lowest-priority, most-expired
+                // queued job strictly below the incoming class. Equal
+                // priorities never shed each other — FIFO fairness
+                // within a class survives overload.
+                if q.len() >= self.capacity {
+                    let now = clock.now_ns();
+                    let victim_idx = q
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, j)| j.priority < priority)
+                        .min_by_key(|(_, j)| {
+                            let age = now.saturating_sub(j.admitted_ns);
+                            (j.priority, j.deadline_ns().saturating_sub(age))
+                        })
+                        .map(|(i, _)| i);
+                    match victim_idx.and_then(|i| q.remove(i)) {
+                        Some(victim) => {
+                            self.shared.m.shed.inc();
+                            self.resolve_dropped(&victim, JobStatus::Shed, &clock);
+                        }
+                        None => {
+                            self.shared.m.rejected.inc();
+                            self.shared.breakers.record_neutral(key, probe);
+                            self.shared.brownout.on_sample(1.0);
+                            return Err(SubmitError::QueueFull);
+                        }
+                    }
+                }
             }
-            q.push_back(Job { id, spec, admitted_ns, span_id, deadline, tx });
+            // Queue-wait-aware rejection: above the watermark, refuse
+            // work whose deadline the observed p95 wait already blows —
+            // admitting it would only manufacture a DeadlineExceeded
+            // after burning a queue slot for the full wait.
+            let occ_now = q.len() as f64 / self.capacity as f64;
+            if occ_now >= self.shed_watermark {
+                let wait = self.shared.m.queue_wait_ms.snapshot();
+                let deadline_ms = deadline.as_millis().min(u128::from(u64::MAX)) as u64;
+                if wait.count >= MIN_WAIT_SAMPLES {
+                    let p95 = wait.quantile(0.95);
+                    if p95 > deadline_ms as f64 {
+                        self.shared.m.rejected.inc();
+                        self.shared.m.unmeetable.inc();
+                        self.shared.breakers.record_neutral(key, probe);
+                        self.shared.brownout.on_sample(occ_now);
+                        return Err(SubmitError::DeadlineUnmeetable {
+                            p95_wait_ms: p95 as u64,
+                            deadline_ms,
+                        });
+                    }
+                }
+            }
+            q.push_back(Job { id, spec, admitted_ns, span_id, deadline, priority, key, probe, tx });
             self.shared.m.queue_depth.set(q.len() as i64);
+            occupancy = q.len() as f64 / self.capacity as f64;
         }
+        self.shared.brownout.on_sample(occupancy);
         self.shared.m.submitted.inc();
         self.shared.work_ready.notify_one();
         Ok(JobHandle { id, rx, graph, algo, clock, admitted_ns })
     }
 
+    /// Resolve a job dropped from the queue at admission time (purged
+    /// past-deadline or shed for priority): send its terminal outcome,
+    /// settle the aggregates, and release any breaker probe slot. The
+    /// caller has already bumped the status-specific counter.
+    fn resolve_dropped(&self, victim: &Job, status: JobStatus, clock: &Clock) {
+        self.shared.cancelled.lock().remove(&victim.id);
+        self.shared.breakers.record_neutral(victim.key, victim.probe);
+        let mut out = outcome_skeleton(victim, status, clock);
+        if status == JobStatus::Shed {
+            out.error = Some(format!(
+                "shed at admission: queue full and a {} submission outranked this {} job",
+                "higher-priority",
+                victim.priority.tag()
+            ));
+        }
+        self.shared.m.total_ms.observe(out.wall_ms);
+        let _ = victim.tx.send(out);
+    }
+
     /// Submit `spec`, wait for the outcome, and transparently resubmit
-    /// when the outcome is retryable (a worker [`JobStatus::Failed`],
-    /// never a user error) — up to `retries` extra attempts, sleeping
-    /// `backoff` before the first retry and doubling it each time.
-    /// Admission errors propagate immediately; each retry is counted in
-    /// the `jobs_retried` metric.
+    /// when the outcome is retryable (a worker [`JobStatus::Failed`] or
+    /// an overload [`JobStatus::Shed`], never a user error) — up to
+    /// `retries` extra attempts, sleeping a jittered `backoff` before
+    /// the first retry and doubling the base each time. The jitter is
+    /// deterministic per (job id, attempt) and bounded in
+    /// `[base, 2·base)` (see [`retry_jitter`]), so synchronized clients
+    /// spread out instead of retrying in lockstep. Admission errors
+    /// propagate immediately; each retry is counted in the
+    /// `jobs_retried` metric.
     pub fn submit_with_retry(
         &self,
         spec: JobSpec,
@@ -347,7 +569,7 @@ impl Scheduler {
                 return Ok(out);
             }
             self.shared.m.retried.inc();
-            std::thread::sleep(delay);
+            std::thread::sleep(retry_jitter(delay, out.id ^ u64::from(attempt)));
             delay = delay.saturating_mul(2);
         }
         unreachable!("the final attempt returns above")
@@ -381,6 +603,29 @@ impl Scheduler {
     /// Jobs currently waiting for a worker.
     pub fn queued(&self) -> usize {
         self.shared.queue.lock().len()
+    }
+
+    /// The admission bound this scheduler was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The circuit-breaker set, shared with the batch path so query and
+    /// batch traffic see the same (graph, algorithm) health.
+    pub fn breakers(&self) -> &Arc<BreakerSet> {
+        &self.shared.breakers
+    }
+
+    /// The brownout (degraded-mode) detector.
+    pub fn brownout(&self) -> &Arc<Brownout> {
+        &self.shared.brownout
+    }
+
+    /// Observed p95 admission-to-pickup queue wait in milliseconds, or
+    /// `None` until [`MIN_WAIT_SAMPLES`] observations exist.
+    pub fn queue_wait_p95_ms(&self) -> Option<f64> {
+        let snap = self.shared.m.queue_wait_ms.snapshot();
+        (snap.count >= MIN_WAIT_SAMPLES).then(|| snap.quantile(0.95))
     }
 
     /// The observability root this scheduler reports into.
@@ -426,6 +671,34 @@ fn outcome_skeleton(job: &Job, status: JobStatus, clock: &Clock) -> JobOutcome {
     }
 }
 
+/// Deterministic retry jitter: a delay in `[base, 2·base)` derived from
+/// `seed` through the splitmix64 finalizer. Synchronized clients retry
+/// spread out instead of in lockstep, yet any (job id, attempt) pair
+/// replays to the identical delay — no shared RNG, no global state.
+pub fn retry_jitter(base: Duration, seed: u64) -> Duration {
+    let z = crate::faults::splitmix64(seed);
+    // 53 high-quality bits → a uniform float in [0, 1).
+    let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+    base + base.mul_f64(unit)
+}
+
+/// Pop the highest-priority queued job, FIFO within a class. An O(n)
+/// scan under the queue lock; the queue is bounded by `queue_capacity`,
+/// so the scan is capped and trivial next to an engine run.
+fn pop_highest_priority(q: &mut VecDeque<Job>) -> Option<Job> {
+    let mut best: Option<(usize, Priority)> = None;
+    for (i, j) in q.iter().enumerate() {
+        match best {
+            Some((_, p)) if j.priority <= p => {}
+            _ => best = Some((i, j.priority)),
+        }
+        if j.priority == Priority::Interactive {
+            break; // nothing outranks the earliest interactive job
+        }
+    }
+    best.and_then(|(i, _)| q.remove(i))
+}
+
 /// Render a `catch_unwind` payload for the outcome's `error` field.
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -444,7 +717,7 @@ fn worker_loop(shared: &Shared, worker: u32) {
         let job = {
             let mut q = shared.queue.lock();
             loop {
-                if let Some(job) = q.pop_front() {
+                if let Some(job) = pop_highest_priority(&mut q) {
                     shared.m.queue_depth.set(q.len() as i64);
                     break job;
                 }
@@ -487,6 +760,7 @@ fn worker_loop(shared: &Shared, worker: u32) {
         // The `remove` also prunes the id, keeping the set bounded.
         if shared.cancelled.lock().remove(&job.id) {
             shared.m.cancelled.inc();
+            shared.breakers.record_neutral(job.key, job.probe);
             let out = outcome_skeleton(&job, JobStatus::Cancelled, &clock);
             shared.m.total_ms.observe(out.wall_ms);
             finish_request(&job);
@@ -496,6 +770,7 @@ fn worker_loop(shared: &Shared, worker: u32) {
         // Deadline passed while queued? Same silent-loss fix as above.
         if picked_ns.saturating_sub(job.admitted_ns) > job.deadline_ns() {
             shared.m.timeout_queued.inc();
+            shared.breakers.record_neutral(job.key, job.probe);
             let out = outcome_skeleton(&job, JobStatus::DeadlineExceeded, &clock);
             shared.m.total_ms.observe(out.wall_ms);
             finish_request(&job);
@@ -507,7 +782,10 @@ fn worker_loop(shared: &Shared, worker: u32) {
             Some(e) => e,
             None => {
                 // Registered at admission but replaced/removed since.
+                // Neutral for the breaker: this says nothing about the
+                // engine's health on the fingerprint the key names.
                 shared.m.error.inc();
+                shared.breakers.record_neutral(job.key, job.probe);
                 let mut out = outcome_skeleton(&job, JobStatus::Error, &clock);
                 out.error = Some(format!("graph `{}` disappeared", job.spec.graph));
                 finish_request(&job);
@@ -516,7 +794,16 @@ fn worker_loop(shared: &Shared, worker: u32) {
             }
         };
 
-        let recorder = shared.obs.recorder_for(job.id, &job.spec.graph, job.spec.query.algo());
+        // Brownout sheds optional work: no decision tracing, and the
+        // divergence sentinel (a full serial re-derivation every N
+        // super-steps) is suspended until pressure eases.
+        let degraded = shared.brownout.active();
+        let recorder = if degraded {
+            RecorderHandle::none()
+        } else {
+            shared.obs.recorder_for(job.id, &job.spec.graph, job.spec.query.algo())
+        };
+        let verify_every = if degraded { 0 } else { shared.verify_every };
         // The job's cancel token doubles as its deadline probe: the
         // engine polls it each super-step, and `Scheduler::cancel` can
         // reach it through the `running` map while the job executes.
@@ -544,7 +831,7 @@ fn worker_loop(shared: &Shared, worker: u32) {
                 &shared.device,
                 recorder,
                 ProbeHandle::new(Arc::new(JobProbe { token: Arc::clone(&token) })),
-                shared.verify_every,
+                verify_every,
                 exec_spans,
             )
         }));
@@ -605,6 +892,18 @@ fn worker_loop(shared: &Shared, worker: u32) {
                     shared.m.timeout_late.inc()
                 }
             }
+            // Terminal at admission time, never inside a worker.
+            JobStatus::Shed | JobStatus::BreakerOpen => {}
+        }
+        // Breaker vote. `Ok` and `Error` are successes: an engine-level
+        // error (bad source vertex, unsupported query) means the
+        // infrastructure answered correctly. Only `Failed` (a panic)
+        // votes to open; cancel/deadline outcomes say nothing either
+        // way and just release any probe slot.
+        match out.status {
+            JobStatus::Ok | JobStatus::Error => shared.breakers.record_success(job.key, job.probe),
+            JobStatus::Failed => shared.breakers.record_failure(job.key, job.probe),
+            _ => shared.breakers.record_neutral(job.key, job.probe),
         }
         out.wall_ms = clock.elapsed_ms(job.admitted_ns);
         shared.m.total_ms.observe(out.wall_ms);
@@ -629,14 +928,24 @@ mod tests {
     }
 
     fn bfs_spec(src: u32) -> JobSpec {
-        JobSpec { graph: "kron".into(), query: Query::Bfs { src }, timeout_ms: None }
+        JobSpec {
+            graph: "kron".into(),
+            query: Query::Bfs { src },
+            timeout_ms: None,
+            priority: None,
+        }
     }
 
     #[test]
     fn unknown_graph_is_rejected_at_admission() {
         let (s, _r, _c) = make_scheduler(1);
         let err = s
-            .submit(JobSpec { graph: "nope".into(), query: Query::Cc, timeout_ms: None })
+            .submit(JobSpec {
+                graph: "nope".into(),
+                query: Query::Cc,
+                timeout_ms: None,
+                priority: None,
+            })
             .err()
             .unwrap();
         assert_eq!(err, SubmitError::UnknownGraph("nope".into()));
@@ -686,7 +995,8 @@ mod tests {
     #[test]
     fn zero_deadline_times_out_without_running() {
         let (s, _r, _c) = make_scheduler(1);
-        let spec = JobSpec { graph: "kron".into(), query: Query::Cc, timeout_ms: Some(0) };
+        let spec =
+            JobSpec { graph: "kron".into(), query: Query::Cc, timeout_ms: Some(0), priority: None };
         let out = s.submit(spec).unwrap().wait();
         assert_eq!(out.status, JobStatus::DeadlineExceeded);
         assert!(out.iterations.is_empty(), "timed-out job must not leak results");
@@ -707,6 +1017,7 @@ mod tests {
             graph: "kron".into(),
             query: Query::Pr { eps: 1e-6 },
             timeout_ms: None,
+            priority: None,
         });
         let mut cancelled = 0;
         let mut handles = Vec::new();
@@ -744,13 +1055,24 @@ mod tests {
             graph: "kron".into(),
             query: Query::Pr { eps: 1e-6 },
             timeout_ms: None,
+            priority: None,
         });
         let dead = s
-            .submit(JobSpec { graph: "kron".into(), query: Query::Cc, timeout_ms: Some(0) })
+            .submit(JobSpec {
+                graph: "kron".into(),
+                query: Query::Cc,
+                timeout_ms: Some(0),
+                priority: None,
+            })
             .unwrap();
         let doomed = s.submit(bfs_spec(0)).unwrap();
         s.cancel(doomed.id);
-        let _ = s.submit(JobSpec { graph: "nope".into(), query: Query::Cc, timeout_ms: None });
+        let _ = s.submit(JobSpec {
+            graph: "nope".into(),
+            query: Query::Cc,
+            timeout_ms: None,
+            priority: None,
+        });
 
         assert_eq!(dead.wait().status, JobStatus::DeadlineExceeded);
         let doomed_status = doomed.wait().status;
@@ -858,7 +1180,8 @@ mod tests {
         for graph in ["kron", "grid"] {
             for src in [0u32, 7, 99] {
                 for query in [Query::Bfs { src }, Query::Sssp { src }, Query::Cc] {
-                    let spec = JobSpec { graph: graph.into(), query, timeout_ms: None };
+                    let spec =
+                        JobSpec { graph: graph.into(), query, timeout_ms: None, priority: None };
                     handles.push((graph, spec.clone(), s.submit(spec).unwrap()));
                 }
             }
@@ -967,6 +1290,199 @@ mod tests {
         assert_eq!(out.status, JobStatus::Ok);
         let snap = s.obs().metrics.snapshot();
         assert_eq!(snap.counter(metric::JOBS_RETRIED), 0);
+        s.shutdown();
+    }
+
+    /// Retry backoff jitter is deterministic per seed, bounded in
+    /// `[base, 2·base)`, and actually varies across seeds.
+    #[test]
+    fn retry_jitter_is_bounded_and_deterministic() {
+        let base = Duration::from_millis(8);
+        for seed in 0..512u64 {
+            let d = retry_jitter(base, seed);
+            assert!(d >= base, "seed {seed}: {d:?} below base");
+            assert!(d < base * 2, "seed {seed}: {d:?} at or above 2x base");
+            assert_eq!(d, retry_jitter(base, seed), "seed {seed} not deterministic");
+        }
+        let d0 = retry_jitter(base, 0);
+        assert!(
+            (1..512u64).any(|s| retry_jitter(base, s) != d0),
+            "jitter is constant across 512 seeds"
+        );
+    }
+
+    /// Workers drain the queue by priority class (interactive > batch >
+    /// best-effort) and FIFO within a class.
+    #[test]
+    fn pop_highest_priority_orders_by_class_then_fifo() {
+        let clock = Clock::manual();
+        let mk = |id: u64, priority: Priority| {
+            let (tx, _rx) = mpsc::channel();
+            // The receiver is gone; these jobs are only popped, never run.
+            std::mem::forget(_rx);
+            Job {
+                id,
+                spec: bfs_spec(0),
+                admitted_ns: clock.now_ns(),
+                span_id: id,
+                deadline: Duration::from_secs(60),
+                priority,
+                key: BreakerKey { fingerprint: 0, algo: "bfs" },
+                probe: false,
+                tx,
+            }
+        };
+        let mut q = VecDeque::new();
+        q.push_back(mk(1, Priority::BestEffort));
+        q.push_back(mk(2, Priority::Batch));
+        q.push_back(mk(3, Priority::Interactive));
+        q.push_back(mk(4, Priority::Batch));
+        q.push_back(mk(5, Priority::Interactive));
+        let order: Vec<u64> =
+            std::iter::from_fn(|| pop_highest_priority(&mut q).map(|j| j.id)).collect();
+        assert_eq!(order, vec![3, 5, 2, 4, 1]);
+    }
+
+    /// A full queue sheds the lowest-priority queued job to admit a
+    /// higher-priority submission; the victim's handle resolves to the
+    /// typed `Shed` status and the shed counter records it.
+    #[test]
+    fn higher_priority_submission_sheds_queued_best_effort() {
+        let registry = Arc::new(GraphRegistry::new());
+        registry.insert("kron", gen::kronecker(8, 8, 3));
+        // A heavier graph keeps the single worker busy long enough for
+        // the queue to stay full while we submit.
+        registry.insert("big", gen::kronecker(12, 8, 3));
+        let cache = Arc::new(ConfigCache::new());
+        let config = SchedulerConfig { workers: 1, queue_capacity: 2, ..Default::default() };
+        let s = Scheduler::new(registry, cache, config);
+
+        let busy = s
+            .submit(JobSpec {
+                graph: "big".into(),
+                query: Query::Pr { eps: 1e-10 },
+                timeout_ms: None,
+                priority: Some(Priority::Batch),
+            })
+            .unwrap();
+        // Wait for the worker to pick the busy job up, then fill the
+        // queue with best-effort work.
+        while s.queued() > 0 {
+            std::thread::yield_now();
+        }
+        let mut spec = bfs_spec(0);
+        spec.priority = Some(Priority::BestEffort);
+        let low_a = s.submit(spec.clone()).unwrap();
+        let low_b = s.submit(spec).unwrap();
+        assert_eq!(s.queued(), 2, "queue should be at capacity");
+
+        let mut hi = bfs_spec(1);
+        hi.priority = Some(Priority::Interactive);
+        let hi = s.submit(hi).unwrap();
+
+        let (a, b) = (low_a.wait(), low_b.wait());
+        let shed: Vec<_> =
+            [&a, &b].iter().filter(|o| o.status == JobStatus::Shed).cloned().collect();
+        assert_eq!(shed.len(), 1, "exactly one best-effort job shed: {a:?} / {b:?}");
+        assert!(shed[0].error.as_deref().unwrap_or("").contains("shed at admission"));
+        assert_eq!(hi.wait().status, JobStatus::Ok);
+        assert_eq!(busy.wait().status, JobStatus::Ok);
+        let snap = s.obs().metrics.snapshot();
+        assert_eq!(snap.counter(metric::JOBS_SHED), 1);
+        // Conservation: both terminal paths (run and shed) reported.
+        assert_eq!(snap.counter(metric::JOBS_SUBMITTED), 4);
+        s.shutdown();
+    }
+
+    /// An open breaker answers submissions immediately with the typed
+    /// `BreakerOpen` status — no queue slot burned — while other
+    /// (graph, algorithm) keys are unaffected.
+    #[test]
+    fn open_breaker_fails_fast_without_touching_the_queue() {
+        let registry = Arc::new(GraphRegistry::new());
+        registry.insert("kron", gen::kronecker(8, 8, 3));
+        let cache = Arc::new(ConfigCache::new());
+        let config = SchedulerConfig {
+            workers: 1,
+            breaker: BreakerConfig { failure_threshold: 3, cooldown_ms: 600_000 },
+            ..Default::default()
+        };
+        let s = Scheduler::new(Arc::clone(&registry), cache, config);
+        let key =
+            BreakerKey { fingerprint: registry.get("kron").unwrap().fingerprint().0, algo: "bfs" };
+        for _ in 0..3 {
+            s.breakers().record_failure(key, false);
+        }
+
+        let out = s.submit(bfs_spec(0)).unwrap().wait();
+        assert_eq!(out.status, JobStatus::BreakerOpen);
+        assert!(out.error.as_deref().unwrap_or("").contains("circuit breaker open"));
+        // A different algorithm on the same graph is its own key.
+        let ok = s
+            .submit(JobSpec {
+                graph: "kron".into(),
+                query: Query::Cc,
+                timeout_ms: None,
+                priority: None,
+            })
+            .unwrap()
+            .wait();
+        assert_eq!(ok.status, JobStatus::Ok);
+        let snap = s.obs().metrics.snapshot();
+        assert_eq!(snap.counter(metric::JOBS_BREAKER_OPEN), 1);
+        assert_eq!(snap.counter(metric::JOBS_SUBMITTED), 2);
+        s.shutdown();
+    }
+
+    /// Above the watermark, a deadline the observed p95 queue wait
+    /// already exceeds is refused at admission instead of being queued
+    /// to die.
+    #[test]
+    fn unmeetable_deadline_is_rejected_above_watermark() {
+        let registry = Arc::new(GraphRegistry::new());
+        registry.insert("kron", gen::kronecker(8, 8, 3));
+        registry.insert("big", gen::kronecker(12, 8, 3));
+        let cache = Arc::new(ConfigCache::new());
+        let config = SchedulerConfig { workers: 1, queue_capacity: 4, ..Default::default() };
+        let s = Scheduler::new(registry, cache, config);
+
+        // Pin the worker, then hold three of four slots: occupancy 0.75
+        // sits exactly at the default watermark.
+        let busy = s
+            .submit(JobSpec {
+                graph: "big".into(),
+                query: Query::Pr { eps: 1e-10 },
+                timeout_ms: None,
+                priority: None,
+            })
+            .unwrap();
+        while s.queued() > 0 {
+            std::thread::yield_now();
+        }
+        let mut held = Vec::new();
+        for src in 0..3 {
+            held.push(s.submit(bfs_spec(src)).unwrap());
+        }
+        // Seed the wait histogram past MIN_WAIT_SAMPLES with waits that
+        // dwarf the incoming deadline.
+        for _ in 0..MIN_WAIT_SAMPLES {
+            s.shared.m.queue_wait_ms.observe(10_000.0);
+        }
+        let mut doomed = bfs_spec(9);
+        doomed.timeout_ms = Some(1);
+        match s.submit(doomed) {
+            Err(SubmitError::DeadlineUnmeetable { p95_wait_ms, deadline_ms }) => {
+                assert_eq!(deadline_ms, 1);
+                assert!(p95_wait_ms >= 1_000, "p95 {p95_wait_ms} should reflect seeded waits");
+            }
+            other => panic!("expected DeadlineUnmeetable, got {other:?}"),
+        }
+        let snap = s.obs().metrics.snapshot();
+        assert_eq!(snap.counter(metric::JOBS_UNMEETABLE), 1);
+        for h in held {
+            let _ = h.wait();
+        }
+        assert_eq!(busy.wait().status, JobStatus::Ok);
         s.shutdown();
     }
 }

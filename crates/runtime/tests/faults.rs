@@ -12,10 +12,11 @@
 
 use gswitch_graph::gen;
 use gswitch_obs::sync::{poison_recoveries, Lock};
-use gswitch_runtime::faults::{arm, arm_after, reset, site, Fault};
+use gswitch_runtime::faults::{arm, arm_after, arm_schedule, reset, site, Fault, Schedule};
 use gswitch_runtime::obs::metric;
 use gswitch_runtime::{
-    ConfigCache, GraphRegistry, JobSpec, JobStatus, Query, RuntimeObs, Scheduler, SchedulerConfig,
+    BreakerConfig, ConfigCache, GraphRegistry, JobSpec, JobStatus, Query, RuntimeObs, Scheduler,
+    SchedulerConfig,
 };
 use std::sync::Arc;
 use std::time::Duration;
@@ -41,7 +42,7 @@ fn harness(workers: usize) -> Harness {
 }
 
 fn bfs(src: u32) -> JobSpec {
-    JobSpec { graph: "kron".into(), query: Query::Bfs { src }, timeout_ms: None }
+    JobSpec { graph: "kron".into(), query: Query::Bfs { src }, timeout_ms: None, priority: None }
 }
 
 /// A job that panics at executor start becomes `Failed` with the panic
@@ -100,8 +101,12 @@ fn deadline_enforced_mid_run() {
     // Each super-step sleeps 20 ms; a tight PageRank tolerance needs
     // far more iterations than the 60 ms budget allows.
     arm(site::ENGINE_ITERATION, Fault::SlowMs(20));
-    let spec =
-        JobSpec { graph: "kron".into(), query: Query::Pr { eps: 1e-12 }, timeout_ms: Some(60) };
+    let spec = JobSpec {
+        graph: "kron".into(),
+        query: Query::Pr { eps: 1e-12 },
+        timeout_ms: Some(60),
+        priority: None,
+    };
     let out = h.scheduler.submit(spec).unwrap().wait();
     assert_eq!(out.status, JobStatus::DeadlineExceeded);
     assert!(out.payload.is_none(), "deadline-exceeded job must withhold results");
@@ -127,7 +132,12 @@ fn cancel_reaches_a_running_job() {
     // ~5 ms per super-step keeps the job running long enough to be
     // cancelled mid-flight with a comfortable margin.
     arm(site::ENGINE_ITERATION, Fault::SlowMs(5));
-    let spec = JobSpec { graph: "kron".into(), query: Query::Pr { eps: 1e-12 }, timeout_ms: None };
+    let spec = JobSpec {
+        graph: "kron".into(),
+        query: Query::Pr { eps: 1e-12 },
+        timeout_ms: None,
+        priority: None,
+    };
     let handle = h.scheduler.submit(spec).unwrap();
     // The only worker is idle, so the job starts immediately; give it
     // time to be well inside the engine loop before cancelling.
@@ -210,6 +220,99 @@ fn corrupt_cache_file_degrades_to_empty() {
     assert_eq!(cache.counters().entries, 1);
     assert_eq!(cache.counters().load_failed, 0);
     let _ = std::fs::remove_file(&path);
+}
+
+/// The crash-safe persistence regression: a save that dies in its
+/// crash window — temp file written and fsynced, rename not yet
+/// performed — leaves the destination untouched, so the next
+/// `load_or_empty` sees the previous generation with `load_failed` 0.
+#[test]
+fn interrupted_save_never_corrupts_the_cache() {
+    let _g = GUARD.lock();
+    reset();
+    let path = std::env::temp_dir().join("gswitch-faults-atomic-save.json");
+    let tmp = std::env::temp_dir().join("gswitch-faults-atomic-save.json.tmp");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&tmp);
+
+    let key = |fp: u64, algo: &str| {
+        gswitch_runtime::CacheKey::new(gswitch_graph::Fingerprint(fp), algo, "v8d3g4")
+    };
+    let cache = ConfigCache::new();
+    cache.store(&key(7, "bfs"), gswitch_kernels::KernelConfig::push_baseline());
+    cache.save(&path).unwrap();
+
+    // The second generation dies mid-save.
+    cache.store(&key(8, "pr"), gswitch_kernels::KernelConfig::push_baseline());
+    arm(site::CACHE_SAVE, Fault::Panic("power loss before rename".into()));
+    let died =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cache.save(&path))).is_err();
+    assert!(died, "the armed save must die in the crash window");
+    reset();
+
+    // The destination still holds the first generation, parseable.
+    let loaded = ConfigCache::load_or_empty(&path);
+    assert_eq!(loaded.counters().entries, 1, "old cache must survive the interrupted save");
+    assert_eq!(loaded.counters().load_failed, 0, "interrupted save must never corrupt");
+
+    // A healthy save replaces it atomically and leaves no temp residue.
+    cache.save(&path).unwrap();
+    assert_eq!(ConfigCache::load_or_empty(&path).counters().entries, 2);
+    assert!(!tmp.exists(), "temp residue after a successful save");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&tmp);
+}
+
+/// End-to-end breaker lifecycle under recurring injected panics: K
+/// consecutive worker failures open the breaker, submissions then fail
+/// fast with `BreakerOpen`, and after the cooldown a half-open probe
+/// re-closes it — all visible in the transition counters.
+#[test]
+fn breaker_opens_on_recurring_panics_then_recloses() {
+    let _g = GUARD.lock();
+    reset();
+    let registry = Arc::new(GraphRegistry::new());
+    registry.insert("kron", gen::kronecker(8, 8, 3));
+    let cache = Arc::new(ConfigCache::new());
+    let obs = Arc::new(RuntimeObs::new());
+    let config = SchedulerConfig {
+        workers: 1,
+        breaker: BreakerConfig { failure_threshold: 3, cooldown_ms: 50 },
+        ..Default::default()
+    };
+    let scheduler = Scheduler::with_obs(registry, cache, config, Arc::clone(&obs));
+
+    // Unlike the legacy one-shot arm, a scheduled panic recurs: every
+    // execution dies until the site is disarmed.
+    arm_schedule(site::EXECUTOR_START, Schedule::every(1), Fault::Panic("chaos".into()));
+    for i in 0..3 {
+        let out = scheduler.submit(bfs(i)).unwrap().wait();
+        assert_eq!(out.status, JobStatus::Failed, "failure {i} feeds the breaker");
+    }
+    // Threshold reached: the breaker answers before the queue.
+    let out = scheduler.submit(bfs(9)).unwrap().wait();
+    assert_eq!(out.status, JobStatus::BreakerOpen);
+    assert!(out.error.as_deref().unwrap_or("").contains("circuit breaker open"));
+    reset(); // heal the executor
+
+    // After the cooldown a single probe runs clean and closes it.
+    std::thread::sleep(Duration::from_millis(60));
+    assert_eq!(scheduler.submit(bfs(0)).unwrap().wait().status, JobStatus::Ok);
+    assert_eq!(scheduler.submit(bfs(1)).unwrap().wait().status, JobStatus::Ok);
+
+    let snap = obs.metrics.snapshot();
+    assert_eq!(snap.counter(metric::BREAKER_OPENED), 1);
+    assert_eq!(snap.counter(metric::BREAKER_HALF_OPEN), 1);
+    assert_eq!(snap.counter(metric::BREAKER_CLOSED), 1);
+    assert_eq!(snap.counter(metric::JOBS_BREAKER_OPEN), 1);
+    // Conservation across the whole episode: every submission reached
+    // exactly one terminal state.
+    let terminal = snap.counter(metric::JOBS_OK)
+        + snap.counter(metric::JOBS_FAILED)
+        + snap.counter(metric::JOBS_BREAKER_OPEN);
+    assert_eq!(snap.counter(metric::JOBS_SUBMITTED), terminal);
+    scheduler.shutdown();
+    reset();
 }
 
 /// `submit_with_retry` turns a transient worker panic into a success:

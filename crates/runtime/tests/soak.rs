@@ -1,0 +1,288 @@
+//! The chaos-soak harness (DESIGN.md §4.14).
+//!
+//! One long scenario drives a mixed query/batch workload — thousands of
+//! submissions across priority classes and algorithms — through a
+//! scheduler under deterministic seeded fault schedules: a recurring
+//! panic storm that must open a circuit breaker, then sustained
+//! slow-downs plus random panics that must push the runtime into
+//! brownout. Throughout, the suite holds the serving invariants:
+//!
+//! - **Outcome conservation** — every admitted job reaches exactly one
+//!   terminal state, and the terminal counters sum to `jobs_submitted`;
+//!   the client-side tally agrees with the metrics registry bucket by
+//!   bucket.
+//! - **No deadlock** — every `JobHandle::wait` returns, even for work
+//!   shed at admission or failed fast by an open breaker.
+//! - **No quota-permit leak** — tenant inflight counts drain to zero
+//!   once the batches are done.
+//! - **Health always answers** — `HealthReport::gather` responds every
+//!   round, including while the queue is full and workers are dying.
+//! - **Self-healing** — the breaker re-closes after its cooldown probe
+//!   and brownout disengages once pressure eases; the run ends with an
+//!   all-ok health report.
+//!
+//! The fault schedule is fully determined by [`SEED`]; wall-clock
+//! timing only shifts *where* outcomes land between buckets, never out
+//! of them. Runs in a few seconds (CI budget: under 60).
+
+#![cfg(feature = "fault-injection")]
+
+use gswitch_graph::gen;
+use gswitch_runtime::faults::{arm, arm_schedule, reset, site, Fault, Schedule};
+use gswitch_runtime::obs::metric;
+use gswitch_runtime::{
+    BreakerConfig, BrownoutConfig, ConfigCache, GraphRegistry, HealthReport, JobSpec, JobStatus,
+    Priority, Query, RuntimeObs, Scheduler, SchedulerConfig, ShardService,
+};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Everything random in the soak derives from this one constant.
+const SEED: u64 = 0xC0FFEE;
+/// Fingerprint handed to the batch path's breaker key.
+const BATCH_FP: u64 = 0xE5;
+/// Breaker cooldown: long enough that a failure storm opens the breaker
+/// before its first probe window, short enough to re-close in-test.
+const COOLDOWN_MS: u64 = 120;
+
+fn spec(query: Query, priority: Priority, timeout_ms: Option<u64>) -> JobSpec {
+    JobSpec { graph: "kron".into(), query, timeout_ms, priority: Some(priority) }
+}
+
+fn rotate_query(i: u64) -> Query {
+    match i % 4 {
+        0 => Query::Bfs { src: (i % 251) as u32 },
+        1 => Query::Cc,
+        2 => Query::Pr { eps: 1e-4 },
+        _ => Query::Sssp { src: (i % 251) as u32 },
+    }
+}
+
+fn rotate_priority(i: u64) -> Priority {
+    match i % 3 {
+        0 => Priority::Interactive,
+        1 => Priority::Batch,
+        _ => Priority::BestEffort,
+    }
+}
+
+#[test]
+fn chaos_soak_upholds_serving_invariants() {
+    reset();
+    let registry = Arc::new(GraphRegistry::new());
+    registry.insert("kron", gen::kronecker(8, 8, 3));
+    let cache = Arc::new(ConfigCache::new());
+    let obs = Arc::new(RuntimeObs::new());
+    let config = SchedulerConfig {
+        workers: 2,
+        queue_capacity: 16,
+        default_timeout_ms: 10_000,
+        breaker: BreakerConfig { failure_threshold: 3, cooldown_ms: COOLDOWN_MS },
+        brownout: BrownoutConfig {
+            enter_occupancy: 0.70,
+            exit_occupancy: 0.30,
+            enter_after: 4,
+            exit_after: 4,
+        },
+        ..Default::default()
+    };
+    let scheduler =
+        Scheduler::with_obs(Arc::clone(&registry), Arc::clone(&cache), config, Arc::clone(&obs));
+    let shards = ShardService::new(Arc::clone(&obs), 4, 2)
+        .with_breakers(Arc::clone(scheduler.breakers()))
+        .with_brownout(Arc::clone(scheduler.brownout()));
+    let batch_graph = Arc::new(gen::erdos_renyi(400, 1600, SEED).with_name("er-soak"));
+
+    // Client-side ledger: every terminal status we ever observe.
+    let mut tally: BTreeMap<JobStatus, u64> = BTreeMap::new();
+    let mut client_rejected: u64 = 0;
+    let mut attempts: u64 = 0;
+    let settle = |tally: &mut BTreeMap<JobStatus, u64>, status: JobStatus| {
+        *tally.entry(status).or_insert(0) += 1;
+    };
+
+    // ---- Phase 1: recurring panic storm opens the bfs breaker. ------
+    // Every execution dies, so three sequential submissions feed the
+    // breaker its threshold and the next one must fail fast.
+    arm_schedule(site::EXECUTOR_START, Schedule::every(1), Fault::Panic("soak storm".into()));
+    let mut saw_fastfail = false;
+    for i in 0..32u64 {
+        attempts += 1;
+        let out = scheduler
+            .submit(spec(Query::Bfs { src: 0 }, Priority::Batch, None))
+            .expect("phase-1 submissions fit an empty queue")
+            .wait();
+        settle(&mut tally, out.status);
+        if out.status == JobStatus::BreakerOpen {
+            saw_fastfail = true;
+            break;
+        }
+        assert_eq!(out.status, JobStatus::Failed, "storm execution {i} must panic");
+    }
+    assert!(saw_fastfail, "breaker never opened under a 100% failure storm");
+    {
+        let snap = obs.metrics.snapshot();
+        assert!(snap.counter(metric::BREAKER_OPENED) >= 1);
+        assert!(snap.counter(metric::JOBS_FAILED) >= 3);
+    }
+
+    // ---- Phase 2: sustained overload with random chaos. -------------
+    // Iterations crawl and a seeded coin kills roughly one execution in
+    // eight; burst submissions outrun two slow workers, so the queue
+    // saturates, sheds, and brownout engages.
+    reset();
+    arm(site::ENGINE_ITERATION, Fault::SlowMs(4));
+    arm_schedule(
+        site::EXECUTOR_START,
+        Schedule::random(SEED, 8),
+        Fault::Panic("soak chaos".into()),
+    );
+    let mut handles = Vec::new();
+    let mut batches_tried: u64 = 0;
+    let mut batch_failures: u64 = 0;
+    // Batch queries share the registry's job counters, so the ledger
+    // tracks their per-query outcomes too: [ok, error, failed,
+    // breaker-open].
+    let mut batch_tally = [0u64; 4];
+    let settle_batch =
+        |tally: &mut [u64; 4], result: &Result<_, String>, queries: usize| match result {
+            Ok(report) => {
+                let report: &gswitch_shard::BatchReport = report;
+                for out in &report.outcomes {
+                    match out.status {
+                        gswitch_shard::QueryStatus::Ok => tally[0] += 1,
+                        gswitch_shard::QueryStatus::Error => tally[1] += 1,
+                        gswitch_shard::QueryStatus::Failed => tally[2] += 1,
+                    }
+                }
+            }
+            Err(e) if e.contains("circuit breaker open") => tally[3] += queries as u64,
+            Err(_) => {}
+        };
+    for round in 0..40u64 {
+        for i in 0..50u64 {
+            attempts += 1;
+            let n = round * 50 + i;
+            let deadline = if n % 7 == 0 { Some(1) } else { None };
+            match scheduler.submit(spec(rotate_query(n), rotate_priority(n), deadline)) {
+                Ok(handle) => handles.push(handle),
+                Err(_) => client_rejected += 1,
+            }
+        }
+        // Health must answer mid-overload, every round.
+        let report = HealthReport::gather(&scheduler, &cache, Some(&shards));
+        assert!(report.components.len() >= 4, "health went mute in round {round}");
+        // Sprinkle batch traffic through the same breakers and quotas.
+        if round % 5 == 0 {
+            batches_tried += 1;
+            let queries = [Query::Bfs { src: round as u32 }, Query::Cc];
+            let result = shards.batch(
+                &batch_graph,
+                BATCH_FP,
+                None,
+                Some("soak"),
+                &queries,
+                round,
+                "er-soak",
+            );
+            settle_batch(&mut batch_tally, &result, queries.len());
+            if result.is_err() {
+                batch_failures += 1;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(batches_tried > 0 && batch_failures < batches_tried, "no batch ever ran");
+
+    // ---- Phase 3: heal the faults and drain everything. -------------
+    reset();
+    for handle in handles {
+        settle(&mut tally, handle.wait().status); // no deadlock: every wait returns
+    }
+
+    // Past the cooldown, one clean probe per algorithm re-closes any
+    // breaker the chaos opened.
+    std::thread::sleep(Duration::from_millis(COOLDOWN_MS + 30));
+    for n in 0..8u64 {
+        attempts += 1;
+        let out = scheduler
+            .submit(spec(rotate_query(n), Priority::Interactive, None))
+            .expect("recovery submissions fit a drained queue")
+            .wait();
+        settle(&mut tally, out.status);
+        assert_eq!(out.status, JobStatus::Ok, "recovery probe {n} on a healed runtime");
+    }
+    // A clean batch re-closes the batch-path breaker if the chaos
+    // opened it, and proves quota admission recovered.
+    let recovery =
+        shards.batch(&batch_graph, BATCH_FP, None, Some("soak"), &[Query::Cc], 9_999, "er-soak");
+    settle_batch(&mut batch_tally, &recovery, 1);
+    recovery.expect("recovery batch on a healed runtime");
+    // Low-occupancy traffic walks brownout back out.
+    for n in 0..8u64 {
+        attempts += 1;
+        let out = scheduler.submit(spec(Query::Cc, Priority::Batch, None)).unwrap().wait();
+        settle(&mut tally, out.status);
+        assert_eq!(out.status, JobStatus::Ok);
+        if !scheduler.brownout().active() && n >= 3 {
+            break;
+        }
+    }
+
+    // ---- Invariants. -------------------------------------------------
+    let snap = obs.metrics.snapshot();
+    let bucket = |name: &str| snap.counter(name);
+    let submitted = bucket(metric::JOBS_SUBMITTED);
+    let terminal = bucket(metric::JOBS_OK)
+        + bucket(metric::JOBS_ERROR)
+        + bucket(metric::JOBS_FAILED)
+        + bucket(metric::JOBS_CANCELLED)
+        + bucket(metric::JOBS_SHED)
+        + bucket(metric::JOBS_BREAKER_OPEN)
+        + bucket(metric::JOBS_TIMEOUT_QUEUED)
+        + bucket(metric::JOBS_TIMEOUT_MIDRUN)
+        + bucket(metric::JOBS_TIMEOUT_LATE);
+    assert_eq!(submitted, terminal, "outcome conservation: {tally:?}");
+    // The client ledger — scheduler handles plus per-query batch
+    // outcomes — agrees with the registry, bucket by bucket.
+    let client_total: u64 = tally.values().sum::<u64>() + batch_tally.iter().sum::<u64>();
+    assert_eq!(client_total, submitted, "every admitted job settled exactly once");
+    assert_eq!(tally.values().sum::<u64>() + client_rejected, attempts);
+    assert_eq!(client_rejected, bucket(metric::JOBS_REJECTED));
+    let client = |s: JobStatus| tally.get(&s).copied().unwrap_or(0);
+    assert_eq!(client(JobStatus::Ok) + batch_tally[0], bucket(metric::JOBS_OK));
+    assert_eq!(client(JobStatus::Error) + batch_tally[1], bucket(metric::JOBS_ERROR));
+    assert_eq!(client(JobStatus::Failed) + batch_tally[2], bucket(metric::JOBS_FAILED));
+    assert_eq!(client(JobStatus::Shed), bucket(metric::JOBS_SHED));
+    assert_eq!(client(JobStatus::BreakerOpen) + batch_tally[3], bucket(metric::JOBS_BREAKER_OPEN));
+    assert_eq!(
+        client(JobStatus::DeadlineExceeded),
+        bucket(metric::JOBS_TIMEOUT_QUEUED)
+            + bucket(metric::JOBS_TIMEOUT_MIDRUN)
+            + bucket(metric::JOBS_TIMEOUT_LATE)
+    );
+    assert!(attempts >= 2_000, "the soak must push thousands of jobs, pushed {attempts}");
+
+    // The breaker both opened and re-closed; brownout engaged and
+    // disengaged; nothing is stuck degraded.
+    assert!(bucket(metric::BREAKER_OPENED) >= 1, "breaker never opened");
+    assert!(bucket(metric::BREAKER_CLOSED) >= 1, "breaker never re-closed");
+    assert!(bucket(metric::BROWNOUT_ENTERED) >= 1, "overload never triggered brownout");
+    assert!(bucket(metric::BROWNOUT_EXITED) >= 1, "brownout never disengaged");
+    assert_eq!(scheduler.breakers().open_count(), 0, "a breaker is stuck open");
+    assert!(!scheduler.brownout().active(), "brownout is stuck active");
+
+    // No quota-permit leak: the batch tenant drained to zero.
+    assert_eq!(shards.quotas().inflight("soak"), 0, "leaked batch quota permits");
+    assert_eq!(shards.quotas().inflight("default"), 0);
+
+    // And the final health report is clean.
+    let report = HealthReport::gather(&scheduler, &cache, Some(&shards));
+    assert_eq!(report.status, "ok", "{report:?}");
+    assert!(!report.brownout);
+    assert_eq!(report.breakers_open, 0);
+
+    scheduler.shutdown();
+    reset();
+}

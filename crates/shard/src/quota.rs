@@ -66,12 +66,27 @@ impl TenantQuotas {
         tenant: &str,
         count: usize,
     ) -> Result<QuotaPermit, QuotaError> {
+        self.acquire_capped(tenant, count, self.limit)
+    }
+
+    /// Like [`acquire`](Self::acquire) but against
+    /// `min(limit, cap)` — degraded-mode (brownout) admission tightens
+    /// the effective cap without rebuilding the quota table, and the
+    /// tightened cap only refuses *new* admissions; permits already
+    /// held release normally.
+    pub fn acquire_capped(
+        self: &Arc<Self>,
+        tenant: &str,
+        count: usize,
+        cap: usize,
+    ) -> Result<QuotaPermit, QuotaError> {
+        let limit = self.limit.min(cap.max(1));
         let mut inflight = self.inflight.lock();
         let current = inflight.get(tenant).copied().unwrap_or(0);
-        if current + count > self.limit {
+        if current + count > limit {
             drop(inflight);
             self.rejections.fetch_add(1, Ordering::Relaxed);
-            return Err(QuotaError::Exhausted { tenant: tenant.to_string(), limit: self.limit });
+            return Err(QuotaError::Exhausted { tenant: tenant.to_string(), limit });
         }
         inflight.insert(tenant.to_string(), current + count);
         drop(inflight);
@@ -177,6 +192,18 @@ mod tests {
         assert!(res.is_err());
         assert_eq!(q.inflight("t"), 0, "permit leaked through the panic");
         assert!(q.acquire("t", 1).is_ok());
+    }
+
+    #[test]
+    fn capped_acquire_tightens_without_touching_held_permits() {
+        let q = TenantQuotas::new(8);
+        let held = q.acquire("t", 4).expect("normal admission");
+        // Under a cap of 4 the tenant is already full…
+        assert!(q.acquire_capped("t", 1, 4).is_err());
+        // …but the cap never exceeds the real limit either.
+        assert!(q.acquire_capped("t", 5, 100).is_err());
+        drop(held);
+        let _p = q.acquire_capped("t", 4, 4).expect("released budget fits the cap");
     }
 
     #[test]
