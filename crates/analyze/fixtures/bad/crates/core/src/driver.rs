@@ -1,0 +1,27 @@
+//! Fixture: `unpolled-hot-loop` (3 expected). The driver `run` reaches
+//! no polled loop at all (rule 1 fires on the root), its drain `while`
+//! never polls, and the `loop` two calls down in `rescue_spin` never
+//! polls either (rule 2 fires on each).
+
+pub struct Step;
+
+pub fn run(steps: &[Step]) {
+    let mut pos = 0;
+    while pos < steps.len() {
+        advance_window(steps, pos);
+        pos += 1;
+    }
+}
+
+fn advance_window(steps: &[Step], pos: usize) {
+    rescue_spin(steps.len() - pos);
+}
+
+fn rescue_spin(mut budget: usize) {
+    loop {
+        if budget == 0 {
+            break;
+        }
+        budget -= 1;
+    }
+}

@@ -1,0 +1,30 @@
+//! Fixture: `unregistered-span` (1 expected) + `unguarded-span`
+//! (4 expected). `Ghost` is missing from the registry (deny) and never
+//! created (warn); `Orphan` is registered but has no creation site
+//! (warn); `Execute` has a guard site but is also opened and closed by
+//! hand (one warn per manual call).
+
+pub enum SpanKind {
+    Request,
+    Execute,
+    Ghost,
+    Orphan,
+}
+
+pub const SPAN_KINDS: [SpanKind; 3] = [SpanKind::Request, SpanKind::Execute, SpanKind::Orphan];
+
+pub fn admit(spans: &LocalSpans) -> SpanGuard {
+    spans.start(SpanKind::Request, 0)
+}
+
+pub fn execute_guarded(spans: &LocalSpans) -> SpanGuard {
+    spans.start(SpanKind::Execute, 0)
+}
+
+pub fn execute_by_hand(spans: &LocalSpans) {
+    spans.begin(SpanKind::Execute, 0);
+    simulate();
+    spans.end(SpanKind::Execute, 0);
+}
+
+fn simulate() {}

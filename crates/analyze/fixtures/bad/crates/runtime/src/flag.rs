@@ -1,0 +1,23 @@
+//! Fixture: `relaxed-signal` (1 expected). `request_stop` flips the
+//! flag with a Relaxed store and `drain_until_stopped` polls it with a
+//! Relaxed load in a spin loop — the flip can outrun whatever state
+//! the stopper wrote before it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub struct Drain {
+    stop: AtomicBool,
+    drained: usize,
+}
+
+impl Drain {
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    pub fn drain_until_stopped(&mut self) {
+        while !self.stop.load(Ordering::Relaxed) {
+            self.drained += 1;
+        }
+    }
+}

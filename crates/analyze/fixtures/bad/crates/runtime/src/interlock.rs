@@ -1,0 +1,34 @@
+//! Fixture: interprocedural `lock-order-cycle` (1 expected). `append`
+//! holds the wal lock across a call to `compact`, which takes the
+//! index lock; `rebuild` takes index → wal directly. No single
+//! function holds both locks in the bad order — only the call graph
+//! sees the conflict.
+
+use gswitch_obs::sync::Lock;
+use std::collections::BTreeMap;
+
+pub struct Wal {
+    wal: Lock<Vec<u64>>,
+    index: Lock<BTreeMap<u64, usize>>,
+}
+
+impl Wal {
+    pub fn append(&self, id: u64) {
+        let mut w = self.wal.lock();
+        w.push(id);
+        self.compact();
+    }
+
+    fn compact(&self) {
+        let mut ix = self.index.lock();
+        ix.clear();
+    }
+
+    pub fn rebuild(&self) {
+        let mut ix = self.index.lock();
+        let w = self.wal.lock();
+        for (pos, id) in w.iter().enumerate() {
+            ix.insert(*id, pos);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture: `unaccounted-terminal-status` (1 expected).
+//! `shed_overflow` fabricates a terminal `JobStatus::Shed`, but
+//! neither it nor any caller increments a shed counter — the job
+//! vanishes from the books.
+
+pub enum JobStatus {
+    Queued,
+    Running,
+    Shed,
+}
+
+pub struct Outcome {
+    pub status: JobStatus,
+}
+
+pub fn shed_overflow(depth: usize, limit: usize) -> Option<Outcome> {
+    if depth >= limit {
+        return Some(Outcome { status: JobStatus::Shed });
+    }
+    None
+}

@@ -1,0 +1,12 @@
+//! Clean fixture: a super-step driver whose drain loop polls its
+//! probe in the condition — once per iteration, like the body would.
+
+pub fn run(opts: &EngineOptions) {
+    let mut iteration = 0;
+    while opts.probe.check(iteration).is_none() {
+        advance(iteration);
+        iteration += 1;
+    }
+}
+
+fn advance(_iteration: u32) {}

@@ -1,0 +1,17 @@
+//! Clean fixture: every `SpanKind` variant is registered and created
+//! through an RAII guard entry point.
+
+pub enum SpanKind {
+    Request,
+    Execute,
+}
+
+pub const SPAN_KINDS: [SpanKind; 2] = [SpanKind::Request, SpanKind::Execute];
+
+pub fn admit(spans: &LocalSpans) -> SpanGuard {
+    spans.start(SpanKind::Request, 0)
+}
+
+pub fn record(spans: &LocalSpans, t0: u64, t1: u64) {
+    spans.record_interval(SpanKind::Execute, 0, t0, t1);
+}

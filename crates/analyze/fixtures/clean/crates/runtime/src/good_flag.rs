@@ -1,0 +1,21 @@
+//! Clean fixture: the stop flag publishes with Release and the spin
+//! loop observes with Acquire — the flip orders the state before it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub struct Drain {
+    stop: AtomicBool,
+    drained: usize,
+}
+
+impl Drain {
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    pub fn drain_until_stopped(&mut self) {
+        while !self.stop.load(Ordering::Acquire) {
+            self.drained += 1;
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Clean fixture: both public paths order wal before index — the call
+//! through `compact` agrees with the direct acquisitions, so the
+//! interprocedural graph stays acyclic.
+
+use gswitch_obs::sync::Lock;
+use std::collections::BTreeMap;
+
+pub struct Wal {
+    wal: Lock<Vec<u64>>,
+    index: Lock<BTreeMap<u64, usize>>,
+}
+
+impl Wal {
+    pub fn append(&self, id: u64) {
+        let mut w = self.wal.lock();
+        w.push(id);
+        self.compact();
+    }
+
+    fn compact(&self) {
+        let mut ix = self.index.lock();
+        ix.clear();
+    }
+
+    pub fn rebuild(&self) {
+        let w = self.wal.lock();
+        self.compact();
+    }
+}

@@ -1,0 +1,31 @@
+//! Clean fixture: the terminal `JobStatus::Shed` is constructed in a
+//! helper and accounted by its caller — interprocedural accounting the
+//! conservation pass must accept.
+
+pub enum JobStatus {
+    Queued,
+    Running,
+    Shed,
+}
+
+pub struct Outcome {
+    pub status: JobStatus,
+}
+
+pub struct Stats {
+    pub shed: Counter,
+}
+
+impl Stats {
+    pub fn shed_overflow(&self, depth: usize, limit: usize) -> Option<Outcome> {
+        if depth >= limit {
+            self.shed.inc();
+            return Some(shed_outcome());
+        }
+        None
+    }
+}
+
+fn shed_outcome() -> Outcome {
+    Outcome { status: JobStatus::Shed }
+}

@@ -91,6 +91,10 @@ pub struct Report {
     pub files_scanned: usize,
     /// Model files checked by pass 3.
     pub models_checked: usize,
+    /// Functions indexed by the call graph (interprocedural passes).
+    pub functions_indexed: usize,
+    /// Resolved call edges in the call graph.
+    pub call_edges: usize,
 }
 
 impl Report {

@@ -5,29 +5,41 @@
 //! lock must be a poison-recovering `gswitch_obs::sync` wrapper, that
 //! kernel atomics must be accounted in the SIMT cost model, that
 //! checked-in decision trees must be sound against the 21-feature
-//! Inspector contract. This crate encodes those invariants as three
-//! passes:
+//! Inspector contract, that every hot loop polls its `RunProbe` and
+//! every terminal `JobStatus` lands in a counter. This crate encodes
+//! those invariants as passes:
 //!
 //! 1. [`rules`] — token-level source lints over a hand-rolled lexer
 //!    ([`lexer`]): no syntax-tree dependency, comments and string
 //!    literals can never trigger a rule.
-//! 2. [`lockorder`] — a lock-acquisition graph across the runtime;
-//!    cycles are reported as potential deadlocks with witness paths.
+//! 2. [`lockorder`] — a lock-acquisition graph across the runtime,
+//!    propagated across calls; cycles are reported as potential
+//!    deadlocks with witness paths.
 //! 3. [`model`] — soundness checks over `models/*.json`: dead
 //!    branches, illegal leaf classes, feature arity, thresholds vs
 //!    stamped training ranges.
+//! 4. Interprocedural dataflow over the [`callgraph`]
+//!    (DESIGN §4.15): [`cancellation`] (`unpolled-hot-loop`),
+//!    [`conservation`] (`unaccounted-terminal-status`), [`signaling`]
+//!    (`relaxed-signal`), and [`spans`] (`unregistered-span` /
+//!    `unguarded-span`).
 //!
 //! Findings are structured ([`findings::Finding`]); exceptions live in
 //! a checked-in, justified [`allow`] list. The binary exits nonzero on
 //! any unsuppressed deny finding (or warn, under `--deny-warnings`).
 
 pub mod allow;
+pub mod callgraph;
+pub mod cancellation;
+pub mod conservation;
 pub mod findings;
 pub mod lexer;
 pub mod lockorder;
 pub mod model;
 pub mod rules;
+pub mod signaling;
 pub mod source;
+pub mod spans;
 
 use findings::Report;
 use source::SourceFile;
@@ -98,8 +110,19 @@ pub fn run(cfg: &Config) -> Report {
     }
     report.files_scanned = parsed.len();
 
+    // Call graph for the interprocedural passes (2 and 4).
+    let cg = callgraph::CallGraph::build(&parsed);
+    report.functions_indexed = cg.fns.len();
+    report.call_edges = cg.sites.len();
+
     // Pass 2.
-    findings.extend(lockorder::analyze(&parsed));
+    findings.extend(lockorder::analyze(&parsed, &cg));
+
+    // Pass 4: interprocedural dataflow.
+    findings.extend(cancellation::analyze(&parsed, &cg));
+    findings.extend(conservation::analyze(&parsed, &cg));
+    findings.extend(signaling::analyze(&parsed, &cg));
+    findings.extend(spans::analyze(&parsed));
 
     // Pass 3.
     let mut model_files: Vec<PathBuf> = std::fs::read_dir(&cfg.models)

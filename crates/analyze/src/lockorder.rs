@@ -6,7 +6,8 @@
 //! of them in opposite orders — exactly the bug a unit test is worst
 //! at catching, because it only appears under concurrent timing.
 //!
-//! The pass is intentionally conservative and intra-procedural:
+//! The pass is conservative and, since the call graph landed
+//! (DESIGN §4.15), *interprocedural*:
 //!
 //! 1. **Discover locks.** A struct field declared as
 //!    `Lock<…>` / `RwLock<…>` (the obs wrappers — pass 1 already
@@ -16,18 +17,26 @@
 //!    is held until its enclosing block closes; a temporary guard (no
 //!    `let`) is released at the end of the statement; `drop(guard)`
 //!    releases early.
-//! 3. **Build the edge set.** Acquiring `B` while holding `A` adds a
-//!    directed edge `A → B` with a witness (function, file, line).
+//! 3. **Propagate across calls.** Each function's *transitive*
+//!    acquisition set (`acquires_star`, a fixpoint over unambiguous
+//!    call edges) says what it may lock somewhere below it. Calling
+//!    `g()` while holding `A` adds an edge `A → B` for every `B` in
+//!    `acquires_star(g)` — the ordering a deadlock needs, even when
+//!    the two acquisitions live in different functions.
 //! 4. **Report cycles.** Any cycle in the graph is a potential
 //!    deadlock; the finding quotes one witness edge per direction so
 //!    the two conflicting acquisition paths are visible in the report.
+//!    Interprocedural witnesses are rendered as `caller → callee`.
 //!
 //! Field names are resolved to identities same-file first, then by
 //! global uniqueness; an ambiguous name (two different files declare
 //! it and the use is in a third file) is skipped rather than guessed.
+//! Call edges follow the same discipline: only unambiguous edges
+//! propagate lock sets, erring away from false cycles.
 
+use crate::callgraph::{CallGraph, FnId};
 use crate::findings::{Finding, Severity};
-use crate::lexer::{Tok, TokKind};
+use crate::lexer::TokKind;
 use crate::source::SourceFile;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -118,14 +127,48 @@ fn resolve<'a>(locks: &'a [LockId], field: &str, use_file: &str) -> Option<&'a L
     }
 }
 
-/// Scan one function body and emit ordering edges.
+/// Is the token at absolute index `i` a lock acquisition
+/// (`<field>.lock()` / `.read()` / `.write()`)? Returns the identity.
+fn acquisition_at<'a>(sf: &SourceFile, i: usize, locks: &'a [LockId]) -> Option<&'a LockId> {
+    let t = &sf.toks;
+    if (t[i].is_ident("lock") || t[i].is_ident("read") || t[i].is_ident("write"))
+        && i >= 2
+        && t[i - 1].is_punct('.')
+        && t.get(i + 1).map(|n| n.is_punct('(')).unwrap_or(false)
+        && t[i - 2].kind == TokKind::Ident
+    {
+        resolve(locks, &t[i - 2].text, &sf.rel)
+    } else {
+        None
+    }
+}
+
+/// Scan one function body (absolute token range of `f` in `cg`) and
+/// emit ordering edges, both for direct acquisitions and — through
+/// `star` — for calls to functions that acquire further down.
 fn scan_function(
-    sf: &SourceFile,
-    fn_name: &str,
-    body: &[Tok],
+    files: &[SourceFile],
+    cg: &CallGraph,
+    f: FnId,
     locks: &[LockId],
+    star: &[BTreeSet<LockId>],
     edges: &mut Vec<Edge>,
 ) {
+    let node = &cg.fns[f];
+    let sf = &files[node.file];
+    let fn_name = &node.name;
+    let body = &sf.toks[node.body.clone()];
+    let base = node.body.start;
+    // Unambiguous call sites in this body, keyed by absolute token.
+    // Direct recursion is skipped: the callee's orderings are already
+    // observed intra-procedurally, and a name-collision self-edge
+    // (`token.cancel()` inside `Scheduler::cancel`) must not order the
+    // function's own locks against each other.
+    let calls: BTreeMap<usize, FnId> = cg
+        .callees(f)
+        .filter(|s| !s.ambiguous && s.callee != f && !cg.fns[s.callee].is_test)
+        .map(|s| (s.tok, s.callee))
+        .collect();
     let mut held: Vec<Held> = Vec::new();
     let mut depth = 0usize;
     // Does the current statement start with `let`? Tracked so we know
@@ -203,13 +246,35 @@ fn scan_function(
                 });
             }
         }
+        // Interprocedural: calling `g()` while holding locks orders
+        // them before everything `g` may acquire transitively. Same-
+        // lock pairs are skipped — flow-insensitive `star` cannot tell
+        // re-acquisition from release-then-relock in the callee.
+        if let Some(&callee) = calls.get(&(base + i)) {
+            if acquisition_at(sf, base + i, locks).is_none() {
+                for h in &held {
+                    for acq in &star[callee] {
+                        if *acq != h.lock {
+                            edges.push(Edge {
+                                held: h.lock.clone(),
+                                acquired: acq.clone(),
+                                function: format!("{fn_name} → {}", cg.fns[callee].name),
+                                file: sf.rel.clone(),
+                                line: body[i].line,
+                            });
+                        }
+                    }
+                }
+            }
+        }
         i += 1;
     }
 }
 
-/// Run the pass over all files: discover locks, collect edges, report
-/// cycles.
-pub fn analyze(files: &[SourceFile]) -> Vec<Finding> {
+/// Run the pass over all files: discover locks, compute each
+/// function's transitive acquisition set, collect ordering edges
+/// (direct and through calls), report cycles.
+pub fn analyze(files: &[SourceFile], cg: &CallGraph) -> Vec<Finding> {
     let mut locks: Vec<LockId> = Vec::new();
     for sf in files {
         locks.extend(discover_locks(sf));
@@ -217,15 +282,43 @@ pub fn analyze(files: &[SourceFile]) -> Vec<Finding> {
     locks.sort();
     locks.dedup();
 
-    let mut edges: Vec<Edge> = Vec::new();
-    for sf in files {
-        for f in sf.functions() {
-            if f.is_test {
-                continue;
+    // acquires_star: direct acquisitions ∪ callees' sets, to fixpoint
+    // over unambiguous non-test edges. Cycle-tolerant: the union only
+    // grows, so iteration terminates at the least fixpoint.
+    let mut star: Vec<BTreeSet<LockId>> = cg
+        .fns
+        .iter()
+        .map(|node| {
+            let sf = &files[node.file];
+            node.body.clone().filter_map(|i| acquisition_at(sf, i, &locks)).cloned().collect()
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for f in 0..cg.fns.len() {
+            let mut add: Vec<LockId> = Vec::new();
+            for site in cg.callees(f) {
+                if site.ambiguous || cg.fns[site.callee].is_test {
+                    continue;
+                }
+                add.extend(star[site.callee].difference(&star[f]).cloned());
             }
-            let body = &sf.toks[f.body.clone()];
-            scan_function(sf, &f.name, body, &locks, &mut edges);
+            if !add.is_empty() {
+                star[f].extend(add);
+                changed = true;
+            }
         }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut edges: Vec<Edge> = Vec::new();
+    for f in 0..cg.fns.len() {
+        if cg.fns[f].is_test {
+            continue;
+        }
+        scan_function(files, cg, f, &locks, &star, &mut edges);
     }
     cycles_to_findings(&edges)
 }
@@ -321,6 +414,11 @@ mod tests {
         srcs.iter().map(|(rel, s)| SourceFile::parse(*rel, s)).collect()
     }
 
+    fn run(fs: &[SourceFile]) -> Vec<Finding> {
+        let cg = CallGraph::build(fs);
+        analyze(fs, &cg)
+    }
+
     const DECL: &str =
         "struct Shared { queue: Lock<VecDeque<Job>>, cancelled: Lock<HashSet<u64>> }";
 
@@ -351,7 +449,7 @@ mod tests {
              fn purge(&self) {{ let c = self.cancelled.lock(); let q = self.queue.lock(); }}"
         );
         let fs = files(&[("crates/runtime/src/scheduler.rs", &src)]);
-        let findings = analyze(&fs);
+        let findings = run(&fs);
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert_eq!(findings[0].rule, "lock-order-cycle");
         assert!(findings[0].message.contains("cancel"));
@@ -366,7 +464,7 @@ mod tests {
              fn b(&self) {{ let q = self.queue.lock(); let c = self.cancelled.lock(); }}"
         );
         let fs = files(&[("crates/runtime/src/scheduler.rs", &src)]);
-        assert!(analyze(&fs).is_empty());
+        assert!(run(&fs).is_empty());
     }
 
     #[test]
@@ -379,7 +477,7 @@ mod tests {
              fn b(&self) {{ let q = self.queue.lock(); drop(q); let c = self.cancelled.lock(); }}"
         );
         let fs = files(&[("crates/runtime/src/scheduler.rs", &src)]);
-        assert!(analyze(&fs).is_empty());
+        assert!(run(&fs).is_empty());
     }
 
     #[test]
@@ -390,7 +488,7 @@ mod tests {
              fn b(&self) {{ {{ let q = self.queue.lock(); }} let c = self.cancelled.lock(); }}"
         );
         let fs = files(&[("crates/runtime/src/scheduler.rs", &src)]);
-        assert!(analyze(&fs).is_empty());
+        assert!(run(&fs).is_empty());
     }
 
     #[test]
@@ -403,7 +501,7 @@ mod tests {
         let fs = files(&[("crates/runtime/src/scheduler.rs", &src)]);
         // The temporary in b's first statement is released at the `;`,
         // so only a's edge exists — no cycle.
-        assert!(analyze(&fs).is_empty());
+        assert!(run(&fs).is_empty());
     }
 
     #[test]
@@ -413,7 +511,7 @@ mod tests {
         let b = "struct S { metrics: Lock<u32> }\n\
                  fn met(&self, r: &R) { let m = self.metrics.lock(); let g = r.registry.lock(); }";
         let fs = files(&[("crates/runtime/src/registry.rs", a), ("crates/obs/src/metrics.rs", b)]);
-        let findings = analyze(&fs);
+        let findings = run(&fs);
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert!(findings[0].message.contains("registry"));
         assert!(findings[0].message.contains("metrics"));
@@ -433,7 +531,86 @@ mod tests {
                  fn g(&self, c: &C) { let e = c.entries.read(); let t = self.table.lock(); }",
             ),
         ]);
-        assert!(analyze(&fs).is_empty());
+        assert!(run(&fs).is_empty());
+    }
+
+    #[test]
+    fn interprocedural_cycle_detected() {
+        // `append` holds wal across a call to `compact`, which takes
+        // index; `rebuild` takes index then wal directly. No single
+        // function holds both in the bad order — only the call graph
+        // sees the cycle.
+        let src = "struct W { wal: Lock<Vec<u64>>, index: Lock<u32> }\n\
+             fn append(&self) { let w = self.wal.lock(); self.compact(); }\n\
+             fn compact(&self) { let ix = self.index.lock(); }\n\
+             fn rebuild(&self) { let ix = self.index.lock(); let w = self.wal.lock(); }";
+        let fs = files(&[("crates/runtime/src/wal.rs", src)]);
+        let findings = run(&fs);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("append → compact"), "{}", findings[0].message);
+        assert!(findings[0].message.contains("rebuild"));
+    }
+
+    #[test]
+    fn consistent_interprocedural_order_is_clean() {
+        let src = "struct W { wal: Lock<Vec<u64>>, index: Lock<u32> }\n\
+             fn append(&self) { let w = self.wal.lock(); self.compact(); }\n\
+             fn compact(&self) { let ix = self.index.lock(); }\n\
+             fn rebuild(&self) { let w = self.wal.lock(); self.compact(); }";
+        let fs = files(&[("crates/runtime/src/wal.rs", src)]);
+        assert!(run(&fs).is_empty());
+    }
+
+    #[test]
+    fn star_propagates_through_call_chains() {
+        // wal is held across a call whose lock acquisition sits two
+        // hops down (`append → relay → compact`).
+        let src = "struct W { wal: Lock<Vec<u64>>, index: Lock<u32> }\n\
+             fn append(&self) { let w = self.wal.lock(); self.relay(); }\n\
+             fn relay(&self) { self.compact(); }\n\
+             fn compact(&self) { let ix = self.index.lock(); }\n\
+             fn rebuild(&self) { let ix = self.index.lock(); let w = self.wal.lock(); }";
+        let fs = files(&[("crates/runtime/src/wal.rs", src)]);
+        let findings = run(&fs);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("append → relay"), "{}", findings[0].message);
+    }
+
+    #[test]
+    fn ambiguous_calls_do_not_propagate() {
+        // Two crates declare `compact`; a third calls it while holding
+        // wal. The target is a guess, so no lock set propagates and the
+        // reversed direct order cannot close a cycle.
+        let a = "struct W { wal: Lock<Vec<u64>> }\n\
+                 fn append(&self) { let w = self.wal.lock(); compact(); }";
+        let b = "struct X { index: Lock<u32> }\n\
+                 fn compact() { }\n\
+                 fn rebuild(x: &X, w: &W) { let ix = x.index.lock(); let g = w.wal.lock(); }";
+        let c = "fn compact() { let ix = X_GLOBAL.index.lock(); }";
+        let fs = files(&[
+            ("crates/runtime/src/wal.rs", a),
+            ("crates/runtime/src/store.rs", b),
+            ("crates/shard/src/compactor.rs", c),
+        ]);
+        assert!(run(&fs).is_empty(), "{:?}", run(&fs));
+    }
+
+    #[test]
+    fn direct_recursion_does_not_order_own_locks() {
+        // `t.cancel()` resolves (by name) to the enclosing `cancel`
+        // itself; that self-edge must not order cancel's own locks
+        // against each other — here it would fabricate a
+        // cancelled → queue edge and close a false cycle with `submit`.
+        let src = format!(
+            "{DECL}\n\
+             fn submit(&self) {{ let q = self.queue.lock(); let c = self.cancelled.lock(); }}\n\
+             fn cancel(&self, t: &Token) {{\n\
+               {{ let q = self.queue.lock(); }}\n\
+               if self.cancelled.lock().contains(&1) {{ t.cancel(); }}\n\
+             }}"
+        );
+        let fs = files(&[("crates/runtime/src/scheduler.rs", &src)]);
+        assert!(run(&fs).is_empty(), "{:?}", run(&fs));
     }
 
     #[test]
@@ -447,6 +624,6 @@ mod tests {
              }}"
         );
         let fs = files(&[("crates/runtime/src/scheduler.rs", &src)]);
-        assert!(analyze(&fs).is_empty());
+        assert!(run(&fs).is_empty());
     }
 }

@@ -16,7 +16,12 @@ fn usage() -> ! {
          [--json] [--deny-warnings]\n\
          \n\
          Static analysis over the gswitch workspace: source lints,\n\
-         lock-order cycles, and model-file soundness. See DESIGN.md §4.9.\n\
+         model-file soundness, and interprocedural dataflow over the\n\
+         workspace call graph — cross-call lock order, cancellation\n\
+         soundness (unpolled-hot-loop), outcome conservation\n\
+         (unaccounted-terminal-status), atomic signaling\n\
+         (relaxed-signal), and span discipline (unregistered-span,\n\
+         unguarded-span). See DESIGN.md §4.9 and §4.15.\n\
          \n\
          --root DIR        workspace root (default: nearest dir with Cargo.toml, else .)\n\
          --models DIR      model JSON directory (default: ROOT/models)\n\
@@ -95,8 +100,11 @@ fn main() {
             println!();
         }
         println!(
-            "gswitch-analyze: {} file(s), {} model(s) — {} deny, {} warn, {} suppressed",
+            "gswitch-analyze: {} file(s), {} fn(s), {} call edge(s), {} model(s) — \
+             {} deny, {} warn, {} suppressed",
             report.files_scanned,
+            report.functions_indexed,
+            report.call_edges,
             report.models_checked,
             report.deny,
             report.warn,

@@ -28,16 +28,34 @@ fn bad_fixture_tree_trips_every_rule() {
     assert_eq!(count("unbounded-collection"), 1);
     assert_eq!(count("uninstrumented-atomic"), 1);
     assert_eq!(count("todo-marker"), 2);
-    assert_eq!(count("lock-order-cycle"), 1);
+    // cycle.rs (intra-function) plus interlock.rs (only visible across
+    // the `append → compact` call edge).
+    assert_eq!(count("lock-order-cycle"), 2);
+    // Interprocedural dataflow passes: driver.rs (root never polls +
+    // two unpolled loops), outcomes.rs, flag.rs, span.rs.
+    assert_eq!(count("unpolled-hot-loop"), 3);
+    assert_eq!(count("unaccounted-terminal-status"), 1);
+    assert_eq!(count("relaxed-signal"), 1);
+    assert_eq!(count("unregistered-span"), 1);
+    assert_eq!(count("unguarded-span"), 4);
     // Model pass: the dead branch and the out-of-range leaf class.
     assert_eq!(count("model-dead-branch"), 1);
     assert!(count("model-class-range") >= 1);
 
-    // The lock-cycle finding names both conflicting functions.
-    let cycle =
-        report.findings.iter().find(|f| f.rule == "lock-order-cycle").expect("cycle finding");
-    assert!(cycle.message.contains("enqueue"), "{}", cycle.message);
-    assert!(cycle.message.contains("reindex"), "{}", cycle.message);
+    // The intra-function lock-cycle finding names both conflicting
+    // functions; the interprocedural one renders its witness as
+    // `caller → callee`.
+    let messages: Vec<&str> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "lock-order-cycle")
+        .map(|f| f.message.as_str())
+        .collect();
+    assert!(
+        messages.iter().any(|m| m.contains("enqueue") && m.contains("reindex")),
+        "{messages:?}"
+    );
+    assert!(messages.iter().any(|m| m.contains("append → compact")), "{messages:?}");
 
     // No allowlist in the fixture tree: everything counts, build fails.
     assert!(report.deny > 0);
@@ -51,8 +69,12 @@ fn clean_fixture_tree_is_silent() {
     let report = run(&cfg);
     assert!(report.findings.is_empty(), "{report:#?}");
     assert_eq!(report.exit_code(true), 0);
-    assert!(report.files_scanned >= 3);
+    assert!(report.files_scanned >= 8);
     assert_eq!(report.models_checked, 1);
+    // The clean tree exercises the call graph too: functions are
+    // indexed and at least the fixture call edges resolve.
+    assert!(report.functions_indexed >= 10);
+    assert!(report.call_edges >= 3);
 }
 
 /// Self-check: the analyzer over the workspace it ships in, allowlist
@@ -101,6 +123,50 @@ fn overload_modules_are_scanned_and_lint_clean() {
             report.findings.iter().filter(|f| !f.suppressed && f.file == module).collect();
         assert!(loud.is_empty(), "{module} has unsuppressed findings: {loud:#?}");
     }
+}
+
+/// The `--json` schema is pinned by a checked-in golden file: a
+/// synthetic report must serialize to exactly the documented shape
+/// (README "Static analysis"). Field renames, enum respellings, or
+/// dropped counters show up here before they break CI annotation.
+#[test]
+fn json_schema_matches_golden_file() {
+    use gswitch_analyze::findings::{Finding, Report, Severity};
+
+    let mut report = Report {
+        files_scanned: 2,
+        models_checked: 1,
+        functions_indexed: 3,
+        call_edges: 2,
+        ..Report::default()
+    };
+    let mut allowed = Finding::new(
+        "raw-std-lock",
+        Severity::Deny,
+        "crates/runtime/src/a.rs",
+        12,
+        "let m = std::sync::Mutex::new(());",
+        "raw std lock",
+    );
+    allowed.suppressed = true;
+    report.absorb(vec![
+        Finding::new(
+            "relaxed-signal",
+            Severity::Deny,
+            "crates/runtime/src/flag.rs",
+            19,
+            "self.stop.load(Ordering::Relaxed)",
+            "cross-thread signal uses Relaxed",
+        ),
+        allowed,
+    ]);
+
+    let produced = serde_json::to_value(&report).expect("report serializes");
+    let golden_path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden").join("report.json");
+    let golden_text = std::fs::read_to_string(&golden_path).expect("golden file readable");
+    let golden: serde_json::Value = serde_json::from_str(&golden_text).expect("golden parses");
+    assert_eq!(produced, golden, "report schema drifted from tests/golden/report.json");
 }
 
 /// The JSON report round-trips through serde and carries the counters

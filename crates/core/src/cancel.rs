@@ -100,13 +100,18 @@ impl CancelToken {
     }
 
     /// Ask the run to stop at its next super-step.
+    ///
+    /// Release pairs with the Acquire in [`CancelToken::is_cancelled`]:
+    /// whatever the canceller wrote before flipping the flag (deadline
+    /// bookkeeping, outcome state) is visible to the run that observes
+    /// the flip.
     pub fn cancel(&self) {
-        self.cancelled.store(true, Ordering::Relaxed);
+        self.cancelled.store(true, Ordering::Release);
     }
 
     /// Whether [`CancelToken::cancel`] was called.
     pub fn is_cancelled(&self) -> bool {
-        self.cancelled.load(Ordering::Relaxed)
+        self.cancelled.load(Ordering::Acquire)
     }
 }
 

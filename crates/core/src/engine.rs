@@ -384,7 +384,7 @@ pub fn run_with_seed_config<A: EdgeApp>(
     let span_local = opts.spans.local();
     let clock = span_local.clock().clone();
 
-    for iteration in 0..opts.max_iterations {
+    'steps: for iteration in 0..opts.max_iterations {
         // Cooperative stop: deadline/cancellation takes effect at
         // super-step granularity, before this iteration does any work.
         if let Some(reason) = opts.probe.check(iteration) {
@@ -451,6 +451,14 @@ pub fn run_with_seed_config<A: EdgeApp>(
                     classify_ms += spec.kernel_time_ms(&co.profile);
                     if co.stats.v_active > 0 || !app.rescue() {
                         break co;
+                    }
+                    // Every retry re-classifies the whole graph, and a
+                    // pathological app can keep unlocking work — poll the
+                    // probe so cancellation and deadlines can interrupt
+                    // the spin rather than waiting for it to drain.
+                    if let Some(reason) = opts.probe.check(iteration) {
+                        report.stopped = Some(reason);
+                        break 'steps;
                     }
                 };
                 span_local.record_interval(

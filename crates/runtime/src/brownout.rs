@@ -79,9 +79,14 @@ impl Brownout {
     }
 
     /// Whether degraded mode is currently engaged.
+    ///
+    /// Acquire pairs with the AcqRel swaps in
+    /// [`Brownout::on_sample`]: an admission thread that sees the flag
+    /// flip also sees the streak resets and gauge update that preceded
+    /// the transition.
     #[inline]
     pub fn active(&self) -> bool {
-        self.active.load(Ordering::Relaxed)
+        self.active.load(Ordering::Acquire)
     }
 
     /// The configured thresholds.
@@ -109,7 +114,7 @@ impl Brownout {
         if self.active() {
             if occupancy <= self.config.exit_occupancy {
                 let low = self.low_streak.fetch_add(1, Ordering::Relaxed) + 1;
-                if low >= self.config.exit_after && self.active.swap(false, Ordering::Relaxed) {
+                if low >= self.config.exit_after && self.active.swap(false, Ordering::AcqRel) {
                     self.exited.inc();
                     self.active_gauge.set(0);
                     self.low_streak.store(0, Ordering::Relaxed);
@@ -119,7 +124,7 @@ impl Brownout {
             }
         } else if occupancy >= self.config.enter_occupancy {
             let high = self.high_streak.fetch_add(1, Ordering::Relaxed) + 1;
-            if high >= self.config.enter_after && !self.active.swap(true, Ordering::Relaxed) {
+            if high >= self.config.enter_after && !self.active.swap(true, Ordering::AcqRel) {
                 self.entered.inc();
                 self.active_gauge.set(1);
                 self.high_streak.store(0, Ordering::Relaxed);

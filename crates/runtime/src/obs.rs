@@ -145,13 +145,17 @@ impl RuntimeObs {
 
     /// Turn decision tracing on or off. Takes effect for jobs whose
     /// execution starts after the call.
+    ///
+    /// Release pairs with the Acquire load in
+    /// [`RuntimeObs::tracing`]: a worker that observes the enable also
+    /// observes any trace-sink setup done before it.
     pub fn set_tracing(&self, on: bool) {
-        self.tracing.store(on, Ordering::Relaxed);
+        self.tracing.store(on, Ordering::Release);
     }
 
     /// Whether decision tracing is currently on.
     pub fn tracing(&self) -> bool {
-        self.tracing.load(Ordering::Relaxed)
+        self.tracing.load(Ordering::Acquire)
     }
 
     /// A recorder handle for one job: enabled (stamping `job`/`graph`/
